@@ -1,0 +1,21 @@
+//! Criterion benchmark for the Figure 4 workload: Sequitur + grammar
+//! extraction on the paper's example and on a paper-scale concatenation
+//! (500 networks x 16 modules).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wootz_bench::simrep::fig4_report;
+use wootz_core::blocks::identify_tuning_blocks;
+use wootz_core::prune::{sample_subspace, PAPER_RATES};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("figure4_example", |b| b.iter(fig4_report));
+    let configs = sample_subspace(16, &PAPER_RATES, 500, 1);
+    group.bench_function("identify_blocks_500x16", |b| {
+        b.iter(|| identify_tuning_blocks(&configs).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion benchmark for the Figure 6 workload: producing one pair of
+//! default/block-trained accuracy curves with real micro training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wootz_bench::real::{fig6, MicroOpts};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    let mut opts = MicroOpts::quick();
+    opts.full_steps = 30;
+    opts.pretrain_steps = 10;
+    opts.finetune_steps = 16;
+    group.bench_function("curves_quick", |b| b.iter(|| fig6(&opts)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

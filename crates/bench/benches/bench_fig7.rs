@@ -1,0 +1,15 @@
+//! Criterion benchmark for the Figure 7 workload: 500 simulated variants
+//! with exact analytic model sizes on the full-scale ResNet-50 IR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wootz_sim::tables::fig7;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("scatter_500_variants", |b| b.iter(|| fig7(3)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

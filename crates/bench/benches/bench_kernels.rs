@@ -1,0 +1,40 @@
+//! Micro-benchmarks of the CNN kernels that dominate the real training
+//! experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wootz_tensor::{init, ops};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let x = init::normal(&mut rng, &[8, 16, 16, 16], 0.0, 1.0);
+    let w = init::normal(&mut rng, &[16, 16, 3, 3], 0.0, 0.2);
+    let b = init::normal(&mut rng, &[16], 0.0, 0.2);
+    let cfg = ops::Conv2dCfg { stride: 1, pad: 1 };
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("conv2d_fwd_8x16x16x16_k3", |bch| {
+        bch.iter(|| ops::conv2d(&x, &w, &b, cfg))
+    });
+    let y = ops::conv2d(&x, &w, &b, cfg);
+    let dy = y.scale(0.1);
+    group.bench_function("conv2d_bwd_8x16x16x16_k3", |bch| {
+        bch.iter(|| ops::conv2d_backward(&x, &w, &dy, cfg))
+    });
+    let gamma = init::normal(&mut rng, &[16], 1.0, 0.1);
+    let beta = init::normal(&mut rng, &[16], 0.0, 0.1);
+    group.bench_function("batch_norm_fwd", |bch| {
+        bch.iter(|| ops::batch_norm(&x, &gamma, &beta, 1e-3, None))
+    });
+    let flat = x.reshape(&[8, 16 * 16 * 16]).unwrap();
+    let dw = init::normal(&mut rng, &[10, 16 * 16 * 16], 0.0, 0.05);
+    let db = init::normal(&mut rng, &[10], 0.0, 0.05);
+    group.bench_function("dense_fwd_4096_to_10", |bch| {
+        bch.iter(|| ops::dense(&flat, &dw, &db))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

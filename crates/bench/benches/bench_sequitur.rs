@@ -1,0 +1,34 @@
+//! Benchmarks of the Sequitur engine: near-linear scaling is the paper's
+//! stated reason for choosing it (§5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wootz_sequitur::Sequitur;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequitur");
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let input: Vec<u64> = (0..n).map(|_| rng.gen_range(0..12)).collect();
+        group.bench_with_input(BenchmarkId::new("random_alpha12", n), &input, |b, input| {
+            b.iter(|| {
+                let mut s = Sequitur::new();
+                s.extend(input.iter().copied());
+                s.grammar().rules().len()
+            })
+        });
+    }
+    let repetitive: Vec<u64> = [1u64, 2, 3, 4, 5, 6, 7, 8].repeat(2_000);
+    group.bench_function("repetitive_16k", |b| {
+        b.iter(|| {
+            let mut s = Sequitur::new();
+            s.extend(repetitive.iter().copied());
+            s.grammar().rules().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

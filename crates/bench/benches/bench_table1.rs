@@ -1,0 +1,31 @@
+//! Criterion benchmark for the Table 1 workload: training one mini model
+//! to measure full-model accuracy on one synthetic dataset (the full
+//! harness repeats this over 4 models x 5 datasets).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wootz_core::compile::MultiplexingModel;
+use wootz_core::pipeline::train_full_model;
+use wootz_data::micro_dataset;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let opts = wootz_bench::real::MicroOpts::quick();
+    let ds = micro_dataset("flowers102", 1);
+    let classes = ds.spec().classes;
+    group.bench_function("train_full_mini_resnet_flowers", |b| {
+        b.iter(|| {
+            let mm = MultiplexingModel::compile(wootz_models::resnet_mini(classes)).unwrap();
+            let solver = wootz_ir::SolverConfig {
+                max_iter: opts.full_steps / 2,
+                batch_size: opts.batch,
+                ..Default::default()
+            };
+            train_full_model(&mm, &ds, &solver).unwrap().1
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

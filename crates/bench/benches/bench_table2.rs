@@ -1,0 +1,32 @@
+//! Criterion benchmark for the Table 2 workload: one composability-
+//! hypothesis cell (full-model training + block pre-training + default and
+//! block-trained fine-tuning) at the quick budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wootz_bench::real::{table2_cell, MicroOpts};
+use wootz_data::micro_dataset;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let mut opts = MicroOpts::quick();
+    opts.configs_per_cell = 2;
+    opts.full_steps = 30;
+    opts.pretrain_steps = 10;
+    opts.finetune_steps = 20;
+    let classes = micro_dataset("flowers102", opts.seed).spec().classes;
+    group.bench_function("composability_cell_resnet_flowers", |b| {
+        b.iter(|| {
+            table2_cell(
+                "ResNet-50",
+                wootz_models::resnet_mini(classes),
+                "flowers102",
+                &opts,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion benchmark for the Table 3 workload: one simulated pruning
+//! experiment (500-config subspace, both arms, exact analytic model
+//! sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wootz_sim::{simulate_pruning, SimExperiment};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for (model, dataset, alpha) in [
+        ("resnet50", "flowers102", 0.0),
+        ("inception_v3", "cub200", 4.0),
+    ] {
+        group.bench_function(format!("simulate_{model}_{dataset}_a{alpha}"), |b| {
+            b.iter(|| simulate_pruning(&SimExperiment::table3(model, dataset, alpha, 1, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

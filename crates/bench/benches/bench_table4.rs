@@ -1,0 +1,23 @@
+//! Criterion benchmark for the Table 4 workload: the subspace-size sweep
+//! at a reduced size grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wootz_sim::{simulate_pruning, SimExperiment};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    for n in [16usize, 256] {
+        group.bench_function(format!("simulate_subspace_{n}"), |b| {
+            b.iter(|| {
+                let mut exp = SimExperiment::table3("resnet50", "cub200", 3.0, 1, 3);
+                exp.subspace_size = n;
+                simulate_pruning(&exp)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmark for the Table 5 workload: module-level vs
+//! hierarchical block identification on an N = 8 collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wootz_sim::{simulate_pruning, BlockStrategy, SimExperiment, SubspaceKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(20);
+    for (name, strategy) in [
+        ("module_level", BlockStrategy::ModuleLevel),
+        ("hierarchical", BlockStrategy::Hierarchical),
+    ] {
+        group.bench_function(format!("simulate_n8_{name}"), |b| {
+            b.iter(|| {
+                let mut exp = SimExperiment::table3("resnet50", "cub200", 4.0, 1, 9);
+                exp.subspace_size = 8;
+                exp.subspace = SubspaceKind::Segment;
+                exp.strategy = strategy;
+                simulate_pruning(&exp)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! The reproduction driver: one subcommand per table/figure of the Wootz
+//! paper's evaluation.
+//!
+//! ```text
+//! reproduce table1 [--quick] [--seed N]   # dataset stats + full accuracies (real training)
+//! reproduce table2 [--quick] [--seed N]   # composability hypothesis (real training)
+//! reproduce table3 [--seed N]             # speedups & config savings (simulation)
+//! reproduce table4 [--seed N]             # speedups vs subspace size (simulation)
+//! reproduce table5 [--seed N]             # identifier extra speedups (simulation)
+//! reproduce fig4                          # Sequitur grammar/DAG example (exact)
+//! reproduce fig6 [--quick] [--seed N]     # accuracy curves (real training)
+//! reproduce fig7 [--seed N]               # accuracy vs size scatter (simulation)
+//! reproduce verify [--seed N]             # qualitative shape checks
+//! reproduce all [--quick] [--seed N]      # everything, in order
+//! ```
+
+use std::process::ExitCode;
+
+use wootz_bench::real::{fig6_report, table1_report, table2_report, MicroOpts};
+use wootz_bench::simrep::{
+    fig4_report, fig7_report, shape_check, table3_report, table4_report, table5_report,
+};
+
+struct Args {
+    command: String,
+    quick: bool,
+    seed: u64,
+    json_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut quick = false;
+    let mut seed = 7u64;
+    let mut json_dir = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value".to_string())?;
+                seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--json" => {
+                let v = args.next().ok_or("--json needs a directory".to_string())?;
+                json_dir = Some(std::path::PathBuf::from(v));
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        command,
+        quick,
+        seed,
+        json_dir,
+    })
+}
+
+fn usage() -> String {
+    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|verify|all> \
+     [--quick] [--seed N] [--json <dir>]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut micro = if args.quick {
+        MicroOpts::quick()
+    } else {
+        MicroOpts::standard()
+    };
+    micro.seed = args.seed;
+    let seed = args.seed;
+
+    let run = |name: &str| -> Option<String> {
+        let text = match name {
+            "table1" => Some(table1_report(&micro)),
+            "table2" => Some(table2_report(&micro)),
+            "table3" => Some(table3_report(seed)),
+            "table4" => Some(table4_report(seed)),
+            "table5" => Some(table5_report(seed)),
+            "fig4" => Some(fig4_report()),
+            "fig6" => Some(fig6_report(&micro)),
+            "fig7" => Some(fig7_report(seed)),
+            _ => None,
+        }?;
+        if let Some(dir) = &args.json_dir {
+            std::fs::create_dir_all(dir).ok();
+            let json = match name {
+                "table3" | "table4" | "table5" | "fig7" => {
+                    Some(wootz_bench::simrep::artifact_json(name, seed))
+                }
+                "table1" | "table2" | "fig6" => {
+                    Some(wootz_bench::real::artifact_json(name, &micro))
+                }
+                _ => None,
+            };
+            if let Some(json) = json {
+                let path = dir.join(format!("{name}.json"));
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                }
+            }
+        }
+        Some(text)
+    };
+
+    match args.command.as_str() {
+        "verify" => {
+            let (ok, report) = shape_check(seed);
+            println!("{report}");
+            if ok {
+                println!("all shape checks passed");
+                ExitCode::SUCCESS
+            } else {
+                println!("some shape checks FAILED");
+                ExitCode::FAILURE
+            }
+        }
+        "all" => {
+            for name in [
+                "fig4", "table1", "table2", "fig6", "fig7", "table3", "table4", "table5",
+            ] {
+                println!("================================================================");
+                println!("{}", run(name).expect("known artifact"));
+            }
+            let (ok, report) = shape_check(seed);
+            println!("================================================================");
+            println!("{report}");
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => match run(other) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown command `{other}`\n{}", usage());
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -1,0 +1,315 @@
+//! Dataflow analyses over the model IR used by the compiler, pre-training
+//! and assembly phases: blob consumers, module interfaces, and the
+//! channel-origin tracing that drives pruned-weight inheritance.
+
+use std::collections::BTreeMap;
+
+use wootz_ir::{LayerDef, LayerKind, ModelIr};
+
+use crate::{CoreError, Result};
+
+/// Where the channels of a blob come from, for input-channel slicing when
+/// a producer conv was pruned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelOrigin {
+    /// The model input (never pruned).
+    Input,
+    /// Channels are exactly the filters of the named convolution.
+    Conv(String),
+    /// Concatenation of origins with their (unpruned) widths.
+    Concat(Vec<(ChannelOrigin, usize)>),
+    /// Joined by elementwise addition; all contributors must agree and the
+    /// paper's convention keeps them unpruned, so treated as fixed.
+    Fixed,
+}
+
+/// Computes the channel origin of every blob in the model.
+///
+/// Channel-preserving layers (ReLU, BatchNorm, non-global Pooling) pass
+/// their bottom's origin through; convolutions start a fresh origin;
+/// global pooling and inner products collapse to [`ChannelOrigin::Fixed`]
+/// (their consumers never need slicing in the paper's pruning convention,
+/// because module tops stay unpruned).
+pub fn channel_origins(ir: &ModelIr) -> BTreeMap<String, ChannelOrigin> {
+    let mut origins: BTreeMap<String, ChannelOrigin> = BTreeMap::new();
+    let mut widths: BTreeMap<String, usize> = BTreeMap::new();
+    origins.insert(ir.input().name.clone(), ChannelOrigin::Input);
+    widths.insert(ir.input().name.clone(), ir.input().channels);
+    for layer in ir.layers() {
+        let (origin, width) = match &layer.kind {
+            LayerKind::Convolution { num_output, .. } => {
+                (ChannelOrigin::Conv(layer.name.clone()), *num_output)
+            }
+            LayerKind::ReLU | LayerKind::BatchNorm => {
+                let b = &layer.bottoms[0];
+                (origins[b].clone(), widths[b])
+            }
+            LayerKind::Pooling { global, .. } => {
+                let b = &layer.bottoms[0];
+                if *global {
+                    // Channels become a flat feature vector; origin is
+                    // still the producing conv so classifier weights could
+                    // be sliced, but we mark the *conv* origin to allow it.
+                    (origins[b].clone(), widths[b])
+                } else {
+                    (origins[b].clone(), widths[b])
+                }
+            }
+            LayerKind::Eltwise => {
+                let b = &layer.bottoms[0];
+                (ChannelOrigin::Fixed, widths[b])
+            }
+            LayerKind::Concat => {
+                let parts: Vec<(ChannelOrigin, usize)> = layer
+                    .bottoms
+                    .iter()
+                    .map(|b| (origins[b].clone(), widths[b]))
+                    .collect();
+                let total = parts.iter().map(|(_, w)| *w).sum();
+                (ChannelOrigin::Concat(parts), total)
+            }
+            LayerKind::InnerProduct { num_output } => (ChannelOrigin::Fixed, *num_output),
+            LayerKind::Softmax => {
+                let b = &layer.bottoms[0];
+                (origins[b].clone(), widths[b])
+            }
+        };
+        origins.insert(layer.top.clone(), origin);
+        widths.insert(layer.top.clone(), width);
+    }
+    origins
+}
+
+/// Given the kept-filter indices of every pruned conv, computes which input
+/// channels of a consumer of `blob` survive. `None` means all channels
+/// survive (nothing upstream was pruned).
+pub fn kept_input_indices(
+    origin: &ChannelOrigin,
+    kept: &BTreeMap<String, Vec<usize>>,
+    full_widths: &BTreeMap<String, usize>,
+) -> Option<Vec<usize>> {
+    match origin {
+        ChannelOrigin::Input | ChannelOrigin::Fixed => None,
+        ChannelOrigin::Conv(name) => kept.get(name).cloned(),
+        ChannelOrigin::Concat(parts) => {
+            let mut any_pruned = false;
+            let mut indices = Vec::new();
+            let mut offset = 0;
+            for (part, width) in parts {
+                let part_width = match part {
+                    ChannelOrigin::Conv(name) => full_widths.get(name).copied().unwrap_or(*width),
+                    _ => *width,
+                };
+                match kept_input_indices(part, kept, full_widths) {
+                    Some(part_kept) => {
+                        any_pruned = true;
+                        indices.extend(part_kept.iter().map(|i| i + offset));
+                    }
+                    None => indices.extend(offset..offset + part_width),
+                }
+                offset += part_width;
+            }
+            if any_pruned {
+                Some(indices)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The external interface of a sequence of modules: the single blob flowing
+/// in and the single blob flowing out — the ports a Teacher–Student
+/// pre-training structure connects (Figure 5 (a)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInterface {
+    /// Blob produced outside the modules and consumed inside.
+    pub input_blob: String,
+    /// Blob produced inside and consumed outside (or the network output).
+    pub output_blob: String,
+    /// Layer names inside the block, in definition order.
+    pub layers: Vec<String>,
+}
+
+/// Computes the interface of the consecutive modules `modules` (ascending).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Block`] when the modules do not form a
+/// single-entry/single-exit region (multiple external inputs or outputs) or
+/// contain no layers.
+pub fn block_interface(ir: &ModelIr, modules: &[usize]) -> Result<BlockInterface> {
+    let inside: Vec<&LayerDef> = ir
+        .layers()
+        .iter()
+        .filter(|l| l.module.is_some_and(|m| modules.contains(&m)))
+        .collect();
+    if inside.is_empty() {
+        return Err(CoreError::Block(format!(
+            "modules {modules:?} contain no layers"
+        )));
+    }
+    let inside_tops: std::collections::HashSet<&str> =
+        inside.iter().map(|l| l.top.as_str()).collect();
+    let inside_names: Vec<String> = inside.iter().map(|l| l.name.clone()).collect();
+
+    // External inputs: bottoms consumed inside but produced outside.
+    let mut external_inputs: Vec<&str> = Vec::new();
+    for layer in &inside {
+        for b in &layer.bottoms {
+            if !inside_tops.contains(b.as_str()) && !external_inputs.contains(&b.as_str()) {
+                external_inputs.push(b);
+            }
+        }
+    }
+    // External outputs: tops produced inside and consumed outside (or
+    // nowhere, i.e. the network output).
+    let mut external_outputs: Vec<&str> = Vec::new();
+    for layer in &inside {
+        let top = layer.top.as_str();
+        let consumed_outside = ir
+            .layers()
+            .iter()
+            .filter(|l| l.bottoms.iter().any(|b| b == top))
+            .any(|l| !inside_names.contains(&l.name));
+        let consumed_at_all = ir
+            .layers()
+            .iter()
+            .any(|l| l.bottoms.iter().any(|b| b == top));
+        if (consumed_outside || !consumed_at_all) && !external_outputs.contains(&top) {
+            external_outputs.push(top);
+        }
+    }
+    if external_inputs.len() != 1 {
+        return Err(CoreError::Block(format!(
+            "modules {modules:?} have {} external inputs ({external_inputs:?}); tuning blocks need exactly one",
+            external_inputs.len()
+        )));
+    }
+    if external_outputs.len() != 1 {
+        return Err(CoreError::Block(format!(
+            "modules {modules:?} have {} external outputs ({external_outputs:?}); tuning blocks need exactly one",
+            external_outputs.len()
+        )));
+    }
+    Ok(BlockInterface {
+        input_blob: external_inputs[0].to_string(),
+        output_blob: external_outputs[0].to_string(),
+        layers: inside_names,
+    })
+}
+
+/// Full (unpruned) filter count of every conv layer, by name.
+pub fn conv_widths(ir: &ModelIr) -> BTreeMap<String, usize> {
+    ir.layers()
+        .iter()
+        .filter_map(|l| match l.kind {
+            LayerKind::Convolution { num_output, .. } => Some((l.name.clone(), num_output)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wootz_models::{inception_mini, resnet_mini};
+
+    #[test]
+    fn origins_trace_through_relu_and_pool() {
+        let ir = resnet_mini(10);
+        let origins = channel_origins(&ir);
+        // conv1_relu's channels come from conv1.
+        assert_eq!(origins["conv1_relu"], ChannelOrigin::Conv("conv1".into()));
+        // The residual sum is Fixed.
+        assert_eq!(origins["res2_0_sum"], ChannelOrigin::Fixed);
+    }
+
+    #[test]
+    fn concat_origin_lists_branches() {
+        let ir = inception_mini(10);
+        let origins = channel_origins(&ir);
+        match &origins["inception_0_concat"] {
+            ChannelOrigin::Concat(parts) => assert_eq!(parts.len(), 4),
+            other => panic!("expected concat origin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kept_input_indices_pass_through_and_slice() {
+        let mut kept = BTreeMap::new();
+        kept.insert("c1".to_string(), vec![0, 2]);
+        let widths = BTreeMap::from([("c1".to_string(), 4usize), ("c2".to_string(), 3usize)]);
+        assert_eq!(
+            kept_input_indices(&ChannelOrigin::Conv("c1".into()), &kept, &widths),
+            Some(vec![0, 2])
+        );
+        assert_eq!(
+            kept_input_indices(&ChannelOrigin::Conv("c2".into()), &kept, &widths),
+            None
+        );
+        assert_eq!(
+            kept_input_indices(&ChannelOrigin::Input, &kept, &widths),
+            None
+        );
+        assert_eq!(
+            kept_input_indices(&ChannelOrigin::Fixed, &kept, &widths),
+            None
+        );
+    }
+
+    #[test]
+    fn kept_input_indices_offset_concat_parts() {
+        let mut kept = BTreeMap::new();
+        kept.insert("a".to_string(), vec![1]);
+        let widths = BTreeMap::from([("a".to_string(), 2usize), ("b".to_string(), 3usize)]);
+        let origin = ChannelOrigin::Concat(vec![
+            (ChannelOrigin::Conv("a".into()), 2),
+            (ChannelOrigin::Conv("b".into()), 3),
+        ]);
+        // a keeps filter 1 of 2; b keeps all 3, offset by a's FULL width 2.
+        assert_eq!(
+            kept_input_indices(&origin, &kept, &widths),
+            Some(vec![1, 2, 3, 4])
+        );
+        // Nothing pruned anywhere under the concat -> None.
+        assert!(kept_input_indices(
+            &ChannelOrigin::Concat(vec![(ChannelOrigin::Conv("b".into()), 3)]),
+            &kept,
+            &widths
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn block_interface_of_one_resnet_module() {
+        let ir = resnet_mini(10);
+        let iface = block_interface(&ir, &[1]).unwrap();
+        // Module 1 consumes module 0's output relu and produces its own.
+        assert_eq!(iface.input_blob, "res2_0_relu");
+        assert_eq!(iface.output_blob, "res2_1_relu");
+        assert!(iface.layers.contains(&"res2_1_branch2a".to_string()));
+    }
+
+    #[test]
+    fn block_interface_of_module_span() {
+        let ir = resnet_mini(10);
+        let iface = block_interface(&ir, &[0, 1]).unwrap();
+        assert_eq!(iface.input_blob, "conv1_relu");
+        assert_eq!(iface.output_blob, "res2_1_relu");
+    }
+
+    #[test]
+    fn block_interface_rejects_empty_modules() {
+        let ir = resnet_mini(10);
+        assert!(block_interface(&ir, &[42]).is_err());
+    }
+
+    #[test]
+    fn conv_widths_lists_all_convs() {
+        let ir = resnet_mini(10);
+        let widths = conv_widths(&ir);
+        assert_eq!(widths["conv1"], 8);
+        assert_eq!(widths["res2_0_branch2c"], 16);
+    }
+}

@@ -1,0 +1,288 @@
+//! The Wootz command-line framework: the file-driven workflow of the
+//! paper's Figure 2.
+//!
+//! ```text
+//! wootz compile <model.prototxt> [--emit-python <out.py>] [--summary]
+//!     Parse and validate a model; print its statistics; optionally write
+//!     the generated TensorFlow-Slim-style multiplexing model.
+//!
+//! wootz sample --modules N --count K [--seed S] [--segments M] [--out configs.json]
+//!     Sample a promising subspace (the paper's random sampling, or
+//!     segment-constrained "collection-2" sampling with --segments).
+//!
+//! wootz identify --model <model.prototxt> --configs <configs.json>
+//!     Run the hierarchical tuning-block identifier and print the blocks,
+//!     composite vectors and concurrent pre-training groups.
+//!
+//! wootz prune --model <model.prototxt> --configs <configs.json>
+//!             --solver <solver.prototxt> --objective <objective.txt>
+//!             [--mode baseline|composability|hierarchical]
+//!             [--out results.json]
+//!     Run the full pruning pipeline on the micro dataset named in the
+//!     solver's `dataset:` field.
+//! ```
+//!
+//! Configuration files are JSON arrays of per-module rate vectors, e.g.
+//! `[[30, 0, 50, 70], [50, 50, 0, 30]]` — the open-format equivalent of
+//! the pickled Python lists the paper's compiler accepts (Figure 3 (a)).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wootz_core::blocks::{identify_tuning_blocks, partition_into_groups};
+use wootz_core::pipeline::{run_wootz, RunMode, WootzInputs};
+use wootz_core::prune::{sample_segment_subspace, sample_subspace, PruneConfig, PAPER_RATES};
+use wootz_core::stats::model_stats;
+use wootz_data::micro_dataset;
+use wootz_ir::{ModelIr, Objective, SolverConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wootz: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn run() -> CliResult {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err(usage().into());
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "compile" => cmd_compile(args),
+        "sample" => cmd_sample(args),
+        "identify" => cmd_identify(args),
+        "prune" => cmd_prune(args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: wootz <compile|sample|identify|prune|help> [options]\n\
+     run `wootz help` for per-command options"
+}
+
+/// Pulls the value following `--flag` out of `args`, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+/// Pulls a boolean `--flag`.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn reject_leftovers(args: &[String]) -> CliResult {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unrecognized arguments: {args:?}").into())
+    }
+}
+
+fn load_model(path: &str) -> Result<ModelIr, Box<dyn std::error::Error>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read model `{path}`: {e}"))?;
+    Ok(ModelIr::parse(&text)?)
+}
+
+fn load_configs(path: &str) -> Result<Vec<PruneConfig>, Box<dyn std::error::Error>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read configs `{path}`: {e}"))?;
+    let raw: Vec<Vec<u8>> = serde_json::from_str(&text)
+        .map_err(|e| format!("configs `{path}` must be a JSON array of rate arrays: {e}"))?;
+    raw.into_iter()
+        .map(|rates| PruneConfig::new(rates).map_err(Into::into))
+        .collect()
+}
+
+fn cmd_compile(mut args: Vec<String>) -> CliResult {
+    let emit_python = take_flag(&mut args, "--emit-python");
+    let summary = take_switch(&mut args, "--summary");
+    if args.len() != 1 {
+        return Err("compile needs exactly one <model.prototxt>".into());
+    }
+    let model = load_model(&args[0])?;
+    println!(
+        "compiled `{}`: {} layers, {} convolution modules, {} prunable convolutions",
+        model.name(),
+        model.layers().len(),
+        model.conv_module_ids().len(),
+        model.prunable_convs().len()
+    );
+    let stats = model_stats(&model);
+    if summary {
+        println!("\n{}", stats.render());
+    } else {
+        println!(
+            "{} parameters, {} FLOPs/sample",
+            stats.total_params, stats.total_flops
+        );
+    }
+    if let Some(path) = emit_python {
+        let py = wootz_core::codegen::emit_python(&model);
+        std::fs::write(&path, py).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote multiplexing model to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_sample(mut args: Vec<String>) -> CliResult {
+    let modules: usize = take_flag(&mut args, "--modules")
+        .ok_or("sample needs --modules N")?
+        .parse()
+        .map_err(|e| format!("bad --modules: {e}"))?;
+    let count: usize = take_flag(&mut args, "--count")
+        .ok_or("sample needs --count K")?
+        .parse()
+        .map_err(|e| format!("bad --count: {e}"))?;
+    let seed: u64 = take_flag(&mut args, "--seed")
+        .map_or(Ok(7), |s| s.parse())
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let segments: Option<usize> = match take_flag(&mut args, "--segments") {
+        Some(s) => Some(s.parse().map_err(|e| format!("bad --segments: {e}"))?),
+        None => None,
+    };
+    let out = take_flag(&mut args, "--out");
+    reject_leftovers(&args)?;
+
+    let configs = match segments {
+        Some(m) => sample_segment_subspace(modules, &PAPER_RATES, m, count, seed),
+        None => sample_subspace(modules, &PAPER_RATES, count, seed),
+    };
+    let rates: Vec<&[u8]> = configs.iter().map(|c| c.rates()).collect();
+    let json = serde_json::to_string_pretty(&rates)?;
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("wrote {} configurations to {path}", configs.len());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_identify(mut args: Vec<String>) -> CliResult {
+    let model = load_model(&take_flag(&mut args, "--model").ok_or("identify needs --model")?)?;
+    let configs =
+        load_configs(&take_flag(&mut args, "--configs").ok_or("identify needs --configs")?)?;
+    reject_leftovers(&args)?;
+    let n = model.conv_module_ids().len();
+    for (i, c) in configs.iter().enumerate() {
+        if c.len() != n {
+            return Err(format!(
+                "configuration {i} covers {} modules, model `{}` has {n}",
+                c.len(),
+                model.name()
+            )
+            .into());
+        }
+    }
+    let set = identify_tuning_blocks(&configs)?;
+    println!(
+        "identified {} tuning blocks from {} configurations:",
+        set.blocks.len(),
+        configs.len()
+    );
+    for block in &set.blocks {
+        println!("  {}", block.key());
+    }
+    println!("\ncomposite vectors:");
+    for comp in &set.composites {
+        let parts: Vec<String> = comp
+            .parts
+            .iter()
+            .map(|p| set.blocks[p.block_index].key())
+            .collect();
+        println!("  network {:3}: {}", comp.config_index, parts.join(" | "));
+    }
+    let groups = partition_into_groups(&set.blocks);
+    println!("\npre-training groups ({}):", groups.len());
+    for (gi, g) in groups.iter().enumerate() {
+        let keys: Vec<String> = g.iter().map(|&b| set.blocks[b].key()).collect();
+        println!("  group {gi}: {}", keys.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_prune(mut args: Vec<String>) -> CliResult {
+    let model = load_model(&take_flag(&mut args, "--model").ok_or("prune needs --model")?)?;
+    let subspace =
+        load_configs(&take_flag(&mut args, "--configs").ok_or("prune needs --configs")?)?;
+    let solver_path = take_flag(&mut args, "--solver").ok_or("prune needs --solver")?;
+    let objective_path = take_flag(&mut args, "--objective").ok_or("prune needs --objective")?;
+    let mode = match take_flag(&mut args, "--mode").as_deref() {
+        None | Some("composability") => RunMode::Composability,
+        Some("baseline") => RunMode::Baseline,
+        Some("hierarchical") => RunMode::ComposabilityHierarchical,
+        Some(other) => return Err(format!("unknown --mode `{other}`").into()),
+    };
+    let out: Option<PathBuf> = take_flag(&mut args, "--out").map(Into::into);
+    reject_leftovers(&args)?;
+
+    let solver = SolverConfig::parse(
+        &std::fs::read_to_string(&solver_path)
+            .map_err(|e| format!("cannot read solver `{solver_path}`: {e}"))?,
+    )?;
+    let objective = Objective::parse(
+        &std::fs::read_to_string(&objective_path)
+            .map_err(|e| format!("cannot read objective `{objective_path}`: {e}"))?,
+    )?;
+    let dataset = micro_dataset(&solver.dataset, solver.seed);
+    println!(
+        "pruning `{}` on dataset `{}` ({} configurations, mode {mode:?})",
+        model.name(),
+        solver.dataset,
+        subspace.len()
+    );
+    let inputs = WootzInputs {
+        model,
+        subspace,
+        solver,
+        objective,
+    };
+    let run = run_wootz(&inputs, &dataset, mode, None)?;
+    println!("full-model accuracy: {:.3}", run.full_accuracy);
+    println!(
+        "explored {} configurations ({} fine-tune steps, {} pre-train steps, {} blocks)",
+        run.exploration.configs_explored,
+        run.finetune_steps,
+        run.pretrain_steps,
+        run.blocks_pretrained
+    );
+    match &run.best {
+        Some(best) => println!(
+            "best network: rates {:?} -> {} params @ accuracy {:.3}",
+            best.rates, best.model_size, best.accuracy
+        ),
+        None => println!("no configuration met the objective"),
+    }
+    if let Some(path) = out {
+        let json = serde_json::to_string_pretty(&run)?;
+        std::fs::write(&path, json)
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        println!("wrote results to {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+use wootz_ir::IrError;
+use wootz_nn::NnError;
+
+/// Errors raised by the Wootz pruning framework.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Failure in an input format parser.
+    Ir(IrError),
+    /// Failure in the NN engine (graph construction, execution,
+    /// checkpointing).
+    Nn(NnError),
+    /// A pruning configuration does not fit the model (wrong module count,
+    /// unsupported rate).
+    Config(String),
+    /// A tuning-block operation failed (non-consecutive modules, ambiguous
+    /// block interface).
+    Block(String),
+    /// Pipeline-level failure (phase ordering, missing artifacts).
+    Pipeline(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Ir(e) => write!(f, "{e}"),
+            CoreError::Nn(e) => write!(f, "{e}"),
+            CoreError::Config(m) => write!(f, "pruning configuration error: {m}"),
+            CoreError::Block(m) => write!(f, "tuning block error: {m}"),
+            CoreError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Ir(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for CoreError {
+    fn from(e: IrError) -> Self {
+        CoreError::Ir(e)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_send_sync() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<CoreError>();
+        assert!(CoreError::Config("bad".into()).to_string().contains("bad"));
+        let e: CoreError = IrError::new("x").into();
+        assert!(e.source().is_some());
+    }
+}

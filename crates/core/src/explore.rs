@@ -1,0 +1,377 @@
+//! Objective-ordered exploration of the promising subspace (§6.2,
+//! "Exploration Scripts").
+//!
+//! The exploration order is derived from the pruning objective: for
+//! `min ModelSize` the scripts "start from the smallest model and proceed
+//! to larger ones"; for accuracy-driven objectives the opposite. With `p`
+//! workers, "the i-th node will evaluate the i + p·j-th smallest (or
+//! largest) model" — reproduced here both as the static task-assignment
+//! table the compiler emits and as an actual multi-worker evaluation loop
+//! that stops as soon as a round produces a satisfying network.
+
+use serde::{Deserialize, Serialize};
+use wootz_ir::{ExplorationOrder, Measurements, Metric, Objective};
+use wootz_nn::TrainLog;
+
+use crate::Result;
+
+/// The measured outcome of evaluating one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Parameter count of the pruned network.
+    pub model_size: usize,
+    /// Forward FLOPs per sample (analytic; 0 when not computed).
+    pub flops: u64,
+    /// Final test accuracy after (fine-)tuning.
+    pub accuracy: f64,
+    /// Evaluation cost in abstract time units (wall-clock seconds for real
+    /// training, simulated hours for the cluster simulator).
+    pub cost: f64,
+    /// Full training log when available.
+    pub log: Option<TrainLog>,
+}
+
+/// One evaluated configuration inside an [`ExplorationResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Index of the configuration in the promising subspace.
+    pub config_index: usize,
+    /// Measured outcome.
+    pub outcome: EvalOutcome,
+    /// Whether the objective's constraints were satisfied.
+    pub satisfies: bool,
+}
+
+/// The result of exploring a subspace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationResult {
+    /// Every evaluated configuration, in completion order.
+    pub evaluated: Vec<EvalRecord>,
+    /// Position (in `evaluated`) of the chosen best network, if any
+    /// satisfied the constraints.
+    pub best: Option<usize>,
+    /// Number of configurations evaluated ("#configs" of Table 3).
+    pub configs_explored: usize,
+    /// Wall-clock cost: with `p` workers, the max per-worker sum of costs
+    /// over the rounds that ran.
+    pub wall_cost: f64,
+    /// Total (CPU) cost summed over all evaluations.
+    pub total_cost: f64,
+}
+
+/// Orders configuration indices for exploration: ascending model size for
+/// `min ModelSize` objectives, descending otherwise.
+pub fn exploration_order(objective: &Objective, sizes: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    match objective.exploration_order() {
+        ExplorationOrder::SizeAscending => order.sort_by_key(|&i| (sizes[i], i)),
+        ExplorationOrder::SizeDescending => {
+            order.sort_by_key(|&i| (std::cmp::Reverse(sizes[i]), i))
+        }
+    }
+    order
+}
+
+/// The compiler's static task-assignment table (§6.2): worker `i` evaluates
+/// the `i + p·j`-th configuration of the exploration order, `0 ≤ j <
+/// ⌈c/p⌉`.
+pub fn task_assignment(order: &[usize], workers: usize) -> Vec<Vec<usize>> {
+    let p = workers.max(1);
+    let mut nodes = vec![Vec::new(); p];
+    for (pos, &config) in order.iter().enumerate() {
+        nodes[pos % p].push(config);
+    }
+    nodes
+}
+
+/// Explores the subspace in objective order with `workers` parallel
+/// workers, stopping at the end of the first round that produced a
+/// satisfying configuration (all in-flight evaluations of that round are
+/// finished and counted, matching the paper's rounded "#configs").
+///
+/// `sizes[i]` is the analytic model size of configuration `i` (used for
+/// ordering and for the best-network choice); `evaluate(i)` trains/tests
+/// configuration `i`.
+///
+/// # Errors
+///
+/// Propagates evaluator errors.
+pub fn explore<E>(
+    objective: &Objective,
+    sizes: &[usize],
+    workers: usize,
+    evaluate: E,
+) -> Result<ExplorationResult>
+where
+    E: Fn(usize) -> Result<EvalOutcome>,
+{
+    let order = exploration_order(objective, sizes);
+    let p = workers.max(1);
+    let mut result = ExplorationResult {
+        evaluated: Vec::new(),
+        best: None,
+        configs_explored: 0,
+        wall_cost: 0.0,
+        total_cost: 0.0,
+    };
+    let mut worker_cost = vec![0.0f64; p];
+    let mut pos = 0;
+    while pos < order.len() {
+        let round: Vec<usize> = order[pos..(pos + p).min(order.len())].to_vec();
+        pos += round.len();
+        let mut found = false;
+        for (wi, &config_index) in round.iter().enumerate() {
+            let outcome = evaluate(config_index)?;
+            let satisfies = objective.satisfied(&Measurements {
+                model_size: outcome.model_size as f64,
+                accuracy: outcome.accuracy,
+                flops: outcome.flops as f64,
+            });
+            worker_cost[wi] += outcome.cost;
+            result.total_cost += outcome.cost;
+            found |= satisfies;
+            result.evaluated.push(EvalRecord {
+                config_index,
+                outcome,
+                satisfies,
+            });
+        }
+        if found {
+            break;
+        }
+    }
+    result.configs_explored = result.evaluated.len();
+    result.wall_cost = worker_cost.iter().copied().fold(0.0, f64::max);
+    result.best = pick_best(objective, &result.evaluated);
+    Ok(result)
+}
+
+/// Explores like [`explore`] but evaluates each round's configurations on
+/// real OS threads — the single-machine analogue of the paper's MPI
+/// exploration. Results are bit-identical to the sequential [`explore`]
+/// (each evaluation is independent and deterministic; rounds join before
+/// the stop check).
+///
+/// # Errors
+///
+/// Propagates evaluator errors (the first error of a round, in round
+/// order).
+pub fn explore_parallel<E>(
+    objective: &Objective,
+    sizes: &[usize],
+    workers: usize,
+    evaluate: E,
+) -> Result<ExplorationResult>
+where
+    E: Fn(usize) -> Result<EvalOutcome> + Sync,
+{
+    let order = exploration_order(objective, sizes);
+    let p = workers.max(1);
+    let mut result = ExplorationResult {
+        evaluated: Vec::new(),
+        best: None,
+        configs_explored: 0,
+        wall_cost: 0.0,
+        total_cost: 0.0,
+    };
+    let evaluate = &evaluate;
+    let mut worker_cost = vec![0.0f64; p];
+    let mut pos = 0;
+    while pos < order.len() {
+        let round: Vec<usize> = order[pos..(pos + p).min(order.len())].to_vec();
+        pos += round.len();
+        let outcomes: Vec<Result<EvalOutcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = round
+                .iter()
+                .map(|&config_index| scope.spawn(move || evaluate(config_index)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluator thread must not panic"))
+                .collect()
+        });
+        let mut found = false;
+        for (wi, (&config_index, outcome)) in round.iter().zip(outcomes).enumerate() {
+            let outcome = outcome?;
+            let satisfies = objective.satisfied(&Measurements {
+                model_size: outcome.model_size as f64,
+                accuracy: outcome.accuracy,
+                flops: outcome.flops as f64,
+            });
+            worker_cost[wi] += outcome.cost;
+            result.total_cost += outcome.cost;
+            found |= satisfies;
+            result.evaluated.push(EvalRecord {
+                config_index,
+                outcome,
+                satisfies,
+            });
+        }
+        if found {
+            break;
+        }
+    }
+    result.configs_explored = result.evaluated.len();
+    result.wall_cost = worker_cost.iter().copied().fold(0.0, f64::max);
+    result.best = pick_best(objective, &result.evaluated);
+    Ok(result)
+}
+
+/// Picks the best satisfying record under the objective's own metric.
+fn pick_best(objective: &Objective, evaluated: &[EvalRecord]) -> Option<usize> {
+    let candidates = evaluated.iter().enumerate().filter(|(_, r)| r.satisfies);
+    let key = |r: &EvalRecord| -> f64 {
+        match objective.metric {
+            Metric::ModelSize => r.outcome.model_size as f64,
+            Metric::Flops => r.outcome.flops as f64,
+            Metric::Accuracy => r.outcome.accuracy,
+        }
+    };
+    let cmp = |a: f64, b: f64| a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);
+    match objective.direction {
+        wootz_ir::Direction::Min => candidates
+            .min_by(|(_, a), (_, b)| cmp(key(a), key(b)))
+            .map(|(i, _)| i),
+        wootz_ir::Direction::Max => candidates
+            .max_by(|(_, a), (_, b)| cmp(key(a), key(b)))
+            .map(|(i, _)| i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn min_size(thr: f64) -> Objective {
+        Objective::min_size_with_accuracy(thr)
+    }
+
+    /// Synthetic evaluator: accuracy grows with model size.
+    fn toy_eval(sizes: &[usize]) -> impl Fn(usize) -> Result<EvalOutcome> + '_ {
+        move |i| {
+            Ok(EvalOutcome {
+                model_size: sizes[i],
+                flops: sizes[i] as u64 * 10,
+                accuracy: sizes[i] as f64 / 1000.0,
+                cost: 1.0,
+                log: None,
+            })
+        }
+    }
+
+    #[test]
+    fn order_ascends_for_min_size() {
+        let sizes = vec![300, 100, 200];
+        let order = exploration_order(&min_size(0.5), &sizes);
+        assert_eq!(order, vec![1, 2, 0]);
+        let obj = Objective::parse("max Accuracy").unwrap();
+        assert_eq!(exploration_order(&obj, &sizes), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn task_assignment_interleaves() {
+        let order = vec![10, 11, 12, 13, 14, 15, 16];
+        let nodes = task_assignment(&order, 3);
+        // Node i gets order[i + 3j].
+        assert_eq!(nodes[0], vec![10, 13, 16]);
+        assert_eq!(nodes[1], vec![11, 14]);
+        assert_eq!(nodes[2], vec![12, 15]);
+        assert_eq!(task_assignment(&order, 1).len(), 1);
+    }
+
+    #[test]
+    fn single_worker_stops_at_first_satisfying() {
+        let sizes = vec![100, 200, 300, 400, 500];
+        // Threshold 0.25 -> first satisfying size is 300 (acc 0.3), the 3rd
+        // smallest.
+        let res = explore(&min_size(0.25), &sizes, 1, toy_eval(&sizes)).unwrap();
+        assert_eq!(res.configs_explored, 3);
+        let best = &res.evaluated[res.best.unwrap()];
+        assert_eq!(best.outcome.model_size, 300);
+        assert_eq!(res.wall_cost, 3.0);
+        assert_eq!(res.total_cost, 3.0);
+    }
+
+    #[test]
+    fn multi_worker_rounds_up_configs() {
+        let sizes: Vec<usize> = (1..=16).map(|i| i * 100).collect();
+        // First satisfying size is 700 (acc 0.7 >= 0.65): position 7.
+        let res1 = explore(&min_size(0.65), &sizes, 1, toy_eval(&sizes)).unwrap();
+        assert_eq!(res1.configs_explored, 7);
+        let res4 = explore(&min_size(0.65), &sizes, 4, toy_eval(&sizes)).unwrap();
+        // Rounds of 4: positions 1-4, 5-8 -> 8 configs, wall cost 2 rounds.
+        assert_eq!(res4.configs_explored, 8);
+        assert_eq!(res4.wall_cost, 2.0);
+        // Both find the same best network.
+        assert_eq!(
+            res1.evaluated[res1.best.unwrap()].outcome.model_size,
+            res4.evaluated[res4.best.unwrap()].outcome.model_size
+        );
+    }
+
+    #[test]
+    fn exhausts_subspace_when_nothing_satisfies() {
+        let sizes = vec![100, 200, 300];
+        let res = explore(&min_size(0.9), &sizes, 2, toy_eval(&sizes)).unwrap();
+        assert_eq!(res.configs_explored, 3);
+        assert!(res.best.is_none());
+    }
+
+    #[test]
+    fn max_accuracy_objective_picks_most_accurate() {
+        let sizes = vec![100, 200, 300];
+        let obj = Objective::parse("max Accuracy\nconstraint ModelSize <= 250").unwrap();
+        let res = explore(&obj, &sizes, 1, toy_eval(&sizes)).unwrap();
+        // Explores size-descending: 300 (violates), 200 (ok) -> stops.
+        assert_eq!(res.configs_explored, 2);
+        assert_eq!(res.evaluated[res.best.unwrap()].outcome.model_size, 200);
+    }
+
+    #[test]
+    fn flops_objective_selects_by_flops() {
+        let sizes = vec![100, 200, 300, 400];
+        let obj = Objective::parse("min Flops\nconstraint Accuracy >= 0.25").unwrap();
+        let res = explore(&obj, &sizes, 1, toy_eval(&sizes)).unwrap();
+        // Smallest (by size, hence flops) satisfying is size 300 (acc 0.3).
+        let best = &res.evaluated[res.best.unwrap()];
+        assert_eq!(best.outcome.flops, 3000);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let sizes: Vec<usize> = (1..=13).map(|i| i * 100).collect();
+        for workers in [1usize, 3, 5] {
+            let seq = explore(&min_size(0.55), &sizes, workers, toy_eval(&sizes)).unwrap();
+            let par = explore_parallel(&min_size(0.55), &sizes, workers, toy_eval(&sizes)).unwrap();
+            assert_eq!(seq, par, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_propagates_errors() {
+        let sizes = vec![100, 200];
+        let res = explore_parallel(&min_size(0.9), &sizes, 2, |i| {
+            if i == 1 {
+                Err(crate::CoreError::Pipeline("boom".into()))
+            } else {
+                Ok(EvalOutcome {
+                    model_size: 1,
+                    flops: 0,
+                    accuracy: 0.0,
+                    cost: 1.0,
+                    log: None,
+                })
+            }
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn evaluator_errors_propagate() {
+        let sizes = vec![100];
+        let res = explore(&min_size(0.5), &sizes, 1, |_| {
+            Err(crate::CoreError::Pipeline("boom".into()))
+        });
+        assert!(res.is_err());
+    }
+}

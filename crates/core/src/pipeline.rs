@@ -1,0 +1,359 @@
+//! The end-to-end Wootz driver (Figure 2): from a model IR, a promising
+//! subspace, solver meta data and a pruning objective, to the best pruned
+//! network — either with the baseline ("default") scheme or with
+//! composability-based pruning (tuning-block identification → Teacher–
+//! Student pre-training → assembly → objective-ordered exploration).
+
+use serde::{Deserialize, Serialize};
+use wootz_data::Dataset;
+use wootz_ir::{Metric, ModelIr, Objective, SolverConfig};
+use wootz_nn::{Checkpoint, LrSchedule, TrainConfig, TrainLog};
+use wootz_tensor::sgd::SgdConfig;
+
+use crate::blocks::{identify_tuning_blocks, module_level_blocks, BlockSet};
+use crate::compile::{ModeToUse, MultiplexingModel};
+use crate::explore::{explore_parallel, EvalOutcome, ExplorationResult};
+use crate::finetune::{assemble, global_finetune, InitStrategy};
+use crate::pretrain::{pretrain_blocks_parallel, PretrainConfig};
+use crate::prune::{config_param_count, PruneConfig};
+use crate::{CoreError, Result};
+
+/// Which pruning scheme a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// The baseline: every pruned network inherits the full model's
+    /// surviving filters and trains from there ("default networks").
+    Baseline,
+    /// Composability-based pruning with module-level tuning blocks (the
+    /// paper's "basic benefits" setting).
+    Composability,
+    /// Composability-based pruning with blocks chosen by the hierarchical
+    /// identifier (§5).
+    ComposabilityHierarchical,
+}
+
+/// All inputs of a Wootz run (the four inputs of Figure 2).
+#[derive(Debug, Clone)]
+pub struct WootzInputs {
+    /// The to-be-pruned model.
+    pub model: ModelIr,
+    /// The promising subspace.
+    pub subspace: Vec<PruneConfig>,
+    /// Training meta data.
+    pub solver: SolverConfig,
+    /// The pruning objective.
+    pub objective: Objective,
+}
+
+/// The chosen network of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BestNetwork {
+    /// Index in the promising subspace.
+    pub config_index: usize,
+    /// Its pruning rates.
+    pub rates: Vec<u8>,
+    /// Parameter count.
+    pub model_size: usize,
+    /// Final accuracy.
+    pub accuracy: f64,
+}
+
+/// Summary of a complete pruning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WootzRun {
+    /// The scheme used.
+    pub mode: RunMode,
+    /// Accuracy of the trained full model on the dataset.
+    pub full_accuracy: f64,
+    /// The chosen network, when any configuration met the objective.
+    pub best: Option<BestNetwork>,
+    /// Full exploration record.
+    pub exploration: ExplorationResult,
+    /// Number of tuning blocks pre-trained (0 for the baseline).
+    pub blocks_pretrained: usize,
+    /// SGD steps spent pre-training blocks (the composability overhead).
+    pub pretrain_steps: usize,
+    /// SGD steps spent across all network evaluations.
+    pub finetune_steps: usize,
+}
+
+/// Trains the full model on the dataset (the preparation step: "adapt the
+/// four CNN models trained on ImageNet to each of four specific tasks").
+/// Returns the checkpoint (scope `net/`), its test accuracy, and the log.
+///
+/// # Errors
+///
+/// Propagates compilation/training errors.
+pub fn train_full_model(
+    mm: &MultiplexingModel,
+    dataset: &Dataset,
+    solver: &SolverConfig,
+) -> Result<(Checkpoint, f64, TrainLog)> {
+    let mut built = mm.build(&ModeToUse::Original, solver.seed)?;
+    let cfg = TrainConfig {
+        max_steps: solver.max_iter,
+        sgd: SgdConfig {
+            learning_rate: solver.base_lr,
+            weight_decay: solver.weight_decay,
+            momentum: solver.momentum,
+        },
+        schedule: schedule_of(solver),
+        eval_every: solver.eval_every,
+    };
+    let (eval_x, eval_y) = dataset.test_set(256);
+    let batch_size = solver.batch_size;
+    let logits = built
+        .logits
+        .ok_or_else(|| CoreError::Pipeline("model has no classifier".into()))?;
+    let input = built.input_name.clone();
+    let log = wootz_nn::train_classifier(
+        &built.graph,
+        &mut built.vars,
+        &input,
+        logits,
+        &cfg,
+        |step| dataset.train_batch(step, batch_size),
+        Some((&eval_x, &eval_y)),
+    )?;
+    let accuracy = log.final_accuracy.unwrap_or(0.0) as f64;
+    Ok((Checkpoint::capture(&built.vars, "net/"), accuracy, log))
+}
+
+/// Maps the solver's `lr_policy` fields onto the trainer's schedule.
+fn schedule_of(solver: &SolverConfig) -> LrSchedule {
+    match solver.lr_policy.as_str() {
+        "step" => LrSchedule::StepDecay {
+            every: solver.lr_step.max(1),
+            gamma: solver.lr_gamma,
+        },
+        "cosine" => LrSchedule::Cosine,
+        _ => LrSchedule::Fixed,
+    }
+}
+
+/// The minimum-accuracy bound of the objective, if it has one — used to
+/// measure "steps to target" as evaluation cost.
+fn accuracy_threshold(objective: &Objective) -> Option<f64> {
+    objective
+        .constraints
+        .iter()
+        .filter(|c| c.metric == Metric::Accuracy)
+        .map(|c| c.value)
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+}
+
+/// Runs the complete pruning pipeline on a dataset.
+///
+/// The full model is trained first (or taken from `full`), tuning blocks
+/// are identified and pre-trained when the mode calls for it, and the
+/// subspace is explored in objective order with `solver.num_workers`
+/// workers. Evaluation cost is counted in SGD steps: a network that reaches
+/// the accuracy target early is charged only the steps it needed, which is
+/// how block-trained networks translate better starting points into
+/// shorter exploration (§7.2).
+///
+/// # Errors
+///
+/// Propagates every phase's errors.
+pub fn run_wootz(
+    inputs: &WootzInputs,
+    dataset: &Dataset,
+    mode: RunMode,
+    full: Option<(Checkpoint, f64)>,
+) -> Result<WootzRun> {
+    let mm = MultiplexingModel::compile(inputs.model.clone())?;
+    let (full_ckpt, full_accuracy) = match full {
+        Some((c, a)) => (c, a),
+        None => {
+            let (c, a, _) = train_full_model(&mm, dataset, &inputs.solver)?;
+            (c, a)
+        }
+    };
+
+    // Phase 1-2: block identification and pre-training.
+    let block_set: Option<BlockSet> = match mode {
+        RunMode::Baseline => None,
+        RunMode::Composability => Some(module_level_blocks(&inputs.subspace)),
+        RunMode::ComposabilityHierarchical => Some(identify_tuning_blocks(&inputs.subspace)?),
+    };
+    let mut pretrain_steps = 0usize;
+    let pretrained = match &block_set {
+        None => None,
+        Some(set) => {
+            let cfg = PretrainConfig {
+                steps: inputs.solver.pretrain_iter,
+                sgd: SgdConfig {
+                    learning_rate: inputs.solver.pretrain_lr,
+                    weight_decay: inputs.solver.pretrain_weight_decay,
+                    momentum: inputs.solver.momentum,
+                },
+                seed: inputs.solver.seed ^ 0xb10c,
+            };
+            let batch_size = inputs.solver.batch_size;
+            let outcome = pretrain_blocks_parallel(&mm, &set.blocks, &full_ckpt, &cfg, |step| {
+                dataset.train_batch(step, batch_size).0
+            })?;
+            pretrain_steps = outcome.total_steps;
+            Some(outcome)
+        }
+    };
+
+    // Phase 3: exploration.
+    let sizes: Vec<usize> = inputs
+        .subspace
+        .iter()
+        .map(|c| config_param_count(&inputs.model, c))
+        .collect::<Result<_>>()?;
+    let flops: Vec<u64> = inputs
+        .subspace
+        .iter()
+        .map(|c| crate::stats::config_flop_count(&inputs.model, c))
+        .collect::<Result<_>>()?;
+    let threshold = accuracy_threshold(&inputs.objective);
+    let (eval_x, eval_y) = dataset.test_set(256);
+    let finetune_steps = std::sync::atomic::AtomicUsize::new(0);
+    let evaluate = |config_index: usize| -> Result<EvalOutcome> {
+        let config = &inputs.subspace[config_index];
+        let pairs_storage;
+        let strategy = match (&block_set, &pretrained) {
+            (Some(set), Some(out)) => {
+                let composite = &set.composites[config_index];
+                pairs_storage = composite
+                    .parts
+                    .iter()
+                    .map(|p| {
+                        let block = &set.blocks[p.block_index];
+                        let ckpt = out.checkpoints.get(&block.key()).ok_or_else(|| {
+                            CoreError::Pipeline(format!(
+                                "missing checkpoint for block {}",
+                                block.key()
+                            ))
+                        })?;
+                        Ok((block, ckpt))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                InitStrategy::BlockTrained(&pairs_storage)
+            }
+            _ => InitStrategy::Default,
+        };
+        let mut built = assemble(
+            &mm,
+            config,
+            &full_ckpt,
+            strategy,
+            inputs.solver.seed ^ config_index as u64,
+        )?;
+        let cfg = TrainConfig {
+            max_steps: inputs.solver.max_iter,
+            sgd: SgdConfig {
+                learning_rate: inputs.solver.base_lr,
+                weight_decay: inputs.solver.weight_decay,
+                momentum: inputs.solver.momentum,
+            },
+            schedule: schedule_of(&inputs.solver),
+            eval_every: inputs.solver.eval_every.max(1),
+        };
+        let batch_size = inputs.solver.batch_size;
+        let log = global_finetune(
+            &mut built,
+            &cfg,
+            |step| dataset.train_batch(step.wrapping_add(config_index * 1009), batch_size),
+            Some((&eval_x, &eval_y)),
+        )?;
+        let accuracy = log.final_accuracy.unwrap_or(0.0) as f64;
+        // Steps-to-target as cost when the target was hit mid-run.
+        let cost_steps = threshold
+            .and_then(|t| log.first_step_reaching(t as f32))
+            .unwrap_or(log.steps_run);
+        finetune_steps.fetch_add(log.steps_run, std::sync::atomic::Ordering::Relaxed);
+        Ok(EvalOutcome {
+            model_size: sizes[config_index],
+            flops: flops[config_index],
+            accuracy,
+            cost: cost_steps as f64,
+            log: Some(log),
+        })
+    };
+    let exploration = explore_parallel(
+        &inputs.objective,
+        &sizes,
+        inputs.solver.num_workers,
+        evaluate,
+    )?;
+
+    let best = exploration.best.map(|i| {
+        let record = &exploration.evaluated[i];
+        BestNetwork {
+            config_index: record.config_index,
+            rates: inputs.subspace[record.config_index].rates().to_vec(),
+            model_size: record.outcome.model_size,
+            accuracy: record.outcome.accuracy,
+        }
+    });
+    Ok(WootzRun {
+        mode,
+        full_accuracy,
+        best,
+        exploration,
+        blocks_pretrained: block_set.map(|s| s.blocks.len()).unwrap_or(0),
+        pretrain_steps,
+        finetune_steps: finetune_steps.into_inner(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::sample_subspace;
+    use wootz_data::micro_dataset;
+    use wootz_models::resnet_mini;
+
+    fn tiny_inputs(n_configs: usize) -> WootzInputs {
+        let model = resnet_mini(8);
+        let n = model.conv_module_ids().len();
+        WootzInputs {
+            subspace: sample_subspace(n, &crate::prune::PAPER_RATES, n_configs, 5),
+            model,
+            solver: SolverConfig {
+                dataset: "flowers102".into(),
+                base_lr: 0.05,
+                max_iter: 20,
+                batch_size: 8,
+                pretrain_lr: 0.1,
+                pretrain_iter: 10,
+                eval_every: 10,
+                seed: 3,
+                ..SolverConfig::default()
+            },
+            objective: Objective::min_size_with_accuracy(0.2),
+        }
+    }
+
+    #[test]
+    fn baseline_pipeline_runs_end_to_end() {
+        let inputs = tiny_inputs(3);
+        let ds = micro_dataset("flowers102", 3);
+        let run = run_wootz(&inputs, &ds, RunMode::Baseline, None).unwrap();
+        assert_eq!(run.blocks_pretrained, 0);
+        assert_eq!(run.pretrain_steps, 0);
+        assert!(run.exploration.configs_explored >= 1);
+        assert!(run.finetune_steps > 0);
+    }
+
+    #[test]
+    fn composability_pipeline_pretrains_blocks() {
+        let inputs = tiny_inputs(3);
+        let ds = micro_dataset("flowers102", 3);
+        let run = run_wootz(&inputs, &ds, RunMode::Composability, None).unwrap();
+        assert!(run.blocks_pretrained > 0);
+        assert!(run.pretrain_steps > 0);
+    }
+
+    #[test]
+    fn accuracy_threshold_extraction() {
+        let o = Objective::min_size_with_accuracy(0.7);
+        assert_eq!(accuracy_threshold(&o), Some(0.7));
+        let o = Objective::parse("max Accuracy").unwrap();
+        assert_eq!(accuracy_threshold(&o), None);
+    }
+}

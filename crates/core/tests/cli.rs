@@ -1,0 +1,172 @@
+//! Integration tests of the `wootz` CLI binary: the full file-driven
+//! workflow of the paper's Figure 2 (compile → sample → identify → prune).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn wootz() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wootz"))
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wootz_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_model(dir: &Path) -> PathBuf {
+    let path = dir.join("model.prototxt");
+    std::fs::write(&path, wootz_models::resnet_mini(8).to_prototxt()).unwrap();
+    path
+}
+
+fn assert_success(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn compile_reports_stats_and_emits_python() {
+    let dir = tempdir("compile");
+    let model = write_model(&dir);
+    let py = dir.join("model_gen.py");
+    let out = wootz()
+        .args([
+            "compile",
+            model.to_str().unwrap(),
+            "--summary",
+            "--emit-python",
+        ])
+        .arg(&py)
+        .output()
+        .unwrap();
+    let stdout = assert_success(&out);
+    assert!(stdout.contains("4 convolution modules"), "{stdout}");
+    assert!(stdout.contains("total:"), "{stdout}");
+    let script = std::fs::read_to_string(&py).unwrap();
+    assert!(script.contains("def resnet_mini("));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sample_then_identify() {
+    let dir = tempdir("identify");
+    let model = write_model(&dir);
+    let configs = dir.join("configs.json");
+    let out = wootz()
+        .args([
+            "sample",
+            "--modules",
+            "4",
+            "--count",
+            "6",
+            "--seed",
+            "3",
+            "--out",
+        ])
+        .arg(&configs)
+        .output()
+        .unwrap();
+    assert_success(&out);
+    let parsed: Vec<Vec<u8>> =
+        serde_json::from_str(&std::fs::read_to_string(&configs).unwrap()).unwrap();
+    assert_eq!(parsed.len(), 6);
+    assert!(parsed.iter().all(|c| c.len() == 4));
+
+    let out = wootz()
+        .args(["identify", "--model"])
+        .arg(&model)
+        .args(["--configs"])
+        .arg(&configs)
+        .output()
+        .unwrap();
+    let stdout = assert_success(&out);
+    assert!(stdout.contains("tuning blocks"), "{stdout}");
+    assert!(stdout.contains("composite vectors"), "{stdout}");
+    assert!(stdout.contains("pre-training groups"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn prune_end_to_end_writes_results() {
+    let dir = tempdir("prune");
+    let model = write_model(&dir);
+    let configs = dir.join("configs.json");
+    std::fs::write(&configs, "[[30,30,30,30],[70,70,70,70]]").unwrap();
+    let solver = dir.join("solver.prototxt");
+    std::fs::write(
+        &solver,
+        "dataset: \"flowers102\"\nbase_lr: 0.03\nmax_iter: 30\nbatch_size: 8\npretrain_iter: 8\neval_every: 10\nseed: 3\n",
+    )
+    .unwrap();
+    let objective = dir.join("objective.txt");
+    std::fs::write(&objective, "min ModelSize\nconstraint Accuracy >= 0.1\n").unwrap();
+    let results = dir.join("results.json");
+    let out = wootz()
+        .args(["prune", "--model"])
+        .arg(&model)
+        .args(["--configs"])
+        .arg(&configs)
+        .args(["--solver"])
+        .arg(&solver)
+        .args(["--objective"])
+        .arg(&objective)
+        .args(["--mode", "baseline", "--out"])
+        .arg(&results)
+        .output()
+        .unwrap();
+    let stdout = assert_success(&out);
+    assert!(stdout.contains("full-model accuracy"), "{stdout}");
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&results).unwrap()).unwrap();
+    assert_eq!(json["mode"], "Baseline");
+    assert!(json["exploration"]["configs_explored"].as_u64().unwrap() >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_inputs_fail_with_messages() {
+    let out = wootz().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = wootz()
+        .args(["compile", "/nonexistent/model.prototxt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read model"));
+
+    let dir = tempdir("bad");
+    let model = write_model(&dir);
+    let configs = dir.join("bad.json");
+    std::fs::write(&configs, "{\"not\": \"a list\"}").unwrap();
+    let out = wootz()
+        .args(["identify", "--model"])
+        .arg(&model)
+        .args(["--configs"])
+        .arg(&configs)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("JSON array"));
+
+    // Config length mismatch is caught before any training.
+    let configs = dir.join("short.json");
+    std::fs::write(&configs, "[[30, 30]]").unwrap();
+    let out = wootz()
+        .args(["identify", "--model"])
+        .arg(&model)
+        .args(["--configs"])
+        .arg(&configs)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("covers 2 modules"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,204 @@
+//! Property-based tests of the pruning arithmetic, block identification,
+//! grouping and exploration invariants.
+
+use proptest::prelude::*;
+use wootz_core::blocks::{
+    assign_composites, identify_tuning_blocks, module_level_blocks, partition_into_groups,
+};
+use wootz_core::compile::TuningBlock;
+use wootz_core::explore::{explore, EvalOutcome};
+use wootz_core::prune::{
+    config_param_count, kept_count, sample_subspace, PruneConfig, PAPER_RATES,
+};
+use wootz_core::stats::config_flop_count;
+use wootz_ir::Objective;
+
+fn arb_config(modules: usize) -> impl Strategy<Value = PruneConfig> {
+    prop::collection::vec(prop::sample::select(vec![0u8, 30, 50, 70]), modules)
+        .prop_map(|rates| PruneConfig::new(rates).expect("valid rates"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// kept_count stays within [1, total] and never grows with the rate.
+    #[test]
+    fn kept_count_bounds(total in 1usize..512, r1 in 0u8..100, r2 in 0u8..100) {
+        let k1 = kept_count(total, r1);
+        let k2 = kept_count(total, r2);
+        prop_assert!(k1 >= 1 && k1 <= total);
+        if r1 <= r2 {
+            prop_assert!(k1 >= k2);
+        }
+    }
+
+    /// A dominated configuration (every module pruned at least as hard)
+    /// never has more parameters or FLOPs.
+    #[test]
+    fn pruning_dominance(config in arb_config(4)) {
+        let ir = wootz_models::resnet_mini(10);
+        let harder = PruneConfig::new(
+            config.rates().iter().map(|&r| if r == 0 { 30 } else { r.min(70).max(r) }).collect(),
+        ).unwrap();
+        let p1 = config_param_count(&ir, &config).unwrap();
+        let p2 = config_param_count(&ir, &harder).unwrap();
+        prop_assert!(p2 <= p1, "harder {p2} > {p1}");
+        let f1 = config_flop_count(&ir, &config).unwrap();
+        let f2 = config_flop_count(&ir, &harder).unwrap();
+        prop_assert!(f2 <= f1);
+    }
+
+    /// The partition algorithm is a true partition: every block in exactly
+    /// one group, every group overlap-free.
+    #[test]
+    fn partition_is_complete_and_valid(
+        specs in prop::collection::vec((0usize..10, 1usize..4, prop::sample::select(vec![30u8, 50, 70])), 1..12)
+    ) {
+        let blocks: Vec<TuningBlock> = specs
+            .iter()
+            .enumerate()
+            .map(|(id, &(start, len, rate))| {
+                TuningBlock::new(id, (start..start + len).map(|m| (m, rate)).collect()).unwrap()
+            })
+            .collect();
+        let groups = partition_into_groups(&blocks);
+        let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..blocks.len()).collect();
+        prop_assert_eq!(seen, expected);
+        for g in &groups {
+            for (i, &a) in g.iter().enumerate() {
+                for &b in &g[i + 1..] {
+                    prop_assert!(!blocks[a].overlaps(&blocks[b]));
+                }
+            }
+        }
+    }
+
+    /// Composite vectors produced by the identifier always tile with
+    /// matching rates and without overlap, and every identified block is
+    /// usable by at least two networks.
+    #[test]
+    fn identifier_blocks_are_shared_and_tiles_valid(seed in 0u64..5000) {
+        let configs = sample_subspace(6, &PAPER_RATES, 10, seed);
+        let set = identify_tuning_blocks(&configs).unwrap();
+        for comp in &set.composites {
+            let rates = configs[comp.config_index].rates();
+            let mut covered = vec![false; rates.len()];
+            for part in &comp.parts {
+                let block = &set.blocks[part.block_index];
+                for (m, r) in &block.parts {
+                    prop_assert!(!covered[*m]);
+                    covered[*m] = true;
+                    prop_assert_eq!(rates[*m], *r);
+                }
+            }
+        }
+        for (bi, block) in set.blocks.iter().enumerate() {
+            // Count networks whose rates embed this block.
+            let users = configs
+                .iter()
+                .filter(|c| block.parts.iter().all(|&(m, r)| c.rates().get(m) == Some(&r)))
+                .count();
+            prop_assert!(users >= 2, "block {} used by {users} network(s)", set.blocks[bi].key());
+        }
+    }
+
+    /// Module-level block sets cover every pruned module of every network.
+    #[test]
+    fn module_level_blocks_cover_everything(seed in 0u64..5000) {
+        let configs = sample_subspace(5, &PAPER_RATES, 6, seed);
+        let set = module_level_blocks(&configs);
+        for comp in &set.composites {
+            let pruned = configs[comp.config_index].rates().iter().filter(|&&r| r != 0).count();
+            let covered: usize = comp
+                .parts
+                .iter()
+                .map(|p| set.blocks[p.block_index].parts.len())
+                .sum();
+            prop_assert_eq!(pruned, covered);
+        }
+    }
+
+    /// Greedy tiling never double-covers regardless of the block set.
+    #[test]
+    fn assign_composites_never_overlaps(
+        seed in 0u64..2000,
+        specs in prop::collection::vec((0usize..5, 1usize..3, prop::sample::select(vec![30u8, 50, 70])), 0..8)
+    ) {
+        let configs = sample_subspace(5, &PAPER_RATES, 4, seed);
+        let blocks: Vec<TuningBlock> = specs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(start, len, _))| start + len <= 5)
+            .map(|(id, &(start, len, rate))| {
+                TuningBlock::new(id, (start..start + len).map(|m| (m, rate)).collect()).unwrap()
+            })
+            .collect();
+        for comp in assign_composites(&configs, &blocks) {
+            let mut covered = [false; 5];
+            for part in &comp.parts {
+                for (m, _) in &blocks[part.block_index].parts {
+                    prop_assert!(!covered[*m]);
+                    covered[*m] = true;
+                }
+            }
+        }
+    }
+
+    /// Exploration explores a prefix of the order, stops only after a
+    /// satisfying round, and the best is optimal among the satisfying.
+    #[test]
+    fn explore_invariants(
+        sizes in prop::collection::vec(1usize..10_000, 1..40),
+        thr in 0.0f64..1.2,
+        workers in 1usize..6,
+    ) {
+        let objective = Objective::min_size_with_accuracy(thr);
+        // Accuracy = normalized size, deterministic.
+        let max = *sizes.iter().max().unwrap() as f64;
+        let eval = |i: usize| {
+            Ok(EvalOutcome {
+                model_size: sizes[i],
+                flops: 0,
+                accuracy: sizes[i] as f64 / max,
+                cost: 1.0,
+                log: None,
+            })
+        };
+        let res = explore(&objective, &sizes, workers, eval).unwrap();
+        prop_assert!(res.configs_explored <= sizes.len());
+        // Either exhausted, or the last round contained a satisfier.
+        let last_round_start = res.configs_explored.saturating_sub(
+            if res.configs_explored % workers == 0 { workers } else { res.configs_explored % workers },
+        );
+        if res.configs_explored < sizes.len() {
+            prop_assert!(
+                res.evaluated[last_round_start..].iter().any(|r| r.satisfies),
+                "stopped without a satisfying record in the final round"
+            );
+        }
+        if let Some(best) = res.best {
+            let best_size = res.evaluated[best].outcome.model_size;
+            for r in res.evaluated.iter().filter(|r| r.satisfies) {
+                prop_assert!(best_size <= r.outcome.model_size);
+            }
+        } else {
+            prop_assert!(res.evaluated.iter().all(|r| !r.satisfies));
+        }
+    }
+
+    /// Sampled subspaces are unique, the right length, and use only the
+    /// requested rates.
+    #[test]
+    fn sample_subspace_wellformed(modules in 1usize..20, n in 1usize..40, seed in 0u64..1000) {
+        let configs = sample_subspace(modules, &PAPER_RATES, n, seed);
+        prop_assert!(configs.len() <= n);
+        let set: std::collections::HashSet<_> = configs.iter().collect();
+        prop_assert_eq!(set.len(), configs.len());
+        for c in &configs {
+            prop_assert_eq!(c.len(), modules);
+            prop_assert!(c.rates().iter().all(|r| PAPER_RATES.contains(r)));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the synthetic dataset generators.
+
+use proptest::prelude::*;
+use wootz_data::{Dataset, DatasetSpec, Split};
+
+fn arb_spec() -> impl Strategy<Value = DatasetSpec> {
+    // Train sizes are multiples of the class count (as in the presets), so
+    // the cyclic labeling stays balanced across the wrap point.
+    (2usize..12, 2usize..12, 4usize..40, 0.2f32..2.0, 0u64..1000).prop_map(
+        |(classes, per_class, test, separation, seed)| DatasetSpec {
+            name: "prop".into(),
+            classes,
+            train_size: classes * per_class,
+            test_size: test,
+            image: (3, 8, 8),
+            separation,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Examples are pure functions of (spec, split, index).
+    #[test]
+    fn examples_are_pure(spec in arb_spec(), index in 0usize..200) {
+        let a = Dataset::new(spec.clone());
+        let b = Dataset::new(spec);
+        prop_assert_eq!(a.example(Split::Train, index), b.example(Split::Train, index));
+        prop_assert_eq!(a.example(Split::Test, index), b.example(Split::Test, index));
+    }
+
+    /// Batching is consistent with per-example generation regardless of
+    /// how examples are grouped into batches.
+    #[test]
+    fn batching_matches_examples(spec in arb_spec(), start in 0usize..50, count in 1usize..9) {
+        let ds = Dataset::new(spec);
+        let (images, labels) = ds.batch(Split::Train, start, count);
+        let pixels = images.len() / count;
+        #[allow(clippy::needless_range_loop)] // `i` indexes two parallel structures
+        for i in 0..count {
+            let (img, label) = ds.example(Split::Train, (start + i) % ds.spec().train_size);
+            prop_assert_eq!(labels[i], label);
+            prop_assert_eq!(&images.data()[i * pixels..(i + 1) * pixels], img.data());
+        }
+    }
+
+    /// Labels cycle, so every batch of >= classes examples is balanced to
+    /// within one example per class.
+    #[test]
+    fn batches_are_nearly_balanced(spec in arb_spec()) {
+        let ds = Dataset::new(spec.clone());
+        let n = spec.classes * 3;
+        let (_, labels) = ds.batch(Split::Train, 0, n);
+        let mut counts = vec![0usize; spec.classes];
+        for l in labels {
+            counts[l] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "{counts:?}");
+    }
+
+    /// Different seeds produce different data (no accidental stream
+    /// collisions).
+    #[test]
+    fn seeds_decorrelate(mut spec in arb_spec()) {
+        let a = Dataset::new(spec.clone());
+        spec.seed ^= 0xdead_beef;
+        let b = Dataset::new(spec);
+        prop_assert_ne!(a.example(Split::Train, 0).0, b.example(Split::Train, 0).0);
+    }
+}

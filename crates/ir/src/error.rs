@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing or validating Wootz input formats.
+///
+/// Carries the 1-based line number where the problem was detected whenever
+/// it is known, so users can fix their Prototxt/objective files directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrError {
+    message: String,
+    line: Option<usize>,
+}
+
+impl IrError {
+    /// Creates an error without position information.
+    pub fn new(message: impl Into<String>) -> Self {
+        IrError {
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    /// Creates an error anchored at a 1-based source line.
+    pub fn at_line(line: usize, message: impl Into<String>) -> Self {
+        IrError {
+            message: message.into(),
+            line: Some(line),
+        }
+    }
+
+    /// The 1-based source line, when known.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        assert_eq!(
+            IrError::at_line(3, "bad token").to_string(),
+            "line 3: bad token"
+        );
+        assert_eq!(IrError::new("oops").to_string(), "oops");
+        assert_eq!(IrError::at_line(3, "x").line(), Some(3));
+    }
+}

@@ -1,0 +1,52 @@
+//! # wootz-ir
+//!
+//! The "front end" of the Wootz compiler: parsers and intermediate
+//! representations for every textual input format the paper's framework
+//! accepts (Figure 2 and Figure 3 of the paper):
+//!
+//! * **Model Prototxt** — the to-be-pruned CNN, written in a Caffe-Prototxt
+//!   dialect extended with the paper's `module` construct marking
+//!   convolution-module boundaries ([`ModelIr`]).
+//! * **Solver / meta data** — training configuration (learning rates, max
+//!   steps, batch size) in Caffe Solver Prototxt style ([`SolverConfig`]).
+//! * **Pruning objectives** — `min ModelSize` / `constraint Accuracy >= 0.8`
+//!   style objective files ([`Objective`]).
+//!
+//! The generic Prototxt value tree ([`prototxt::Message`]) is exposed so
+//! other tools can inspect unknown fields; the typed IRs validate structure
+//! (unique layer names, defined bottoms, module contiguity) at parse time.
+//!
+//! ```
+//! use wootz_ir::ModelIr;
+//!
+//! let text = r#"
+//! name: "tiny"
+//! input: "data"
+//! input_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8
+//! layer {
+//!   name: "conv1" type: "Convolution" bottom: "data" top: "conv1" module: 0
+//!   convolution_param { num_output: 4 kernel_size: 3 stride: 1 pad: 1 }
+//! }
+//! "#;
+//! let model = ModelIr::parse(text)?;
+//! assert_eq!(model.layers().len(), 1);
+//! # Ok::<(), wootz_ir::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod model;
+mod objective;
+pub mod prototxt;
+mod solver;
+
+pub use error::IrError;
+pub use model::{InputDef, LayerDef, LayerKind, ModelIr, PoolMethod};
+pub use objective::{
+    CmpOp, Constraint, Direction, ExplorationOrder, Measurements, Metric, Objective,
+};
+pub use solver::SolverConfig;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, IrError>;

@@ -1,0 +1,377 @@
+//! The pruning-objective mini-language of Figure 3 (b):
+//!
+//! ```text
+//! # Format:
+//! [min, max] [ModelSize, Accuracy]
+//! constraint [ModelSize, Accuracy] [<, >, <=, >=] [Value]
+//!
+//! # Example:
+//! min ModelSize
+//! constraint Accuracy >= 0.8
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::{IrError, Result};
+
+/// A measurable property of a pruned network.
+///
+/// `ModelSize` and `Accuracy` are the paper's Figure 3 metrics; `Flops`
+/// extends the format with the computational-cost objective the paper
+/// lists among pruning goals (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Number of parameters of the network.
+    ModelSize,
+    /// Test accuracy in `[0, 1]`.
+    Accuracy,
+    /// Forward FLOPs per sample.
+    Flops,
+}
+
+impl Metric {
+    fn parse(word: &str) -> Result<Self> {
+        match word {
+            "ModelSize" => Ok(Metric::ModelSize),
+            "Accuracy" => Ok(Metric::Accuracy),
+            "Flops" => Ok(Metric::Flops),
+            other => Err(IrError::new(format!(
+                "unknown metric `{other}` (expected ModelSize, Accuracy or Flops)"
+            ))),
+        }
+    }
+}
+
+/// A network's measured metric values, fed to
+/// [`Objective::satisfied`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurements {
+    /// Parameter count.
+    pub model_size: f64,
+    /// Test accuracy.
+    pub accuracy: f64,
+    /// Forward FLOPs per sample.
+    pub flops: f64,
+}
+
+impl Measurements {
+    /// Convenience constructor for size/accuracy-only contexts (FLOPs
+    /// default to zero; use a FLOPs-aware caller for FLOPs objectives).
+    pub fn new(model_size: f64, accuracy: f64) -> Self {
+        Measurements {
+            model_size,
+            accuracy,
+            flops: 0.0,
+        }
+    }
+
+    /// Reads one metric.
+    pub fn get(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::ModelSize => self.model_size,
+            Metric::Accuracy => self.accuracy,
+            Metric::Flops => self.flops,
+        }
+    }
+}
+
+/// Whether the target metric is minimized or maximized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// `min <Metric>`
+    Min,
+    /// `max <Metric>`
+    Max,
+}
+
+/// A comparison operator in a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn parse(word: &str) -> Result<Self> {
+        match word {
+            "<" => Ok(CmpOp::Lt),
+            ">" => Ok(CmpOp::Gt),
+            "<=" => Ok(CmpOp::Le),
+            ">=" => Ok(CmpOp::Ge),
+            other => Err(IrError::new(format!("unknown comparison `{other}`"))),
+        }
+    }
+
+    /// Evaluates `lhs OP rhs`.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// One `constraint` line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Constrained metric.
+    pub metric: Metric,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand-side value.
+    pub value: f64,
+}
+
+/// The order in which the exploration scripts should evaluate configurations
+/// to meet the objective as early as possible (§6.2: "In case the MetricName
+/// is ModelSize, the best exploration order is to start from the smallest
+/// model and proceed to larger ones").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExplorationOrder {
+    /// Evaluate smaller models first.
+    SizeAscending,
+    /// Evaluate larger models first.
+    SizeDescending,
+}
+
+/// A parsed pruning objective: an optimization direction over a metric plus
+/// zero or more constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    /// Optimization direction.
+    pub direction: Direction,
+    /// The optimized metric.
+    pub metric: Metric,
+    /// Side constraints that a satisfying network must meet.
+    pub constraints: Vec<Constraint>,
+}
+
+impl Objective {
+    /// The paper's running objective: smallest model with accuracy at least
+    /// `thr_acc`.
+    pub fn min_size_with_accuracy(thr_acc: f64) -> Self {
+        Objective {
+            direction: Direction::Min,
+            metric: Metric::ModelSize,
+            constraints: vec![Constraint {
+                metric: Metric::Accuracy,
+                op: CmpOp::Ge,
+                value: thr_acc,
+            }],
+        }
+    }
+
+    /// Parses objective text (see module docs for the grammar). `#` starts
+    /// a comment; blank lines are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError`] (with line numbers) on malformed lines, unknown
+    /// metrics/operators, or a missing objective line.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut objective: Option<(Direction, Metric)> = None;
+        let mut constraints = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            match words[0] {
+                "min" | "max" => {
+                    if words.len() != 2 {
+                        return Err(IrError::at_line(line_no, "expected `min|max <Metric>`"));
+                    }
+                    if objective.is_some() {
+                        return Err(IrError::at_line(line_no, "multiple objective lines"));
+                    }
+                    let dir = if words[0] == "min" {
+                        Direction::Min
+                    } else {
+                        Direction::Max
+                    };
+                    objective = Some((
+                        dir,
+                        Metric::parse(words[1])
+                            .map_err(|e| IrError::at_line(line_no, e.to_string()))?,
+                    ));
+                }
+                "constraint" => {
+                    if words.len() != 4 {
+                        return Err(IrError::at_line(
+                            line_no,
+                            "expected `constraint <Metric> <op> <value>`",
+                        ));
+                    }
+                    let metric = Metric::parse(words[1])
+                        .map_err(|e| IrError::at_line(line_no, e.to_string()))?;
+                    let op = CmpOp::parse(words[2])
+                        .map_err(|e| IrError::at_line(line_no, e.to_string()))?;
+                    let value: f64 = words[3].parse().map_err(|_| {
+                        IrError::at_line(line_no, format!("bad constraint value `{}`", words[3]))
+                    })?;
+                    constraints.push(Constraint { metric, op, value });
+                }
+                other => {
+                    return Err(IrError::at_line(
+                        line_no,
+                        format!("expected `min`, `max` or `constraint`, got `{other}`"),
+                    ))
+                }
+            }
+        }
+        let (direction, metric) =
+            objective.ok_or_else(|| IrError::new("objective file has no `min`/`max` line"))?;
+        Ok(Objective {
+            direction,
+            metric,
+            constraints,
+        })
+    }
+
+    /// Whether a network with the given measurements satisfies every
+    /// constraint.
+    pub fn satisfied(&self, m: &Measurements) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| c.op.eval(m.get(c.metric), c.value))
+    }
+
+    /// The exploration order that meets this objective earliest (§6.2): for
+    /// `min ModelSize`, smallest models first; for `max Accuracy` (or any
+    /// accuracy-driven objective), largest first, "as a larger model tends
+    /// to give a higher accuracy".
+    pub fn exploration_order(&self) -> ExplorationOrder {
+        match (self.direction, self.metric) {
+            (Direction::Min, Metric::ModelSize | Metric::Flops) => ExplorationOrder::SizeAscending,
+            _ => ExplorationOrder::SizeDescending,
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dir = match self.direction {
+            Direction::Min => "min",
+            Direction::Max => "max",
+        };
+        let metric = |m: Metric| match m {
+            Metric::ModelSize => "ModelSize",
+            Metric::Accuracy => "Accuracy",
+            Metric::Flops => "Flops",
+        };
+        writeln!(f, "{dir} {}", metric(self.metric))?;
+        for c in &self.constraints {
+            let op = match c.op {
+                CmpOp::Lt => "<",
+                CmpOp::Gt => ">",
+                CmpOp::Le => "<=",
+                CmpOp::Ge => ">=",
+            };
+            writeln!(f, "constraint {} {op} {}", metric(c.metric), c.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_example() {
+        let o = Objective::parse("# Example:\nmin ModelSize\nconstraint Accuracy > 0.8\n").unwrap();
+        assert_eq!(o.direction, Direction::Min);
+        assert_eq!(o.metric, Metric::ModelSize);
+        assert_eq!(o.constraints.len(), 1);
+        assert!(o.satisfied(&Measurements::new(1e6, 0.9)));
+        assert!(!o.satisfied(&Measurements::new(1e6, 0.8)));
+        assert_eq!(o.exploration_order(), ExplorationOrder::SizeAscending);
+    }
+
+    #[test]
+    fn max_accuracy_explores_large_first() {
+        let o = Objective::parse("max Accuracy\nconstraint ModelSize <= 1000000").unwrap();
+        assert_eq!(o.exploration_order(), ExplorationOrder::SizeDescending);
+        assert!(o.satisfied(&Measurements::new(1e6, 0.1)));
+        assert!(!o.satisfied(&Measurements::new(2e6, 0.99)));
+    }
+
+    #[test]
+    fn all_operators_evaluate() {
+        assert!(CmpOp::Lt.eval(1.0, 2.0));
+        assert!(CmpOp::Gt.eval(2.0, 1.0));
+        assert!(CmpOp::Le.eval(2.0, 2.0));
+        assert!(CmpOp::Ge.eval(2.0, 2.0));
+        assert!(!CmpOp::Lt.eval(2.0, 2.0));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        assert_eq!(Objective::parse("min").unwrap_err().line(), Some(1));
+        assert_eq!(
+            Objective::parse("min ModelSize\nfoo bar")
+                .unwrap_err()
+                .line(),
+            Some(2)
+        );
+        assert!(Objective::parse("min Latency").is_err());
+        assert!(Objective::parse("min ModelSize\nconstraint Accuracy == 1").is_err());
+        assert!(Objective::parse("min ModelSize\nconstraint Accuracy >= high").is_err());
+        assert!(Objective::parse("").is_err());
+        assert!(Objective::parse("min ModelSize\nmax Accuracy").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let o = Objective::min_size_with_accuracy(0.73);
+        let o2 = Objective::parse(&o.to_string()).unwrap();
+        assert_eq!(o, o2);
+    }
+
+    #[test]
+    fn multiple_constraints_all_apply() {
+        let o = Objective::parse(
+            "min ModelSize\nconstraint Accuracy >= 0.7\nconstraint ModelSize < 500",
+        )
+        .unwrap();
+        assert!(o.satisfied(&Measurements::new(400.0, 0.7)));
+        assert!(!o.satisfied(&Measurements::new(600.0, 0.9)));
+        assert!(!o.satisfied(&Measurements::new(400.0, 0.6)));
+    }
+
+    #[test]
+    fn flops_objective_parses_and_evaluates() {
+        let o = Objective::parse("min Flops\nconstraint Accuracy >= 0.7").unwrap();
+        assert_eq!(o.metric, Metric::Flops);
+        assert_eq!(o.exploration_order(), ExplorationOrder::SizeAscending);
+        let m = Measurements {
+            model_size: 1e6,
+            accuracy: 0.8,
+            flops: 5e9,
+        };
+        assert!(o.satisfied(&m));
+        let o = Objective::parse("min ModelSize\nconstraint Flops < 1000000").unwrap();
+        assert!(!o.satisfied(&Measurements {
+            model_size: 1.0,
+            accuracy: 1.0,
+            flops: 2e6
+        }));
+        assert!(o.satisfied(&Measurements {
+            model_size: 1.0,
+            accuracy: 1.0,
+            flops: 2e5
+        }));
+        let text = o.to_string();
+        assert!(text.contains("constraint Flops < 1000000"), "{text}");
+    }
+}

@@ -1,0 +1,461 @@
+//! A generic parser and printer for the Prototxt text format (the
+//! protobuf text syntax subset Caffe uses): nested `key { ... }` messages
+//! and `key: value` scalar fields, with `#` comments.
+//!
+//! The Wootz paper deliberately takes Prototxt as its model input because
+//! "Prototxt has a clean fixed format … simple for our compiler to analyze"
+//! (§6.2). This module is that clean fixed format; the typed IRs in
+//! [`crate::ModelIr`] and friends are lowered from it.
+
+use std::fmt::Write as _;
+
+use crate::{IrError, Result};
+
+/// A scalar field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A double-quoted string, e.g. `name: "conv1"`.
+    Str(String),
+    /// A number, e.g. `num_output: 64` or `lr: 0.2`.
+    Num(f64),
+    /// A bare identifier, e.g. `pool: MAX` or `global_pooling: true`.
+    Ident(String),
+}
+
+impl Value {
+    /// The string content, for `Str` values.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, for `Num` values.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The identifier content, for `Ident` values.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Value::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a boolean (`true`/`false` identifiers).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Ident(s) if s == "true" => Some(true),
+            Value::Ident(s) if s == "false" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+/// One field of a message: either a scalar or a nested message. Repeated
+/// fields simply appear multiple times, as in protobuf text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// `key: value`
+    Scalar(Value),
+    /// `key { ... }`
+    Message(Message),
+}
+
+/// An ordered list of `(key, field)` pairs. Order is preserved because layer
+/// order is meaningful in model definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Message {
+    fields: Vec<(String, Field)>,
+}
+
+impl Message {
+    /// An empty message.
+    pub fn new() -> Self {
+        Message::default()
+    }
+
+    /// Appends a scalar field.
+    pub fn push_scalar(&mut self, key: impl Into<String>, value: Value) {
+        self.fields.push((key.into(), Field::Scalar(value)));
+    }
+
+    /// Appends a nested message field.
+    pub fn push_message(&mut self, key: impl Into<String>, msg: Message) {
+        self.fields.push((key.into(), Field::Message(msg)));
+    }
+
+    /// All fields in source order.
+    pub fn fields(&self) -> &[(String, Field)] {
+        &self.fields
+    }
+
+    /// The first scalar with the given key.
+    pub fn scalar(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find_map(|(k, f)| match f {
+            Field::Scalar(v) if k == key => Some(v),
+            _ => None,
+        })
+    }
+
+    /// All scalars with the given key, in order (repeated fields).
+    pub fn scalars<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a Value> + 'a {
+        self.fields.iter().filter_map(move |(k, f)| match f {
+            Field::Scalar(v) if k == key => Some(v),
+            _ => None,
+        })
+    }
+
+    /// The first nested message with the given key.
+    pub fn message(&self, key: &str) -> Option<&Message> {
+        self.fields.iter().find_map(|(k, f)| match f {
+            Field::Message(m) if k == key => Some(m),
+            _ => None,
+        })
+    }
+
+    /// All nested messages with the given key, in order.
+    pub fn messages<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a Message> + 'a {
+        self.fields.iter().filter_map(move |(k, f)| match f {
+            Field::Message(m) if k == key => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Convenience: first scalar as f64.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.scalar(key).and_then(Value::as_num)
+    }
+
+    /// Convenience: first scalar as usize (floors the parsed number).
+    pub fn usize(&self, key: &str) -> Option<usize> {
+        self.num(key).map(|n| n as usize)
+    }
+
+    /// Convenience: first scalar as string.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.scalar(key).and_then(Value::as_str)
+    }
+
+    /// Pretty-prints the message as Prototxt with the given indent level.
+    pub fn print(&self, indent: usize) -> String {
+        let mut out = String::new();
+        let pad = "  ".repeat(indent);
+        for (key, field) in &self.fields {
+            match field {
+                Field::Scalar(Value::Str(s)) => {
+                    let _ = writeln!(out, "{pad}{key}: \"{s}\"");
+                }
+                Field::Scalar(Value::Num(n)) => {
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        let _ = writeln!(out, "{pad}{key}: {}", *n as i64);
+                    } else {
+                        let _ = writeln!(out, "{pad}{key}: {n}");
+                    }
+                }
+                Field::Scalar(Value::Ident(s)) => {
+                    let _ = writeln!(out, "{pad}{key}: {s}");
+                }
+                Field::Message(m) => {
+                    let _ = writeln!(out, "{pad}{key} {{");
+                    out.push_str(&m.print(indent + 1));
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses Prototxt text into a [`Message`].
+///
+/// # Errors
+///
+/// Returns [`IrError`] with a line number on malformed input (unbalanced
+/// braces, missing values, bad tokens).
+pub fn parse(text: &str) -> Result<Message> {
+    let mut lexer = Lexer::new(text);
+    let msg = parse_message_body(&mut lexer, true)?;
+    Ok(msg)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Colon,
+    LBrace,
+    RBrace,
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    peeked: Option<(Token, usize)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer {
+            chars: text.chars().peekable(),
+            line: 1,
+            peeked: None,
+        }
+    }
+
+    fn peek(&mut self) -> Result<Option<(Token, usize)>> {
+        if self.peeked.is_none() {
+            self.peeked = self.lex()?;
+        }
+        Ok(self.peeked.clone())
+    }
+
+    fn next(&mut self) -> Result<Option<(Token, usize)>> {
+        if let Some(t) = self.peeked.take() {
+            return Ok(Some(t));
+        }
+        self.lex()
+    }
+
+    fn lex(&mut self) -> Result<Option<(Token, usize)>> {
+        loop {
+            match self.chars.peek() {
+                None => return Ok(None),
+                Some('\n') => {
+                    self.line += 1;
+                    self.chars.next();
+                }
+                Some(c) if c.is_whitespace() => {
+                    self.chars.next();
+                }
+                Some('#') => {
+                    // Comment until end of line.
+                    for c in self.chars.by_ref() {
+                        if c == '\n' {
+                            self.line += 1;
+                            break;
+                        }
+                    }
+                }
+                Some(_) => break,
+            }
+        }
+        let line = self.line;
+        let c = *self.chars.peek().expect("peeked above");
+        let token = match c {
+            ':' => {
+                self.chars.next();
+                Token::Colon
+            }
+            '{' => {
+                self.chars.next();
+                Token::LBrace
+            }
+            '}' => {
+                self.chars.next();
+                Token::RBrace
+            }
+            '"' | '\'' => {
+                let quote = c;
+                self.chars.next();
+                let mut s = String::new();
+                loop {
+                    match self.chars.next() {
+                        None => return Err(IrError::at_line(line, "unterminated string")),
+                        Some(ch) if ch == quote => break,
+                        Some('\n') => return Err(IrError::at_line(line, "newline in string")),
+                        Some(ch) => s.push(ch),
+                    }
+                }
+                Token::Str(s)
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                let mut s = String::new();
+                while let Some(&ch) = self.chars.peek() {
+                    if ch.is_ascii_digit() || "+-.eE".contains(ch) {
+                        s.push(ch);
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = s
+                    .parse()
+                    .map_err(|_| IrError::at_line(line, format!("bad number `{s}`")))?;
+                Token::Num(n)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&ch) = self.chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' || ch == '.' || ch == '-' {
+                        s.push(ch);
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                Token::Ident(s)
+            }
+            other => {
+                return Err(IrError::at_line(
+                    line,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        };
+        Ok(Some((token, line)))
+    }
+}
+
+fn parse_message_body(lexer: &mut Lexer<'_>, top_level: bool) -> Result<Message> {
+    let mut msg = Message::new();
+    loop {
+        let Some((token, line)) = lexer.peek()? else {
+            if top_level {
+                return Ok(msg);
+            }
+            return Err(IrError::new("unexpected end of input: unbalanced `{`"));
+        };
+        match token {
+            Token::RBrace => {
+                if top_level {
+                    return Err(IrError::at_line(line, "unbalanced `}`"));
+                }
+                lexer.next()?;
+                return Ok(msg);
+            }
+            Token::Ident(key) => {
+                lexer.next()?;
+                match lexer.next()? {
+                    Some((Token::Colon, vline)) => {
+                        let value = match lexer.next()? {
+                            Some((Token::Str(s), _)) => Value::Str(s),
+                            Some((Token::Num(n), _)) => Value::Num(n),
+                            Some((Token::Ident(i), _)) => Value::Ident(i),
+                            other => {
+                                return Err(IrError::at_line(
+                                    vline,
+                                    format!("expected a value after `{key}:`, got {other:?}"),
+                                ))
+                            }
+                        };
+                        msg.push_scalar(key, value);
+                    }
+                    Some((Token::LBrace, _)) => {
+                        let nested = parse_message_body(lexer, false)?;
+                        msg.push_message(key, nested);
+                    }
+                    other => {
+                        return Err(IrError::at_line(
+                            line,
+                            format!("expected `:` or `{{` after `{key}`, got {other:?}"),
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(IrError::at_line(
+                    line,
+                    format!("expected a field name, got {other:?}"),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_of_each_kind() {
+        let m = parse("name: \"net\"\nnum: 64\nrate: 0.5\npool: MAX\nflag: true").unwrap();
+        assert_eq!(m.str("name"), Some("net"));
+        assert_eq!(m.num("num"), Some(64.0));
+        assert_eq!(m.num("rate"), Some(0.5));
+        assert_eq!(m.scalar("pool").unwrap().as_ident(), Some("MAX"));
+        assert_eq!(m.scalar("flag").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parses_nested_messages() {
+        let m = parse("layer { name: \"c1\" conv { num_output: 8 } }").unwrap();
+        let layer = m.message("layer").unwrap();
+        assert_eq!(layer.str("name"), Some("c1"));
+        assert_eq!(layer.message("conv").unwrap().usize("num_output"), Some(8));
+    }
+
+    #[test]
+    fn repeated_fields_preserve_order() {
+        let m = parse("input_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8").unwrap();
+        let dims: Vec<f64> = m
+            .scalars("input_dim")
+            .map(|v| v.as_num().unwrap())
+            .collect();
+        assert_eq!(dims, vec![1.0, 3.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let m = parse("# leading comment\nname: \"x\" # trailing\n# done").unwrap();
+        assert_eq!(m.str("name"), Some("x"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("name: \"ok\"\nbad token here").unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        let err = parse("layer {\n  name: \"x\"\n").unwrap_err();
+        assert!(err.to_string().contains("unbalanced"));
+        let err = parse("}").unwrap_err();
+        assert_eq!(err.line(), Some(1));
+        let err = parse("name \"x\"").unwrap_err();
+        assert!(err.to_string().contains("expected `:` or `{`"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse("name: \"oops").is_err());
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let m = parse("a: -3\nb: 1e-4\nc: +2.5").unwrap();
+        assert_eq!(m.num("a"), Some(-3.0));
+        assert_eq!(m.num("b"), Some(1e-4));
+        assert_eq!(m.num("c"), Some(2.5));
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let text = r#"
+name: "net"
+layer {
+  name: "c1"
+  type: "Convolution"
+  conv_param { num_output: 16 pad: 1 }
+}
+layer { name: "r1" type: "ReLU" }
+"#;
+        let m = parse(text).unwrap();
+        let printed = m.print(0);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(m, reparsed);
+    }
+
+    #[test]
+    fn print_formats_integers_without_fraction() {
+        let mut m = Message::new();
+        m.push_scalar("k", Value::Num(64.0));
+        m.push_scalar("r", Value::Num(0.25));
+        let s = m.print(0);
+        assert!(s.contains("k: 64\n"), "{s}");
+        assert!(s.contains("r: 0.25\n"), "{s}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the IR: arbitrary generated models round-trip
+//! through Prototxt text, and arbitrary objectives round-trip through
+//! their display form.
+
+use proptest::prelude::*;
+use wootz_ir::{
+    CmpOp, Constraint, Direction, InputDef, LayerDef, LayerKind, Metric, ModelIr, Objective,
+    PoolMethod,
+};
+
+/// Strategy producing a random valid chain-shaped model with module
+/// annotations (the common case of our generators).
+fn arb_model() -> impl Strategy<Value = ModelIr> {
+    let layer_kinds = prop::collection::vec(
+        prop_oneof![
+            (1usize..24, prop::sample::select(vec![1usize, 3, 5])).prop_map(|(f, k)| {
+                LayerKind::Convolution {
+                    num_output: f,
+                    kernel_size: k,
+                    stride: 1,
+                    pad: k / 2,
+                }
+            }),
+            Just(LayerKind::ReLU),
+            Just(LayerKind::BatchNorm),
+            Just(LayerKind::Pooling {
+                method: PoolMethod::Max,
+                kernel_size: 2,
+                stride: 2,
+                pad: 0,
+                global: false
+            }),
+        ],
+        1..12,
+    );
+    (layer_kinds, 1usize..4).prop_map(|(kinds, modules)| {
+        let mut layers = Vec::new();
+        let mut bottom = "data".to_string();
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let name = format!("layer{i}");
+            layers.push(LayerDef {
+                name: name.clone(),
+                kind,
+                bottoms: vec![bottom.clone()],
+                top: name.clone(),
+                module: Some(i % modules),
+            });
+            bottom = name;
+        }
+        layers.push(LayerDef {
+            name: "gap".into(),
+            kind: LayerKind::Pooling {
+                method: PoolMethod::Ave,
+                kernel_size: 0,
+                stride: 1,
+                pad: 0,
+                global: true,
+            },
+            bottoms: vec![bottom],
+            top: "gap".into(),
+            module: None,
+        });
+        layers.push(LayerDef {
+            name: "fc".into(),
+            kind: LayerKind::InnerProduct { num_output: 7 },
+            bottoms: vec!["gap".into()],
+            top: "fc".into(),
+            module: None,
+        });
+        ModelIr::from_parts(
+            "prop_model",
+            InputDef {
+                name: "data".into(),
+                batch: 1,
+                channels: 3,
+                height: 32,
+                width: 32,
+            },
+            layers,
+        )
+        .expect("chain models are always valid")
+    })
+}
+
+fn arb_objective() -> impl Strategy<Value = Objective> {
+    let metric = prop::sample::select(vec![Metric::ModelSize, Metric::Accuracy, Metric::Flops]);
+    let op = prop::sample::select(vec![CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge]);
+    let direction = prop::sample::select(vec![Direction::Min, Direction::Max]);
+    (
+        direction,
+        metric.clone(),
+        prop::collection::vec((metric, op, 0.0f64..1e6), 0..4),
+    )
+        .prop_map(|(direction, metric, cs)| Objective {
+            direction,
+            metric,
+            constraints: cs
+                .into_iter()
+                .map(|(metric, op, value)| Constraint { metric, op, value })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print ∘ parse is the identity on the typed model IR.
+    #[test]
+    fn model_prototxt_round_trip(model in arb_model()) {
+        let text = model.to_prototxt();
+        let parsed = ModelIr::parse(&text).expect("printed prototxt parses");
+        prop_assert_eq!(parsed, model);
+    }
+
+    /// Objectives round-trip through their display syntax.
+    #[test]
+    fn objective_display_round_trip(objective in arb_objective()) {
+        let text = objective.to_string();
+        let parsed = Objective::parse(&text).expect("displayed objective parses");
+        prop_assert_eq!(parsed, objective);
+    }
+
+    /// Module grouping covers exactly the annotated layers.
+    #[test]
+    fn module_grouping_partitions_annotated_layers(model in arb_model()) {
+        let grouped: usize = model.modules().values().map(|v| v.len()).sum();
+        let annotated = model.layers().iter().filter(|l| l.module.is_some()).count();
+        prop_assert_eq!(grouped, annotated);
+    }
+
+    /// Prunable convs are always a subset of all convs, and never include
+    /// the classifier-adjacent conv (last conv feeding global pooling).
+    #[test]
+    fn prunable_convs_are_convs(model in arb_model()) {
+        let convs: std::collections::HashSet<&str> =
+            model.conv_layer_names().into_iter().collect();
+        for p in model.prunable_convs() {
+            prop_assert!(convs.contains(p));
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Inception-family generator: a convolutional stem followed by inception
+//! modules — parallel branches (1×1; 1×1→3×3; 1×1→3×3→3×3; pool→1×1) whose
+//! outputs are concatenated along channels — then global average pooling
+//! and a classifier, the GoogLeNet/Inception shape of Szegedy et al.
+//!
+//! The branch convolutions that feed the module's Concat are the module
+//! "tops" (kept unpruned for dimension compatibility); the inner 1×1/3×3
+//! convolutions of the deeper branches are the prunable ones.
+
+use wootz_ir::{InputDef, LayerDef, LayerKind, ModelIr, PoolMethod};
+
+/// Filter plan of one inception module. Branch widths of zero disable the
+/// branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InceptionModuleSpec {
+    /// Branch 1: a single 1×1 convolution (module top).
+    pub b1: usize,
+    /// Branch 2: 1×1 reduce (prunable) then 3×3 (module top).
+    pub b2_reduce: usize,
+    /// Branch 2 output width.
+    pub b2: usize,
+    /// Branch 3: 1×1 reduce (prunable), 3×3 (prunable), 3×3 (module top).
+    pub b3_reduce: usize,
+    /// Branch 3 middle width (prunable).
+    pub b3_mid: usize,
+    /// Branch 3 output width.
+    pub b3: usize,
+    /// Branch 4: 3×3 max-pool then 1×1 projection (module top).
+    pub b4: usize,
+    /// Whether the module downsamples (stride-2 on conv branches and pool).
+    pub downsample: bool,
+}
+
+impl InceptionModuleSpec {
+    /// Total output channels of the module's concatenation.
+    pub fn out_channels(&self) -> usize {
+        self.b1 + self.b2 + self.b3 + self.b4
+    }
+}
+
+/// Complete description of an Inception-style network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InceptionSpec {
+    /// Model name.
+    pub name: String,
+    /// Input `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// Stem convolution filters (3×3, stride 2 at full scale).
+    pub stem_filters: usize,
+    /// Stem stride.
+    pub stem_stride: usize,
+    /// The inception modules, in order.
+    pub modules: Vec<InceptionModuleSpec>,
+    /// Classifier width.
+    pub num_classes: usize,
+    /// Whether to interleave BatchNorm after every convolution.
+    pub with_bn: bool,
+}
+
+/// Emits `conv [+ bn] + relu` and returns the name of the resulting blob.
+#[allow(clippy::too_many_arguments)]
+fn emit_unit(
+    layers: &mut Vec<LayerDef>,
+    with_bn: bool,
+    name: &str,
+    bottom: &str,
+    filters: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    module: Option<usize>,
+) -> String {
+    layers.push(LayerDef {
+        name: name.to_string(),
+        kind: LayerKind::Convolution {
+            num_output: filters,
+            kernel_size: k,
+            stride: s,
+            pad: p,
+        },
+        bottoms: vec![bottom.to_string()],
+        top: name.to_string(),
+        module,
+    });
+    let mut cur = name.to_string();
+    if with_bn {
+        let n = format!("{name}_bn");
+        layers.push(LayerDef {
+            name: n.clone(),
+            kind: LayerKind::BatchNorm,
+            bottoms: vec![cur],
+            top: n.clone(),
+            module,
+        });
+        cur = n;
+    }
+    let r = format!("{name}_relu");
+    layers.push(LayerDef {
+        name: r.clone(),
+        kind: LayerKind::ReLU,
+        bottoms: vec![cur],
+        top: r.clone(),
+        module,
+    });
+    r
+}
+
+/// Builds an Inception-style network from a spec. Each inception module is
+/// annotated with a distinct `module` ID starting at 0.
+///
+/// # Panics
+///
+/// Panics when the spec is degenerate; the resulting IR is validated by
+/// construction.
+pub fn inception(spec: &InceptionSpec) -> ModelIr {
+    assert!(
+        !spec.modules.is_empty(),
+        "inception spec needs at least one module"
+    );
+    let mut layers: Vec<LayerDef> = Vec::new();
+
+    // Stem.
+    let mut cur = emit_unit(
+        &mut layers,
+        spec.with_bn,
+        "conv1",
+        "data",
+        spec.stem_filters,
+        3,
+        spec.stem_stride,
+        1,
+        None,
+    );
+
+    for (mi, m) in spec.modules.iter().enumerate() {
+        let id = Some(mi);
+        let prefix = format!("inception_{mi}");
+        let stride = if m.downsample { 2 } else { 1 };
+        let mut branch_tops: Vec<String> = Vec::new();
+
+        if m.b1 > 0 {
+            let top = emit_unit(
+                &mut layers,
+                spec.with_bn,
+                &format!("{prefix}_b1_1x1"),
+                &cur,
+                m.b1,
+                1,
+                stride,
+                0,
+                id,
+            );
+            branch_tops.push(top);
+        }
+        if m.b2 > 0 {
+            let r = emit_unit(
+                &mut layers,
+                spec.with_bn,
+                &format!("{prefix}_b2_reduce"),
+                &cur,
+                m.b2_reduce,
+                1,
+                1,
+                0,
+                id,
+            );
+            let top = emit_unit(
+                &mut layers,
+                spec.with_bn,
+                &format!("{prefix}_b2_3x3"),
+                &r,
+                m.b2,
+                3,
+                stride,
+                1,
+                id,
+            );
+            branch_tops.push(top);
+        }
+        if m.b3 > 0 {
+            let r = emit_unit(
+                &mut layers,
+                spec.with_bn,
+                &format!("{prefix}_b3_reduce"),
+                &cur,
+                m.b3_reduce,
+                1,
+                1,
+                0,
+                id,
+            );
+            let mid = emit_unit(
+                &mut layers,
+                spec.with_bn,
+                &format!("{prefix}_b3_3x3a"),
+                &r,
+                m.b3_mid,
+                3,
+                1,
+                1,
+                id,
+            );
+            let top = emit_unit(
+                &mut layers,
+                spec.with_bn,
+                &format!("{prefix}_b3_3x3b"),
+                &mid,
+                m.b3,
+                3,
+                stride,
+                1,
+                id,
+            );
+            branch_tops.push(top);
+        }
+        if m.b4 > 0 {
+            let pool = format!("{prefix}_pool");
+            layers.push(LayerDef {
+                name: pool.clone(),
+                kind: LayerKind::Pooling {
+                    method: PoolMethod::Max,
+                    kernel_size: 3,
+                    stride,
+                    pad: 1,
+                    global: false,
+                },
+                bottoms: vec![cur.clone()],
+                top: pool.clone(),
+                module: id,
+            });
+            let top = emit_unit(
+                &mut layers,
+                spec.with_bn,
+                &format!("{prefix}_b4_proj"),
+                &pool,
+                m.b4,
+                1,
+                1,
+                0,
+                id,
+            );
+            branch_tops.push(top);
+        }
+
+        assert!(
+            branch_tops.len() >= 2,
+            "inception module {mi} needs at least two branches"
+        );
+        let concat = format!("{prefix}_concat");
+        layers.push(LayerDef {
+            name: concat.clone(),
+            kind: LayerKind::Concat,
+            bottoms: branch_tops,
+            top: concat.clone(),
+            module: id,
+        });
+        cur = concat;
+    }
+
+    layers.push(LayerDef {
+        name: "global_pool".into(),
+        kind: LayerKind::Pooling {
+            method: PoolMethod::Ave,
+            kernel_size: 0,
+            stride: 1,
+            pad: 0,
+            global: true,
+        },
+        bottoms: vec![cur],
+        top: "global_pool".into(),
+        module: None,
+    });
+    layers.push(LayerDef {
+        name: "fc".into(),
+        kind: LayerKind::InnerProduct {
+            num_output: spec.num_classes,
+        },
+        bottoms: vec!["global_pool".into()],
+        top: "fc".into(),
+        module: None,
+    });
+
+    let input = InputDef {
+        name: "data".into(),
+        batch: 1,
+        channels: spec.input.0,
+        height: spec.input.1,
+        width: spec.input.2,
+    };
+    ModelIr::from_parts(spec.name.clone(), input, layers)
+        .expect("generated inception must validate")
+}
+
+fn scaled_module(scale: usize, downsample: bool) -> InceptionModuleSpec {
+    InceptionModuleSpec {
+        b1: 16 * scale,
+        b2_reduce: 12 * scale,
+        b2: 24 * scale,
+        b3_reduce: 4 * scale,
+        b3_mid: 8 * scale,
+        b3: 8 * scale,
+        b4: 8 * scale,
+        downsample,
+    }
+}
+
+/// Full-scale Inception-V2 analogue: 10 inception modules on 224×224 input
+/// with widths scaled across three spatial resolutions.
+pub fn inception_v2(num_classes: usize) -> ModelIr {
+    // 3 modules at 28x28-equivalent scale, 4 at the next, 3 at the
+    // coarsest; the last module of the first two groups downsamples.
+    let modules = vec![
+        scaled_module(4, false),
+        scaled_module(4, false),
+        scaled_module(4, true),
+        scaled_module(8, false),
+        scaled_module(8, false),
+        scaled_module(8, false),
+        scaled_module(8, true),
+        scaled_module(16, false),
+        scaled_module(16, false),
+        scaled_module(16, false),
+    ];
+    inception(&InceptionSpec {
+        name: "inception_v2".into(),
+        input: (3, 224, 224),
+        stem_filters: 64,
+        stem_stride: 2,
+        modules,
+        num_classes,
+        with_bn: true,
+    })
+}
+
+/// Full-scale Inception-V3 analogue: 11 inception modules with wider
+/// filter plans.
+pub fn inception_v3(num_classes: usize) -> ModelIr {
+    let mut modules = Vec::new();
+    for _ in 0..2 {
+        modules.push(scaled_module(5, false));
+    }
+    modules.push(scaled_module(5, true));
+    for _ in 0..4 {
+        modules.push(scaled_module(10, false));
+    }
+    modules.push(scaled_module(10, true));
+    for _ in 0..3 {
+        modules.push(scaled_module(20, false));
+    }
+    inception(&InceptionSpec {
+        name: "inception_v3".into(),
+        input: (3, 224, 224),
+        stem_filters: 80,
+        stem_stride: 2,
+        modules,
+        num_classes,
+        with_bn: true,
+    })
+}
+
+/// Micro-scale Inception for real CPU training: 3 modules on 16×16 inputs,
+/// no batch norm.
+pub fn inception_mini(num_classes: usize) -> ModelIr {
+    inception(&InceptionSpec {
+        name: "inception_mini".into(),
+        input: (3, 16, 16),
+        stem_filters: 8,
+        stem_stride: 1,
+        modules: vec![
+            scaled_module(1, false),
+            scaled_module(1, true),
+            scaled_module(2, false),
+        ],
+        num_classes,
+        with_bn: false,
+    })
+}
+
+/// A deeper micro Inception (4 modules) standing in for Inception-V3 in
+/// micro-scale experiments.
+pub fn inception_mini_deep(num_classes: usize) -> ModelIr {
+    inception(&InceptionSpec {
+        name: "inception_mini_deep".into(),
+        input: (3, 16, 16),
+        stem_filters: 8,
+        stem_stride: 1,
+        modules: vec![
+            scaled_module(1, false),
+            scaled_module(1, false),
+            scaled_module(1, true),
+            scaled_module(2, false),
+        ],
+        num_classes,
+        with_bn: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_counts_match_the_paper() {
+        assert_eq!(inception_v2(1000).conv_module_ids().len(), 10);
+        assert_eq!(inception_v3(1000).conv_module_ids().len(), 11);
+    }
+
+    #[test]
+    fn mini_deep_has_four_modules() {
+        assert_eq!(inception_mini_deep(10).conv_module_ids().len(), 4);
+    }
+
+    #[test]
+    fn mini_round_trips_through_prototxt() {
+        let m = inception_mini(10);
+        assert_eq!(m.conv_module_ids().len(), 3);
+        let m2 = ModelIr::parse(&m.to_prototxt()).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn prunable_convs_are_the_inner_branch_convs() {
+        let m = inception_mini(10);
+        let prunable = m.prunable_convs_of_module(0);
+        assert!(prunable.contains(&"inception_0_b2_reduce"), "{prunable:?}");
+        assert!(prunable.contains(&"inception_0_b3_reduce"));
+        assert!(prunable.contains(&"inception_0_b3_3x3a"));
+        // Concat feeders stay unpruned.
+        assert!(!prunable.contains(&"inception_0_b1_1x1"));
+        assert!(!prunable.contains(&"inception_0_b2_3x3"));
+        assert!(!prunable.contains(&"inception_0_b3_3x3b"));
+        assert!(!prunable.contains(&"inception_0_b4_proj"));
+    }
+
+    #[test]
+    fn concat_channels_sum_branch_widths() {
+        let spec = scaled_module(2, false);
+        assert_eq!(spec.out_channels(), (16 + 24 + 8 + 8) * 2);
+    }
+
+    #[test]
+    fn downsampling_module_strides_every_branch() {
+        let m = inception_mini(10);
+        // Module 1 downsamples: its b2 3x3 conv must have stride 2.
+        let layer = m.layer("inception_1_b2_3x3").unwrap();
+        match layer.kind {
+            wootz_ir::LayerKind::Convolution { stride, .. } => assert_eq!(stride, 2),
+            _ => panic!("expected conv"),
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # wootz-models
+//!
+//! Generators for the CNN families the Wootz paper evaluates: the Residual
+//! Network family (ResNet-50, ResNet-101) and the Inception family
+//! (Inception-V2, Inception-V3), expressed in the `wootz-ir` Prototxt
+//! dialect with the paper's `module` annotations on every convolution
+//! module.
+//!
+//! Two tiers are provided:
+//!
+//! * **Full-scale presets** ([`resnet50`], [`resnet101`], [`inception_v2`],
+//!   [`inception_v3`]) reproduce the module structure and filter counts of
+//!   the real networks (16 / 33 / 10 / 11 convolution modules). They are
+//!   used *analytically* — parameter counting for model-size accounting in
+//!   the evaluation tables — and are never trained here.
+//! * **Mini presets** ([`resnet_mini`], [`inception_mini`]) keep the same
+//!   modular topology (bottleneck residual modules; multi-branch inception
+//!   modules with filter concatenation) at micro scale, so the real
+//!   training experiments (composability hypothesis validation) run in
+//!   seconds on a CPU.
+//!
+//! All generators return validated [`ModelIr`] values; round-tripping
+//! through Prototxt text is covered by tests.
+
+#![warn(missing_docs)]
+
+mod inception;
+mod resnet;
+
+pub use inception::{
+    inception, inception_mini, inception_mini_deep, inception_v2, inception_v3,
+    InceptionModuleSpec, InceptionSpec,
+};
+pub use resnet::{
+    resnet, resnet101, resnet50, resnet_mini, resnet_mini_deep, ResNetSpec, StageSpec,
+};
+
+use wootz_ir::ModelIr;
+
+/// The four micro models standing in for the paper's four CNNs in real
+/// (CPU) training experiments, in the paper's order: ResNet-50,
+/// ResNet-101, Inception-V2, Inception-V3.
+pub fn all_mini_models(num_classes: usize) -> Vec<ModelIr> {
+    vec![
+        resnet_mini(num_classes),
+        resnet_mini_deep(num_classes),
+        inception_mini(num_classes),
+        inception_mini_deep(num_classes),
+    ]
+}
+
+/// The four paper models at full scale, with the given classifier width.
+pub fn all_paper_models(num_classes: usize) -> Vec<ModelIr> {
+    vec![
+        resnet50(num_classes),
+        resnet101(num_classes),
+        inception_v2(num_classes),
+        inception_v3(num_classes),
+    ]
+}

@@ -1,0 +1,458 @@
+//! Residual-network generator: a stem convolution followed by stages of
+//! bottleneck modules (1×1 reduce → 3×3 → 1×1 expand, with a projection or
+//! identity shortcut joined by elementwise addition), then global average
+//! pooling and a classifier — the ResNet-50/101 shape of He et al. 2016.
+
+use wootz_ir::{InputDef, LayerDef, LayerKind, ModelIr, PoolMethod};
+
+/// One stage: `modules` bottlenecks at width `width` (the 1×1/3×3 filter
+/// count); every module outputs `out_width` channels; the first module of
+/// the stage downsamples spatially when `downsample` is set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Number of bottleneck modules in the stage.
+    pub modules: usize,
+    /// Filter count of the two inner (prunable) convolutions.
+    pub width: usize,
+    /// Filter count of the module-top expansion convolution.
+    pub out_width: usize,
+    /// Whether the stage's first module halves the spatial extent.
+    pub downsample: bool,
+}
+
+/// Complete description of a residual network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResNetSpec {
+    /// Model name (becomes the Prototxt `name:`).
+    pub name: String,
+    /// Input `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// Stem convolution filters.
+    pub stem_filters: usize,
+    /// Stem kernel size (7 in the real network; smaller for minis).
+    pub stem_kernel: usize,
+    /// Stem stride.
+    pub stem_stride: usize,
+    /// Whether a stem max-pool follows (as in the real network).
+    pub stem_pool: bool,
+    /// The stages.
+    pub stages: Vec<StageSpec>,
+    /// Classifier width.
+    pub num_classes: usize,
+    /// Whether to interleave BatchNorm after every convolution.
+    pub with_bn: bool,
+}
+
+/// Builds a residual network from a spec.
+///
+/// Every bottleneck module is annotated with a distinct `module` ID
+/// (starting at 0); the stem and the classifier carry no module annotation,
+/// matching the paper's setup where pruning rates are assigned per
+/// convolution module. Within a module, the two inner convolutions are the
+/// prunable ones; the expansion convolution and the projection shortcut
+/// feed the residual addition (the module top) and stay unpruned.
+///
+/// # Panics
+///
+/// Panics when the spec is degenerate (no stages / zero widths); the
+/// resulting IR is validated by construction.
+pub fn resnet(spec: &ResNetSpec) -> ModelIr {
+    assert!(
+        !spec.stages.is_empty(),
+        "resnet spec needs at least one stage"
+    );
+    let mut layers: Vec<LayerDef> = Vec::new();
+    let mut module = 0usize;
+
+    let conv = |name: &str,
+                bottom: &str,
+                filters: usize,
+                k: usize,
+                s: usize,
+                p: usize,
+                module: Option<usize>| LayerDef {
+        name: name.to_string(),
+        kind: LayerKind::Convolution {
+            num_output: filters,
+            kernel_size: k,
+            stride: s,
+            pad: p,
+        },
+        bottoms: vec![bottom.to_string()],
+        top: name.to_string(),
+        module,
+    };
+    let relu = |name: &str, bottom: &str, module: Option<usize>| LayerDef {
+        name: name.to_string(),
+        kind: LayerKind::ReLU,
+        bottoms: vec![bottom.to_string()],
+        top: name.to_string(),
+        module,
+    };
+    let bn = |name: &str, bottom: &str, module: Option<usize>| LayerDef {
+        name: name.to_string(),
+        kind: LayerKind::BatchNorm,
+        bottoms: vec![bottom.to_string()],
+        top: name.to_string(),
+        module,
+    };
+
+    // Stem.
+    let stem_pad = spec.stem_kernel / 2;
+    layers.push(conv(
+        "conv1",
+        "data",
+        spec.stem_filters,
+        spec.stem_kernel,
+        spec.stem_stride,
+        stem_pad,
+        None,
+    ));
+    let mut cur = "conv1".to_string();
+    if spec.with_bn {
+        layers.push(bn("conv1_bn", &cur, None));
+        cur = "conv1_bn".into();
+    }
+    layers.push(relu("conv1_relu", &cur, None));
+    cur = "conv1_relu".into();
+    if spec.stem_pool {
+        layers.push(LayerDef {
+            name: "pool1".into(),
+            kind: LayerKind::Pooling {
+                method: PoolMethod::Max,
+                kernel_size: 3,
+                stride: 2,
+                pad: 1,
+                global: false,
+            },
+            bottoms: vec![cur.clone()],
+            top: "pool1".into(),
+            module: None,
+        });
+        cur = "pool1".into();
+    }
+
+    let mut in_channels = spec.stem_filters;
+    for (si, stage) in spec.stages.iter().enumerate() {
+        for mi in 0..stage.modules {
+            let m = module;
+            let stride = if stage.downsample && mi == 0 { 2 } else { 1 };
+            let prefix = format!("res{}_{}", si + 2, mi); // Caffe-style res2_0, res3_1, ...
+            let id = Some(m);
+
+            // Inner (prunable) path: 1x1 reduce, 3x3, then 1x1 expand (top).
+            let a = format!("{prefix}_branch2a");
+            layers.push(conv(&a, &cur, stage.width, 1, stride, 0, id));
+            let mut tail = a.clone();
+            if spec.with_bn {
+                let n = format!("{a}_bn");
+                layers.push(bn(&n, &tail, id));
+                tail = n;
+            }
+            let ar = format!("{a}_relu");
+            layers.push(relu(&ar, &tail, id));
+
+            let b = format!("{prefix}_branch2b");
+            layers.push(conv(&b, &ar, stage.width, 3, 1, 1, id));
+            let mut tail = b.clone();
+            if spec.with_bn {
+                let n = format!("{b}_bn");
+                layers.push(bn(&n, &tail, id));
+                tail = n;
+            }
+            let br = format!("{b}_relu");
+            layers.push(relu(&br, &tail, id));
+
+            let c = format!("{prefix}_branch2c");
+            layers.push(conv(&c, &br, stage.out_width, 1, 1, 0, id));
+            let mut main = c.clone();
+            if spec.with_bn {
+                let n = format!("{c}_bn");
+                layers.push(bn(&n, &main, id));
+                main = n;
+            }
+
+            // Shortcut: identity when shapes match, else projection conv.
+            let shortcut = if stride != 1 || in_channels != stage.out_width {
+                let s = format!("{prefix}_branch1");
+                layers.push(conv(&s, &cur, stage.out_width, 1, stride, 0, id));
+                if spec.with_bn {
+                    let n = format!("{s}_bn");
+                    layers.push(bn(&n, &s, id));
+                    n
+                } else {
+                    s
+                }
+            } else {
+                cur.clone()
+            };
+
+            let sum = format!("{prefix}_sum");
+            layers.push(LayerDef {
+                name: sum.clone(),
+                kind: LayerKind::Eltwise,
+                bottoms: vec![main, shortcut],
+                top: sum.clone(),
+                module: id,
+            });
+            let out = format!("{prefix}_relu");
+            layers.push(relu(&out, &sum, id));
+            cur = out;
+            in_channels = stage.out_width;
+            module += 1;
+        }
+    }
+
+    layers.push(LayerDef {
+        name: "global_pool".into(),
+        kind: LayerKind::Pooling {
+            method: PoolMethod::Ave,
+            kernel_size: 0,
+            stride: 1,
+            pad: 0,
+            global: true,
+        },
+        bottoms: vec![cur],
+        top: "global_pool".into(),
+        module: None,
+    });
+    layers.push(LayerDef {
+        name: "fc".into(),
+        kind: LayerKind::InnerProduct {
+            num_output: spec.num_classes,
+        },
+        bottoms: vec!["global_pool".into()],
+        top: "fc".into(),
+        module: None,
+    });
+
+    let input = InputDef {
+        name: "data".into(),
+        batch: 1,
+        channels: spec.input.0,
+        height: spec.input.1,
+        width: spec.input.2,
+    };
+    ModelIr::from_parts(spec.name.clone(), input, layers).expect("generated resnet must validate")
+}
+
+/// Full-scale ResNet-50: 16 bottleneck modules `[3, 4, 6, 3]` at the real
+/// widths, 224×224 input.
+pub fn resnet50(num_classes: usize) -> ModelIr {
+    resnet(&ResNetSpec {
+        name: "resnet50".into(),
+        input: (3, 224, 224),
+        stem_filters: 64,
+        stem_kernel: 7,
+        stem_stride: 2,
+        stem_pool: true,
+        stages: vec![
+            StageSpec {
+                modules: 3,
+                width: 64,
+                out_width: 256,
+                downsample: false,
+            },
+            StageSpec {
+                modules: 4,
+                width: 128,
+                out_width: 512,
+                downsample: true,
+            },
+            StageSpec {
+                modules: 6,
+                width: 256,
+                out_width: 1024,
+                downsample: true,
+            },
+            StageSpec {
+                modules: 3,
+                width: 512,
+                out_width: 2048,
+                downsample: true,
+            },
+        ],
+        num_classes,
+        with_bn: true,
+    })
+}
+
+/// Full-scale ResNet-101: 33 bottleneck modules `[3, 4, 23, 3]`.
+pub fn resnet101(num_classes: usize) -> ModelIr {
+    resnet(&ResNetSpec {
+        name: "resnet101".into(),
+        input: (3, 224, 224),
+        stem_filters: 64,
+        stem_kernel: 7,
+        stem_stride: 2,
+        stem_pool: true,
+        stages: vec![
+            StageSpec {
+                modules: 3,
+                width: 64,
+                out_width: 256,
+                downsample: false,
+            },
+            StageSpec {
+                modules: 4,
+                width: 128,
+                out_width: 512,
+                downsample: true,
+            },
+            StageSpec {
+                modules: 23,
+                width: 256,
+                out_width: 1024,
+                downsample: true,
+            },
+            StageSpec {
+                modules: 3,
+                width: 512,
+                out_width: 2048,
+                downsample: true,
+            },
+        ],
+        num_classes,
+        with_bn: true,
+    })
+}
+
+/// Micro-scale residual network for real CPU training: 4 bottleneck modules
+/// in 2 stages on 16×16 inputs, no batch norm.
+pub fn resnet_mini(num_classes: usize) -> ModelIr {
+    resnet(&ResNetSpec {
+        name: "resnet_mini".into(),
+        input: (3, 16, 16),
+        stem_filters: 8,
+        stem_kernel: 3,
+        stem_stride: 1,
+        stem_pool: false,
+        stages: vec![
+            StageSpec {
+                modules: 2,
+                width: 8,
+                out_width: 16,
+                downsample: false,
+            },
+            StageSpec {
+                modules: 2,
+                width: 12,
+                out_width: 24,
+                downsample: true,
+            },
+        ],
+        num_classes,
+        with_bn: false,
+    })
+}
+
+/// A deeper micro residual network (6 modules in 3 stages) standing in for
+/// ResNet-101 in micro-scale experiments.
+pub fn resnet_mini_deep(num_classes: usize) -> ModelIr {
+    resnet(&ResNetSpec {
+        name: "resnet_mini_deep".into(),
+        input: (3, 16, 16),
+        stem_filters: 8,
+        stem_kernel: 3,
+        stem_stride: 1,
+        stem_pool: false,
+        stages: vec![
+            StageSpec {
+                modules: 2,
+                width: 8,
+                out_width: 16,
+                downsample: false,
+            },
+            StageSpec {
+                modules: 2,
+                width: 10,
+                out_width: 20,
+                downsample: true,
+            },
+            StageSpec {
+                modules: 2,
+                width: 12,
+                out_width: 24,
+                downsample: true,
+            },
+        ],
+        num_classes,
+        with_bn: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_has_sixteen_modules() {
+        let m = resnet50(1000);
+        assert_eq!(m.conv_module_ids().len(), 16);
+        assert_eq!(m.name(), "resnet50");
+    }
+
+    #[test]
+    fn resnet101_has_thirty_three_modules() {
+        let m = resnet101(1000);
+        assert_eq!(m.conv_module_ids().len(), 33);
+    }
+
+    #[test]
+    fn mini_deep_has_six_modules() {
+        assert_eq!(resnet_mini_deep(10).conv_module_ids().len(), 6);
+    }
+
+    #[test]
+    fn mini_has_four_modules_and_round_trips() {
+        let m = resnet_mini(10);
+        assert_eq!(m.conv_module_ids().len(), 4);
+        let text = m.to_prototxt();
+        let m2 = ModelIr::parse(&text).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn first_module_has_projection_shortcut() {
+        let m = resnet_mini(10);
+        // Module 0 changes channel count (8 -> 16) so needs a branch1 conv.
+        assert!(m.layer("res2_0_branch1").is_some());
+        // Module 1 keeps 16 -> 16 with stride 1: identity shortcut.
+        assert!(m.layer("res2_1_branch1").is_none());
+    }
+
+    #[test]
+    fn eltwise_joins_have_two_bottoms() {
+        let m = resnet50(10);
+        for layer in m.layers() {
+            if matches!(layer.kind, LayerKind::Eltwise) {
+                assert_eq!(layer.bottoms.len(), 2, "{}", layer.name);
+            }
+        }
+    }
+
+    #[test]
+    fn module_inner_convs_precede_expansion() {
+        let m = resnet_mini(10);
+        // Within module 0 the prunable convs (per the positional rule) are
+        // branch2a and branch2b; branch2c / branch1 are tops.
+        let prunable = m.prunable_convs_of_module(0);
+        assert!(prunable.contains(&"res2_0_branch2a"));
+        assert!(prunable.contains(&"res2_0_branch2b"));
+        assert!(!prunable.contains(&"res2_0_branch2c"));
+    }
+
+    #[test]
+    fn bn_layers_present_only_when_requested() {
+        let with = resnet50(10);
+        assert!(with
+            .layers()
+            .iter()
+            .any(|l| matches!(l.kind, LayerKind::BatchNorm)));
+        let without = resnet_mini(10);
+        assert!(!without
+            .layers()
+            .iter()
+            .any(|l| matches!(l.kind, LayerKind::BatchNorm)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Named-tensor checkpoints — the persistence format that carries
+//! pre-trained tuning blocks from the pre-training phase to network
+//! assembly, mirroring TensorFlow checkpoints (name → tensor maps).
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use wootz_tensor::Tensor;
+
+use crate::var::VarStore;
+use crate::{NnError, Result};
+
+/// A serializable map from variable names to tensor values.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    entries: BTreeMap<String, Tensor>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint.
+    pub fn new() -> Self {
+        Checkpoint::default()
+    }
+
+    /// Captures every variable in `vars` whose name starts with `prefix`
+    /// (use `""` to capture everything).
+    pub fn capture(vars: &VarStore, prefix: &str) -> Self {
+        let mut entries = BTreeMap::new();
+        for (name, param) in vars.iter() {
+            if name.starts_with(prefix) {
+                entries.insert(name.to_string(), param.value.clone());
+            }
+        }
+        Checkpoint { entries }
+    }
+
+    /// Inserts (or replaces) one entry.
+    pub fn insert(&mut self, name: impl Into<String>, value: Tensor) {
+        self.entries.insert(name.into(), value);
+    }
+
+    /// Looks up an entry by exact name.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.entries.get(name)
+    }
+
+    /// Number of stored tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the checkpoint stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, tensor)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another checkpoint into this one; colliding names are
+    /// overwritten by `other` (later blocks win, which is what assembly
+    /// wants: block weights overwrite inherited weights).
+    pub fn merge(&mut self, other: &Checkpoint) {
+        for (k, v) in &other.entries {
+            self.entries.insert(k.clone(), v.clone());
+        }
+    }
+
+    /// Restores every entry into `vars`, optionally translating names with
+    /// `rename` (e.g. mapping a pre-training scope `student/block_3/...`
+    /// onto a fine-tuning scope `net/module_3/...`). Entries whose
+    /// translated name is absent from `vars` are skipped and counted in the
+    /// returned `(restored, skipped)` pair; a shape mismatch is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Var`] when a translated name exists in `vars` but
+    /// the shapes disagree.
+    pub fn restore(
+        &self,
+        vars: &mut VarStore,
+        rename: impl Fn(&str) -> String,
+    ) -> Result<(usize, usize)> {
+        let mut restored = 0;
+        let mut skipped = 0;
+        for (name, value) in &self.entries {
+            let target = rename(name);
+            if vars.contains(&target) {
+                vars.assign(&target, value.clone())?;
+                restored += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+        Ok((restored, skipped))
+    }
+
+    /// Serializes the checkpoint to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] / [`NnError::Serde`] on failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = File::create(path)?;
+        serde_json::to_writer(BufWriter::new(file), self).map_err(|e| NnError::Serde(e.to_string()))
+    }
+
+    /// Loads a checkpoint from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] / [`NnError::Serde`] on failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let file = File::open(path)?;
+        serde_json::from_reader(BufReader::new(file)).map_err(|e| NnError::Serde(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(names: &[(&str, &[usize])]) -> VarStore {
+        let mut vs = VarStore::new();
+        for (name, shape) in names {
+            vs.register(name, Tensor::ones(shape), true, true).unwrap();
+        }
+        vs
+    }
+
+    #[test]
+    fn capture_filters_by_prefix() {
+        let vs = store_with(&[("a/w", &[2]), ("a/b", &[1]), ("z/w", &[3])]);
+        let ckpt = Checkpoint::capture(&vs, "a/");
+        assert_eq!(ckpt.len(), 2);
+        assert!(ckpt.get("a/w").is_some());
+        assert!(ckpt.get("z/w").is_none());
+    }
+
+    #[test]
+    fn restore_with_rename_and_skips() {
+        let src = store_with(&[("student/c1/w", &[2])]);
+        let mut ckpt = Checkpoint::capture(&src, "");
+        ckpt.insert("student/unused/w", Tensor::zeros(&[5]));
+        let mut dst = store_with(&[("net/c1/w", &[2])]);
+        dst.assign("net/c1/w", Tensor::zeros(&[2])).unwrap();
+        let (restored, skipped) = ckpt
+            .restore(&mut dst, |n| n.replace("student/", "net/"))
+            .unwrap();
+        assert_eq!((restored, skipped), (1, 1));
+        assert_eq!(dst.value("net/c1/w").unwrap().sum(), 2.0);
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let mut ckpt = Checkpoint::new();
+        ckpt.insert("w", Tensor::zeros(&[3]));
+        let mut dst = store_with(&[("w", &[2])]);
+        assert!(ckpt.restore(&mut dst, |n| n.to_string()).is_err());
+    }
+
+    #[test]
+    fn merge_overwrites_collisions() {
+        let mut a = Checkpoint::new();
+        a.insert("w", Tensor::zeros(&[1]));
+        let mut b = Checkpoint::new();
+        b.insert("w", Tensor::ones(&[1]));
+        b.insert("v", Tensor::ones(&[1]));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get("w").unwrap().sum(), 1.0);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("wootz_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut ckpt = Checkpoint::new();
+        ckpt.insert("a/w", Tensor::from_vec(vec![1.5, -2.5], &[2]).unwrap());
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(ckpt, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = Checkpoint::load("/nonexistent/wootz.ckpt").unwrap_err();
+        assert!(matches!(err, NnError::Io(_)));
+    }
+
+    #[test]
+    fn load_corrupted_file_is_serde_error() {
+        let dir = std::env::temp_dir().join("wootz_ckpt_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{ not json ").unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(matches!(err, NnError::Serde(_)), "{err}");
+        // A checkpoint with tensor-level corruption (wrong element count)
+        // also fails cleanly at deserialization.
+        std::fs::write(&path, r#"{"entries":{"w":{"shape":[2,2],"data":[1.0]}}}"#).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,74 @@
+//! Graphviz DOT export of computational graphs — handy for inspecting the
+//! Teacher–Student structures the compiler builds (Figure 5 of the paper).
+
+use crate::graph::{Graph, NodeShape, Op};
+
+/// Renders a graph in Graphviz DOT format. Nodes are labelled
+/// `name\nop [CxHxW]`; teacher/student/net scopes get distinct colors so
+/// pre-training structures are visually separable.
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out =
+        String::from("digraph wootz {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n");
+    for (id, node) in graph.nodes().iter().enumerate() {
+        let shape = match graph.shape(id) {
+            NodeShape::Chw(c, h, w) => format!("{c}x{h}x{w}"),
+            NodeShape::Flat(d) => format!("{d}"),
+        };
+        let color = if node.name.starts_with("teacher/") {
+            "lightblue"
+        } else if node.name.starts_with("student/") {
+            "lightsalmon"
+        } else if matches!(node.op, Op::Input) {
+            "lightgray"
+        } else {
+            "white"
+        };
+        out.push_str(&format!(
+            "  n{id} [label=\"{}\\n{} [{shape}]\", style=filled, fillcolor={color}];\n",
+            node.name.replace('"', "'"),
+            node.op.kind_name(),
+        ));
+        for &input in &node.inputs {
+            out.push_str(&format!("  n{input} -> n{id};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let mut b = GraphBuilder::new(0);
+        let x = b.input("data", (1, 4, 4));
+        let c = b.conv2d("net/c1", x, 2, 3, 1, 1).unwrap();
+        let r = b.relu("net/r1", c).unwrap();
+        let _ = b.global_avg_pool("net/gap", r).unwrap();
+        let (graph, _) = b.finish();
+        let dot = to_dot(&graph);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("net/c1"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("2x4x4"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn scopes_are_colored() {
+        let mut b = GraphBuilder::new(0);
+        let x = b.input("data", (1, 4, 4));
+        let t = b.conv2d("teacher/c1", x, 2, 1, 1, 0).unwrap();
+        let s = b.stop_gradient("student/b/input_sg", t).unwrap();
+        b.conv2d("student/b/c1", s, 1, 1, 1, 0).unwrap();
+        let (graph, _) = b.finish();
+        let dot = to_dot(&graph);
+        assert!(dot.contains("lightblue"));
+        assert!(dot.contains("lightsalmon"));
+        assert!(dot.contains("lightgray"));
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+use wootz_tensor::ShapeError;
+
+/// Errors raised by graph construction, execution, training or
+/// checkpointing.
+#[derive(Debug)]
+pub enum NnError {
+    /// A tensor-level shape violation.
+    Shape(ShapeError),
+    /// Graph construction or validation failure (unknown node, duplicate
+    /// name, incompatible layer wiring).
+    Graph(String),
+    /// A named variable was missing or had the wrong shape.
+    Var(String),
+    /// Checkpoint I/O failure.
+    Io(std::io::Error),
+    /// Checkpoint (de)serialization failure.
+    Serde(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Shape(e) => write!(f, "{e}"),
+            NnError::Graph(m) => write!(f, "graph error: {m}"),
+            NnError::Var(m) => write!(f, "variable error: {m}"),
+            NnError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            NnError::Serde(m) => write!(f, "checkpoint serialization error: {m}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Shape(e) => Some(e),
+            NnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for NnError {
+    fn from(e: ShapeError) -> Self {
+        NnError::Shape(e)
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NnError::Graph("node `x` unknown".into());
+        assert!(e.to_string().contains("node `x` unknown"));
+        let e: NnError = ShapeError::new("bad").into();
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<NnError>();
+    }
+}

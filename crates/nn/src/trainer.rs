@@ -1,0 +1,372 @@
+//! A small classifier training loop with accuracy logging — the analogue of
+//! the generic training scripts Wootz generates around the multiplexing
+//! model.
+
+use serde::{Deserialize, Serialize};
+use wootz_tensor::ops;
+use wootz_tensor::sgd::SgdConfig;
+use wootz_tensor::Tensor;
+
+use crate::exec::{backward, forward, Mode};
+use crate::graph::{Graph, NodeId};
+use crate::var::VarStore;
+use crate::Result;
+
+/// A learning-rate schedule over training steps. The paper uses fixed
+/// rates ("We experimented with other learning rates and dynamic decay
+/// schemes" — §7.1 footnote); step decay and cosine annealing are provided
+/// for the same experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LrSchedule {
+    /// Constant learning rate (the paper's choice).
+    #[default]
+    Fixed,
+    /// Multiply the rate by `gamma` every `every` steps.
+    StepDecay {
+        /// Steps between decays.
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+    /// Cosine annealing from the base rate to zero over the step budget.
+    Cosine,
+}
+
+
+impl LrSchedule {
+    /// The learning rate at `step` of `max_steps` given `base`.
+    pub fn lr_at(&self, base: f32, step: usize, max_steps: usize) -> f32 {
+        match self {
+            LrSchedule::Fixed => base,
+            LrSchedule::StepDecay { every, gamma } => {
+                base * gamma.powi((step / every.max(&1).to_owned()) as i32)
+            }
+            LrSchedule::Cosine => {
+                let t = step as f32 / max_steps.max(1) as f32;
+                base * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+/// Training-loop configuration, mirroring the paper's meta data (max steps,
+/// batch size, fixed learning rate, weight decay).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Maximum number of SGD steps.
+    pub max_steps: usize,
+    /// SGD hyper-parameters (`sgd.learning_rate` is the schedule's base).
+    pub sgd: SgdConfig,
+    /// Learning-rate schedule applied over `max_steps`.
+    pub schedule: LrSchedule,
+    /// Evaluate (and record) accuracy every this many steps; `0` disables
+    /// intermediate evaluation.
+    pub eval_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            max_steps: 100,
+            sgd: SgdConfig {
+                learning_rate: 0.01,
+                weight_decay: 1e-5,
+                momentum: 0.9,
+            },
+            schedule: LrSchedule::Fixed,
+            eval_every: 0,
+        }
+    }
+}
+
+/// One accuracy observation along a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainRecord {
+    /// Global step at which the evaluation happened.
+    pub step: usize,
+    /// Training loss at that step.
+    pub loss: f32,
+    /// Test accuracy at that step, when evaluation data was provided.
+    pub accuracy: Option<f32>,
+}
+
+/// The full log of a training run — the data behind the paper's Figure 6
+/// accuracy curves.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainLog {
+    /// Chronological accuracy/loss records.
+    pub records: Vec<TrainRecord>,
+    /// Accuracy before any training step (the paper's `init` / `init+`).
+    pub initial_accuracy: Option<f32>,
+    /// Accuracy after the final step (the paper's `final` / `final+`).
+    pub final_accuracy: Option<f32>,
+    /// Number of steps actually run.
+    pub steps_run: usize,
+}
+
+impl TrainLog {
+    /// The first step at which accuracy reached `threshold`, if any — used
+    /// for "time to target accuracy" comparisons.
+    pub fn first_step_reaching(&self, threshold: f32) -> Option<usize> {
+        self.records
+            .iter()
+            .find(|r| r.accuracy.is_some_and(|a| a >= threshold))
+            .map(|r| r.step)
+    }
+}
+
+/// Computes classification accuracy of `logits_node` over an evaluation
+/// batch.
+///
+/// # Errors
+///
+/// Returns an error when the forward pass fails or `logits` is not `[N, K]`.
+pub fn evaluate_accuracy(
+    graph: &Graph,
+    vars: &mut VarStore,
+    input_name: &str,
+    logits_node: NodeId,
+    images: &Tensor,
+    labels: &[usize],
+) -> Result<f32> {
+    let pass = forward(graph, vars, &[(input_name, images)], Mode::Eval)?;
+    let preds = pass.activation(logits_node).argmax_rows()?;
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f32 / labels.len().max(1) as f32)
+}
+
+/// Trains a classifier graph with softmax cross-entropy.
+///
+/// `next_batch(step)` supplies `(images, labels)` per step; `eval_data`
+/// optionally provides a held-out set for the accuracy log. Returns the
+/// training log (initial accuracy is always recorded when `eval_data` is
+/// given, which is how the composability experiments measure `init` vs
+/// `init+`).
+///
+/// # Errors
+///
+/// Propagates graph-execution errors.
+pub fn train_classifier(
+    graph: &Graph,
+    vars: &mut VarStore,
+    input_name: &str,
+    logits_node: NodeId,
+    cfg: &TrainConfig,
+    mut next_batch: impl FnMut(usize) -> (Tensor, Vec<usize>),
+    eval_data: Option<(&Tensor, &[usize])>,
+) -> Result<TrainLog> {
+    let mut log = TrainLog::default();
+    if let Some((images, labels)) = eval_data {
+        log.initial_accuracy = Some(evaluate_accuracy(
+            graph,
+            vars,
+            input_name,
+            logits_node,
+            images,
+            labels,
+        )?);
+        log.records.push(TrainRecord {
+            step: 0,
+            loss: f32::NAN,
+            accuracy: log.initial_accuracy,
+        });
+    }
+    for step in 0..cfg.max_steps {
+        let (images, labels) = next_batch(step);
+        let pass = forward(graph, vars, &[(input_name, &images)], Mode::Train)?;
+        let out = ops::softmax_cross_entropy(pass.activation(logits_node), &labels);
+        vars.zero_grads();
+        backward(graph, vars, &pass, &[(logits_node, out.dlogits)])?;
+        let sgd = SgdConfig {
+            learning_rate: cfg
+                .schedule
+                .lr_at(cfg.sgd.learning_rate, step, cfg.max_steps),
+            ..cfg.sgd
+        };
+        vars.sgd_step(&sgd);
+        log.steps_run = step + 1;
+        let should_eval = cfg.eval_every > 0 && (step + 1) % cfg.eval_every == 0;
+        if should_eval {
+            let accuracy = match eval_data {
+                Some((images, labels)) => Some(evaluate_accuracy(
+                    graph,
+                    vars,
+                    input_name,
+                    logits_node,
+                    images,
+                    labels,
+                )?),
+                None => None,
+            };
+            log.records.push(TrainRecord {
+                step: step + 1,
+                loss: out.loss,
+                accuracy,
+            });
+        }
+    }
+    if let Some((images, labels)) = eval_data {
+        let final_acc = evaluate_accuracy(graph, vars, input_name, logits_node, images, labels)?;
+        log.final_accuracy = Some(final_acc);
+        if log.records.last().map(|r| r.step) != Some(cfg.max_steps) {
+            log.records.push(TrainRecord {
+                step: cfg.max_steps,
+                loss: f32::NAN,
+                accuracy: Some(final_acc),
+            });
+        }
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// A linearly separable two-class toy problem: class = sign of the mean.
+    fn toy_batch(step: usize) -> (Tensor, Vec<usize>) {
+        let n = 8;
+        let images = Tensor::from_fn(&[n, 1, 2, 2], |i| {
+            let sample = i / 4;
+            let positive = (sample + step).is_multiple_of(2);
+            if positive {
+                0.8
+            } else {
+                -0.8
+            }
+        });
+        let labels = (0..n).map(|s| usize::from((s + step).is_multiple_of(2))).collect();
+        (images, labels)
+    }
+
+    fn toy_net() -> (Graph, VarStore, NodeId) {
+        let mut b = GraphBuilder::new(21);
+        let x = b.input("data", (1, 2, 2));
+        let c = b.conv2d("c1", x, 4, 1, 1, 0).unwrap();
+        let r = b.relu("r1", c).unwrap();
+        let g = b.global_avg_pool("gap", r).unwrap();
+        let d = b.dense("fc", g, 2).unwrap();
+        let (graph, vars) = b.finish();
+        (graph, vars, d)
+    }
+
+    #[test]
+    fn trainer_learns_separable_problem() {
+        let (graph, mut vars, logits) = toy_net();
+        let (eval_x, eval_y) = toy_batch(0);
+        let cfg = TrainConfig {
+            max_steps: 80,
+            sgd: SgdConfig {
+                learning_rate: 0.1,
+                weight_decay: 0.0,
+                momentum: 0.9,
+            },
+            schedule: LrSchedule::Fixed,
+            eval_every: 20,
+        };
+        let log = train_classifier(
+            &graph,
+            &mut vars,
+            "data",
+            logits,
+            &cfg,
+            toy_batch,
+            Some((&eval_x, &eval_y)),
+        )
+        .unwrap();
+        assert_eq!(log.steps_run, 80);
+        assert!(log.final_accuracy.unwrap() > 0.9, "{log:?}");
+        assert!(log.initial_accuracy.is_some());
+        // Records include the initial and final evaluations.
+        assert_eq!(log.records.first().unwrap().step, 0);
+        assert_eq!(log.records.last().unwrap().step, 80);
+    }
+
+    #[test]
+    fn first_step_reaching_scans_records() {
+        let log = TrainLog {
+            records: vec![
+                TrainRecord {
+                    step: 0,
+                    loss: f32::NAN,
+                    accuracy: Some(0.1),
+                },
+                TrainRecord {
+                    step: 10,
+                    loss: 1.0,
+                    accuracy: Some(0.5),
+                },
+                TrainRecord {
+                    step: 20,
+                    loss: 0.5,
+                    accuracy: Some(0.9),
+                },
+            ],
+            ..TrainLog::default()
+        };
+        assert_eq!(log.first_step_reaching(0.4), Some(10));
+        assert_eq!(log.first_step_reaching(0.95), None);
+    }
+
+    #[test]
+    fn schedules_compute_expected_rates() {
+        let base = 1.0;
+        assert_eq!(LrSchedule::Fixed.lr_at(base, 500, 1000), 1.0);
+        let step = LrSchedule::StepDecay {
+            every: 100,
+            gamma: 0.5,
+        };
+        assert_eq!(step.lr_at(base, 0, 1000), 1.0);
+        assert_eq!(step.lr_at(base, 100, 1000), 0.5);
+        assert_eq!(step.lr_at(base, 250, 1000), 0.25);
+        let cos = LrSchedule::Cosine;
+        assert!((cos.lr_at(base, 0, 1000) - 1.0).abs() < 1e-6);
+        assert!((cos.lr_at(base, 500, 1000) - 0.5).abs() < 1e-6);
+        assert!(cos.lr_at(base, 1000, 1000) < 1e-6);
+        // Monotone non-increasing for cosine.
+        for s in 0..100 {
+            assert!(cos.lr_at(base, s + 1, 100) <= cos.lr_at(base, s, 100) + 1e-7);
+        }
+    }
+
+    #[test]
+    fn cosine_training_still_learns() {
+        let (graph, mut vars, logits) = toy_net();
+        let (eval_x, eval_y) = toy_batch(0);
+        let cfg = TrainConfig {
+            max_steps: 80,
+            sgd: SgdConfig {
+                learning_rate: 0.15,
+                weight_decay: 0.0,
+                momentum: 0.9,
+            },
+            schedule: LrSchedule::Cosine,
+            eval_every: 0,
+        };
+        let log = train_classifier(
+            &graph,
+            &mut vars,
+            "data",
+            logits,
+            &cfg,
+            toy_batch,
+            Some((&eval_x, &eval_y)),
+        )
+        .unwrap();
+        assert!(log.final_accuracy.unwrap() > 0.9, "{log:?}");
+    }
+
+    #[test]
+    fn evaluate_accuracy_counts_matches() {
+        let (graph, mut vars, logits) = toy_net();
+        let (x, y) = toy_batch(0);
+        let acc = evaluate_accuracy(&graph, &mut vars, "data", logits, &x, &y).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

@@ -1,0 +1,304 @@
+//! Named parameter storage — the engine's analogue of TensorFlow variables
+//! and variable scopes.
+
+use std::collections::BTreeMap;
+
+use wootz_tensor::sgd::{SgdConfig, SgdState};
+use wootz_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// One named variable: value, gradient accumulator, trainability flag and
+/// per-parameter optimizer state.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Whether [`crate::sgd_step`] updates this parameter. Frozen teacher
+    /// parameters and BN running statistics are non-trainable.
+    pub trainable: bool,
+    /// Whether weight decay applies (biases, BN affines and running stats
+    /// are excluded, matching TF-Slim conventions).
+    pub decayed: bool,
+    state: SgdState,
+}
+
+/// A map from hierarchical variable names (e.g. `net/module_2/conv1/weight`)
+/// to [`Param`]s. `BTreeMap` keeps iteration deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct VarStore {
+    params: BTreeMap<String, Param>,
+}
+
+impl VarStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        VarStore::default()
+    }
+
+    /// Registers a variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Var`] if the name is already taken.
+    pub fn register(
+        &mut self,
+        name: &str,
+        value: Tensor,
+        trainable: bool,
+        decayed: bool,
+    ) -> Result<()> {
+        if self.params.contains_key(name) {
+            return Err(NnError::Var(format!("variable `{name}` registered twice")));
+        }
+        let grad = Tensor::zeros(value.shape());
+        self.params.insert(
+            name.to_string(),
+            Param {
+                value,
+                grad,
+                trainable,
+                decayed,
+                state: SgdState::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Immutable access to a variable's value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Var`] if the variable does not exist.
+    pub fn value(&self, name: &str) -> Result<&Tensor> {
+        self.params
+            .get(name)
+            .map(|p| &p.value)
+            .ok_or_else(|| NnError::Var(format!("unknown variable `{name}`")))
+    }
+
+    /// Overwrites a variable's value (used when restoring checkpoints and
+    /// when assembling pruned networks from tuning blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Var`] if the variable does not exist or the shape
+    /// differs from the registered shape.
+    pub fn assign(&mut self, name: &str, value: Tensor) -> Result<()> {
+        let p = self
+            .params
+            .get_mut(name)
+            .ok_or_else(|| NnError::Var(format!("unknown variable `{name}`")))?;
+        if p.value.shape() != value.shape() {
+            return Err(NnError::Var(format!(
+                "assign to `{name}`: shape {:?} != registered {:?}",
+                value.shape(),
+                p.value.shape()
+            )));
+        }
+        p.grad = Tensor::zeros(value.shape());
+        p.value = value;
+        Ok(())
+    }
+
+    /// Accumulates `grad` into a variable's gradient buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Var`] on unknown names; shape mismatches surface
+    /// as [`NnError::Shape`].
+    pub fn accumulate_grad(&mut self, name: &str, grad: &Tensor) -> Result<()> {
+        let p = self
+            .params
+            .get_mut(name)
+            .ok_or_else(|| NnError::Var(format!("unknown variable `{name}`")))?;
+        p.grad.axpy(1.0, grad)?;
+        Ok(())
+    }
+
+    /// Mutable access to a full [`Param`] — exposed for tests and tools
+    /// that inspect or edit gradients directly.
+    pub fn param_mut(&mut self, name: &str) -> Result<&mut Param> {
+        self.params
+            .get_mut(name)
+            .ok_or_else(|| NnError::Var(format!("unknown variable `{name}`")))
+    }
+
+    /// Whether a variable with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.params.contains_key(name)
+    }
+
+    /// Iterates over `(name, param)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Param)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Names of all variables, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.params.keys().cloned().collect()
+    }
+
+    /// Sets the trainability of every variable whose name starts with
+    /// `prefix`; returns how many were affected. This is how the Wootz
+    /// pre-training phase freezes the teacher network.
+    pub fn set_trainable_by_prefix(&mut self, prefix: &str, trainable: bool) -> usize {
+        let mut n = 0;
+        for (name, p) in self.params.iter_mut() {
+            if name.starts_with(prefix) {
+                p.trainable = trainable;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Zeroes every gradient buffer.
+    pub fn zero_grads(&mut self) {
+        for p in self.params.values_mut() {
+            p.grad.fill_zero();
+        }
+    }
+
+    /// Applies one SGD step to every trainable parameter.
+    pub fn sgd_step(&mut self, cfg: &SgdConfig) {
+        for p in self.params.values_mut() {
+            if !p.trainable {
+                continue;
+            }
+            let eff = if p.decayed {
+                *cfg
+            } else {
+                SgdConfig {
+                    weight_decay: 0.0,
+                    ..*cfg
+                }
+            };
+            // Split borrows: state vs value.
+            let grad = p.grad.clone();
+            p.state.step(&eff, &mut p.value, &grad);
+        }
+    }
+
+    /// Total number of parameter scalars whose names start with `prefix`
+    /// (the paper's "model size" metric counts weights).
+    pub fn num_scalars_with_prefix(&self, prefix: &str) -> usize {
+        self.params
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, p)| p.value.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_read_back() {
+        let mut vs = VarStore::new();
+        vs.register("a/w", Tensor::ones(&[2, 2]), true, true)
+            .unwrap();
+        assert_eq!(vs.value("a/w").unwrap().sum(), 4.0);
+        assert!(vs.contains("a/w"));
+        assert!(!vs.contains("a/b"));
+        assert!(vs.register("a/w", Tensor::zeros(&[1]), true, true).is_err());
+    }
+
+    #[test]
+    fn assign_validates_shape() {
+        let mut vs = VarStore::new();
+        vs.register("w", Tensor::zeros(&[2]), true, true).unwrap();
+        assert!(vs.assign("w", Tensor::ones(&[3])).is_err());
+        vs.assign("w", Tensor::ones(&[2])).unwrap();
+        assert_eq!(vs.value("w").unwrap().sum(), 2.0);
+        assert!(vs.assign("missing", Tensor::zeros(&[1])).is_err());
+    }
+
+    #[test]
+    fn grads_accumulate_and_zero() {
+        let mut vs = VarStore::new();
+        vs.register("w", Tensor::zeros(&[2]), true, true).unwrap();
+        let g = Tensor::ones(&[2]);
+        vs.accumulate_grad("w", &g).unwrap();
+        vs.accumulate_grad("w", &g).unwrap();
+        assert_eq!(vs.param_mut("w").unwrap().grad.sum(), 4.0);
+        vs.zero_grads();
+        assert_eq!(vs.param_mut("w").unwrap().grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn sgd_skips_frozen_params() {
+        let mut vs = VarStore::new();
+        vs.register("train/w", Tensor::ones(&[1]), true, true)
+            .unwrap();
+        vs.register("frozen/w", Tensor::ones(&[1]), false, true)
+            .unwrap();
+        let g = Tensor::ones(&[1]);
+        vs.accumulate_grad("train/w", &g).unwrap();
+        vs.accumulate_grad("frozen/w", &g).unwrap();
+        vs.sgd_step(&SgdConfig {
+            learning_rate: 0.5,
+            weight_decay: 0.0,
+            momentum: 0.0,
+        });
+        assert_eq!(vs.value("train/w").unwrap().data()[0], 0.5);
+        assert_eq!(vs.value("frozen/w").unwrap().data()[0], 1.0);
+    }
+
+    #[test]
+    fn undecayed_params_skip_weight_decay() {
+        let mut vs = VarStore::new();
+        vs.register("w", Tensor::ones(&[1]), true, true).unwrap();
+        vs.register("b", Tensor::ones(&[1]), true, false).unwrap();
+        vs.sgd_step(&SgdConfig {
+            learning_rate: 1.0,
+            weight_decay: 0.1,
+            momentum: 0.0,
+        });
+        assert!((vs.value("w").unwrap().data()[0] - 0.9).abs() < 1e-6);
+        assert_eq!(vs.value("b").unwrap().data()[0], 1.0);
+    }
+
+    #[test]
+    fn trainability_toggles_by_prefix() {
+        let mut vs = VarStore::new();
+        vs.register("teacher/c1/w", Tensor::zeros(&[1]), true, true)
+            .unwrap();
+        vs.register("teacher/c2/w", Tensor::zeros(&[1]), true, true)
+            .unwrap();
+        vs.register("student/c1/w", Tensor::zeros(&[1]), true, true)
+            .unwrap();
+        assert_eq!(vs.set_trainable_by_prefix("teacher/", false), 2);
+        assert!(
+            !vs.iter()
+                .find(|(n, _)| *n == "teacher/c1/w")
+                .unwrap()
+                .1
+                .trainable
+        );
+        assert!(
+            vs.iter()
+                .find(|(n, _)| *n == "student/c1/w")
+                .unwrap()
+                .1
+                .trainable
+        );
+    }
+
+    #[test]
+    fn scalar_counting_by_prefix() {
+        let mut vs = VarStore::new();
+        vs.register("net/a/w", Tensor::zeros(&[2, 3]), true, true)
+            .unwrap();
+        vs.register("net/b/w", Tensor::zeros(&[4]), true, true)
+            .unwrap();
+        vs.register("other/w", Tensor::zeros(&[100]), true, true)
+            .unwrap();
+        assert_eq!(vs.num_scalars_with_prefix("net/"), 10);
+        assert_eq!(vs.num_scalars_with_prefix(""), 110);
+    }
+}

@@ -1,0 +1,538 @@
+//! The incremental Sequitur engine: doubly linked symbol lists in an arena,
+//! a digram hash index, and the digram-uniqueness / rule-utility repair
+//! actions, closely following the reference implementation structure
+//! (guard nodes, `check`/`match`/`substitute`/`expand`).
+
+use std::collections::HashMap;
+
+use crate::grammar::{Grammar, GrammarRule, GrammarSymbol};
+
+/// The value a (non-guard) symbol node carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    /// A terminal token.
+    Terminal(u64),
+    /// A reference to a rule (nonterminal), by internal rule index.
+    Rule(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeValue {
+    /// Rule guard; stores its rule's internal index. `guard.next` is the
+    /// rule's first symbol and `guard.prev` its last.
+    Guard(usize),
+    /// An ordinary symbol.
+    Sym(Key),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: NodeValue,
+    prev: usize,
+    next: usize,
+    alive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct RuleData {
+    guard: usize,
+    uses: usize,
+    alive: bool,
+}
+
+/// Incremental Sequitur grammar inference over `u64` terminals.
+///
+/// Feed terminals with [`Sequitur::push`]; read the inferred grammar with
+/// [`Sequitur::grammar`]. The two Sequitur invariants hold after every
+/// `push`, which the property tests exercise.
+#[derive(Debug, Clone, Default)]
+pub struct Sequitur {
+    nodes: Vec<Node>,
+    rules: Vec<RuleData>,
+    digrams: HashMap<(Key, Key), usize>,
+}
+
+impl Sequitur {
+    /// Creates an engine with an empty start rule.
+    pub fn new() -> Self {
+        let mut s = Sequitur {
+            nodes: Vec::new(),
+            rules: Vec::new(),
+            digrams: HashMap::new(),
+        };
+        s.new_rule();
+        s
+    }
+
+    /// Appends one terminal to the input sequence, restoring both
+    /// invariants before returning.
+    pub fn push(&mut self, terminal: u64) {
+        let guard = self.rules[0].guard;
+        let last = self.nodes[guard].prev;
+        let node = self.new_node(NodeValue::Sym(Key::Terminal(terminal)));
+        self.insert_after(last, node);
+        let prev = self.nodes[node].prev;
+        if prev != guard {
+            self.check(prev);
+        }
+    }
+
+    /// Extends the sequence with many terminals.
+    pub fn extend(&mut self, terminals: impl IntoIterator<Item = u64>) {
+        for t in terminals {
+            self.push(t);
+        }
+    }
+
+    /// Extracts the inferred grammar. Rule IDs are renumbered contiguously
+    /// with the start rule as ID 0.
+    pub fn grammar(&self) -> Grammar {
+        // Map internal rule indices of alive rules to contiguous ids.
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        let mut order: Vec<usize> = Vec::new();
+        for (i, r) in self.rules.iter().enumerate() {
+            if r.alive {
+                remap.insert(i, order.len());
+                order.push(i);
+            }
+        }
+        let mut rules = Vec::with_capacity(order.len());
+        for &internal in &order {
+            let mut body = Vec::new();
+            let guard = self.rules[internal].guard;
+            let mut cur = self.nodes[guard].next;
+            while cur != guard {
+                match self.nodes[cur].value {
+                    NodeValue::Sym(Key::Terminal(t)) => body.push(GrammarSymbol::Terminal(t)),
+                    NodeValue::Sym(Key::Rule(r)) => body.push(GrammarSymbol::Rule(remap[&r])),
+                    NodeValue::Guard(_) => unreachable!("guard inside rule body"),
+                }
+                cur = self.nodes[cur].next;
+            }
+            rules.push(GrammarRule {
+                id: remap[&internal],
+                body,
+            });
+        }
+        Grammar::from_rules(rules)
+    }
+
+    // ----- arena plumbing -------------------------------------------------
+
+    fn new_rule(&mut self) -> usize {
+        let rule_idx = self.rules.len();
+        let guard = self.nodes.len();
+        self.nodes.push(Node {
+            value: NodeValue::Guard(rule_idx),
+            prev: guard,
+            next: guard,
+            alive: true,
+        });
+        self.rules.push(RuleData {
+            guard,
+            uses: 0,
+            alive: true,
+        });
+        rule_idx
+    }
+
+    fn new_node(&mut self, value: NodeValue) -> usize {
+        if let NodeValue::Sym(Key::Rule(r)) = value {
+            self.rules[r].uses += 1;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            value,
+            prev: idx,
+            next: idx,
+            alive: true,
+        });
+        idx
+    }
+
+    fn is_guard(&self, i: usize) -> bool {
+        matches!(self.nodes[i].value, NodeValue::Guard(_))
+    }
+
+    fn key(&self, i: usize) -> Option<Key> {
+        match self.nodes[i].value {
+            NodeValue::Sym(k) => Some(k),
+            NodeValue::Guard(_) => None,
+        }
+    }
+
+    fn digram_at(&self, i: usize) -> Option<(Key, Key)> {
+        let a = self.key(i)?;
+        let b = self.key(self.nodes[i].next)?;
+        Some((a, b))
+    }
+
+    /// Removes the digram starting at `i` from the index if `i` is its
+    /// canonical occurrence.
+    fn delete_digram(&mut self, i: usize) {
+        if let Some(d) = self.digram_at(i) {
+            if self.digrams.get(&d) == Some(&i) {
+                self.digrams.remove(&d);
+            }
+        }
+    }
+
+    /// Links `left` and `right`, maintaining the digram index (including
+    /// the classic triple fix for runs like `aaa`).
+    fn join(&mut self, left: usize, right: usize) {
+        if self.nodes[left].next != left {
+            self.delete_digram(left);
+
+            // Triple fix: re-index digrams that remain valid around runs of
+            // identical symbols.
+            let rp = self.nodes[right].prev;
+            let rn = self.nodes[right].next;
+            if rp != right
+                && rn != right
+                && self.key(right).is_some()
+                && self.key(right) == self.key(rp)
+                && self.key(right) == self.key(rn)
+            {
+                if let Some(d) = self.digram_at(right) {
+                    self.digrams.insert(d, right);
+                }
+            }
+            let lp = self.nodes[left].prev;
+            let ln = self.nodes[left].next;
+            if lp != left
+                && ln != left
+                && self.key(left).is_some()
+                && self.key(left) == self.key(ln)
+                && self.key(left) == self.key(lp)
+            {
+                if let Some(d) = self.digram_at(lp) {
+                    self.digrams.insert(d, lp);
+                }
+            }
+        }
+        self.nodes[left].next = right;
+        self.nodes[right].prev = left;
+    }
+
+    fn insert_after(&mut self, y: usize, node: usize) {
+        let y_next = self.nodes[y].next;
+        self.join(node, y_next);
+        self.join(y, node);
+    }
+
+    /// Unlinks a symbol node, maintaining the index and rule use counts.
+    fn remove(&mut self, i: usize) {
+        let prev = self.nodes[i].prev;
+        let next = self.nodes[i].next;
+        self.join(prev, next);
+        self.delete_digram(i);
+        if let NodeValue::Sym(Key::Rule(r)) = self.nodes[i].value {
+            self.rules[r].uses -= 1;
+        }
+        self.nodes[i].alive = false;
+    }
+
+    /// Checks the digram starting at `i`; returns `true` when a repair was
+    /// performed.
+    fn check(&mut self, i: usize) -> bool {
+        if self.is_guard(i) || self.is_guard(self.nodes[i].next) {
+            return false;
+        }
+        let d = self.digram_at(i).expect("both symbols are non-guard");
+        match self.digrams.get(&d).copied() {
+            None => {
+                self.digrams.insert(d, i);
+                false
+            }
+            Some(m) if m == i => false,
+            Some(m) => {
+                // Skip overlapping occurrences (e.g. in `aaa`).
+                if self.nodes[m].next == i || self.nodes[i].next == m {
+                    return false;
+                }
+                self.handle_match(i, m);
+                true
+            }
+        }
+    }
+
+    /// Handles a repeated digram: either reuses an existing length-2 rule
+    /// or creates a new rule for the digram.
+    fn handle_match(&mut self, ss: usize, m: usize) {
+        let m_prev = self.nodes[m].prev;
+        let m_next = self.nodes[m].next;
+        let rule = if self.is_guard(m_prev) && self.is_guard(self.nodes[m_next].next) {
+            // `m` spans a whole (length-2) rule: reuse it.
+            let NodeValue::Guard(r) = self.nodes[m_prev].value else {
+                unreachable!()
+            };
+            self.substitute(ss, r);
+            r
+        } else {
+            // Create a new rule from the digram.
+            let r = self.new_rule();
+            let (a, b) = self.digram_at(ss).expect("digram exists");
+            let guard = self.rules[r].guard;
+            let n1 = self.new_node(NodeValue::Sym(a));
+            self.insert_after(guard, n1);
+            let n2 = self.new_node(NodeValue::Sym(b));
+            self.insert_after(n1, n2);
+            self.substitute(m, r);
+            self.substitute(ss, r);
+            self.digrams.insert((a, b), self.nodes[guard].next);
+            r
+        };
+        // Rule utility: if the rule's first symbol is a rule used once,
+        // inline it.
+        let first = self.nodes[self.rules[rule].guard].next;
+        if let Some(Key::Rule(inner)) = self.key(first) {
+            if self.rules[inner].uses == 1 {
+                self.expand(first);
+            }
+        }
+    }
+
+    /// Replaces the digram starting at `i` with a reference to `rule`.
+    fn substitute(&mut self, i: usize, rule: usize) {
+        let q = self.nodes[i].prev;
+        let second = self.nodes[i].next;
+        self.remove(i);
+        self.remove(second);
+        let node = self.new_node(NodeValue::Sym(Key::Rule(rule)));
+        self.insert_after(q, node);
+        if !self.check(q) {
+            let qn = self.nodes[q].next;
+            self.check(qn);
+        }
+    }
+
+    /// Inlines the once-used rule referenced by symbol `i` into its
+    /// context, deleting the rule.
+    fn expand(&mut self, i: usize) {
+        let NodeValue::Sym(Key::Rule(r)) = self.nodes[i].value else {
+            unreachable!("expand called on a terminal");
+        };
+        let left = self.nodes[i].prev;
+        let right = self.nodes[i].next;
+        let guard = self.rules[r].guard;
+        let first = self.nodes[guard].next;
+        let last = self.nodes[guard].prev;
+
+        // Remove the digram starting at `i` from the index, then unlink `i`
+        // without digram maintenance (its neighbors are about to be
+        // re-joined to the rule body).
+        self.delete_digram(i);
+        self.rules[r].uses -= 1;
+        self.nodes[i].alive = false;
+
+        self.join(left, first);
+        self.join(last, right);
+        if let Some(d) = self.digram_at(last) {
+            self.digrams.insert(d, last);
+        }
+        self.rules[r].alive = false;
+        self.nodes[guard].alive = false;
+    }
+
+    // ----- invariant checkers (used by tests) -----------------------------
+
+    /// Verifies digram uniqueness over the current grammar: every
+    /// non-overlapping adjacent pair occurs at most once across all rule
+    /// bodies.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant. Intended for
+    /// tests and debugging.
+    pub fn assert_digram_uniqueness(&self) {
+        let mut seen: HashMap<(Key, Key), usize> = HashMap::new();
+        for rule in &self.rules {
+            if !rule.alive {
+                continue;
+            }
+            let guard = rule.guard;
+            let mut cur = self.nodes[guard].next;
+            while cur != guard {
+                let next = self.nodes[cur].next;
+                if next != guard {
+                    let d = self.digram_at(cur).expect("non-guard digram");
+                    if let Some(&prev_pos) = seen.get(&d) {
+                        // Overlapping repeats (e.g. aaa) are permitted.
+                        let overlaps = self.nodes[prev_pos].next == cur;
+                        assert!(
+                            overlaps,
+                            "digram {d:?} appears twice without overlap (nodes {prev_pos} and {cur})"
+                        );
+                    }
+                    seen.insert(d, cur);
+                }
+                cur = next;
+            }
+        }
+    }
+
+    /// Verifies rule utility: every rule except the start rule is
+    /// referenced at least twice, and stored use counts match actual
+    /// references.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant. Intended for
+    /// tests and debugging.
+    pub fn assert_rule_utility(&self) {
+        let mut counted: HashMap<usize, usize> = HashMap::new();
+        for rule in &self.rules {
+            if !rule.alive {
+                continue;
+            }
+            let guard = rule.guard;
+            let mut cur = self.nodes[guard].next;
+            while cur != guard {
+                if let Some(Key::Rule(r)) = self.key(cur) {
+                    *counted.entry(r).or_insert(0) += 1;
+                }
+                cur = self.nodes[cur].next;
+            }
+        }
+        for (i, rule) in self.rules.iter().enumerate() {
+            if !rule.alive || i == 0 {
+                continue;
+            }
+            let actual = counted.get(&i).copied().unwrap_or(0);
+            assert_eq!(
+                rule.uses, actual,
+                "rule {i}: stored uses != actual references"
+            );
+            assert!(actual >= 2, "rule {i} used only {actual} time(s)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grammar_of(input: &[u64]) -> Grammar {
+        let mut s = Sequitur::new();
+        s.extend(input.iter().copied());
+        s.assert_digram_uniqueness();
+        s.assert_rule_utility();
+        s.grammar()
+    }
+
+    #[test]
+    fn empty_and_single_symbol() {
+        assert_eq!(grammar_of(&[]).expand_rule(0), Vec::<u64>::new());
+        assert_eq!(grammar_of(&[5]).expand_rule(0), vec![5]);
+        assert_eq!(grammar_of(&[5]).rules().len(), 1);
+    }
+
+    #[test]
+    fn no_repeats_no_rules() {
+        let g = grammar_of(&[1, 2, 3, 4, 5]);
+        assert_eq!(g.rules().len(), 1);
+        assert_eq!(g.expand_rule(0), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn abab_creates_one_rule() {
+        let g = grammar_of(&[1, 2, 1, 2]);
+        assert_eq!(g.rules().len(), 2);
+        assert_eq!(g.expand_rule(0), vec![1, 2, 1, 2]);
+        // Start rule should be two references to the same rule.
+        let body = &g.rules()[0].body;
+        assert_eq!(body.len(), 2);
+        assert_eq!(body[0], body[1]);
+        assert!(matches!(body[0], GrammarSymbol::Rule(_)));
+    }
+
+    #[test]
+    fn classic_abcdbc_example() {
+        // From the Sequitur paper: "abcdbc" -> S: a A d A ; A: b c
+        let g = grammar_of(&[1, 2, 3, 4, 2, 3]);
+        assert_eq!(g.expand_rule(0), vec![1, 2, 3, 4, 2, 3]);
+        assert_eq!(g.rules().len(), 2);
+        let a = &g.rules()[1];
+        assert_eq!(
+            a.body,
+            vec![GrammarSymbol::Terminal(2), GrammarSymbol::Terminal(3)]
+        );
+    }
+
+    #[test]
+    fn hierarchy_forms_for_nested_repeats() {
+        // "abcabcabcabc": expect hierarchical rules (rule utility keeps
+        // them all used >= 2).
+        let input: Vec<u64> = [1u64, 2, 3].repeat(4);
+        let g = grammar_of(&input);
+        assert_eq!(g.expand_rule(0), input);
+        assert!(g.rules().len() >= 2, "grammar: {g:?}");
+    }
+
+    #[test]
+    fn runs_of_identical_symbols() {
+        for n in 2..12 {
+            let input = vec![7u64; n];
+            let g = grammar_of(&input);
+            assert_eq!(g.expand_rule(0), input, "n={n}");
+        }
+    }
+
+    #[test]
+    fn alternating_long_sequence_round_trips() {
+        let input: Vec<u64> = (0..200).map(|i| (i % 2) as u64).collect();
+        let g = grammar_of(&input);
+        assert_eq!(g.expand_rule(0), input);
+    }
+
+    #[test]
+    fn paper_figure4_style_input() {
+        // Four pruned networks (5 modules each at various rates) separated
+        // by unique end markers, as in Figure 4 of the Wootz paper.
+        // Terminal encoding: module * 10 + rate_code; markers >= 1000.
+        let nets: [[u64; 5]; 4] = [
+            [13, 23, 33, 45, 55], // 1(.3) 2(.3) 3(.3) 4(.5) 5(.5)
+            [13, 23, 35, 45, 55],
+            [15, 23, 33, 45, 55],
+            [10, 23, 35, 45, 55],
+        ];
+        let mut input = Vec::new();
+        for (i, net) in nets.iter().enumerate() {
+            input.extend_from_slice(net);
+            input.push(1000 + i as u64);
+        }
+        let g = grammar_of(&input);
+        assert_eq!(g.expand_rule(0), input);
+        // The shared suffix "45 55" appears in all four networks, so some
+        // rule must expand to it.
+        let has_45_55 = (0..g.rules().len()).any(|r| g.expand_rule(r) == vec![45, 55]);
+        assert!(
+            has_45_55,
+            "expected a rule for the shared 4(.5) 5(.5) pair: {g:?}"
+        );
+    }
+
+    #[test]
+    fn long_random_sequence_round_trips() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let input: Vec<u64> = (0..3000).map(|_| rng.gen_range(0..8)).collect();
+        let mut s = Sequitur::new();
+        s.extend(input.iter().copied());
+        s.assert_digram_uniqueness();
+        s.assert_rule_utility();
+        assert_eq!(s.grammar().expand_rule(0), input);
+    }
+
+    #[test]
+    fn grammar_is_smaller_than_repetitive_input() {
+        let input: Vec<u64> = [1u64, 2, 3, 4, 5, 6, 7, 8].repeat(32);
+        let g = grammar_of(&input);
+        let grammar_size: usize = g.rules().iter().map(|r| r.body.len()).sum();
+        assert!(
+            grammar_size < input.len() / 4,
+            "grammar size {grammar_size} vs input {}",
+            input.len()
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! The context-free grammar Sequitur infers, plus the derived quantities the
+//! Wootz tuning-block identifier consumes: full expansions, appearance
+//! frequencies, and the rule DAG.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One symbol in a rule body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GrammarSymbol {
+    /// A terminal token of the original sequence.
+    Terminal(u64),
+    /// A reference to another rule by ID.
+    Rule(usize),
+}
+
+/// One grammar rule: `id -> body`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrammarRule {
+    /// Rule ID; `0` is the start rule.
+    pub id: usize,
+    /// Right-hand side.
+    pub body: Vec<GrammarSymbol>,
+}
+
+/// A context-free grammar with rule `0` as the start rule.
+///
+/// Besides storage, this type provides the analyses §5 of the Wootz paper
+/// uses: [`Grammar::expand_rule`] (a rule's terminal yield),
+/// [`Grammar::frequencies`] (how often each rule appears in the full
+/// derivation of the input — a rule's "appearing frequency" in the promising
+/// subspace), and [`Grammar::children`] (the rule DAG edges, deduplicated).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grammar {
+    rules: Vec<GrammarRule>,
+}
+
+impl Grammar {
+    /// Builds a grammar from rules. Rule `i` must have `id == i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rule IDs are not contiguous from zero or a body
+    /// references a missing rule — grammars are produced by the Sequitur
+    /// engine, so violations are internal bugs.
+    pub fn from_rules(rules: Vec<GrammarRule>) -> Self {
+        for (i, r) in rules.iter().enumerate() {
+            assert_eq!(r.id, i, "rule ids must be contiguous");
+            for sym in &r.body {
+                if let GrammarSymbol::Rule(rid) = sym {
+                    assert!(*rid < rules.len(), "rule {i} references missing rule {rid}");
+                }
+            }
+        }
+        Grammar { rules }
+    }
+
+    /// All rules, indexed by ID.
+    pub fn rules(&self) -> &[GrammarRule] {
+        &self.rules
+    }
+
+    /// The terminal string a rule derives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn expand_rule(&self, id: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.expand_into(id, &mut out);
+        out
+    }
+
+    fn expand_into(&self, id: usize, out: &mut Vec<u64>) {
+        for sym in &self.rules[id].body {
+            match sym {
+                GrammarSymbol::Terminal(t) => out.push(*t),
+                GrammarSymbol::Rule(r) => self.expand_into(*r, out),
+            }
+        }
+    }
+
+    /// The number of terminals each rule derives.
+    pub fn expansion_lengths(&self) -> Vec<usize> {
+        // Process in an order where children are resolved first; Sequitur
+        // rule references can point in either ID direction, so memoize.
+        fn len_of(g: &Grammar, id: usize, memo: &mut Vec<Option<usize>>) -> usize {
+            if let Some(l) = memo[id] {
+                return l;
+            }
+            let l = g.rules[id]
+                .body
+                .iter()
+                .map(|s| match s {
+                    GrammarSymbol::Terminal(_) => 1,
+                    GrammarSymbol::Rule(r) => len_of(g, *r, memo),
+                })
+                .sum();
+            memo[id] = Some(l);
+            l
+        }
+        let mut memo = vec![None; self.rules.len()];
+        (0..self.rules.len())
+            .map(|i| len_of(self, i, &mut memo))
+            .collect()
+    }
+
+    /// How many times each rule appears in the full derivation of the
+    /// input: `freq(0) = 1`, and every occurrence of rule `r` inside rule
+    /// `p`'s body contributes `freq(p)`.
+    ///
+    /// This is the "appearing frequency" §5 of the paper uses to decide
+    /// which rules become tuning blocks (a frequency of 1 means the
+    /// sequence occurs in only one place, hence benefits only one network).
+    #[allow(clippy::only_used_in_recursion)]
+    pub fn frequencies(&self) -> Vec<usize> {
+        fn freq_of(
+            g: &Grammar,
+            id: usize,
+            parents: &HashMap<usize, Vec<(usize, usize)>>,
+            memo: &mut Vec<Option<usize>>,
+        ) -> usize {
+            if let Some(f) = memo[id] {
+                return f;
+            }
+            // Mark as in-progress with 0 to guard against (impossible)
+            // cycles.
+            memo[id] = Some(0);
+            let f = if id == 0 {
+                1
+            } else {
+                parents
+                    .get(&id)
+                    .map(|ps| {
+                        ps.iter()
+                            .map(|(p, count)| count * freq_of(g, *p, parents, memo))
+                            .sum()
+                    })
+                    .unwrap_or(0)
+            };
+            memo[id] = Some(f);
+            f
+        }
+        // parent -> (child -> multiplicity), inverted.
+        let mut parents: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+        for rule in &self.rules {
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for sym in &rule.body {
+                if let GrammarSymbol::Rule(r) = sym {
+                    *counts.entry(*r).or_insert(0) += 1;
+                }
+            }
+            for (child, count) in counts {
+                parents.entry(child).or_default().push((rule.id, count));
+            }
+        }
+        let mut memo = vec![None; self.rules.len()];
+        (0..self.rules.len())
+            .map(|i| freq_of(self, i, &parents, &mut memo))
+            .collect()
+    }
+
+    /// The distinct child rules of each rule (the DAG edges after the
+    /// paper's "all edges between two nodes on the DAG are combined into
+    /// one edge" step).
+    pub fn children(&self, id: usize) -> Vec<usize> {
+        let mut seen = Vec::new();
+        for sym in &self.rules[id].body {
+            if let GrammarSymbol::Rule(r) = sym {
+                if !seen.contains(r) {
+                    seen.push(*r);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Renders the grammar like Figure 4 of the paper: one line per rule,
+    /// `r0 -> ...` with terminals printed via `fmt_terminal`.
+    pub fn render(&self, fmt_terminal: impl Fn(u64) -> String) -> String {
+        let freqs = self.frequencies();
+        let mut out = String::new();
+        for rule in &self.rules {
+            out.push_str(&format!("freq={:<3} r{} ->", freqs[rule.id], rule.id));
+            for sym in &rule.body {
+                match sym {
+                    GrammarSymbol::Terminal(t) => {
+                        out.push(' ');
+                        out.push_str(&fmt_terminal(*t));
+                    }
+                    GrammarSymbol::Rule(r) => out.push_str(&format!(" r{r}")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// S -> A A ; A -> B B x ; B -> y z
+    fn nested() -> Grammar {
+        Grammar::from_rules(vec![
+            GrammarRule {
+                id: 0,
+                body: vec![GrammarSymbol::Rule(1), GrammarSymbol::Rule(1)],
+            },
+            GrammarRule {
+                id: 1,
+                body: vec![
+                    GrammarSymbol::Rule(2),
+                    GrammarSymbol::Rule(2),
+                    GrammarSymbol::Terminal(10),
+                ],
+            },
+            GrammarRule {
+                id: 2,
+                body: vec![GrammarSymbol::Terminal(20), GrammarSymbol::Terminal(30)],
+            },
+        ])
+    }
+
+    #[test]
+    fn expansion_is_recursive() {
+        let g = nested();
+        assert_eq!(g.expand_rule(2), vec![20, 30]);
+        assert_eq!(g.expand_rule(1), vec![20, 30, 20, 30, 10]);
+        assert_eq!(g.expand_rule(0).len(), 10);
+    }
+
+    #[test]
+    fn expansion_lengths_match_expansions() {
+        let g = nested();
+        let lens = g.expansion_lengths();
+        for (i, &l) in lens.iter().enumerate() {
+            assert_eq!(l, g.expand_rule(i).len());
+        }
+    }
+
+    #[test]
+    fn frequencies_multiply_through_the_dag() {
+        let g = nested();
+        let f = g.frequencies();
+        assert_eq!(f, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn children_deduplicate() {
+        let g = nested();
+        assert_eq!(g.children(0), vec![1]);
+        assert_eq!(g.children(1), vec![2]);
+        assert!(g.children(2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn noncontiguous_ids_rejected() {
+        Grammar::from_rules(vec![GrammarRule {
+            id: 3,
+            body: vec![],
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing rule")]
+    fn dangling_reference_rejected() {
+        Grammar::from_rules(vec![GrammarRule {
+            id: 0,
+            body: vec![GrammarSymbol::Rule(9)],
+        }]);
+    }
+
+    #[test]
+    fn render_lists_rules_with_frequencies() {
+        let g = nested();
+        let text = g.render(|t| format!("t{t}"));
+        assert!(text.contains("r0 -> r1 r1"), "{text}");
+        assert!(text.contains("t20 t30"), "{text}");
+        assert!(text.contains("freq=4"), "{text}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # wootz-sequitur
+//!
+//! A faithful implementation of **Sequitur** (Nevill-Manning & Witten 1997),
+//! the linear-time hierarchical compression algorithm the Wootz paper's
+//! hierarchical tuning-block identifier is built on (§5 of the paper).
+//!
+//! Sequitur infers a context-free grammar from a sequence of discrete
+//! symbols while maintaining two invariants:
+//!
+//! * **digram uniqueness** — no pair of adjacent symbols appears more than
+//!   once (non-overlapping) in the grammar;
+//! * **rule utility** — every rule other than the start rule is used at
+//!   least twice.
+//!
+//! Wootz concatenates the layer sequences of all pruned networks in the
+//! promising subspace (with unique end-markers between networks) and feeds
+//! them to Sequitur; repeated subsequences of pruned layers become grammar
+//! rules, which are candidate tuning blocks (Figure 4 of the paper).
+//!
+//! ```
+//! use wootz_sequitur::Sequitur;
+//!
+//! let mut s = Sequitur::new();
+//! for t in [1u64, 2, 3, 1, 2, 3] {
+//!     s.push(t);
+//! }
+//! let grammar = s.grammar();
+//! // "1 2 3" repeats, so a rule covering it exists and the start rule is
+//! // two references to it.
+//! assert_eq!(grammar.rules().len(), 2);
+//! assert_eq!(grammar.expand_rule(0), vec![1, 2, 3, 1, 2, 3]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod grammar;
+
+pub use engine::Sequitur;
+pub use grammar::{Grammar, GrammarRule, GrammarSymbol};

@@ -1,0 +1,113 @@
+//! Property-based tests of the Sequitur invariants: for arbitrary inputs,
+//! the inferred grammar must (1) derive exactly the input, (2) satisfy
+//! digram uniqueness, (3) satisfy rule utility, and (4) never blow up in
+//! size relative to the input.
+
+use proptest::prelude::*;
+use wootz_sequitur::{Grammar, GrammarSymbol, Sequitur};
+
+fn build(input: &[u64]) -> (Sequitur, Grammar) {
+    let mut s = Sequitur::new();
+    s.extend(input.iter().copied());
+    let g = s.grammar();
+    (s, g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Expansion of the start rule reproduces the input exactly.
+    #[test]
+    fn round_trip_small_alphabet(input in prop::collection::vec(0u64..4, 0..400)) {
+        let (_, g) = build(&input);
+        prop_assert_eq!(g.expand_rule(0), input);
+    }
+
+    #[test]
+    fn round_trip_large_alphabet(input in prop::collection::vec(0u64..1000, 0..200)) {
+        let (_, g) = build(&input);
+        prop_assert_eq!(g.expand_rule(0), input);
+    }
+
+    /// Both Sequitur invariants hold after every complete build.
+    #[test]
+    fn invariants_hold(input in prop::collection::vec(0u64..6, 0..300)) {
+        let (s, _) = build(&input);
+        s.assert_digram_uniqueness();
+        s.assert_rule_utility();
+    }
+
+    /// Invariants also hold at every prefix (the algorithm is incremental).
+    #[test]
+    fn invariants_hold_incrementally(input in prop::collection::vec(0u64..3, 0..80)) {
+        let mut s = Sequitur::new();
+        for &t in &input {
+            s.push(t);
+            s.assert_digram_uniqueness();
+            s.assert_rule_utility();
+        }
+    }
+
+    /// Every non-start rule derives at least two terminals and is referenced
+    /// at least twice, so the grammar never exceeds the input in total size.
+    #[test]
+    fn grammar_total_size_bounded(input in prop::collection::vec(0u64..5, 2..300)) {
+        let (_, g) = build(&input);
+        let total: usize = g.rules().iter().map(|r| r.body.len()).sum();
+        prop_assert!(total <= input.len() + 1, "grammar total {total} > input {}", input.len());
+        for rule in &g.rules()[1..] {
+            prop_assert!(rule.body.len() >= 2, "rule {} too short", rule.id);
+        }
+    }
+
+    /// Frequencies are consistent: expanding the start rule counts each
+    /// rule exactly `freq` times.
+    #[test]
+    fn frequencies_match_explicit_count(input in prop::collection::vec(0u64..4, 0..200)) {
+        let (_, g) = build(&input);
+        let freqs = g.frequencies();
+        // Count references by walking the derivation explicitly.
+        fn count(g: &Grammar, id: usize, counts: &mut Vec<usize>) {
+            counts[id] += 1;
+            for sym in &g.rules()[id].body {
+                if let GrammarSymbol::Rule(r) = sym {
+                    count(g, *r, counts);
+                }
+            }
+        }
+        let mut counts = vec![0usize; g.rules().len()];
+        count(&g, 0, &mut counts);
+        prop_assert_eq!(freqs, counts);
+    }
+
+    /// Lengths reported by `expansion_lengths` agree with real expansions.
+    #[test]
+    fn lengths_agree(input in prop::collection::vec(0u64..4, 0..200)) {
+        let (_, g) = build(&input);
+        let lens = g.expansion_lengths();
+        for (i, &len) in lens.iter().enumerate() {
+            prop_assert_eq!(len, g.expand_rule(i).len());
+        }
+    }
+}
+
+/// Worst-case-ish regression inputs that historically break Sequitur
+/// implementations (runs, near-runs, period-2 and period-3 patterns).
+#[test]
+fn adversarial_fixed_inputs() {
+    let cases: Vec<Vec<u64>> = vec![
+        vec![0; 33],
+        vec![0, 0, 1, 0, 0, 1, 0, 0],
+        [0u64, 1].repeat(50),
+        [0u64, 1, 0].repeat(20),
+        [0u64, 0, 1, 1].repeat(16),
+        vec![0, 1, 2, 0, 1, 2, 0, 1, 0, 1, 2],
+        (0..64u64).chain(0..64u64).collect(),
+    ];
+    for input in cases {
+        let (s, g) = build(&input);
+        s.assert_digram_uniqueness();
+        s.assert_rule_utility();
+        assert_eq!(g.expand_rule(0), input, "failed on {input:?}");
+    }
+}

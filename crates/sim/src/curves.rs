@@ -1,0 +1,358 @@
+//! The parametric accuracy/learning-curve model, calibrated per
+//! (model, dataset) from the paper's Table 2 medians.
+//!
+//! For a pruned configuration with surviving-parameter fraction `s`:
+//!
+//! * default (baseline) networks finish at
+//!   `full − deficit·((1−s)/(1−s_m))^q + bump(s) + noise`, where the
+//!   deficit at the subspace's median size `s_m` equals the measured
+//!   `full − final` median, the mid-size `bump` models the small
+//!   regularization benefit of pruning (which lets some configurations beat
+//!   the full model — the paper's negative drop rates), and noise is a
+//!   small deterministic per-configuration jitter;
+//! * block-trained networks finish higher by a boost anchored at the
+//!   measured `final+ − final` median and growing with pruning depth;
+//! * block-trained networks *start* at `init_ratio · final+` (the measured
+//!   `init+/final+`), while default networks start near chance — which is
+//!   what cuts their convergence steps (§7.2: "30-100% savings").
+
+use serde::{Deserialize, Serialize};
+
+use crate::profiles::Calibration;
+
+/// One point of a simulated accuracy curve (Figure 6 shape).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Training step.
+    pub step: usize,
+    /// Test accuracy.
+    pub accuracy: f64,
+}
+
+/// The calibrated accuracy model for one (model, dataset) pair.
+#[derive(Debug, Clone)]
+pub struct AccuracyModel {
+    cal: Calibration,
+    /// Size fraction the Table 2 medians are anchored at (the subspace
+    /// median size).
+    median_frac: f64,
+    /// Fine-tuning step budget.
+    max_steps: usize,
+    seed: u64,
+}
+
+/// Deficit growth exponent with pruning depth.
+const DEFICIT_EXP: f64 = 1.8;
+/// Boost growth exponent with pruning depth.
+const BOOST_EXP: f64 = 0.8;
+/// Peak of the mid-size regularization bump.
+const BUMP: f64 = 0.004;
+/// Per-configuration accuracy jitter half-width.
+const NOISE: f64 = 0.004;
+/// Base fraction of fine-tuning steps a block-trained network saves when
+/// its initial accuracy ratio is at the reference level (≈ the paper's
+/// "one-third less training time").
+const BASE_SAVING: f64 = 1.0 / 3.0;
+/// Extra saving attainable from longer pre-trained sequences ("the saving
+/// is limited (up to 20% of the overall training time)", §5).
+const MAX_LENGTH_SAVING: f64 = 0.20;
+
+impl AccuracyModel {
+    /// Builds the model for a calibration, anchoring medians at
+    /// `median_frac` (the median surviving fraction of the subspace).
+    pub fn new(cal: Calibration, median_frac: f64, max_steps: usize, seed: u64) -> Self {
+        AccuracyModel {
+            cal,
+            median_frac,
+            max_steps,
+            seed,
+        }
+    }
+
+    /// The calibration in use.
+    pub fn calibration(&self) -> Calibration {
+        self.cal
+    }
+
+    fn depth(&self, s: f64) -> f64 {
+        ((1.0 - s).max(0.0) / (1.0 - self.median_frac).max(1e-6)).max(0.0)
+    }
+
+    /// Deterministic per-configuration noise in `[-NOISE, NOISE]`.
+    fn noise(&self, config_id: u64) -> f64 {
+        // SplitMix64-style hash for platform-independent determinism.
+        let mut z = self.seed ^ config_id.wrapping_mul(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let unit = (z as f64) / (u64::MAX as f64); // in [0, 1]
+        (unit * 2.0 - 1.0) * NOISE
+    }
+
+    /// Final accuracy of the *default* (baseline) network at surviving
+    /// fraction `s`.
+    pub fn final_default(&self, s: f64, config_id: u64) -> f64 {
+        let deficit = (self.cal.full - self.cal.final_default).max(0.0);
+        let bump = BUMP * 4.0 * s * (1.0 - s);
+        (self.cal.full - deficit * self.depth(s).powf(DEFICIT_EXP) + bump + self.noise(config_id))
+            .clamp(0.0, 1.0)
+    }
+
+    /// Final accuracy of the *block-trained* network at fraction `s`, when
+    /// every pruned module was assembled from a pre-trained block.
+    pub fn final_block(&self, s: f64, config_id: u64) -> f64 {
+        self.final_block_covered(s, config_id, 1.0)
+    }
+
+    /// Final accuracy of a block-trained network whose assembly covered
+    /// only `coverage ∈ [0, 1]` of its pruned modules with pre-trained
+    /// blocks (the hierarchical identifier skips blocks that appear only
+    /// once). Majority coverage already delivers the full final-accuracy
+    /// boost — global fine-tuning redistributes capacity, so missing
+    /// pre-trained blocks for a few modules costs less than the noise floor
+    /// in *final* accuracy; only the convergence-speed saving (see
+    /// [`AccuracyModel::steps_block`]) degrades proportionally. Coverage
+    /// below one half attenuates the boost linearly.
+    pub fn final_block_covered(&self, s: f64, config_id: u64, coverage: f64) -> f64 {
+        let boost = (self.cal.final_block - self.cal.final_default).max(0.0);
+        let coverage_factor = (coverage.clamp(0.0, 1.0) / 0.5).min(1.0);
+        (self.final_default(s, config_id) + boost * self.depth(s).powf(BOOST_EXP) * coverage_factor)
+            .min(self.cal.full + 6.0 * BUMP)
+            .clamp(0.0, 1.0)
+    }
+
+    /// Initial accuracy of the block-trained network (the paper's `init+`).
+    pub fn init_block(&self, s: f64, config_id: u64) -> f64 {
+        let ratio = (self.cal.init_block / self.cal.final_block.max(1e-6)).clamp(0.0, 1.0);
+        ratio * self.final_block(s, config_id)
+    }
+
+    /// Initial accuracy of the default network (near chance).
+    pub fn init_default(&self) -> f64 {
+        self.cal.init_default
+    }
+
+    /// Fine-tuning steps charged to a default network: the full budget
+    /// (the baseline trains each configuration to its step limit).
+    pub fn steps_default(&self) -> usize {
+        self.max_steps
+    }
+
+    /// Fine-tuning steps charged to a block-trained network:
+    /// `max_steps · (1 − saving)`, where the saving scales with the
+    /// measured `init+/final+` ratio, with the fraction of pruned modules
+    /// actually covered by pre-trained blocks, and grows further with the
+    /// average pre-trained block length of the assembly
+    /// (`avg_block_len ≥ 1`).
+    pub fn steps_block(&self, avg_block_len: f64, coverage: f64) -> usize {
+        let coverage = coverage.clamp(0.0, 1.0);
+        let init_ratio = (self.cal.init_block / self.cal.final_block.max(1e-6)).clamp(0.0, 1.0);
+        let saving = (BASE_SAVING * init_ratio / 0.9).clamp(0.2, 0.6) * coverage.powf(0.7);
+        let length_saving =
+            MAX_LENGTH_SAVING * ((avg_block_len - 1.0) / 3.0).clamp(0.0, 1.0) * coverage;
+        let kept = (1.0 - saving) * (1.0 - length_saving);
+        ((self.max_steps as f64) * kept).round() as usize
+    }
+
+    /// A simulated accuracy curve (the Figure 6 shape): exponential
+    /// saturation from the initial accuracy to the final accuracy, with the
+    /// block-trained variant converging faster.
+    pub fn curve(
+        &self,
+        s: f64,
+        config_id: u64,
+        block_trained: bool,
+        points: usize,
+    ) -> Vec<CurvePoint> {
+        let (a0, af, tau) = if block_trained {
+            let af = self.final_block(s, config_id);
+            (
+                self.init_block(s, config_id),
+                af,
+                self.max_steps as f64 / 7.0,
+            )
+        } else {
+            (
+                self.init_default(),
+                self.final_default(s, config_id),
+                self.max_steps as f64 / 4.5,
+            )
+        };
+        (0..=points)
+            .map(|i| {
+                let step = i * self.max_steps / points.max(1);
+                let accuracy = af - (af - a0) * (-(step as f64) / tau).exp();
+                CurvePoint { step, accuracy }
+            })
+            .collect()
+    }
+
+    /// First step at which the (noise-free) curve reaches `threshold`, if
+    /// it ever does within the budget.
+    pub fn steps_to_accuracy(
+        &self,
+        s: f64,
+        config_id: u64,
+        block_trained: bool,
+        threshold: f64,
+    ) -> Option<usize> {
+        let (a0, af, tau) = if block_trained {
+            let af = self.final_block(s, config_id);
+            (
+                self.init_block(s, config_id),
+                af,
+                self.max_steps as f64 / 7.0,
+            )
+        } else {
+            (
+                self.init_default(),
+                self.final_default(s, config_id),
+                self.max_steps as f64 / 4.5,
+            )
+        };
+        if threshold <= a0 {
+            return Some(0);
+        }
+        if threshold >= af {
+            return None;
+        }
+        let t = -tau * ((af - threshold) / (af - a0)).ln();
+        let step = t.ceil() as usize;
+        (step <= self.max_steps).then_some(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::dataset_profile;
+
+    fn model() -> AccuracyModel {
+        let cal = dataset_profile("cub200").calibration("resnet50");
+        AccuracyModel::new(cal, 0.5, 30_000, 42)
+    }
+
+    #[test]
+    fn medians_anchor_at_median_fraction() {
+        let m = model();
+        // At the anchor fraction, default/block finals sit near the
+        // calibrated medians (within bump + noise).
+        let fd = m.final_default(0.5, 1);
+        let fb = m.final_block(0.5, 1);
+        assert!((fd - 0.707).abs() < 0.01, "default {fd}");
+        assert!((fb - 0.746).abs() < 0.012, "block {fb}");
+    }
+
+    #[test]
+    fn block_always_beats_default() {
+        let m = model();
+        for i in 0..50 {
+            let s = 0.3 + 0.01 * i as f64;
+            assert!(
+                m.final_block(s, i as u64) > m.final_default(s, i as u64),
+                "s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_grows_with_model_size() {
+        let m = model();
+        let small = m.final_default(0.3, 7);
+        let large = m.final_default(0.8, 7);
+        assert!(large > small, "{small} vs {large}");
+    }
+
+    #[test]
+    fn big_models_on_easy_data_can_beat_full() {
+        // Flowers102 default networks at large sizes occasionally exceed
+        // the full model (the paper's negative drop rates).
+        let cal = dataset_profile("flowers102").calibration("resnet50");
+        let m = AccuracyModel::new(cal, 0.5, 30_000, 0);
+        let best = (0..200)
+            .map(|i| m.final_block(0.85, i))
+            .fold(0.0f64, f64::max);
+        assert!(best > cal.full, "best {best} vs full {}", cal.full);
+    }
+
+    #[test]
+    fn init_block_is_high_and_init_default_near_chance() {
+        let m = model();
+        assert!(m.init_default() < 0.05);
+        let init = m.init_block(0.5, 3);
+        // Paper Table 2: ~0.66 for cub200/resnet50.
+        assert!((init - 0.66).abs() < 0.05, "{init}");
+    }
+
+    #[test]
+    fn block_steps_are_fewer_and_shrink_with_block_length() {
+        let m = model();
+        let d = m.steps_default();
+        let b1 = m.steps_block(1.0, 1.0);
+        let b4 = m.steps_block(4.0, 1.0);
+        assert!(b1 < d, "{b1} !< {d}");
+        assert!(b4 < b1, "{b4} !< {b1}");
+        // Roughly one-third savings for single-module blocks.
+        let saving = 1.0 - b1 as f64 / d as f64;
+        assert!((0.2..0.55).contains(&saving), "saving {saving}");
+        // Zero coverage means no saving at all.
+        assert_eq!(m.steps_block(1.0, 0.0), d);
+        // Partial coverage sits between the extremes.
+        let half = m.steps_block(1.0, 0.5);
+        assert!(half > b1 && half < d, "{b1} < {half} < {d}");
+    }
+
+    #[test]
+    fn curves_saturate_toward_final() {
+        let m = model();
+        for block in [false, true] {
+            let curve = m.curve(0.5, 9, block, 30);
+            assert_eq!(curve.len(), 31);
+            assert!(curve
+                .windows(2)
+                .all(|w| w[1].accuracy >= w[0].accuracy - 1e-9));
+            let last = curve.last().unwrap().accuracy;
+            let final_acc = if block {
+                m.final_block(0.5, 9)
+            } else {
+                m.final_default(0.5, 9)
+            };
+            assert!((last - final_acc).abs() < 0.01, "{last} vs {final_acc}");
+        }
+        // Block-trained starts far higher.
+        let d0 = m.curve(0.5, 9, false, 10)[0].accuracy;
+        let b0 = m.curve(0.5, 9, true, 10)[0].accuracy;
+        assert!(b0 > d0 + 0.5);
+    }
+
+    #[test]
+    fn steps_to_accuracy_orders_correctly() {
+        let m = model();
+        let thr = 0.70;
+        let d = m.steps_to_accuracy(0.5, 2, false, thr);
+        let b = m.steps_to_accuracy(0.5, 2, true, thr);
+        match (d, b) {
+            (Some(ds), Some(bs)) => assert!(bs < ds, "block {bs} !< default {ds}"),
+            _ => panic!("both should reach 0.70 at s=0.5: {d:?} {b:?}"),
+        }
+        // Unreachable threshold.
+        assert_eq!(m.steps_to_accuracy(0.5, 2, false, 0.99), None);
+        // Already-satisfied threshold.
+        assert_eq!(m.steps_to_accuracy(0.5, 2, true, 0.1), Some(0));
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let m = model();
+        for i in 0..100 {
+            let a = m.final_default(0.5, i);
+            let b = m.final_default(0.5, i);
+            assert_eq!(a, b);
+        }
+        let spread: Vec<f64> = (0..100).map(|i| m.final_default(0.5, i)).collect();
+        let min = spread.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = spread.iter().copied().fold(0.0f64, f64::max);
+        assert!(max - min <= 2.0 * 0.004 + 1e-9);
+        assert!(max - min > 0.001, "noise should actually vary");
+    }
+}

@@ -1,0 +1,202 @@
+//! Model and dataset profiles, with the calibration constants taken from
+//! the paper's measured Table 1 (full-model accuracies) and Table 2
+//! (median init/final accuracies of default and block-trained networks).
+
+use serde::{Deserialize, Serialize};
+use wootz_ir::ModelIr;
+
+/// Static profile of one of the paper's CNN models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name (`resnet50`, `resnet101`, `inception_v2`, `inception_v3`).
+    pub name: String,
+    /// Number of convolution modules (16 / 33 / 10 / 11).
+    pub num_modules: usize,
+    /// Seconds per training step, derived from the paper's Table 3 totals
+    /// (≈30 k steps per configuration on a K20X).
+    pub step_time_s: f64,
+    /// Tuning-block pre-training steps (10 k for ResNets, 20 k for
+    /// Inceptions — §7.1 meta data).
+    pub pretrain_steps: usize,
+    /// Fine-tuning step budget (30 k for all models).
+    pub max_steps: usize,
+}
+
+impl ModelProfile {
+    /// Builds the full-scale IR of this model with `classes` outputs.
+    pub fn build_ir(&self, classes: usize) -> ModelIr {
+        match self.name.as_str() {
+            "resnet50" => wootz_models::resnet50(classes),
+            "resnet101" => wootz_models::resnet101(classes),
+            "inception_v2" => wootz_models::inception_v2(classes),
+            "inception_v3" => wootz_models::inception_v3(classes),
+            other => panic!("unknown model profile `{other}`"),
+        }
+    }
+}
+
+/// The profile of one of the paper's models.
+///
+/// # Panics
+///
+/// Panics on unknown names; callers use the four paper model names.
+pub fn model_profile(name: &str) -> ModelProfile {
+    let (num_modules, step_time_s, pretrain_steps) = match name {
+        // Step times derived from Table 3: 2858.7 h / 500 configs / 30 k
+        // steps ≈ 0.686 s for ResNet-50; 3018.8 h ⇒ 0.725 s for
+        // Inception-V3. The others are scaled by depth.
+        "resnet50" => (16, 0.686, 10_000),
+        "resnet101" => (33, 1.25, 10_000),
+        "inception_v2" => (10, 0.52, 20_000),
+        "inception_v3" => (11, 0.725, 20_000),
+        other => panic!("unknown model profile `{other}`"),
+    };
+    ModelProfile {
+        name: name.to_string(),
+        num_modules,
+        step_time_s,
+        pretrain_steps,
+        max_steps: 30_000,
+    }
+}
+
+/// Calibration constants for one (model, dataset) pair, read off the
+/// paper's Table 2 (all values are accuracies in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Full-model accuracy (Table 1).
+    pub full: f64,
+    /// Median initial accuracy of default networks (`init`).
+    pub init_default: f64,
+    /// Median initial accuracy of block-trained networks (`init+`).
+    pub init_block: f64,
+    /// Median final accuracy of default networks (`final`).
+    pub final_default: f64,
+    /// Median final accuracy of block-trained networks (`final+`).
+    pub final_block: f64,
+}
+
+/// Dataset profile: the calibration per model.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Dataset name (lowercase, as in `wootz-data`).
+    pub name: String,
+    /// Calibrations for (resnet50, resnet101, inception_v2, inception_v3).
+    pub calibrations: [(&'static str, Calibration); 4],
+}
+
+impl DatasetProfile {
+    /// The calibration for a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown model names.
+    pub fn calibration(&self, model: &str) -> Calibration {
+        self.calibrations
+            .iter()
+            .find(|(m, _)| *m == model)
+            .map(|(_, c)| *c)
+            .unwrap_or_else(|| panic!("no calibration for model `{model}`"))
+    }
+}
+
+/// The profile of one of the paper's four pruning datasets, with Table 2's
+/// measured medians as calibration.
+///
+/// # Panics
+///
+/// Panics on unknown names.
+pub fn dataset_profile(name: &str) -> DatasetProfile {
+    let cal = |full, init, init_p, fin, fin_p| Calibration {
+        full,
+        init_default: init,
+        init_block: init_p,
+        final_default: fin,
+        final_block: fin_p,
+    };
+    let calibrations = match name {
+        "flowers102" => [
+            ("resnet50", cal(0.973, 0.035, 0.926, 0.962, 0.970)),
+            ("resnet101", cal(0.975, 0.043, 0.932, 0.963, 0.977)),
+            ("inception_v2", cal(0.972, 0.030, 0.881, 0.960, 0.966)),
+            ("inception_v3", cal(0.968, 0.029, 0.866, 0.959, 0.965)),
+        ],
+        "cub200" => [
+            ("resnet50", cal(0.770, 0.012, 0.662, 0.707, 0.746)),
+            ("resnet101", cal(0.789, 0.021, 0.693, 0.741, 0.767)),
+            ("inception_v2", cal(0.746, 0.011, 0.567, 0.705, 0.725)),
+            ("inception_v3", cal(0.760, 0.011, 0.571, 0.711, 0.735)),
+        ],
+        "cars" => [
+            ("resnet50", cal(0.822, 0.012, 0.690, 0.800, 0.821)),
+            ("resnet101", cal(0.845, 0.009, 0.663, 0.832, 0.844)),
+            ("inception_v2", cal(0.789, 0.011, 0.552, 0.785, 0.806)),
+            ("inception_v3", cal(0.801, 0.009, 0.542, 0.796, 0.811)),
+        ],
+        "dogs" => [
+            ("resnet50", cal(0.850, 0.010, 0.735, 0.754, 0.791)),
+            ("resnet101", cal(0.864, 0.028, 0.733, 0.785, 0.814)),
+            ("inception_v2", cal(0.841, 0.010, 0.630, 0.732, 0.771)),
+            ("inception_v3", cal(0.835, 0.012, 0.563, 0.728, 0.755)),
+        ],
+        other => panic!("unknown dataset profile `{other}`"),
+    };
+    DatasetProfile {
+        name: name.to_string(),
+        calibrations,
+    }
+}
+
+/// The four pruning datasets of the evaluation.
+pub fn all_datasets() -> Vec<&'static str> {
+    vec!["flowers102", "cub200", "cars", "dogs"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_module_counts() {
+        assert_eq!(model_profile("resnet50").num_modules, 16);
+        assert_eq!(model_profile("resnet101").num_modules, 33);
+        assert_eq!(model_profile("inception_v2").num_modules, 10);
+        assert_eq!(model_profile("inception_v3").num_modules, 11);
+    }
+
+    #[test]
+    fn profile_irs_have_matching_module_counts() {
+        for name in ["resnet50", "inception_v3"] {
+            let p = model_profile(name);
+            let ir = p.build_ir(100);
+            assert_eq!(ir.conv_module_ids().len(), p.num_modules, "{name}");
+        }
+    }
+
+    #[test]
+    fn calibrations_are_internally_consistent() {
+        for ds in all_datasets() {
+            let profile = dataset_profile(ds);
+            for (model, c) in profile.calibrations {
+                assert!(c.init_default < c.init_block, "{ds}/{model}");
+                assert!(c.init_block < c.final_block, "{ds}/{model}");
+                assert!(c.final_default < c.final_block, "{ds}/{model}");
+                // Pruning can slightly beat the full model (the paper's
+                // cars/inception rows): allow up to +2 points.
+                assert!(c.final_block <= c.full + 0.02, "{ds}/{model}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        dataset_profile("mnist");
+    }
+
+    #[test]
+    fn calibration_lookup_by_model() {
+        let p = dataset_profile("cub200");
+        assert_eq!(p.calibration("resnet50").full, 0.770);
+    }
+}

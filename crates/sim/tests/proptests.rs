@@ -1,0 +1,96 @@
+//! Property-based tests of the calibrated accuracy model and the simulated
+//! experiment invariants.
+
+use proptest::prelude::*;
+use wootz_sim::{dataset_profile, AccuracyModel};
+
+fn arb_model_dataset() -> impl Strategy<Value = (String, String)> {
+    (
+        prop::sample::select(vec![
+            "resnet50",
+            "resnet101",
+            "inception_v2",
+            "inception_v3",
+        ]),
+        prop::sample::select(vec!["flowers102", "cub200", "cars", "dogs"]),
+    )
+        .prop_map(|(m, d)| (m.to_string(), d.to_string()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every calibration and size, the block-trained network finishes
+    /// at least as high as the default, starts far higher, and trains for
+    /// fewer steps.
+    #[test]
+    fn block_dominates_default_everywhere(
+        (model, dataset) in arb_model_dataset(),
+        s in 0.25f64..0.95,
+        id in 0u64..500,
+    ) {
+        let cal = dataset_profile(&dataset).calibration(&model);
+        let m = AccuracyModel::new(cal, 0.5, 30_000, 7);
+        prop_assert!(m.final_block(s, id) >= m.final_default(s, id));
+        prop_assert!(m.init_block(s, id) > m.init_default() + 0.2);
+        prop_assert!(m.steps_block(1.0, 1.0) < m.steps_default());
+        prop_assert!(m.steps_block(1.0, 0.0) == m.steps_default());
+    }
+
+    /// All accuracies stay in [0, 1] and curves are monotone toward their
+    /// final accuracy.
+    #[test]
+    fn curves_are_bounded_and_monotone(
+        (model, dataset) in arb_model_dataset(),
+        s in 0.2f64..1.0,
+        id in 0u64..100,
+        block in any::<bool>(),
+    ) {
+        let cal = dataset_profile(&dataset).calibration(&model);
+        let m = AccuracyModel::new(cal, 0.5, 30_000, 3);
+        let curve = m.curve(s, id, block, 25);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].accuracy + 1e-9 >= w[0].accuracy);
+        }
+        for p in &curve {
+            prop_assert!((0.0..=1.0).contains(&p.accuracy), "{}", p.accuracy);
+        }
+    }
+
+    /// steps_to_accuracy is consistent with the curve: the curve reaches
+    /// the threshold at (or just after) the reported step.
+    #[test]
+    fn steps_to_accuracy_consistent(
+        (model, dataset) in arb_model_dataset(),
+        s in 0.3f64..0.9,
+        thr_frac in 0.3f64..0.95,
+        block in any::<bool>(),
+    ) {
+        let cal = dataset_profile(&dataset).calibration(&model);
+        let m = AccuracyModel::new(cal, 0.5, 30_000, 3);
+        let final_acc = if block { m.final_block(s, 1) } else { m.final_default(s, 1) };
+        let init = if block { m.init_block(s, 1) } else { m.init_default() };
+        let thr = init + thr_frac * (final_acc - init);
+        if let Some(step) = m.steps_to_accuracy(s, 1, block, thr) {
+            // Evaluate the closed-form curve at that step.
+            let tau = if block { 30_000.0 / 7.0 } else { 30_000.0 / 4.5 };
+            let acc = final_acc - (final_acc - init) * (-(step as f64) / tau).exp();
+            prop_assert!(acc + 1e-6 >= thr, "step {step}: {acc} < {thr}");
+        }
+    }
+
+    /// Coverage monotonicity: more coverage never slows convergence or
+    /// lowers final accuracy.
+    #[test]
+    fn coverage_is_monotone(
+        (model, dataset) in arb_model_dataset(),
+        c1 in 0.0f64..1.0,
+        c2 in 0.0f64..1.0,
+    ) {
+        let cal = dataset_profile(&dataset).calibration(&model);
+        let m = AccuracyModel::new(cal, 0.5, 30_000, 3);
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(m.final_block_covered(0.5, 1, hi) >= m.final_block_covered(0.5, 1, lo));
+        prop_assert!(m.steps_block(1.0, hi) <= m.steps_block(1.0, lo));
+    }
+}

@@ -1,0 +1,123 @@
+//! Weight initializers.
+//!
+//! All initializers take an explicit RNG so that every experiment in the
+//! reproduction is bit-for-bit deterministic given a seed.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Kaiming-He normal initialization for convolution weights
+/// `[out, in, kh, kw]`: `N(0, sqrt(2 / fan_in))`.
+///
+/// This is the standard initializer for ReLU networks and the one the
+/// TensorFlow-Slim model library (the paper's substrate) uses for conv
+/// layers.
+///
+/// # Panics
+///
+/// Panics when `shape` has fewer than 2 dimensions.
+pub fn kaiming_normal(rng: &mut impl Rng, shape: &[usize]) -> Tensor {
+    assert!(
+        shape.len() >= 2,
+        "kaiming_normal requires rank >= 2, got {shape:?}"
+    );
+    let fan_in: usize = shape[1..].iter().product();
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(rng, shape, 0.0, std)
+}
+
+/// Xavier-Glorot uniform initialization, used for fully-connected layers:
+/// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics when `shape` has fewer than 2 dimensions.
+pub fn xavier_uniform(rng: &mut impl Rng, shape: &[usize]) -> Tensor {
+    assert!(
+        shape.len() >= 2,
+        "xavier_uniform requires rank >= 2, got {shape:?}"
+    );
+    let fan_out = shape[0];
+    let fan_in: usize = shape[1..].iter().product();
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::from_fn(shape, |_| rng.gen_range(-a..=a))
+}
+
+/// Gaussian initialization with explicit mean and standard deviation.
+pub fn normal(rng: &mut impl Rng, shape: &[usize], mean: f32, std: f32) -> Tensor {
+    Tensor::from_fn(shape, |_| mean + std * sample_standard_normal(rng))
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+///
+/// Implemented locally so the crate does not need `rand_distr` and the
+/// sampling is identical across platforms.
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn kaiming_std_matches_fan_in() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let w = kaiming_normal(&mut rng, &[64, 32, 3, 3]);
+        let n = w.len() as f32;
+        let mean = w.mean();
+        let var = w
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
+        let expected = 2.0 / (32.0 * 9.0);
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var={var}, expected~{expected}"
+        );
+    }
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let w = xavier_uniform(&mut rng, &[10, 20]);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(
+            kaiming_normal(&mut a, &[4, 4]),
+            kaiming_normal(&mut b, &[4, 4])
+        );
+    }
+
+    #[test]
+    fn normal_sampler_is_roughly_standard() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank >= 2")]
+    fn kaiming_rejects_rank1() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        kaiming_normal(&mut rng, &[4]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # wootz-tensor
+//!
+//! A small, dependency-light tensor library providing exactly the numerical
+//! substrate the [Wootz](https://doi.org/10.1145/3314221.3314652) CNN-pruning
+//! framework needs: dense `f32` tensors in `NCHW` layout and the CNN kernels
+//! (convolution, pooling, batch normalization, fully-connected, activations,
+//! losses) together with their **reverse-mode gradients**.
+//!
+//! The crate is deliberately CPU-only and straightforward: the Wootz
+//! reproduction measures *search dynamics* of CNN pruning, not raw FLOPs, so
+//! correctness (every kernel is finite-difference checked in the test suite)
+//! and determinism matter more than peak speed. Convolutions still use an
+//! im2col + matmul path so the micro-training experiments finish in
+//! reasonable time.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wootz_tensor::{Tensor, ops};
+//!
+//! // A 1x3x8x8 input and a conv with 4 filters of shape 3x3x3.
+//! let x = Tensor::filled(&[1, 3, 8, 8], 0.5);
+//! let w = Tensor::filled(&[4, 3, 3, 3], 0.1);
+//! let b = Tensor::zeros(&[4]);
+//! let y = ops::conv2d(&x, &w, &b, ops::Conv2dCfg { stride: 1, pad: 1 });
+//! assert_eq!(y.shape(), &[1, 4, 8, 8]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod ops;
+pub mod sgd;
+mod shape;
+mod tensor;
+
+pub use shape::ShapeError;
+pub use tensor::Tensor;
+
+/// Convenience result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, ShapeError>;

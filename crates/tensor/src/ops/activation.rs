@@ -1,0 +1,37 @@
+//! Elementwise activations.
+
+use crate::Tensor;
+
+/// Rectified linear unit: `max(0, x)`.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward of [`relu`]: passes gradient where the forward input was
+/// positive.
+///
+/// # Panics
+///
+/// Panics when `x` and `dy` have different shapes.
+pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    x.zip(dy, |xv, g| if xv > 0.0 { g } else { 0.0 })
+        .expect("relu_backward: x and dy must share a shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.5], &[3]).unwrap();
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.5], &[3]).unwrap();
+        let dy = Tensor::from_vec(vec![10.0, 10.0, 10.0], &[3]).unwrap();
+        assert_eq!(relu_backward(&x, &dy).data(), &[0.0, 0.0, 10.0]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-channel batch normalization for `NCHW` activations.
+
+use crate::Tensor;
+
+/// Forward intermediates cached for [`batch_norm_backward`].
+#[derive(Debug, Clone)]
+pub struct BnCache {
+    /// Per-channel batch mean `[C]`.
+    pub mean: Tensor,
+    /// Per-channel batch variance `[C]` (biased, i.e. divided by `N·H·W`).
+    pub var: Tensor,
+    /// Normalized activations `x̂ = (x − μ) / √(σ² + ε)`, same shape as `x`.
+    pub x_hat: Tensor,
+    /// The epsilon used in the forward pass.
+    pub eps: f32,
+}
+
+/// Batch-norm forward in training mode: normalizes each channel with batch
+/// statistics, then applies the learnable affine `γ·x̂ + β`.
+///
+/// * `x` — `[N, C, H, W]`
+/// * `gamma`, `beta` — `[C]`
+///
+/// Returns the output and the cache for the backward pass. When `stats` is
+/// `Some((mean, var))` (inference mode), those statistics are used instead of
+/// batch statistics and the cache still describes the applied normalization.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn batch_norm(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    stats: Option<(&Tensor, &Tensor)>,
+) -> (Tensor, BnCache) {
+    let shape = x.shape();
+    assert_eq!(
+        shape.len(),
+        4,
+        "batch_norm expects rank-4 input, got {shape:?}"
+    );
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    assert_eq!(gamma.shape(), &[c], "batch_norm gamma shape");
+    assert_eq!(beta.shape(), &[c], "batch_norm beta shape");
+    let count = (n * h * w) as f32;
+    let plane = h * w;
+
+    let (mean, var) = match stats {
+        Some((m, v)) => {
+            assert_eq!(m.shape(), &[c], "batch_norm running mean shape");
+            assert_eq!(v.shape(), &[c], "batch_norm running var shape");
+            (m.clone(), v.clone())
+        }
+        None => {
+            let mut mean = Tensor::zeros(&[c]);
+            let mut var = Tensor::zeros(&[c]);
+            for ci in 0..c {
+                let mut acc = 0.0;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    acc += x.data()[base..base + plane].iter().sum::<f32>();
+                }
+                mean.data_mut()[ci] = acc / count;
+            }
+            for ci in 0..c {
+                let m = mean.data()[ci];
+                let mut acc = 0.0;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    acc += x.data()[base..base + plane]
+                        .iter()
+                        .map(|&v| (v - m) * (v - m))
+                        .sum::<f32>();
+                }
+                var.data_mut()[ci] = acc / count;
+            }
+            (mean, var)
+        }
+    };
+
+    let mut x_hat = Tensor::zeros(shape);
+    let mut y = Tensor::zeros(shape);
+    for ni in 0..n {
+        for ci in 0..c {
+            let m = mean.data()[ci];
+            let inv_std = 1.0 / (var.data()[ci] + eps).sqrt();
+            let g = gamma.data()[ci];
+            let b = beta.data()[ci];
+            let base = (ni * c + ci) * plane;
+            for p in 0..plane {
+                let xh = (x.data()[base + p] - m) * inv_std;
+                x_hat.data_mut()[base + p] = xh;
+                y.data_mut()[base + p] = g * xh + b;
+            }
+        }
+    }
+    (
+        y,
+        BnCache {
+            mean,
+            var,
+            x_hat,
+            eps,
+        },
+    )
+}
+
+/// Batch-norm backward (training mode, batch statistics).
+///
+/// Returns `(dx, dgamma, dbeta)` using the standard closed-form gradient:
+///
+/// `dx̂ = dy·γ`;
+/// `dx = (1/m)·inv_std·(m·dx̂ − Σdx̂ − x̂·Σ(dx̂·x̂))`.
+pub fn batch_norm_backward(
+    dy: &Tensor,
+    gamma: &Tensor,
+    cache: &BnCache,
+) -> (Tensor, Tensor, Tensor) {
+    let shape = dy.shape();
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    let plane = h * w;
+    let m = (n * h * w) as f32;
+    let mut dx = Tensor::zeros(shape);
+    let mut dgamma = Tensor::zeros(&[c]);
+    let mut dbeta = Tensor::zeros(&[c]);
+
+    for ci in 0..c {
+        let inv_std = 1.0 / (cache.var.data()[ci] + cache.eps).sqrt();
+        let g = gamma.data()[ci];
+        let mut sum_dxhat = 0.0;
+        let mut sum_dxhat_xhat = 0.0;
+        let mut dg = 0.0;
+        let mut db = 0.0;
+        for ni in 0..n {
+            let base = (ni * c + ci) * plane;
+            for p in 0..plane {
+                let gy = dy.data()[base + p];
+                let xh = cache.x_hat.data()[base + p];
+                let dxh = gy * g;
+                sum_dxhat += dxh;
+                sum_dxhat_xhat += dxh * xh;
+                dg += gy * xh;
+                db += gy;
+            }
+        }
+        dgamma.data_mut()[ci] = dg;
+        dbeta.data_mut()[ci] = db;
+        for ni in 0..n {
+            let base = (ni * c + ci) * plane;
+            for p in 0..plane {
+                let gy = dy.data()[base + p];
+                let xh = cache.x_hat.data()[base + p];
+                let dxh = gy * g;
+                dx.data_mut()[base + p] = inv_std / m * (m * dxh - sum_dxhat - xh * sum_dxhat_xhat);
+            }
+        }
+    }
+    (dx, dgamma, dbeta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_normalized_per_channel() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4., 10., 20., 30., 40.], &[1, 2, 2, 2]).unwrap();
+        let gamma = Tensor::ones(&[2]);
+        let beta = Tensor::zeros(&[2]);
+        let (y, cache) = batch_norm(&x, &gamma, &beta, 1e-5, None);
+        // Each channel of y should have ~0 mean and ~1 variance.
+        for ci in 0..2 {
+            let vals: Vec<f32> = (0..4).map(|p| y.data()[ci * 4 + p]).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 4.0;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "channel {ci} var {var}");
+        }
+        assert_eq!(cache.mean.data()[0], 2.5);
+        assert_eq!(cache.mean.data()[1], 25.0);
+    }
+
+    #[test]
+    fn affine_parameters_apply() {
+        let x = Tensor::from_vec(vec![-1., 1.], &[1, 1, 1, 2]).unwrap();
+        let gamma = Tensor::filled(&[1], 3.0);
+        let beta = Tensor::filled(&[1], 10.0);
+        let (y, _) = batch_norm(&x, &gamma, &beta, 1e-8, None);
+        assert!((y.data()[0] - 7.0).abs() < 1e-3, "{:?}", y.data());
+        assert!((y.data()[1] - 13.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inference_mode_uses_given_stats() {
+        let x = Tensor::from_vec(vec![2.0, 2.0], &[2, 1, 1, 1]).unwrap();
+        let gamma = Tensor::ones(&[1]);
+        let beta = Tensor::zeros(&[1]);
+        let mean = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let var = Tensor::from_vec(vec![4.0], &[1]).unwrap();
+        let (y, _) = batch_norm(&x, &gamma, &beta, 0.0, Some((&mean, &var)));
+        // (2 - 1) / 2 = 0.5
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_gradient_sums() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 2, 2]).unwrap();
+        let gamma = Tensor::ones(&[1]);
+        let beta = Tensor::zeros(&[1]);
+        let (_, cache) = batch_norm(&x, &gamma, &beta, 1e-5, None);
+        let dy = Tensor::ones(&[1, 1, 2, 2]);
+        let (dx, dgamma, dbeta) = batch_norm_backward(&dy, &gamma, &cache);
+        // dbeta is the sum of upstream gradients.
+        assert_eq!(dbeta.data()[0], 4.0);
+        // dgamma = sum(dy * x_hat); x_hat sums to ~0 for a symmetric input.
+        assert!(dgamma.data()[0].abs() < 1e-4);
+        // The input gradient of a pure normalization sums to ~0.
+        assert!(dx.sum().abs() < 1e-4);
+    }
+}

@@ -1,0 +1,324 @@
+//! 2-D convolution via im2col + matmul, with full backward.
+
+use crate::ops::matmul::{matmul, matmul_nt, matmul_tn};
+use crate::Tensor;
+
+/// Spatial configuration of a 2-D convolution: square stride and symmetric
+/// zero padding. Kernel size is carried by the weight tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Conv2dCfg {
+    /// Step between receptive-field positions (same in both dimensions).
+    pub stride: usize,
+    /// Zero rows/columns added on every border.
+    pub pad: usize,
+}
+
+impl Default for Conv2dCfg {
+    /// Stride 1, no padding.
+    fn default() -> Self {
+        Conv2dCfg { stride: 1, pad: 0 }
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input activation `[N, C, H, W]`.
+    pub dx: Tensor,
+    /// Gradient with respect to the filter weights `[F, C, Kh, Kw]`.
+    pub dw: Tensor,
+    /// Gradient with respect to the bias `[F]`.
+    pub db: Tensor,
+}
+
+/// Output spatial extent of a convolution/pooling window sweep.
+///
+/// # Panics
+///
+/// Panics when the window does not fit the padded input — that is a model
+/// construction bug surfaced during graph validation in `wootz-nn`.
+pub fn conv2d_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
+    assert!(stride > 0, "stride must be positive");
+    (padded - kernel) / stride + 1
+}
+
+/// Lowers `[C, H, W]` patches of one sample into a `[C*Kh*Kw, Ho*Wo]` matrix.
+fn im2col(
+    x: &[f32],
+    (c, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    cfg: Conv2dCfg,
+) -> Tensor {
+    let ho = conv2d_out_dim(h, kh, cfg.stride, cfg.pad);
+    let wo = conv2d_out_dim(w, kw, cfg.stride, cfg.pad);
+    let rows = c * kh * kw;
+    let cols = ho * wo;
+    let mut out = vec![0.0f32; rows * cols];
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oi in 0..ho {
+                    let ii = (oi * cfg.stride + ki) as isize - cfg.pad as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for oj in 0..wo {
+                        let jj = (oj * cfg.stride + kj) as isize - cfg.pad as isize;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        out[row * cols + oi * wo + oj] =
+                            x[(ci * h + ii as usize) * w + jj as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols]).expect("im2col shape")
+}
+
+/// Scatters a `[C*Kh*Kw, Ho*Wo]` gradient matrix back onto a `[C, H, W]`
+/// input gradient (accumulating overlapping windows).
+fn col2im(
+    col: &Tensor,
+    (c, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    cfg: Conv2dCfg,
+    out: &mut [f32],
+) {
+    let ho = conv2d_out_dim(h, kh, cfg.stride, cfg.pad);
+    let wo = conv2d_out_dim(w, kw, cfg.stride, cfg.pad);
+    let cols = ho * wo;
+    let cv = col.data();
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                for oi in 0..ho {
+                    let ii = (oi * cfg.stride + ki) as isize - cfg.pad as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for oj in 0..wo {
+                        let jj = (oj * cfg.stride + kj) as isize - cfg.pad as isize;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        out[(ci * h + ii as usize) * w + jj as usize] +=
+                            cv[row * cols + oi * wo + oj];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 2-D convolution forward pass.
+///
+/// * `x` — input `[N, C, H, W]`
+/// * `w` — filters `[F, C, Kh, Kw]`
+/// * `b` — bias `[F]`
+///
+/// Returns `[N, F, Ho, Wo]`.
+///
+/// # Panics
+///
+/// Panics when shapes are inconsistent (channel mismatch, kernel larger than
+/// padded input, wrong ranks). Model graphs are validated before execution,
+/// so a panic here indicates an internal bug.
+pub fn conv2d(x: &Tensor, w: &Tensor, b: &Tensor, cfg: Conv2dCfg) -> Tensor {
+    let (n, c, h, wd) = unpack4(x.shape(), "conv2d input");
+    let (f, cw, kh, kw) = unpack4(w.shape(), "conv2d weight");
+    assert_eq!(c, cw, "conv2d: input has {c} channels, weight expects {cw}");
+    assert_eq!(
+        b.shape(),
+        &[f],
+        "conv2d: bias shape {:?} != [{f}]",
+        b.shape()
+    );
+    let ho = conv2d_out_dim(h, kh, cfg.stride, cfg.pad);
+    let wo = conv2d_out_dim(wd, kw, cfg.stride, cfg.pad);
+    let w_mat = w.reshape(&[f, c * kh * kw]).expect("weight reshape");
+    let bias = b.data();
+    let mut out = vec![0.0f32; n * f * ho * wo];
+    let sample = c * h * wd;
+    for ni in 0..n {
+        let col = im2col(
+            &x.data()[ni * sample..(ni + 1) * sample],
+            (c, h, wd),
+            (kh, kw),
+            cfg,
+        );
+        let y = matmul(&w_mat, &col); // [F, Ho*Wo]
+        let dst = &mut out[ni * f * ho * wo..(ni + 1) * f * ho * wo];
+        for fi in 0..f {
+            let row = &y.data()[fi * ho * wo..(fi + 1) * ho * wo];
+            let drow = &mut dst[fi * ho * wo..(fi + 1) * ho * wo];
+            let bv = bias[fi];
+            for (d, &v) in drow.iter_mut().zip(row.iter()) {
+                *d = v + bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, f, ho, wo]).expect("conv2d output shape")
+}
+
+/// Backward pass of [`conv2d`].
+///
+/// `dy` is the upstream gradient `[N, F, Ho, Wo]`; `x`/`w` are the forward
+/// inputs. Returns gradients for input, weights and bias.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies, as in [`conv2d`].
+pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, cfg: Conv2dCfg) -> Conv2dGrads {
+    let (n, c, h, wd) = unpack4(x.shape(), "conv2d_backward input");
+    let (f, _cw, kh, kw) = unpack4(w.shape(), "conv2d_backward weight");
+    let (dn, df, ho, wo) = unpack4(dy.shape(), "conv2d_backward dy");
+    assert_eq!(
+        (dn, df),
+        (n, f),
+        "conv2d_backward: dy batch/filters mismatch"
+    );
+    let w_mat = w.reshape(&[f, c * kh * kw]).expect("weight reshape");
+    let mut dw_mat = Tensor::zeros(&[f, c * kh * kw]);
+    let mut db = Tensor::zeros(&[f]);
+    let mut dx = vec![0.0f32; x.len()];
+    let sample = c * h * wd;
+    let osample = f * ho * wo;
+    for ni in 0..n {
+        let col = im2col(
+            &x.data()[ni * sample..(ni + 1) * sample],
+            (c, h, wd),
+            (kh, kw),
+            cfg,
+        );
+        let dy_mat = Tensor::from_vec(
+            dy.data()[ni * osample..(ni + 1) * osample].to_vec(),
+            &[f, ho * wo],
+        )
+        .expect("dy reshape");
+        // dW += dY * col^T ; both operands laid out [rows, Ho*Wo].
+        let dw_n = matmul_nt(&dy_mat, &col);
+        dw_mat.axpy(1.0, &dw_n).expect("dw accumulate");
+        // db += row sums of dY.
+        for fi in 0..f {
+            let row = &dy_mat.data()[fi * ho * wo..(fi + 1) * ho * wo];
+            db.data_mut()[fi] += row.iter().sum::<f32>();
+        }
+        // dcol = W^T * dY, scattered back to the input.
+        let dcol = matmul_tn(&w_mat, &dy_mat);
+        col2im(
+            &dcol,
+            (c, h, wd),
+            (kh, kw),
+            cfg,
+            &mut dx[ni * sample..(ni + 1) * sample],
+        );
+    }
+    Conv2dGrads {
+        dx: Tensor::from_vec(dx, x.shape()).expect("dx shape"),
+        dw: dw_mat.reshape(w.shape()).expect("dw shape"),
+        db,
+    }
+}
+
+fn unpack4(shape: &[usize], what: &str) -> (usize, usize, usize, usize) {
+    assert_eq!(shape.len(), 4, "{what}: expected rank 4, got {shape:?}");
+    (shape[0], shape[1], shape[2], shape[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv2d_out_dim(8, 3, 1, 1), 8);
+        assert_eq!(conv2d_out_dim(8, 3, 2, 1), 4);
+        assert_eq!(conv2d_out_dim(7, 1, 1, 0), 7);
+        assert_eq!(conv2d_out_dim(4, 4, 1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn out_dim_rejects_oversized_kernel() {
+        conv2d_out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn identity_1x1_kernel() {
+        // A single 1x1 filter with weight 1 reproduces the input channel.
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let b = Tensor::zeros(&[1]);
+        let y = conv2d(&x, &w, &b, Conv2dCfg::default());
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // 4x4 input, 3x3 averaging-style kernel of ones, no pad -> 2x2 output
+        // of window sums.
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let b = Tensor::filled(&[1], 0.5);
+        let y = conv2d(&x, &w, &b, Conv2dCfg { stride: 1, pad: 0 });
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // Window sums: 54, 63, 90, 99 — plus the 0.5 bias.
+        assert_eq!(y.data(), &[54.5, 63.5, 90.5, 99.5]);
+    }
+
+    #[test]
+    fn padding_preserves_spatial_size() {
+        let x = Tensor::ones(&[2, 3, 5, 5]);
+        let w = Tensor::ones(&[4, 3, 3, 3]);
+        let b = Tensor::zeros(&[4]);
+        let y = conv2d(&x, &w, &b, Conv2dCfg { stride: 1, pad: 1 });
+        assert_eq!(y.shape(), &[2, 4, 5, 5]);
+        // Centre pixels see the full 3x3x3 window of ones.
+        assert_eq!(y.at(&[0, 0, 2, 2]), 27.0);
+        // Corner pixels see a 2x2x3 window.
+        assert_eq!(y.at(&[0, 0, 0, 0]), 12.0);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let x = Tensor::ones(&[1, 1, 6, 6]);
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let b = Tensor::zeros(&[1]);
+        let y = conv2d(&x, &w, &b, Conv2dCfg { stride: 2, pad: 0 });
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+    }
+
+    #[test]
+    fn multi_channel_sums_over_input_channels() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2, 1, 1]).unwrap();
+        let w = Tensor::from_vec(vec![10.0, 100.0], &[1, 2, 1, 1]).unwrap();
+        let b = Tensor::zeros(&[1]);
+        let y = conv2d(&x, &w, &b, Conv2dCfg::default());
+        assert_eq!(y.data(), &[210.0]);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let x = Tensor::ones(&[2, 3, 5, 5]);
+        let w = Tensor::ones(&[4, 3, 3, 3]);
+        let b = Tensor::zeros(&[4]);
+        let cfg = Conv2dCfg { stride: 2, pad: 1 };
+        let y = conv2d(&x, &w, &b, cfg);
+        let dy = Tensor::ones(y.shape());
+        let g = conv2d_backward(&x, &w, &dy, cfg);
+        assert_eq!(g.dx.shape(), x.shape());
+        assert_eq!(g.dw.shape(), w.shape());
+        assert_eq!(g.db.shape(), b.shape());
+        // Bias gradient = number of output positions per filter.
+        assert_eq!(g.db.data()[0], (2 * 3 * 3) as f32);
+    }
+}

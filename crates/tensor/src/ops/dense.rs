@@ -1,0 +1,104 @@
+//! Fully-connected (inner-product) layer.
+
+use crate::ops::matmul::{matmul_nt, matmul_tn};
+use crate::Tensor;
+
+/// Gradients produced by [`dense_backward`].
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// Gradient w.r.t. the input `[N, In]`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weights `[Out, In]`.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias `[Out]`.
+    pub db: Tensor,
+}
+
+/// Fully-connected forward: `y = x · Wᵀ + b`.
+///
+/// * `x` — `[N, In]`
+/// * `w` — `[Out, In]` (Caffe/TF-Slim weight convention)
+/// * `b` — `[Out]`
+///
+/// # Panics
+///
+/// Panics when shapes disagree; graphs are validated before execution.
+pub fn dense(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(
+        x.shape().len(),
+        2,
+        "dense input must be [N, In], got {:?}",
+        x.shape()
+    );
+    assert_eq!(
+        w.shape().len(),
+        2,
+        "dense weight must be [Out, In], got {:?}",
+        w.shape()
+    );
+    let (n, d_in) = (x.shape()[0], x.shape()[1]);
+    let (d_out, d_in2) = (w.shape()[0], w.shape()[1]);
+    assert_eq!(
+        d_in, d_in2,
+        "dense: input width {d_in} != weight width {d_in2}"
+    );
+    assert_eq!(b.shape(), &[d_out], "dense bias shape");
+    let mut y = matmul_nt(x, w);
+    for i in 0..n {
+        let row = &mut y.data_mut()[i * d_out..(i + 1) * d_out];
+        for (v, &bv) in row.iter_mut().zip(b.data().iter()) {
+            *v += bv;
+        }
+    }
+    y
+}
+
+/// Backward of [`dense`].
+pub fn dense_backward(x: &Tensor, w: &Tensor, dy: &Tensor) -> DenseGrads {
+    let n = x.shape()[0];
+    let d_out = w.shape()[0];
+    assert_eq!(dy.shape(), &[n, d_out], "dense_backward dy shape");
+    // dx = dY · W        [N, In]
+    let dx = super::matmul(dy, w);
+    // dW = dYᵀ · X       [Out, In]
+    let dw = matmul_tn(dy, x);
+    // db = column sums of dY.
+    let mut db = Tensor::zeros(&[d_out]);
+    for i in 0..n {
+        let row = &dy.data()[i * d_out..(i + 1) * d_out];
+        for (acc, &g) in db.data_mut().iter_mut().zip(row.iter()) {
+            *acc += g;
+        }
+    }
+    DenseGrads { dx, dw, db }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]).unwrap();
+        let w = Tensor::from_vec(vec![1., 0., 0., 1., 1., 1.], &[3, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, -0.5, 0.0], &[3]).unwrap();
+        let y = dense(&x, &w, &b);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.data(), &[1.5, 1.5, 3.0, 3.5, 3.5, 7.0]);
+    }
+
+    #[test]
+    fn backward_shapes_and_bias() {
+        let x = Tensor::ones(&[4, 3]);
+        let w = Tensor::ones(&[2, 3]);
+        let dy = Tensor::ones(&[4, 2]);
+        let g = dense_backward(&x, &w, &dy);
+        assert_eq!(g.dx.shape(), &[4, 3]);
+        assert_eq!(g.dw.shape(), &[2, 3]);
+        assert_eq!(g.db.data(), &[4.0, 4.0]);
+        // Every dx element sums the two output weights.
+        assert!(g.dx.data().iter().all(|&v| v == 2.0));
+        // Every dW element sums over the batch of ones.
+        assert!(g.dw.data().iter().all(|&v| v == 4.0));
+    }
+}

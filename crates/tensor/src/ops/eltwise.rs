@@ -1,0 +1,55 @@
+//! Elementwise N-ary addition — the residual "shortcut" join of ResNet-style
+//! modules.
+
+use crate::{ShapeError, Tensor};
+
+/// Sums any number of same-shaped tensors.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] for an empty input list or mismatched shapes.
+pub fn add_n(inputs: &[&Tensor]) -> Result<Tensor, ShapeError> {
+    let first = inputs
+        .first()
+        .ok_or_else(|| ShapeError::new("add_n: no inputs"))?;
+    let mut out = (*first).clone();
+    for t in &inputs[1..] {
+        out.axpy(1.0, t)?;
+    }
+    Ok(out)
+}
+
+/// Backward of [`add_n`]: the upstream gradient flows unchanged to every
+/// input, so this returns `n` clones of `dy`.
+pub fn add_n_backward(dy: &Tensor, n: usize) -> Vec<Tensor> {
+    std::iter::repeat_with(|| dy.clone()).take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_n_sums_inputs() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        let c = Tensor::from_vec(vec![100.0, 200.0], &[2]).unwrap();
+        assert_eq!(add_n(&[&a, &b, &c]).unwrap().data(), &[111.0, 222.0]);
+    }
+
+    #[test]
+    fn add_n_rejects_empty_and_mismatched() {
+        assert!(add_n(&[]).is_err());
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(add_n(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn backward_replicates_gradient() {
+        let dy = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let grads = add_n_backward(&dy, 3);
+        assert_eq!(grads.len(), 3);
+        assert!(grads.iter().all(|g| g == &dy));
+    }
+}

@@ -1,0 +1,159 @@
+//! Loss functions: softmax cross-entropy (classification fine-tuning) and
+//! mean-squared error (the Teacher–Student activation-map reconstruction
+//! objective of Wootz block pre-training).
+
+use crate::Tensor;
+
+/// Result of the fused softmax + cross-entropy forward pass.
+#[derive(Debug, Clone)]
+pub struct SoftmaxCeOutput {
+    /// Mean cross-entropy loss over the batch.
+    pub loss: f32,
+    /// Softmax probabilities `[N, K]` (useful for accuracy computation).
+    pub probs: Tensor,
+    /// Gradient of the mean loss w.r.t. the logits: `(p − 1{y}) / N`.
+    pub dlogits: Tensor,
+}
+
+/// Numerically-stable fused softmax cross-entropy.
+///
+/// * `logits` — `[N, K]`
+/// * `labels` — class index per sample, `len == N`
+///
+/// # Panics
+///
+/// Panics when `logits` is not rank 2, label count differs from the batch
+/// size, or a label is out of range.
+#[allow(clippy::needless_range_loop)] // parallel indexing into four buffers
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> SoftmaxCeOutput {
+    assert_eq!(
+        logits.shape().len(),
+        2,
+        "softmax_cross_entropy expects [N, K] logits"
+    );
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(
+        labels.len(),
+        n,
+        "softmax_cross_entropy: {n} samples, {} labels",
+        labels.len()
+    );
+    let mut probs = Tensor::zeros(&[n, k]);
+    let mut dlogits = Tensor::zeros(&[n, k]);
+    let mut loss = 0.0;
+    for i in 0..n {
+        let label = labels[i];
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        for j in 0..k {
+            let p = exps[j] / z;
+            probs.data_mut()[i * k + j] = p;
+            dlogits.data_mut()[i * k + j] = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+        loss += -(probs.data()[i * k + label].max(1e-12)).ln();
+    }
+    SoftmaxCeOutput {
+        loss: loss / n as f32,
+        probs,
+        dlogits,
+    }
+}
+
+/// Mean-squared-error loss `mean((a − b)²)` between two same-shaped tensors.
+///
+/// This is the reconstruction error `‖O − O′‖²` (normalized by element count)
+/// that Wootz minimizes when pre-training a pruned tuning block against its
+/// unpruned counterpart's activation maps.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn mse_loss(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "mse_loss shapes differ");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f32>()
+        / a.len() as f32
+}
+
+/// Gradient of [`mse_loss`] with respect to `a`: `2·(a − b) / len`.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn mse_loss_backward(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "mse_loss_backward shapes differ");
+    let scale = 2.0 / a.len().max(1) as f32;
+    a.zip(b, |x, y| scale * (x - y))
+        .expect("shapes checked above")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k_loss() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+        assert!(out.probs.data().iter().all(|&p| (p - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss < 1e-3, "loss={}", out.loss);
+    }
+
+    #[test]
+    fn dlogits_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[2, 0]);
+        for i in 0..2 {
+            let s: f32 = out.dlogits.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn shifted_logits_are_stable() {
+        let a = softmax_cross_entropy(&Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap(), &[1]);
+        let b = softmax_cross_entropy(
+            &Tensor::from_vec(vec![1001.0, 1002.0], &[1, 2]).unwrap(),
+            &[1],
+        );
+        assert!((a.loss - b.loss).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_labels() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 4.0], &[2]).unwrap();
+        assert!((mse_loss(&a, &b) - 2.5).abs() < 1e-6);
+        let g = mse_loss_backward(&a, &b);
+        assert_eq!(g.data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn mse_of_identical_tensors_is_zero() {
+        let a = Tensor::ones(&[3, 3]);
+        assert_eq!(mse_loss(&a, &a), 0.0);
+        assert!(mse_loss_backward(&a, &a).data().iter().all(|&v| v == 0.0));
+    }
+}

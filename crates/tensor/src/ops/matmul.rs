@@ -1,0 +1,120 @@
+//! A small blocked matrix multiply used by the im2col convolution path and
+//! the dense layer.
+
+use crate::Tensor;
+
+/// Computes `C = A * B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// Plain triple loop with the `k` loop innermost hoisted per row for cache
+/// friendliness; adequate for the micro-scale training this workspace runs.
+///
+/// # Panics
+///
+/// Panics when the shapes are not rank-2 or the inner dimensions disagree —
+/// callers are internal kernels that guarantee shape agreement.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+    let av = a.data();
+    let bv = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul output shape")
+}
+
+/// Computes `C = A^T * B` for `A: [k, m]`, `B: [k, n]` without materializing
+/// the transpose.
+pub(crate) fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_tn inner dims: {k} vs {k2}");
+    let av = a.data();
+    let bv = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul_tn output shape")
+}
+
+/// Computes `C = A * B^T` for `A: [m, k]`, `B: [n, k]` without materializing
+/// the transpose.
+pub(crate) fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+    let av = a.data();
+    let bv = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul_nt output shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = t(&[7., 8., 9., 10., 11., 12.], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_plain() {
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = t(&[1., 0., 2., -1., 3., 1.], &[2, 3]);
+        // A^T (3x2) * B (2x3) == matmul of explicit transpose.
+        let at = t(&[1., 4., 2., 5., 3., 6.], &[3, 2]);
+        assert_eq!(matmul_tn(&a, &b), matmul(&at, &b));
+        // A (2x3) * B^T (3x2)
+        let bt = t(&[1., -1., 0., 3., 2., 1.], &[3, 2]);
+        assert_eq!(matmul_nt(&a, &b), matmul(&a, &bt));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_checks_inner_dims() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+}

@@ -1,0 +1,31 @@
+//! CNN kernels with forward and reverse-mode backward implementations.
+//!
+//! Each kernel is a free function pair `op(...)` / `op_backward(...)`. The
+//! backward functions take the forward inputs (and, where profitable, cached
+//! forward intermediates) plus the upstream gradient, and return gradients
+//! for every differentiable input. The `wootz-nn` graph engine threads these
+//! through a topological traversal.
+//!
+//! All kernels are finite-difference checked in `tests/grad_check.rs` of this
+//! crate.
+
+mod activation;
+mod bn;
+mod conv;
+mod dense;
+mod eltwise;
+mod loss;
+mod matmul;
+mod pool;
+
+pub use activation::{relu, relu_backward};
+pub use bn::{batch_norm, batch_norm_backward, BnCache};
+pub use conv::{conv2d, conv2d_backward, conv2d_out_dim, Conv2dCfg, Conv2dGrads};
+pub use dense::{dense, dense_backward, DenseGrads};
+pub use eltwise::{add_n, add_n_backward};
+pub use loss::{mse_loss, mse_loss_backward, softmax_cross_entropy, SoftmaxCeOutput};
+pub use matmul::matmul;
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward, Pool2dCfg,
+};

@@ -1,0 +1,294 @@
+//! Max/average pooling and global average pooling, with backwards.
+
+use crate::ops::conv::conv2d_out_dim;
+use crate::Tensor;
+
+/// Spatial configuration of a pooling window sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Pool2dCfg {
+    /// Square window size.
+    pub kernel: usize,
+    /// Step between window positions.
+    pub stride: usize,
+    /// Symmetric zero padding (max pooling treats padding as `-inf`, average
+    /// pooling as zeros that still count toward the divisor, matching Caffe).
+    pub pad: usize,
+}
+
+/// Max pooling forward. Returns the pooled tensor and the flat argmax index
+/// (within the sample) selected for each output element, which the backward
+/// pass routes gradients through.
+///
+/// # Panics
+///
+/// Panics when `x` is not rank 4 or the window does not fit.
+pub fn max_pool2d(x: &Tensor, cfg: Pool2dCfg) -> (Tensor, Vec<usize>) {
+    let (n, c, h, w) = unpack4(x.shape());
+    let ho = conv2d_out_dim(h, cfg.kernel, cfg.stride, cfg.pad);
+    let wo = conv2d_out_dim(w, cfg.kernel, cfg.stride, cfg.pad);
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    let mut arg = vec![0usize; n * c * ho * wo];
+    let xv = x.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oi in 0..ho {
+                for oj in 0..wo {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ki in 0..cfg.kernel {
+                        let ii = (oi * cfg.stride + ki) as isize - cfg.pad as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..cfg.kernel {
+                            let jj = (oj * cfg.stride + kj) as isize - cfg.pad as isize;
+                            if jj < 0 || jj >= w as isize {
+                                continue;
+                            }
+                            let idx = base + ii as usize * w + jj as usize;
+                            if xv[idx] > best {
+                                best = xv[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((ni * c + ci) * ho + oi) * wo + oj;
+                    out[o] = best;
+                    arg[o] = best_idx;
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(out, &[n, c, ho, wo]).expect("max_pool2d shape"),
+        arg,
+    )
+}
+
+/// Backward of [`max_pool2d`]: routes each output gradient to the input
+/// position that won the max.
+pub fn max_pool2d_backward(x_shape: &[usize], argmax: &[usize], dy: &Tensor) -> Tensor {
+    let mut dx = Tensor::zeros(x_shape);
+    for (&idx, &g) in argmax.iter().zip(dy.data().iter()) {
+        dx.data_mut()[idx] += g;
+    }
+    dx
+}
+
+/// Average pooling forward. The divisor is the full window size (`kernel²`)
+/// including padded positions, matching Caffe's default behaviour.
+///
+/// # Panics
+///
+/// Panics when `x` is not rank 4 or the window does not fit.
+pub fn avg_pool2d(x: &Tensor, cfg: Pool2dCfg) -> Tensor {
+    let (n, c, h, w) = unpack4(x.shape());
+    let ho = conv2d_out_dim(h, cfg.kernel, cfg.stride, cfg.pad);
+    let wo = conv2d_out_dim(w, cfg.kernel, cfg.stride, cfg.pad);
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    let div = (cfg.kernel * cfg.kernel) as f32;
+    let xv = x.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oi in 0..ho {
+                for oj in 0..wo {
+                    let mut acc = 0.0;
+                    for ki in 0..cfg.kernel {
+                        let ii = (oi * cfg.stride + ki) as isize - cfg.pad as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..cfg.kernel {
+                            let jj = (oj * cfg.stride + kj) as isize - cfg.pad as isize;
+                            if jj < 0 || jj >= w as isize {
+                                continue;
+                            }
+                            acc += xv[base + ii as usize * w + jj as usize];
+                        }
+                    }
+                    out[((ni * c + ci) * ho + oi) * wo + oj] = acc / div;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, ho, wo]).expect("avg_pool2d shape")
+}
+
+/// Backward of [`avg_pool2d`]: spreads each output gradient uniformly over
+/// its window (skipping padded positions, which received zeros).
+pub fn avg_pool2d_backward(x_shape: &[usize], dy: &Tensor, cfg: Pool2dCfg) -> Tensor {
+    let (n, c, h, w) = unpack4(x_shape);
+    let (_, _, ho, wo) = unpack4(dy.shape());
+    let mut dx = Tensor::zeros(x_shape);
+    let div = (cfg.kernel * cfg.kernel) as f32;
+    let dyv = dy.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oi in 0..ho {
+                for oj in 0..wo {
+                    let g = dyv[((ni * c + ci) * ho + oi) * wo + oj] / div;
+                    for ki in 0..cfg.kernel {
+                        let ii = (oi * cfg.stride + ki) as isize - cfg.pad as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..cfg.kernel {
+                            let jj = (oj * cfg.stride + kj) as isize - cfg.pad as isize;
+                            if jj < 0 || jj >= w as isize {
+                                continue;
+                            }
+                            dx.data_mut()[base + ii as usize * w + jj as usize] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+///
+/// # Panics
+///
+/// Panics when `x` is not rank 4.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = unpack4(x.shape());
+    let area = (h * w) as f32;
+    let xv = x.data();
+    let mut out = vec![0.0f32; n * c];
+    for (i, o) in out.iter_mut().enumerate() {
+        let plane = &xv[i * h * w..(i + 1) * h * w];
+        *o = plane.iter().sum::<f32>() / area;
+    }
+    Tensor::from_vec(out, &[n, c]).expect("global_avg_pool shape")
+}
+
+/// Backward of [`global_avg_pool`].
+pub fn global_avg_pool_backward(x_shape: &[usize], dy: &Tensor) -> Tensor {
+    let (n, c, h, w) = unpack4(x_shape);
+    assert_eq!(dy.shape(), &[n, c], "global_avg_pool_backward dy shape");
+    let area = (h * w) as f32;
+    let mut dx = Tensor::zeros(x_shape);
+    for (i, &g) in dy.data().iter().enumerate() {
+        let plane = &mut dx.data_mut()[i * h * w..(i + 1) * h * w];
+        let v = g / area;
+        for p in plane {
+            *p = v;
+        }
+    }
+    dx
+}
+
+fn unpack4(shape: &[usize]) -> (usize, usize, usize, usize) {
+    assert_eq!(
+        shape.len(),
+        4,
+        "pooling expects rank-4 input, got {shape:?}"
+    );
+    (shape[0], shape[1], shape[2], shape[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let x = Tensor::from_vec(
+            vec![
+                1., 2., 5., 6., 3., 4., 7., 8., 9., 10., 13., 14., 11., 12., 15., 16.,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (y, arg) = max_pool2d(
+            &x,
+            Pool2dCfg {
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+        );
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4., 8., 12., 16.]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1., 3., 2., 0.], &[1, 1, 2, 2]).unwrap();
+        let (y, arg) = max_pool2d(
+            &x,
+            Pool2dCfg {
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+        );
+        assert_eq!(y.data(), &[3.0]);
+        let dx = max_pool2d_backward(x.shape(), &arg, &Tensor::filled(&[1, 1, 1, 1], 2.0));
+        assert_eq!(dx.data(), &[0., 2., 0., 0.]);
+    }
+
+    #[test]
+    fn avg_pool_averages_windows() {
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 2, 2]).unwrap();
+        let y = avg_pool2d(
+            &x,
+            Pool2dCfg {
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+        );
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let dy = Tensor::filled(&[1, 1, 1, 1], 4.0);
+        let dx = avg_pool2d_backward(
+            x.shape(),
+            &dy,
+            Pool2dCfg {
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+        );
+        assert_eq!(dx.data(), &[1., 1., 1., 1.]);
+    }
+
+    #[test]
+    fn global_avg_pool_and_backward() {
+        let x = Tensor::from_vec(vec![1., 3., 5., 7., 2., 2., 2., 2.], &[1, 2, 2, 2]).unwrap();
+        let y = global_avg_pool(&x);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[4.0, 2.0]);
+        let dx = global_avg_pool_backward(
+            x.shape(),
+            &Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap(),
+        );
+        assert_eq!(dx.data(), &[1., 1., 1., 1., 2., 2., 2., 2.]);
+    }
+
+    #[test]
+    fn padded_max_pool_ignores_padding() {
+        let x = Tensor::filled(&[1, 1, 2, 2], -5.0);
+        let (y, _) = max_pool2d(
+            &x,
+            Pool2dCfg {
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+        );
+        // Padding is -inf for max pooling, so all outputs remain -5.
+        assert!(y.data().iter().all(|&v| v == -5.0));
+    }
+}

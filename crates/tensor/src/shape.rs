@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when tensor shapes are incompatible with an operation.
+///
+/// The message names the operation and the offending shapes so failures in
+/// deep pipelines (e.g. a pruned layer feeding a mis-sized successor) are
+/// diagnosable without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error with a human-readable description.
+    pub fn new(message: impl Into<String>) -> Self {
+        ShapeError {
+            message: message.into(),
+        }
+    }
+
+    /// Builds the conventional "op expected X, got Y" message.
+    pub fn mismatch(op: &str, expected: impl fmt::Debug, got: impl fmt::Debug) -> Self {
+        ShapeError::new(format!("{op}: expected shape {expected:?}, got {got:?}"))
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Computes the number of elements implied by a shape.
+///
+/// A zero-length shape denotes a scalar and has one element.
+pub(crate) fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Computes row-major (C-order) strides for `shape`.
+pub(crate) fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1;
+    for (stride, &dim) in strides.iter_mut().zip(shape.iter()).rev() {
+        *stride = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_of_scalar_is_one() {
+        assert_eq!(num_elements(&[]), 1);
+    }
+
+    #[test]
+    fn num_elements_multiplies_dims() {
+        assert_eq!(num_elements(&[2, 3, 4]), 24);
+        assert_eq!(num_elements(&[5]), 5);
+        assert_eq!(num_elements(&[2, 0, 4]), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[7]), vec![1]);
+        assert!(strides_for(&[]).is_empty());
+    }
+
+    #[test]
+    fn error_display_names_operation() {
+        let err = ShapeError::mismatch("conv2d", [1, 2], [3]);
+        let text = err.to_string();
+        assert!(text.contains("conv2d"), "{text}");
+        assert!(text.contains("[1, 2]"), "{text}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Finite-difference gradient checks for every kernel in `wootz_tensor::ops`.
+//!
+//! Each check perturbs one input element at a time and compares the numeric
+//! directional derivative of a scalar objective against the analytic
+//! gradient. f32 finite differences are noisy, so tolerances are relative
+//! and moderately loose; systematic errors (wrong formula, index bugs) blow
+//! far past them.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wootz_tensor::{init, ops, Tensor};
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+/// Asserts `analytic` matches the central finite difference of `f` w.r.t.
+/// every element of `x`.
+fn check_grad(name: &str, x: &Tensor, analytic: &Tensor, mut f: impl FnMut(&Tensor) -> f32) {
+    assert_eq!(x.shape(), analytic.shape());
+    for i in 0..x.len() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += EPS;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= EPS;
+        let numeric = (f(&xp) - f(&xm)) / (2.0 * EPS);
+        let a = analytic.data()[i];
+        let denom = a.abs().max(numeric.abs()).max(1.0);
+        assert!(
+            (a - numeric).abs() / denom < TOL,
+            "{name}: grad mismatch at {i}: analytic={a}, numeric={numeric}"
+        );
+    }
+}
+
+/// A quadratic scalar objective that exercises all output elements with
+/// distinct weights, so gradient errors cannot cancel.
+fn objective(y: &Tensor) -> f32 {
+    y.data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f32 * 0.01 + 0.5) * v * v)
+        .sum()
+}
+
+/// Upstream gradient of [`objective`].
+fn objective_grad(y: &Tensor) -> Tensor {
+    Tensor::from_fn(y.shape(), |i| 2.0 * (i as f32 * 0.01 + 0.5) * y.data()[i])
+}
+
+#[test]
+fn conv2d_gradients() {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+        let cfg = ops::Conv2dCfg { stride, pad };
+        let x = init::normal(&mut rng, &[2, 3, 5, 5], 0.0, 1.0);
+        let w = init::normal(&mut rng, &[4, 3, 3, 3], 0.0, 0.5);
+        let b = init::normal(&mut rng, &[4], 0.0, 0.5);
+        let y = ops::conv2d(&x, &w, &b, cfg);
+        let dy = objective_grad(&y);
+        let g = ops::conv2d_backward(&x, &w, &dy, cfg);
+
+        check_grad(&format!("conv2d dx s{stride}p{pad}"), &x, &g.dx, |xv| {
+            objective(&ops::conv2d(xv, &w, &b, cfg))
+        });
+        check_grad(&format!("conv2d dw s{stride}p{pad}"), &w, &g.dw, |wv| {
+            objective(&ops::conv2d(&x, wv, &b, cfg))
+        });
+        check_grad(&format!("conv2d db s{stride}p{pad}"), &b, &g.db, |bv| {
+            objective(&ops::conv2d(&x, &w, bv, cfg))
+        });
+    }
+}
+
+#[test]
+fn dense_gradients() {
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    let x = init::normal(&mut rng, &[3, 6], 0.0, 1.0);
+    let w = init::normal(&mut rng, &[4, 6], 0.0, 0.5);
+    let b = init::normal(&mut rng, &[4], 0.0, 0.5);
+    let y = ops::dense(&x, &w, &b);
+    let dy = objective_grad(&y);
+    let g = ops::dense_backward(&x, &w, &dy);
+    check_grad("dense dx", &x, &g.dx, |xv| {
+        objective(&ops::dense(xv, &w, &b))
+    });
+    check_grad("dense dw", &w, &g.dw, |wv| {
+        objective(&ops::dense(&x, wv, &b))
+    });
+    check_grad("dense db", &b, &g.db, |bv| {
+        objective(&ops::dense(&x, &w, bv))
+    });
+}
+
+#[test]
+fn relu_gradient() {
+    let mut rng = ChaCha8Rng::seed_from_u64(44);
+    // Keep inputs away from the kink at 0 for a clean finite difference.
+    let mut x = init::normal(&mut rng, &[2, 3, 4, 4], 0.0, 1.0);
+    x.map_inplace(|v| if v.abs() < 0.1 { v + 0.2 } else { v });
+    let y = ops::relu(&x);
+    let dy = objective_grad(&y);
+    let dx = ops::relu_backward(&x, &dy);
+    check_grad("relu dx", &x, &dx, |xv| objective(&ops::relu(xv)));
+}
+
+#[test]
+fn max_pool_gradient() {
+    let mut rng = ChaCha8Rng::seed_from_u64(45);
+    let x = init::normal(&mut rng, &[2, 2, 4, 4], 0.0, 1.0);
+    let cfg = ops::Pool2dCfg {
+        kernel: 2,
+        stride: 2,
+        pad: 0,
+    };
+    let (y, arg) = ops::max_pool2d(&x, cfg);
+    let dy = objective_grad(&y);
+    let dx = ops::max_pool2d_backward(x.shape(), &arg, &dy);
+    check_grad("max_pool dx", &x, &dx, |xv| {
+        objective(&ops::max_pool2d(xv, cfg).0)
+    });
+}
+
+#[test]
+fn avg_pool_gradient() {
+    let mut rng = ChaCha8Rng::seed_from_u64(46);
+    let x = init::normal(&mut rng, &[1, 2, 4, 4], 0.0, 1.0);
+    let cfg = ops::Pool2dCfg {
+        kernel: 2,
+        stride: 2,
+        pad: 0,
+    };
+    let y = ops::avg_pool2d(&x, cfg);
+    let dy = objective_grad(&y);
+    let dx = ops::avg_pool2d_backward(x.shape(), &dy, cfg);
+    check_grad("avg_pool dx", &x, &dx, |xv| {
+        objective(&ops::avg_pool2d(xv, cfg))
+    });
+}
+
+#[test]
+fn global_avg_pool_gradient() {
+    let mut rng = ChaCha8Rng::seed_from_u64(47);
+    let x = init::normal(&mut rng, &[2, 3, 3, 3], 0.0, 1.0);
+    let y = ops::global_avg_pool(&x);
+    let dy = objective_grad(&y);
+    let dx = ops::global_avg_pool_backward(x.shape(), &dy);
+    check_grad("gap dx", &x, &dx, |xv| objective(&ops::global_avg_pool(xv)));
+}
+
+#[test]
+fn batch_norm_gradients() {
+    let mut rng = ChaCha8Rng::seed_from_u64(48);
+    let x = init::normal(&mut rng, &[3, 2, 3, 3], 1.0, 2.0);
+    let gamma = init::normal(&mut rng, &[2], 1.0, 0.2);
+    let beta = init::normal(&mut rng, &[2], 0.0, 0.2);
+    let eps = 1e-3;
+    let (y, cache) = ops::batch_norm(&x, &gamma, &beta, eps, None);
+    let dy = objective_grad(&y);
+    let (dx, dgamma, dbeta) = ops::batch_norm_backward(&dy, &gamma, &cache);
+    check_grad("bn dx", &x, &dx, |xv| {
+        objective(&ops::batch_norm(xv, &gamma, &beta, eps, None).0)
+    });
+    check_grad("bn dgamma", &gamma, &dgamma, |gv| {
+        objective(&ops::batch_norm(&x, gv, &beta, eps, None).0)
+    });
+    check_grad("bn dbeta", &beta, &dbeta, |bv| {
+        objective(&ops::batch_norm(&x, &gamma, bv, eps, None).0)
+    });
+}
+
+#[test]
+fn softmax_cross_entropy_gradient() {
+    let mut rng = ChaCha8Rng::seed_from_u64(49);
+    let logits = init::normal(&mut rng, &[4, 5], 0.0, 2.0);
+    let labels = vec![0, 2, 4, 1];
+    let out = ops::softmax_cross_entropy(&logits, &labels);
+    check_grad("softmax_ce dlogits", &logits, &out.dlogits, |lv| {
+        ops::softmax_cross_entropy(lv, &labels).loss
+    });
+}
+
+#[test]
+fn mse_gradient() {
+    let mut rng = ChaCha8Rng::seed_from_u64(50);
+    let a = init::normal(&mut rng, &[3, 4], 0.0, 1.0);
+    let b = init::normal(&mut rng, &[3, 4], 0.0, 1.0);
+    let da = ops::mse_loss_backward(&a, &b);
+    check_grad("mse da", &a, &da, |av| ops::mse_loss(av, &b));
+}
+
+#[test]
+fn add_n_gradient() {
+    let mut rng = ChaCha8Rng::seed_from_u64(51);
+    let a = init::normal(&mut rng, &[2, 3], 0.0, 1.0);
+    let b = init::normal(&mut rng, &[2, 3], 0.0, 1.0);
+    let y = ops::add_n(&[&a, &b]).unwrap();
+    let dy = objective_grad(&y);
+    let grads = ops::add_n_backward(&dy, 2);
+    check_grad("add_n da", &a, &grads[0], |av| {
+        objective(&ops::add_n(&[av, &b]).unwrap())
+    });
+}

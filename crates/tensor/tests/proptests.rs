@@ -1,0 +1,117 @@
+//! Property-based tests of algebraic invariants of the tensor kernels.
+
+use proptest::prelude::*;
+use wootz_tensor::{ops, Tensor};
+
+fn small_image() -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-2.0f32..2.0, 2 * 3 * 6 * 6)
+        .prop_map(|v| Tensor::from_vec(v, &[2, 3, 6, 6]).unwrap())
+}
+
+fn small_weight() -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-1.0f32..1.0, 4 * 3 * 3 * 3)
+        .prop_map(|v| Tensor::from_vec(v, &[4, 3, 3, 3]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Convolution with zero bias is linear in its input.
+    #[test]
+    fn conv2d_is_linear_in_input(x in small_image(), y in small_image(), w in small_weight()) {
+        let cfg = ops::Conv2dCfg { stride: 1, pad: 1 };
+        let b = Tensor::zeros(&[4]);
+        let sum = x.add(&y).unwrap();
+        let lhs = ops::conv2d(&sum, &w, &b, cfg);
+        let rhs = ops::conv2d(&x, &w, &b, cfg).add(&ops::conv2d(&y, &w, &b, cfg)).unwrap();
+        for (a, b) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// ReLU is idempotent and non-negative.
+    #[test]
+    fn relu_idempotent(x in small_image()) {
+        let once = ops::relu(&x);
+        let twice = ops::relu(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.data().iter().all(|&v| v >= 0.0));
+    }
+
+    /// Max pooling dominates average pooling over the same windows.
+    #[test]
+    fn max_pool_dominates_avg_pool(x in small_image()) {
+        let cfg = ops::Pool2dCfg { kernel: 2, stride: 2, pad: 0 };
+        let (mx, _) = ops::max_pool2d(&x, cfg);
+        let av = ops::avg_pool2d(&x, cfg);
+        for (m, a) in mx.data().iter().zip(av.data().iter()) {
+            prop_assert!(m + 1e-6 >= *a);
+        }
+    }
+
+    /// Global average pooling preserves the per-channel mean.
+    #[test]
+    fn global_avg_pool_preserves_mean(x in small_image()) {
+        let y = ops::global_avg_pool(&x);
+        let total_from_pool: f32 = y.data().iter().sum::<f32>() * 36.0;
+        prop_assert!((total_from_pool - x.sum()).abs() < 1e-2);
+    }
+
+    /// Channel concat then split is the identity.
+    #[test]
+    fn concat_split_round_trip(a in small_image(), b in small_image()) {
+        let cat = Tensor::concat_axis1(&[&a, &b]).unwrap();
+        let parts = cat.split_axis1(&[3, 3]).unwrap();
+        prop_assert_eq!(&parts[0], &a);
+        prop_assert_eq!(&parts[1], &b);
+    }
+
+    /// Selecting all indices along axis 0 is the identity; selections
+    /// compose.
+    #[test]
+    fn select_axis0_composes(w in small_weight()) {
+        let all: Vec<usize> = (0..4).collect();
+        prop_assert_eq!(&w.select_axis0(&all).unwrap(), &w);
+        let first = w.select_axis0(&[0, 2, 3]).unwrap();
+        let second = first.select_axis0(&[1, 2]).unwrap();
+        let direct = w.select_axis0(&[2, 3]).unwrap();
+        prop_assert_eq!(second, direct);
+    }
+
+    /// Softmax cross-entropy loss is non-negative and shift-invariant.
+    #[test]
+    fn softmax_ce_properties(
+        logits in prop::collection::vec(-5.0f32..5.0, 12),
+        shift in -10.0f32..10.0,
+    ) {
+        let t = Tensor::from_vec(logits.clone(), &[3, 4]).unwrap();
+        let labels = vec![0usize, 1, 3];
+        let out = ops::softmax_cross_entropy(&t, &labels);
+        prop_assert!(out.loss >= -1e-6);
+        let shifted = t.map(|v| v + shift);
+        let out2 = ops::softmax_cross_entropy(&shifted, &labels);
+        prop_assert!((out.loss - out2.loss).abs() < 1e-3);
+    }
+
+    /// SGD with zero learning rate never changes parameters.
+    #[test]
+    fn sgd_zero_lr_is_identity(vals in prop::collection::vec(-1.0f32..1.0, 8)) {
+        use wootz_tensor::sgd::{SgdConfig, SgdState};
+        let mut w = Tensor::from_vec(vals.clone(), &[8]).unwrap();
+        let g = Tensor::ones(&[8]);
+        let mut state = SgdState::new();
+        state.step(&SgdConfig { learning_rate: 0.0, weight_decay: 0.5, momentum: 0.9 }, &mut w, &g);
+        prop_assert_eq!(w.data(), &vals[..]);
+    }
+
+    /// MSE is symmetric and zero iff inputs are equal.
+    #[test]
+    fn mse_symmetry(a in prop::collection::vec(-3.0f32..3.0, 10), b in prop::collection::vec(-3.0f32..3.0, 10)) {
+        let ta = Tensor::from_vec(a, &[10]).unwrap();
+        let tb = Tensor::from_vec(b, &[10]).unwrap();
+        let ab = ops::mse_loss(&ta, &tb);
+        let ba = ops::mse_loss(&tb, &ta);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((ops::mse_loss(&ta, &ta)).abs() < 1e-9);
+    }
+}

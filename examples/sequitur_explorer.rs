@@ -1,0 +1,77 @@
+//! Explore the Sequitur-based hierarchical tuning-block identifier.
+//!
+//! With no arguments, runs the paper's Figure 4 example and then a larger
+//! sampled subspace, printing the inferred grammar, the selected tuning
+//! blocks, the per-network composite vectors and the concurrent
+//! pre-training groups. Pass integers to compress your own sequence:
+//!
+//! ```sh
+//! cargo run -p wootz-bench --example sequitur_explorer -- 1 2 3 1 2 3 1 2
+//! ```
+
+use wootz_core::blocks::{identify_tuning_blocks, partition_into_groups};
+use wootz_core::prune::{sample_subspace, PruneConfig, PAPER_RATES};
+use wootz_sequitur::Sequitur;
+
+fn compress_and_print(input: &[u64]) {
+    let mut s = Sequitur::new();
+    s.extend(input.iter().copied());
+    let grammar = s.grammar();
+    println!("input ({} symbols): {input:?}", input.len());
+    println!("grammar ({} rules):", grammar.rules().len());
+    print!("{}", grammar.render(|t| t.to_string()));
+    let total: usize = grammar.rules().iter().map(|r| r.body.len()).sum();
+    println!("total grammar size: {total} symbols\n");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    if !args.is_empty() {
+        compress_and_print(&args);
+        return Ok(());
+    }
+
+    println!("--- plain Sequitur on a repetitive sequence ---");
+    compress_and_print(&[1, 2, 3, 4, 2, 3, 1, 2, 3, 4, 2, 3]);
+
+    println!("--- the paper's Figure 4 example ---");
+    println!("{}", wootz_bench::simrep::fig4_report());
+
+    println!("--- tuning-block identification on a sampled subspace ---");
+    let configs = sample_subspace(8, &PAPER_RATES, 12, 42);
+    for (i, c) in configs.iter().enumerate() {
+        println!("network {i:2}: rates {:?}", c.rates());
+    }
+    let set = identify_tuning_blocks(&configs)?;
+    println!("\nselected {} tuning blocks:", set.blocks.len());
+    for block in &set.blocks {
+        println!("  {}", block.key());
+    }
+    println!("\ncomposite vectors (blocks each network can reuse):");
+    for comp in &set.composites {
+        let parts: Vec<String> = comp
+            .parts
+            .iter()
+            .map(|p| format!("@{}:{}", p.start_module, set.blocks[p.block_index].key()))
+            .collect();
+        println!("  network {:2}: {}", comp.config_index, parts.join(" "));
+    }
+    let groups = partition_into_groups(&set.blocks);
+    println!("\nconcurrent pre-training groups (non-overlapping blocks train together):");
+    for (gi, group) in groups.iter().enumerate() {
+        let keys: Vec<String> = group.iter().map(|&b| set.blocks[b].key()).collect();
+        println!("  group {gi}: {}", keys.join(", "));
+    }
+
+    // Show how an encoded configuration round-trips.
+    let config = PruneConfig::new(vec![30, 0, 70])?;
+    println!(
+        "\nterminal encoding of rates {:?}: {:?}",
+        config.rates(),
+        config.terminals()
+    );
+    Ok(())
+}

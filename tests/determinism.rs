@@ -1,0 +1,72 @@
+//! Determinism guarantees: every experiment in this workspace is a pure
+//! function of its seed, across real training and simulation.
+
+use wootz_core::pipeline::{run_wootz, RunMode, WootzInputs};
+use wootz_core::prune::{sample_subspace, PAPER_RATES};
+use wootz_data::micro_dataset;
+use wootz_ir::{Objective, SolverConfig};
+use wootz_sim::{simulate_pruning, SimExperiment};
+
+fn inputs(seed: u64) -> WootzInputs {
+    let model = wootz_models::resnet_mini(8);
+    let n = model.conv_module_ids().len();
+    WootzInputs {
+        subspace: sample_subspace(n, &PAPER_RATES, 3, seed),
+        solver: SolverConfig {
+            dataset: "flowers102".into(),
+            max_iter: 40,
+            batch_size: 8,
+            pretrain_iter: 15,
+            eval_every: 10,
+            seed,
+            ..SolverConfig::default()
+        },
+        objective: Objective::min_size_with_accuracy(0.3),
+        model,
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_in_its_seed() {
+    let dataset = micro_dataset("flowers102", 21);
+    let a = run_wootz(&inputs(21), &dataset, RunMode::Composability, None).unwrap();
+    let b = run_wootz(&inputs(21), &dataset, RunMode::Composability, None).unwrap();
+    assert_eq!(a.full_accuracy, b.full_accuracy);
+    assert_eq!(a.exploration.evaluated.len(), b.exploration.evaluated.len());
+    for (ra, rb) in a.exploration.evaluated.iter().zip(&b.exploration.evaluated) {
+        assert_eq!(ra.config_index, rb.config_index);
+        assert_eq!(ra.outcome.model_size, rb.outcome.model_size);
+        assert_eq!(ra.outcome.accuracy, rb.outcome.accuracy);
+    }
+    assert_eq!(
+        a.best.as_ref().map(|x| (x.config_index, x.model_size)),
+        b.best.as_ref().map(|x| (x.config_index, x.model_size))
+    );
+}
+
+#[test]
+fn different_seeds_give_different_subspaces() {
+    let a = inputs(1).subspace;
+    let b = inputs(2).subspace;
+    assert_ne!(a, b);
+}
+
+#[test]
+fn simulator_is_deterministic_and_seed_sensitive() {
+    let exp = SimExperiment::table3("resnet50", "cars", 0.0, 4, 17);
+    assert_eq!(simulate_pruning(&exp), simulate_pruning(&exp));
+    let other = SimExperiment::table3("resnet50", "cars", 0.0, 4, 18);
+    // Different seeds change the sampled subspace, so the full results
+    // differ (chosen sizes and accuracies are seed-dependent).
+    assert_ne!(simulate_pruning(&exp), simulate_pruning(&other));
+}
+
+#[test]
+fn dataset_streams_are_stable_across_instances() {
+    let a = micro_dataset("cub200", 9);
+    let b = micro_dataset("cub200", 9);
+    let (xa, ya) = a.train_batch(3, 4);
+    let (xb, yb) = b.train_batch(3, 4);
+    assert_eq!(xa, xb);
+    assert_eq!(ya, yb);
+}

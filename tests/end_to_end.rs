@@ -1,0 +1,140 @@
+//! Workspace integration tests: the full Wootz pipeline from Prototxt text
+//! to a chosen pruned network, across crates.
+
+use wootz_core::compile::{ModeToUse, MultiplexingModel};
+use wootz_core::pipeline::{run_wootz, RunMode, WootzInputs};
+use wootz_core::prune::{config_param_count, sample_subspace, PAPER_RATES};
+use wootz_data::micro_dataset;
+use wootz_ir::{ModelIr, Objective, SolverConfig};
+use wootz_nn::{forward, Mode};
+use wootz_tensor::Tensor;
+
+fn micro_solver(dataset: &str, steps: usize) -> SolverConfig {
+    SolverConfig {
+        dataset: dataset.into(),
+        base_lr: 0.03,
+        max_iter: steps,
+        batch_size: 8,
+        pretrain_lr: 0.02,
+        pretrain_iter: 30,
+        eval_every: 20,
+        seed: 11,
+        ..SolverConfig::default()
+    }
+}
+
+/// Prototxt text -> IR -> multiplexing model -> pipeline -> best network,
+/// entirely through public APIs.
+#[test]
+fn prototxt_to_best_network() {
+    let ir = wootz_models::resnet_mini(8);
+    // Round-trip the model through its textual form, as a user would.
+    let text = ir.to_prototxt();
+    let model = ModelIr::parse(&text).expect("generated prototxt parses");
+    assert_eq!(model, ir);
+
+    let n = model.conv_module_ids().len();
+    let inputs = WootzInputs {
+        subspace: sample_subspace(n, &PAPER_RATES, 4, 11),
+        solver: micro_solver("flowers102", 120),
+        objective: Objective::parse("min ModelSize\nconstraint Accuracy >= 0.3").unwrap(),
+        model,
+    };
+    let dataset = micro_dataset("flowers102", 11);
+    let run = run_wootz(&inputs, &dataset, RunMode::Composability, None).unwrap();
+    let best = run.best.expect("an easy threshold is reachable");
+    // The chosen network is the smallest satisfying one: nothing evaluated
+    // and satisfying may be smaller.
+    for rec in &run.exploration.evaluated {
+        if rec.satisfies {
+            assert!(best.model_size <= rec.outcome.model_size);
+        }
+    }
+    // Sizes agree with the analytic model.
+    let expected = config_param_count(&inputs.model, &inputs.subspace[best.config_index]).unwrap();
+    assert_eq!(best.model_size, expected);
+}
+
+/// The three pipeline modes agree on which configurations they explore
+/// (ordering is objective-driven, not scheme-driven).
+#[test]
+fn schemes_explore_in_the_same_order() {
+    let model = wootz_models::resnet_mini(8);
+    let n = model.conv_module_ids().len();
+    let inputs = WootzInputs {
+        subspace: sample_subspace(n, &PAPER_RATES, 4, 3),
+        solver: micro_solver("flowers102", 40),
+        // Unreachable target: both schemes must exhaust the subspace.
+        objective: Objective::parse("min ModelSize\nconstraint Accuracy >= 0.999").unwrap(),
+        model,
+    };
+    let dataset = micro_dataset("flowers102", 3);
+    let a = run_wootz(&inputs, &dataset, RunMode::Baseline, None).unwrap();
+    let b = run_wootz(&inputs, &dataset, RunMode::Composability, None).unwrap();
+    let order_a: Vec<usize> = a
+        .exploration
+        .evaluated
+        .iter()
+        .map(|r| r.config_index)
+        .collect();
+    let order_b: Vec<usize> = b
+        .exploration
+        .evaluated
+        .iter()
+        .map(|r| r.config_index)
+        .collect();
+    assert_eq!(order_a, order_b);
+    assert_eq!(order_a.len(), 4);
+    assert!(a.best.is_none());
+    assert!(b.best.is_none());
+}
+
+/// The generated Python artifact and the executable graph exist for every
+/// mini model, and the executable graph runs in all three modes.
+#[test]
+fn codegen_and_executable_twins() {
+    for ir in wootz_models::all_mini_models(6) {
+        let py = wootz_core::codegen::emit_python(&ir);
+        assert!(py.contains(&format!("def {}(", ir.name())), "{}", ir.name());
+        let n = ir.conv_module_ids().len();
+        let mm = MultiplexingModel::compile(ir).unwrap();
+        let built = mm.build(&ModeToUse::Original, 5).unwrap();
+        let x = Tensor::zeros(&[1, 3, 16, 16]);
+        let mut vars = built.vars;
+        let pass = forward(&built.graph, &mut vars, &[("data", &x)], Mode::Eval).unwrap();
+        assert_eq!(pass.activation(built.logits.unwrap()).shape(), &[1, 6]);
+        let config = wootz_core::prune::PruneConfig::uniform(n, 70).unwrap();
+        mm.build(&ModeToUse::FineTune(&config), 5).unwrap();
+        let blocks = vec![wootz_core::compile::TuningBlock::new(0, vec![(0, 50)]).unwrap()];
+        mm.build(&ModeToUse::PreTrain(&blocks), 5).unwrap();
+    }
+}
+
+/// Objective direction flips the exploration order end to end.
+#[test]
+fn max_accuracy_explores_largest_first() {
+    let model = wootz_models::resnet_mini(8);
+    let n = model.conv_module_ids().len();
+    let subspace = sample_subspace(n, &PAPER_RATES, 4, 9);
+    let sizes: Vec<usize> = subspace
+        .iter()
+        .map(|c| config_param_count(&model, c).unwrap())
+        .collect();
+    let inputs = WootzInputs {
+        subspace,
+        solver: micro_solver("flowers102", 30),
+        objective: Objective::parse("max Accuracy\nconstraint ModelSize >= 99999999").unwrap(),
+        model,
+    };
+    let dataset = micro_dataset("flowers102", 9);
+    let run = run_wootz(&inputs, &dataset, RunMode::Baseline, None).unwrap();
+    let explored: Vec<usize> = run
+        .exploration
+        .evaluated
+        .iter()
+        .map(|r| r.outcome.model_size)
+        .collect();
+    let mut expected = sizes;
+    expected.sort_unstable_by(|a, b| b.cmp(a));
+    assert_eq!(explored, expected, "largest models first");
+}
