@@ -26,6 +26,7 @@ struct Args {
     quick: bool,
     seed: u64,
     json_dir: Option<std::path::PathBuf>,
+    metrics_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
     let mut quick = false;
     let mut seed = 7u64;
     let mut json_dir = None;
+    let mut metrics_out = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--quick" => quick = true,
@@ -45,6 +47,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--json needs a directory".to_string())?;
                 json_dir = Some(std::path::PathBuf::from(v));
             }
+            "--metrics-out" => {
+                let v = args.next().ok_or("--metrics-out needs a path".to_string())?;
+                metrics_out = Some(std::path::PathBuf::from(v));
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -53,12 +59,13 @@ fn parse_args() -> Result<Args, String> {
         quick,
         seed,
         json_dir,
+        metrics_out,
     })
 }
 
 fn usage() -> String {
     "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|verify|all> \
-     [--quick] [--seed N] [--json <dir>]"
+     [--quick] [--seed N] [--json <dir>] [--metrics-out <path>]"
         .to_string()
 }
 
@@ -70,6 +77,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.metrics_out.is_some() {
+        wootz_obs::enable();
+    }
+    let code = dispatch(&args);
+    if let Some(path) = &args.metrics_out {
+        eprintln!("{}", wootz_obs::snapshot().summary());
+        match wootz_obs::write_metrics(path) {
+            Ok(()) => eprintln!("metrics written to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write metrics `{}`: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    code
+}
+
+fn dispatch(args: &Args) -> ExitCode {
     let mut micro = if args.quick {
         MicroOpts::quick()
     } else {

@@ -25,6 +25,12 @@
 //! Configuration files are JSON arrays of per-module rate vectors, e.g.
 //! `[[30, 0, 50, 70], [50, 50, 0, 30]]` — the open-format equivalent of
 //! the pickled Python lists the paper's compiler accepts (Figure 3 (a)).
+//!
+//! Every command additionally accepts `--metrics-out <path>`: it enables
+//! span/event tracing for the run, writes the full `wootz-obs` report to
+//! `<path>` on exit (NDJSON when the extension is `.ndjson`/`.jsonl`,
+//! pretty JSON otherwise) and prints a human-readable summary table to
+//! stderr. See `OBSERVABILITY.md` for the schema and naming scheme.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -50,11 +56,16 @@ type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 fn run() -> CliResult {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--metrics-out` is global: it may appear anywhere on the command line.
+    let metrics_out: Option<PathBuf> = take_flag(&mut args, "--metrics-out").map(Into::into);
+    if metrics_out.is_some() {
+        wootz_obs::enable();
+    }
     if args.is_empty() {
         return Err(usage().into());
     }
     let command = args.remove(0);
-    match command.as_str() {
+    let result = match command.as_str() {
         "compile" => cmd_compile(args),
         "sample" => cmd_sample(args),
         "identify" => cmd_identify(args),
@@ -64,11 +75,20 @@ fn run() -> CliResult {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
+    };
+    // Export even when the command failed: a partial trace is exactly what
+    // one wants when debugging an aborted run.
+    if let Some(path) = &metrics_out {
+        eprintln!("{}", wootz_obs::snapshot().summary());
+        wootz_obs::write_metrics(path)
+            .map_err(|e| format!("cannot write metrics `{}`: {e}", path.display()))?;
+        eprintln!("metrics written to {}", path.display());
     }
+    result
 }
 
 fn usage() -> &'static str {
-    "usage: wootz <compile|sample|identify|prune|help> [options]\n\
+    "usage: wootz <compile|sample|identify|prune|help> [options] [--metrics-out <path>]\n\
      run `wootz help` for per-command options"
 }
 

@@ -107,6 +107,9 @@ where
 {
     let order = exploration_order(objective, sizes);
     let p = workers.max(1);
+    let _run = wootz_obs::span("explore.run")
+        .with("configs", order.len())
+        .with("workers", p);
     let mut result = ExplorationResult {
         evaluated: Vec::new(),
         best: None,
@@ -116,12 +119,19 @@ where
     };
     let mut worker_cost = vec![0.0f64; p];
     let mut pos = 0;
+    let mut round_index = 0usize;
     while pos < order.len() {
         let round: Vec<usize> = order[pos..(pos + p).min(order.len())].to_vec();
         pos += round.len();
+        let _round_span = wootz_obs::span("explore.round")
+            .with("round", round_index)
+            .with("configs", round.len());
         let mut found = false;
         for (wi, &config_index) in round.iter().enumerate() {
-            let outcome = evaluate(config_index)?;
+            let outcome = {
+                let _cfg_span = wootz_obs::span("explore.config").with("config", config_index);
+                evaluate(config_index)?
+            };
             let satisfies = objective.satisfied(&Measurements {
                 model_size: outcome.model_size as f64,
                 accuracy: outcome.accuracy,
@@ -136,6 +146,13 @@ where
                 satisfies,
             });
         }
+        wootz_obs::event("explore.progress")
+            .field("round", round_index)
+            .field("evaluated", result.evaluated.len())
+            .field("total_cost", result.total_cost)
+            .field("found", found)
+            .emit();
+        round_index += 1;
         if found {
             break;
         }
@@ -167,6 +184,9 @@ where
 {
     let order = exploration_order(objective, sizes);
     let p = workers.max(1);
+    let _run = wootz_obs::span("explore.run")
+        .with("configs", order.len())
+        .with("workers", p);
     let mut result = ExplorationResult {
         evaluated: Vec::new(),
         best: None,
@@ -177,13 +197,26 @@ where
     let evaluate = &evaluate;
     let mut worker_cost = vec![0.0f64; p];
     let mut pos = 0;
+    let mut round_index = 0usize;
     while pos < order.len() {
         let round: Vec<usize> = order[pos..(pos + p).min(order.len())].to_vec();
         pos += round.len();
+        let _round_span = wootz_obs::span("explore.round")
+            .with("round", round_index)
+            .with("configs", round.len());
         let outcomes: Vec<Result<EvalOutcome>> = std::thread::scope(|scope| {
             let handles: Vec<_> = round
                 .iter()
-                .map(|&config_index| scope.spawn(move || evaluate(config_index)))
+                .map(|&config_index| {
+                    scope.spawn(move || {
+                        // Worker threads have their own span stacks, so each
+                        // evaluation shows up as a top-level span tagged with
+                        // its configuration index.
+                        let _cfg_span =
+                            wootz_obs::span("explore.config").with("config", config_index);
+                        evaluate(config_index)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -207,6 +240,13 @@ where
                 satisfies,
             });
         }
+        wootz_obs::event("explore.progress")
+            .field("round", round_index)
+            .field("evaluated", result.evaluated.len())
+            .field("total_cost", result.total_cost)
+            .field("found", found)
+            .emit();
+        round_index += 1;
         if found {
             break;
         }

@@ -89,6 +89,7 @@ pub fn train_full_model(
     dataset: &Dataset,
     solver: &SolverConfig,
 ) -> Result<(Checkpoint, f64, TrainLog)> {
+    let _span = wootz_obs::span("pipeline.full_model").with("max_iter", solver.max_iter);
     let mut built = mm.build(&ModeToUse::Original, solver.seed)?;
     let cfg = TrainConfig {
         max_steps: solver.max_iter,
@@ -161,7 +162,14 @@ pub fn run_wootz(
     mode: RunMode,
     full: Option<(Checkpoint, f64)>,
 ) -> Result<WootzRun> {
-    let mm = MultiplexingModel::compile(inputs.model.clone())?;
+    let _run = wootz_obs::span("pipeline.run")
+        .with("mode", format!("{mode:?}"))
+        .with("configs", inputs.subspace.len())
+        .with("workers", inputs.solver.num_workers);
+    let mm = {
+        let _compile = wootz_obs::span("pipeline.compile");
+        MultiplexingModel::compile(inputs.model.clone())?
+    };
     let (full_ckpt, full_accuracy) = match full {
         Some((c, a)) => (c, a),
         None => {
@@ -171,10 +179,13 @@ pub fn run_wootz(
     };
 
     // Phase 1-2: block identification and pre-training.
-    let block_set: Option<BlockSet> = match mode {
-        RunMode::Baseline => None,
-        RunMode::Composability => Some(module_level_blocks(&inputs.subspace)),
-        RunMode::ComposabilityHierarchical => Some(identify_tuning_blocks(&inputs.subspace)?),
+    let block_set: Option<BlockSet> = {
+        let _ident = wootz_obs::span("pipeline.identify_blocks");
+        match mode {
+            RunMode::Baseline => None,
+            RunMode::Composability => Some(module_level_blocks(&inputs.subspace)),
+            RunMode::ComposabilityHierarchical => Some(identify_tuning_blocks(&inputs.subspace)?),
+        }
     };
     let mut pretrain_steps = 0usize;
     let pretrained = match &block_set {
@@ -280,6 +291,11 @@ pub fn run_wootz(
         inputs.solver.num_workers,
         evaluate,
     )?;
+    wootz_obs::event("pipeline.explored")
+        .field("configs_explored", exploration.configs_explored)
+        .field("wall_cost", exploration.wall_cost)
+        .field("total_cost", exploration.total_cost)
+        .emit();
 
     let best = exploration.best.map(|i| {
         let record = &exploration.evaluated[i];

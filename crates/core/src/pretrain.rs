@@ -85,6 +85,9 @@ pub fn pretrain_blocks(
     next_batch: impl Fn(usize) -> Tensor + Sync,
 ) -> Result<PretrainOutcome> {
     let groups = partition_into_groups(blocks);
+    let _run = wootz_obs::span("pretrain.run")
+        .with("blocks", blocks.len())
+        .with("groups", groups.len());
     let mut outcome = PretrainOutcome {
         groups: groups.clone(),
         ..PretrainOutcome::default()
@@ -117,6 +120,9 @@ pub fn pretrain_blocks_parallel(
     next_batch: impl Fn(usize) -> Tensor + Sync,
 ) -> Result<PretrainOutcome> {
     let groups = partition_into_groups(blocks);
+    let _run = wootz_obs::span("pretrain.run")
+        .with("blocks", blocks.len())
+        .with("groups", groups.len());
     let mut outcome = PretrainOutcome {
         groups: groups.clone(),
         ..PretrainOutcome::default()
@@ -156,6 +162,13 @@ fn pretrain_one_group(
     cfg: &PretrainConfig,
     next_batch: &(impl Fn(usize) -> Tensor + Sync),
 ) -> Result<PretrainOutcome> {
+    // Parallel pre-training spawns one thread per group, so this span lands
+    // on its own thread-local stack; `pretrain.run` still brackets the whole
+    // wall-clock interval on the calling thread.
+    let _group_span = wootz_obs::span("pretrain.group")
+        .with("group", group_index)
+        .with("blocks", group.len())
+        .with("steps", cfg.steps);
     let mut outcome = PretrainOutcome::default();
     let module_ids = mm.ir().conv_module_ids();
     {
@@ -228,6 +241,14 @@ fn pretrain_one_group(
         outcome.total_steps += cfg.steps;
 
         for (bi, block) in group_blocks.iter().enumerate() {
+            let _block_span = wootz_obs::span("pretrain.block")
+                .with("key", block.key())
+                .with("group", group_index);
+            wootz_obs::event("pretrain.block_done")
+                .field("key", block.key())
+                .field("first_loss", f64::from(first_losses[bi].unwrap_or(f32::NAN)))
+                .field("last_loss", f64::from(last_losses[bi]))
+                .emit();
             let prefix = format!("{}/", block.scope());
             outcome
                 .checkpoints

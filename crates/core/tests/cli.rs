@@ -130,6 +130,98 @@ fn prune_end_to_end_writes_results() {
 }
 
 #[test]
+fn prune_with_metrics_out_writes_parseable_ndjson() {
+    let dir = tempdir("metrics");
+    let model = write_model(&dir);
+    let configs = dir.join("configs.json");
+    std::fs::write(&configs, "[[30,30,30,30],[70,70,70,70]]").unwrap();
+    let solver = dir.join("solver.prototxt");
+    std::fs::write(
+        &solver,
+        "dataset: \"flowers102\"\nbase_lr: 0.03\nmax_iter: 20\nbatch_size: 8\npretrain_iter: 6\neval_every: 10\nseed: 3\n",
+    )
+    .unwrap();
+    let objective = dir.join("objective.txt");
+    std::fs::write(&objective, "min ModelSize\nconstraint Accuracy >= 0.1\n").unwrap();
+    let metrics = dir.join("metrics.ndjson");
+    let out = wootz()
+        .args(["prune", "--model"])
+        .arg(&model)
+        .args(["--configs"])
+        .arg(&configs)
+        .args(["--solver"])
+        .arg(&solver)
+        .args(["--objective"])
+        .arg(&objective)
+        .args(["--mode", "composability", "--metrics-out"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert_success(&out);
+    // The summary table goes to stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("wootz-obs summary"), "{stderr}");
+
+    // Every NDJSON line parses and carries the schema version + kind.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let mut span_names = std::collections::BTreeSet::new();
+    let mut counter_names = std::collections::BTreeSet::new();
+    let mut event_names = std::collections::BTreeSet::new();
+    let mut histogram_names = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(v["v"].as_u64(), Some(1), "{line}");
+        let kind = v["kind"].as_str().unwrap().to_string();
+        let name = v["name"].as_str().unwrap_or_default().to_string();
+        match kind.as_str() {
+            "span" => {
+                span_names.insert(name);
+            }
+            "counter" => {
+                counter_names.insert(name);
+            }
+            "event" => {
+                event_names.insert(name);
+            }
+            "histogram" => {
+                histogram_names.insert(name);
+            }
+            _ => {}
+        }
+    }
+    // The top-level pipeline phases show up as spans...
+    for expected in [
+        "pipeline.run",
+        "pipeline.full_model",
+        "pipeline.identify_blocks",
+        "pretrain.run",
+        "pretrain.group",
+        "pretrain.block",
+        "explore.run",
+        "explore.round",
+        "explore.config",
+        "trainer.run",
+    ] {
+        assert!(span_names.contains(expected), "missing span {expected}: {span_names:?}");
+    }
+    // ...the kernel FLOP accounting as counters...
+    for expected in ["tensor.conv2d.calls", "tensor.conv2d.flops", "tensor.conv2d.bytes"] {
+        assert!(
+            counter_names.contains(expected),
+            "missing counter {expected}: {counter_names:?}"
+        );
+    }
+    // ...and the trainer telemetry as events + a step-time histogram.
+    assert!(event_names.contains("trainer.eval"), "{event_names:?}");
+    assert!(event_names.contains("explore.progress"), "{event_names:?}");
+    assert!(
+        histogram_names.contains("trainer.step_time_us"),
+        "{histogram_names:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_inputs_fail_with_messages() {
     let out = wootz().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

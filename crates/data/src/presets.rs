@@ -1,14 +1,17 @@
 //! Micro-scale analogues of the paper's five datasets, plus the reference
 //! statistics of Table 1 for side-by-side reporting.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::dataset::{Dataset, DatasetSpec};
 
 /// One row of the paper's Table 1 (dataset statistics), kept verbatim for
 /// the Table 1 reproduction harness to print next to our synthetic
 /// analogues.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` name cannot be borrowed from a
+/// transient JSON input, and nothing ever parses these rows back.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PaperDatasetRow {
     /// Dataset name as in the paper.
     pub name: &'static str,

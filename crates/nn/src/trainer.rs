@@ -148,6 +148,15 @@ pub fn evaluate_accuracy(
 /// given, which is how the composability experiments measure `init` vs
 /// `init+`).
 ///
+/// # Observability
+///
+/// Each call opens a `trainer.run` span, counts SGD steps on
+/// `trainer.steps`, records per-step wall time in the
+/// `trainer.step_time_us` histogram, and emits a `trainer.eval` event
+/// (fields `step`, `loss`, `accuracy`) at every evaluation point. Events
+/// and spans only materialize after [`wootz_obs::enable`]; the metrics are
+/// always on. See `OBSERVABILITY.md`.
+///
 /// # Errors
 ///
 /// Propagates graph-execution errors.
@@ -160,6 +169,9 @@ pub fn train_classifier(
     mut next_batch: impl FnMut(usize) -> (Tensor, Vec<usize>),
     eval_data: Option<(&Tensor, &[usize])>,
 ) -> Result<TrainLog> {
+    let _run = wootz_obs::span("trainer.run").with("max_steps", cfg.max_steps);
+    let steps_counter = wootz_obs::counter("trainer.steps");
+    let step_time = wootz_obs::histogram("trainer.step_time_us");
     let mut log = TrainLog::default();
     if let Some((images, labels)) = eval_data {
         log.initial_accuracy = Some(evaluate_accuracy(
@@ -177,6 +189,7 @@ pub fn train_classifier(
         });
     }
     for step in 0..cfg.max_steps {
+        let step_start = std::time::Instant::now();
         let (images, labels) = next_batch(step);
         let pass = forward(graph, vars, &[(input_name, &images)], Mode::Train)?;
         let out = ops::softmax_cross_entropy(pass.activation(logits_node), &labels);
@@ -189,6 +202,8 @@ pub fn train_classifier(
             ..cfg.sgd
         };
         vars.sgd_step(&sgd);
+        steps_counter.incr();
+        step_time.record(step_start.elapsed().as_micros() as u64);
         log.steps_run = step + 1;
         let should_eval = cfg.eval_every > 0 && (step + 1) % cfg.eval_every == 0;
         if should_eval {
@@ -203,6 +218,13 @@ pub fn train_classifier(
                 )?),
                 None => None,
             };
+            let mut ev = wootz_obs::event("trainer.eval")
+                .field("step", step + 1)
+                .field("loss", out.loss as f64);
+            if let Some(a) = accuracy {
+                ev = ev.field("accuracy", a as f64);
+            }
+            ev.emit();
             log.records.push(TrainRecord {
                 step: step + 1,
                 loss: out.loss,

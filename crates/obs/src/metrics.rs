@@ -1,0 +1,301 @@
+//! Always-on scalar metrics: counters, gauges and log-bucketed histograms.
+//!
+//! All three types are cheap cloneable handles over atomically-updated
+//! shared state, so hot paths can cache a handle once (e.g. in a
+//! `OnceLock`) and update it without ever touching the registry map or a
+//! lock again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotone event/quantity counter.
+///
+/// Updates are single relaxed `fetch_add`s, cheap enough for per-kernel-call
+/// accounting (FLOPs, bytes, steps).
+///
+/// ```
+/// let c = wootz_obs::counter("doc.example.flops");
+/// c.add(128);
+/// c.add(64);
+/// assert_eq!(c.get(), 192);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// New free-standing counter at zero (registry-attached counters come
+    /// from [`crate::counter`] / [`crate::Registry::counter`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (used by [`crate::reset`]).
+    pub(crate) fn zero(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins instantaneous measurement (an `f64` behind its bit
+/// pattern in an `AtomicU64`), e.g. simulated-cluster utilization.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// New free-standing gauge at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `value`.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Latest stored value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn zero(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two buckets: bucket 0 holds the value 0 and bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i)`, covering the full `u64` range.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Lock-free histogram of `u64` samples with power-of-two buckets.
+///
+/// Quantile estimates interpolate linearly inside the matched bucket, so
+/// they carry at most ~2x relative error; exact `count`, `sum`, `min` and
+/// `max` are tracked separately. The unit of the samples is whatever the
+/// caller records (the metric name should say, e.g. `*.step_time_us`).
+///
+/// ```
+/// let h = wootz_obs::histogram("doc.example.latency_us");
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.quantile(0.5);
+/// assert!((25..=100).contains(&p50), "p50 estimate {p50}");
+/// assert!(h.quantile(0.9) >= p50);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: [const { AtomicU64::new(0) }; BUCKETS],
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// Bucket index for a sample.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Lower/upper bounds (inclusive/exclusive) of bucket `i`.
+fn bucket_range(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        (1u64 << (i - 1), if i >= 64 { u64::MAX } else { 1u64 << i })
+    }
+}
+
+impl Histogram {
+    /// New free-standing histogram (registry-attached ones come from
+    /// [`crate::histogram`] / [`crate::Registry::histogram`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &self.inner;
+        inner.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        let m = self.inner.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`), interpolated inside the
+    /// matched power-of-two bucket and clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let q = q.clamp(0.0, 1.0);
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            let in_bucket = self.inner.buckets[i].load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket >= target {
+                let (lo, hi) = bucket_range(i);
+                let frac = (target - seen) as f64 / in_bucket as f64;
+                let est = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
+                return (est as u64).clamp(self.min(), self.max());
+            }
+            seen += in_bucket;
+        }
+        self.max()
+    }
+
+    pub(crate) fn zero(&self) {
+        for b in &self.inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.inner.count.store(0, Ordering::Relaxed);
+        self.inner.sum.store(0, Ordering::Relaxed);
+        self.inner.min.store(u64::MAX, Ordering::Relaxed);
+        self.inner.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        c.zero();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        g.set(0.25);
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+    }
+
+    #[test]
+    fn bucket_layout_is_exhaustive() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let (lo, hi) = bucket_range(bucket_of(v));
+            assert!(lo <= v && (v < hi || hi == u64::MAX), "{v}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let (p50, p90, p99) = (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // Log-bucket interpolation: within 2x of the exact quantile.
+        assert!((250..=1000).contains(&p50), "p50 {p50}");
+        assert!((450..=1000).contains(&p90), "p90 {p90}");
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Hierarchical RAII span timers and point events.
+//!
+//! Spans nest per thread: a thread-local stack tracks the active span
+//! names, so each finished span records its full slash-joined path (e.g.
+//! `pipeline.run/pipeline.pretrain/pretrain.block`). Threads spawned inside
+//! a span start a fresh stack; their spans are roots of that thread's
+//! hierarchy (the records still carry a thread label).
+//!
+//! Spans and events are recorded only while the owning [`Registry`] is
+//! enabled; a disabled registry hands out no-op guards that skip even the
+//! clock read.
+
+use crate::report::{EventRecord, FieldValue, SpanRecord};
+use crate::Registry;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Label for the current thread: its name, or its id for unnamed threads.
+pub(crate) fn thread_label() -> String {
+    let current = std::thread::current();
+    match current.name() {
+        Some(name) => name.to_string(),
+        None => format!("{:?}", current.id()),
+    }
+}
+
+/// RAII timer for one region of work (see [`crate::span`]).
+///
+/// While alive, the span is part of every nested span's path. On drop it
+/// records its duration and attached fields. A span created while the
+/// registry is disabled is inert and costs two branch instructions.
+#[must_use = "a span measures the scope it lives in; bind it with `let _span = ...`"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    registry: &'static Registry,
+    name: String,
+    path: String,
+    depth: usize,
+    start: Instant,
+    fields: BTreeMap<String, FieldValue>,
+}
+
+impl Span {
+    pub(crate) fn noop() -> Self {
+        Span { active: None }
+    }
+
+    pub(crate) fn start(registry: &'static Registry, name: &str) -> Self {
+        let (path, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let depth = stack.len();
+            let path = if stack.is_empty() {
+                name.to_string()
+            } else {
+                format!("{}/{}", stack.join("/"), name)
+            };
+            stack.push(name.to_string());
+            (path, depth)
+        });
+        Span {
+            active: Some(ActiveSpan {
+                registry,
+                name: name.to_string(),
+                path,
+                depth,
+                start: Instant::now(),
+                fields: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Attaches a key/value annotation recorded with the span.
+    pub fn with(mut self, key: &str, value: impl Into<FieldValue>) -> Self {
+        if let Some(active) = &mut self.active {
+            active.fields.insert(key.to_string(), value.into());
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let record = SpanRecord {
+            name: active.name,
+            path: active.path,
+            depth: active.depth,
+            thread: thread_label(),
+            start_us: active.registry.micros_since_epoch(active.start),
+            dur_us: active.start.elapsed().as_micros() as u64,
+            fields: active.fields,
+        };
+        active.registry.push_span(record);
+    }
+}
+
+/// Builder for a point-in-time event (see [`crate::event`]); call
+/// [`emit`](EventBuilder::emit) to record it.
+#[must_use = "an event is only recorded when `.emit()` is called"]
+pub struct EventBuilder {
+    active: Option<(&'static Registry, EventRecord)>,
+}
+
+impl EventBuilder {
+    pub(crate) fn noop() -> Self {
+        EventBuilder { active: None }
+    }
+
+    pub(crate) fn start(registry: &'static Registry, name: &str) -> Self {
+        let record = EventRecord {
+            name: name.to_string(),
+            ts_us: registry.micros_since_epoch(Instant::now()),
+            thread: thread_label(),
+            fields: BTreeMap::new(),
+        };
+        EventBuilder {
+            active: Some((registry, record)),
+        }
+    }
+
+    /// Attaches a key/value annotation.
+    pub fn field(mut self, key: &str, value: impl Into<FieldValue>) -> Self {
+        if let Some((_, record)) = &mut self.active {
+            record.fields.insert(key.to_string(), value.into());
+        }
+        self
+    }
+
+    /// Records the event.
+    pub fn emit(self) {
+        if let Some((registry, record)) = self.active {
+            registry.push_event(record);
+        }
+    }
+}

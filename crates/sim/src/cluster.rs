@@ -112,8 +112,14 @@ pub struct SimResult {
 ///
 /// # Panics
 ///
-/// Panics on unknown model/dataset names (see [`crate::profiles`]).
+/// Panics on unknown model/dataset names (see the private `profiles` module
+/// for the recognized set).
 pub fn simulate_pruning(exp: &SimExperiment) -> SimResult {
+    let _span = wootz_obs::span("sim.experiment")
+        .with("model", exp.model.as_str())
+        .with("dataset", exp.dataset.as_str())
+        .with("workers", exp.workers)
+        .with("alpha_pct", exp.alpha_pct);
     let profile = model_profile(&exp.model);
     let cal = dataset_profile(&exp.dataset).calibration(&exp.model);
     let classes = match exp.dataset.as_str() {
@@ -258,6 +264,27 @@ pub fn simulate_pruning(exp: &SimExperiment) -> SimResult {
     let comp = arm(&comp_explore, pretrain_hours);
     let speedup = baseline.hours / comp.hours.max(1e-9);
     let overhead_frac = pretrain_hours / comp.hours.max(1e-9);
+    // Simulated-cluster utilization: CPU hours actually spent evaluating
+    // divided by the wall-clock capacity `workers * wall_hours` of the run.
+    // Gauges keep the last experiment's values; the per-experiment history
+    // lives in the `sim.experiment_done` events.
+    let utilization = |res: &wootz_core::explore::ExplorationResult| {
+        res.total_cost / (exp.workers.max(1) as f64 * res.wall_cost).max(1e-9)
+    };
+    let baseline_util = utilization(&baseline_explore);
+    let comp_util = utilization(&comp_explore);
+    wootz_obs::gauge("sim.cluster.workers").set(exp.workers as f64);
+    wootz_obs::gauge("sim.cluster.baseline_utilization").set(baseline_util);
+    wootz_obs::gauge("sim.cluster.comp_utilization").set(comp_util);
+    wootz_obs::gauge("sim.cluster.speedup").set(speedup);
+    wootz_obs::event("sim.experiment_done")
+        .field("model", exp.model.as_str())
+        .field("dataset", exp.dataset.as_str())
+        .field("workers", exp.workers)
+        .field("baseline_utilization", baseline_util)
+        .field("comp_utilization", comp_util)
+        .field("speedup", speedup)
+        .emit();
     SimResult {
         thr_acc,
         baseline,

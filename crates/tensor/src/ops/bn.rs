@@ -1,5 +1,6 @@
 //! Per-channel batch normalization for `NCHW` activations.
 
+use crate::ops::metering;
 use crate::Tensor;
 
 /// Forward intermediates cached for [`batch_norm_backward`].
@@ -46,6 +47,10 @@ pub fn batch_norm(
     assert_eq!(beta.shape(), &[c], "batch_norm beta shape");
     let count = (n * h * w) as f32;
     let plane = h * w;
+    // Roughly: mean + variance passes (4 ops/elt) and the normalize-affine
+    // pass (4 ops/elt) over N*C*H*W elements.
+    metering::batch_norm_calls().incr();
+    metering::batch_norm_flops().add(8 * x.len() as u64);
 
     let (mean, var) = match stats {
         Some((m, v)) => {

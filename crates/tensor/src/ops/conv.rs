@@ -1,6 +1,7 @@
 //! 2-D convolution via im2col + matmul, with full backward.
 
 use crate::ops::matmul::{matmul, matmul_nt, matmul_tn};
+use crate::ops::metering;
 use crate::Tensor;
 
 /// Spatial configuration of a 2-D convolution: square stride and symmetric
@@ -144,6 +145,12 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: &Tensor, cfg: Conv2dCfg) -> Tensor {
     );
     let ho = conv2d_out_dim(h, kh, cfg.stride, cfg.pad);
     let wo = conv2d_out_dim(wd, kw, cfg.stride, cfg.pad);
+    // One matmul of [F, C*Kh*Kw] x [C*Kh*Kw, Ho*Wo] per sample + bias adds.
+    metering::conv2d_calls().incr();
+    metering::conv2d_flops().add(
+        (n as u64) * (metering::matmul_flops(f, c * kh * kw, ho * wo) + (f * ho * wo) as u64),
+    );
+    metering::conv2d_bytes().add(4 * (x.len() + w.len() + b.len() + n * f * ho * wo) as u64);
     let w_mat = w.reshape(&[f, c * kh * kw]).expect("weight reshape");
     let bias = b.data();
     let mut out = vec![0.0f32; n * f * ho * wo];
@@ -185,6 +192,12 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, cfg: Conv2dCfg) -> C
         (dn, df),
         (n, f),
         "conv2d_backward: dy batch/filters mismatch"
+    );
+    // Two matmuls per sample (dW and dcol) of the same shape as the forward
+    // pass, plus the db row sums.
+    metering::conv2d_backward_calls().incr();
+    metering::conv2d_backward_flops().add(
+        (n as u64) * (2 * metering::matmul_flops(f, c * kh * kw, ho * wo) + (f * ho * wo) as u64),
     );
     let w_mat = w.reshape(&[f, c * kh * kw]).expect("weight reshape");
     let mut dw_mat = Tensor::zeros(&[f, c * kh * kw]);

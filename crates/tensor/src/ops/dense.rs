@@ -1,6 +1,7 @@
 //! Fully-connected (inner-product) layer.
 
 use crate::ops::matmul::{matmul_nt, matmul_tn};
+use crate::ops::metering;
 use crate::Tensor;
 
 /// Gradients produced by [`dense_backward`].
@@ -43,6 +44,10 @@ pub fn dense(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
         "dense: input width {d_in} != weight width {d_in2}"
     );
     assert_eq!(b.shape(), &[d_out], "dense bias shape");
+    // One [N, In] x [In, Out] matmul plus the bias adds.
+    metering::dense_calls().incr();
+    metering::dense_flops()
+        .add(metering::matmul_flops(n, d_in, d_out) + (n * d_out) as u64);
     let mut y = matmul_nt(x, w);
     for i in 0..n {
         let row = &mut y.data_mut()[i * d_out..(i + 1) * d_out];
@@ -58,6 +63,10 @@ pub fn dense_backward(x: &Tensor, w: &Tensor, dy: &Tensor) -> DenseGrads {
     let n = x.shape()[0];
     let d_out = w.shape()[0];
     assert_eq!(dy.shape(), &[n, d_out], "dense_backward dy shape");
+    // Two matmuls (dx, dW) of the forward shape plus the db column sums.
+    let d_in = x.shape()[1];
+    metering::dense_backward_flops()
+        .add(2 * metering::matmul_flops(n, d_in, d_out) + (n * d_out) as u64);
     // dx = dY · W        [N, In]
     let dx = super::matmul(dy, w);
     // dW = dYᵀ · X       [Out, In]

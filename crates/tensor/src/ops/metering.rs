@@ -1,0 +1,47 @@
+//! FLOP/byte accounting for the heavyweight kernels.
+//!
+//! Each hot kernel performs exactly **one** relaxed atomic add per call on
+//! counters cached in `OnceLock`s, so the accounting never touches the
+//! `wootz-obs` registry map after first use and stays well under the 2%
+//! overhead budget on the conv path (the adds are a handful of instructions
+//! against millions of multiply-accumulates).
+//!
+//! Conventions (documented in `OBSERVABILITY.md`):
+//!
+//! - `*.flops` counts 2 FLOPs per multiply-accumulate, plus bias/epilogue
+//!   adds where they are the same order of magnitude;
+//! - `*.bytes` counts the tensors read and written once each, at 4 bytes
+//!   per `f32`, ignoring cache effects;
+//! - `*.calls` counts kernel invocations.
+
+use std::sync::OnceLock;
+use wootz_obs::Counter;
+
+macro_rules! static_counter {
+    ($fn_name:ident, $metric:literal) => {
+        /// Cached handle to the global counter `
+        #[doc = $metric]
+        /// `.
+        pub(crate) fn $fn_name() -> &'static Counter {
+            static CELL: OnceLock<Counter> = OnceLock::new();
+            CELL.get_or_init(|| wootz_obs::counter($metric))
+        }
+    };
+}
+
+static_counter!(conv2d_calls, "tensor.conv2d.calls");
+static_counter!(conv2d_flops, "tensor.conv2d.flops");
+static_counter!(conv2d_bytes, "tensor.conv2d.bytes");
+static_counter!(conv2d_backward_calls, "tensor.conv2d_backward.calls");
+static_counter!(conv2d_backward_flops, "tensor.conv2d_backward.flops");
+static_counter!(dense_calls, "tensor.dense.calls");
+static_counter!(dense_flops, "tensor.dense.flops");
+static_counter!(dense_backward_flops, "tensor.dense_backward.flops");
+static_counter!(batch_norm_calls, "tensor.batch_norm.calls");
+static_counter!(batch_norm_flops, "tensor.batch_norm.flops");
+
+/// FLOPs of one dense/im2col matmul pass: 2 per multiply-accumulate.
+#[inline]
+pub(crate) fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}

@@ -16,6 +16,7 @@ mod dense;
 mod eltwise;
 mod loss;
 mod matmul;
+pub(crate) mod metering;
 mod pool;
 
 pub use activation::{relu, relu_backward};

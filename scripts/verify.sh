@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Local verification gate: exactly what CI / the driver runs, plus docs.
+#
+#   scripts/verify.sh          # tier-1 gate + rustdoc
+#
+# Tier-1 (must stay green): release build + full workspace test suite.
+# Docs: `cargo doc --no-deps` must finish without warnings (RUSTDOCFLAGS
+# promotes them to errors) so the public API stays documented — see
+# OBSERVABILITY.md and the crate-level rustdoc of wootz-obs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== docs: cargo doc --no-deps (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+    -p wootz-obs -p wootz-tensor -p wootz-nn -p wootz-core -p wootz-sim
+
+echo "verify.sh: all gates passed"

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Mirrors the harness behavior this workspace relies on:
+//!
+//! - under `cargo bench` (cargo passes `--bench` to the target) each
+//!   benchmark runs a short warm-up followed by `sample_size` timed samples
+//!   and prints the per-iteration mean and min/max to stdout;
+//! - under `cargo test` (no `--bench` argument) each benchmark body runs
+//!   **once** as a smoke test, like the real crate's test mode.
+//!
+//! There is no statistical analysis, no HTML report and no saved baseline.
+
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+/// Per-benchmark measurement budget (split across samples).
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(1500);
+
+/// Benchmark registry/driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Detects bench vs test mode from the process arguments.
+    fn default() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let mode = self.bench_mode;
+        run_one(mode, id.as_ref(), DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing settings, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a benchmark named `{group}/{id}`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(self.criterion.bench_mode, &full, self.sample_size, f);
+        self
+    }
+
+    /// Runs `f(bencher, input)` as a benchmark named `{group}/{id}`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion.bench_mode, &full, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier combining a function name and a parameter,
+/// mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendered as `{function_name}/{parameter}`.
+    pub fn new(function_name: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Timing hook handed to benchmark closures, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    /// Whether [`iter`](Bencher::iter) should time (bench mode) or run once.
+    timed: bool,
+    /// Nanoseconds per iteration for each completed sample.
+    samples: Vec<f64>,
+    /// Iterations to run per sample (calibrated by the driver).
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive so the optimizer cannot
+    /// delete the computation (the role of `black_box` in the real crate).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.timed {
+            // Test mode: a single smoke iteration.
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        let nanos = start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+        self.samples.push(nanos);
+    }
+}
+
+/// Identity function that defeats constant propagation, mirroring
+/// `criterion::black_box` (uses `std::hint::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Runs one benchmark: once in test mode, calibrated + sampled in bench mode.
+fn run_one<F: FnMut(&mut Bencher)>(bench_mode: bool, id: &str, sample_size: usize, mut f: F) {
+    if !bench_mode {
+        let mut bencher = Bencher {
+            timed: false,
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        println!("test {id} ... ok (smoke)");
+        return;
+    }
+
+    // Calibration: measure one iteration to size samples into the budget.
+    let mut probe = Bencher {
+        timed: true,
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut probe);
+    let per_iter = probe.samples.first().copied().unwrap_or(1.0).max(1.0);
+    let budget_per_sample = MEASUREMENT_BUDGET.as_nanos() as f64 / sample_size as f64;
+    let iters = (budget_per_sample / per_iter).clamp(1.0, 1e6) as u64;
+
+    let mut bencher = Bencher {
+        timed: true,
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: iters,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let samples = &bencher.samples;
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{id:<50} time: [{} {} {}] ({} samples x {} iters)",
+        fmt_nanos(min),
+        fmt_nanos(mean),
+        fmt_nanos(max),
+        samples.len(),
+        iters,
+    );
+}
+
+/// Renders nanoseconds with criterion-style units.
+fn fmt_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} us", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut criterion = Criterion { bench_mode: false };
+        let mut group = criterion.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut criterion = Criterion { bench_mode: true };
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(10);
+        let mut runs = 0u64;
+        group.bench_function("timed", |b| b.iter(|| runs += 1));
+        group.finish();
+        // Calibration run + 10 samples, each >= 1 iteration.
+        assert!(runs >= 11, "ran {runs} iterations");
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        assert_eq!(BenchmarkId::new("f", 12).0, "f/12");
+    }
+
+    #[test]
+    fn units_scale() {
+        assert_eq!(fmt_nanos(10.0), "10.00 ns");
+        assert_eq!(fmt_nanos(1_500.0), "1.50 us");
+        assert_eq!(fmt_nanos(2_000_000.0), "2.00 ms");
+    }
+}

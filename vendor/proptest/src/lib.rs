@@ -1,0 +1,251 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro with
+//! optional `#![proptest_config(..)]`, [`prop_assert!`] and friends,
+//! [`prop_oneof!`], range/[`Just`]/`select`/`vec`/tuple strategies,
+//! [`Strategy::prop_map`], and [`arbitrary::any`].
+//!
+//! Behavioral divergence from the real crate: **no shrinking** — a failing
+//! case panics immediately with the generated inputs' debug output left to
+//! the assertion message, and there is no failure-persistence file. Case
+//! generation is deterministic per test (seeded from the test's full path),
+//! so failures are reproducible by re-running the test.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Size argument accepted by [`vec`]: a fixed length or a range.
+    pub struct SizeRange {
+        pub(crate) lo: usize,
+        /// Exclusive upper bound.
+        pub(crate) hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling strategies, mirroring `proptest::sample`.
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// Strategy choosing uniformly from a fixed list of values.
+    pub fn select<T: Clone + std::fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select: empty choice list");
+        Select { values }
+    }
+}
+
+/// The `Arbitrary` trait and [`any`], mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Generates one uniform value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> Self {
+                    runner.rng().gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+    /// Strategy wrapper returned by [`any`].
+    #[derive(Clone, Debug)]
+    pub struct AnyStrategy<A> {
+        _marker: std::marker::PhantomData<A>,
+    }
+
+    impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+        fn generate(&self, runner: &mut TestRunner) -> A {
+            A::arbitrary(runner)
+        }
+    }
+
+    /// The canonical strategy for `A`, mirroring `proptest::arbitrary::any`.
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assertion inside a property body; panics on failure (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a property body; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Inequality assertion inside a property body; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Uniform choice between strategies with a common value type.
+///
+/// Weights (`w => strategy`) are not supported by this stand-in.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property-test entry point, mirroring `proptest::proptest!`.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` followed by any
+/// number of `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($config) $($rest)*);
+    };
+    (@body ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($bound:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __cases = __config.cases;
+            let mut __runner = $crate::test_runner::TestRunner::new(
+                __config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cases {
+                $(
+                    let $bound =
+                        $crate::strategy::Strategy::generate(&($strategy), &mut __runner);
+                )+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, f64)> {
+        (0usize..10, -1.0f64..1.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..9, x in -2.0f32..2.0) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_and_select_compose(
+            v in prop::collection::vec(prop::sample::select(vec![1u8, 3, 5]), 0..7),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(v.len() < 7);
+            prop_assert!(v.iter().all(|x| [1, 3, 5].contains(x)));
+            prop_assert!(flag || !flag);
+        }
+
+        #[test]
+        fn map_and_tuple((n, x) in arb_pair()) {
+            prop_assert!(n < 10);
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn oneof_covers_alternatives(
+            v in prop::collection::vec(
+                prop_oneof![Just(0usize), 1usize..4, (4usize..6).prop_map(|n| n * 10)],
+                64,
+            )
+        ) {
+            prop_assert!(v.iter().all(|&x| x < 4 || x == 40 || x == 50));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(b in any::<bool>()) {
+            prop_assert!(b || !b);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{ProptestConfig, TestRunner};
+        let strat = crate::collection::vec(0u64..1000, 0..50);
+        let mut a = TestRunner::new(ProptestConfig::with_cases(8), "some::test");
+        let mut b = TestRunner::new(ProptestConfig::with_cases(8), "some::test");
+        for _ in 0..8 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Test configuration and the per-test runner for the proptest stand-in.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Subset of `proptest::test_runner::ProptestConfig` used here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Matches the real crate's default of 256 cases.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Holds the per-test RNG; passed to every [`Strategy::generate`] call.
+///
+/// [`Strategy::generate`]: crate::strategy::Strategy::generate
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: ChaCha8Rng,
+}
+
+impl TestRunner {
+    /// Builds a runner whose RNG is seeded from `name` (the test's full
+    /// module path), making every test's input stream deterministic.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        TestRunner {
+            config,
+            rng: ChaCha8Rng::seed_from_u64(fnv1a(name.as_bytes())),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProptestConfig {
+        &self.config
+    }
+
+    /// The runner's random source.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+}
+
+/// FNV-1a 64-bit hash, used only for seeding.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

@@ -1,0 +1,458 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! The public surface mirrors the parts of real serde this workspace uses:
+//! the [`Serialize`] / [`Deserialize`] traits, the [`Deserializer`] bound
+//! used by manual impls, [`de::Error::custom`], and the derive macros
+//! re-exported from `serde_derive`. Internally everything funnels through a
+//! single self-describing data model, [`Value`] (JSON-shaped), instead of
+//! serde's visitor machinery.
+
+mod value;
+
+pub use value::{Number, Value};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization machinery.
+pub mod ser {
+    use super::Value;
+
+    /// A sink that consumes one [`Value`].
+    ///
+    /// Real serde drives a streaming serializer; this stand-in materializes
+    /// the whole value first, which is fine at the data sizes this
+    /// repository handles.
+    pub trait Serializer {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error;
+        /// Consumes the materialized value.
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A type that can be serialized.
+    pub trait Serialize {
+        /// Materializes `self` as a [`Value`].
+        fn to_value(&self) -> Value;
+
+        /// Streams `self` into `serializer` (provided; calls
+        /// [`Serialize::to_value`]).
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_value(self.to_value())
+        }
+    }
+}
+
+/// Deserialization machinery.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Error trait for deserializers, mirroring `serde::de::Error`.
+    pub trait Error: Sized {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Error produced when converting a [`Value`] into a concrete type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl ValueError {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        ValueError(m.into())
+    }
+
+    /// Wraps `err` with a location breadcrumb (used by derived impls).
+    pub fn context(err: ValueError, at: &str) -> Self {
+        ValueError(format!("{at}: {}", err.0))
+    }
+}
+
+impl std::fmt::Display for ValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl de::Error for ValueError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// A source that yields one [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type, usable with [`de::Error::custom`].
+    type Error: de::Error;
+    /// Yields the underlying value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A [`Deserializer`] borrowing an already-parsed [`Value`].
+pub struct ValueDeserializer<'a>(pub &'a Value);
+
+impl<'de, 'a> Deserializer<'de> for ValueDeserializer<'a> {
+    type Error = ValueError;
+    fn take_value(self) -> Result<Value, Self::Error> {
+        Ok(self.0.clone())
+    }
+}
+
+/// A type that can be deserialized.
+///
+/// Implement **either** [`Deserialize::deserialize`] (as real-serde-style
+/// manual impls do) **or** [`Deserialize::from_value`] (as the derive
+/// does); each has a default routed through the other.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from any [`Deserializer`].
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(|e| <D::Error as de::Error>::custom(e))
+    }
+
+    /// Converts a borrowed [`Value`] into `Self`.
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        Self::deserialize(ValueDeserializer(value))
+    }
+}
+
+pub use ser::{Serialize, Serializer};
+
+static NULL: Value = Value::Null;
+
+/// Looks up `name` in a JSON object body, yielding `Null` when absent
+/// (derived impls use this so `Option` fields tolerate missing keys).
+pub fn __field<'a>(pairs: &'a [(String, Value)], name: &str) -> &'a Value {
+    pairs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+// ---------------------------------------------------------------------------
+// Built-in impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i128) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, ValueError> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| ValueError::msg(format!(
+                            "integer {i} out of range for {}", stringify!($t)))),
+                    Value::F64(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    Value::F32(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(ValueError::msg(format!(
+                        "expected {}, got {}", stringify!($t), other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+impl<'de> Deserialize<'de> for i128 {
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        match value {
+            Value::Int(i) => Ok(*i),
+            other => Err(ValueError::msg(format!("expected i128, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F32(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        match value {
+            Value::F32(f) => Ok(*f),
+            Value::F64(f) => Ok(*f as f32),
+            Value::Int(i) => Ok(*i as f32),
+            // Real serde_json rejects null; we accept it as NaN so NaN
+            // losses in training logs round-trip (documented divergence).
+            Value::Null => Ok(f32::NAN),
+            other => Err(ValueError::msg(format!("expected f32, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        match value {
+            Value::F64(f) => Ok(*f),
+            Value::F32(f) => Ok(*f as f64),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(ValueError::msg(format!("expected f64, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(ValueError::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(ValueError::msg(format!("expected char, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(ValueError::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(ValueError::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(ValueError::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+impl<'de, V: Deserialize<'de>, S: std::hash::BuildHasher + Default> Deserialize<'de>
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(ValueError::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, ValueError> {
+                const LEN: usize = [$($idx),+].len();
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(ValueError::msg(format!(
+                        "expected {LEN}-tuple, got array of {}", items.len()))),
+                    other => Err(ValueError::msg(format!(
+                        "expected {LEN}-tuple, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl<'de> Deserialize<'de> for () {
+    fn from_value(value: &Value) -> Result<Self, ValueError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(ValueError::msg(format!("expected null, got {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0i64, -3, 7, i64::MAX] {
+            assert_eq!(i64::from_value(&v.to_value()).unwrap(), v);
+        }
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(f32::from_value(&f32::NAN.to_value()).unwrap().is_nan());
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::from_value(&3u8.to_value()).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1usize, 2u8), (3, 4)];
+        assert_eq!(Vec::<(usize, u8)>::from_value(&v.to_value()).unwrap(), v);
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1.0f64);
+        assert_eq!(
+            std::collections::BTreeMap::<String, f64>::from_value(&m.to_value()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn out_of_range_int_errors() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u8::from_value(&Value::String("x".into())).is_err());
+    }
+
+    #[test]
+    fn missing_field_lookup_yields_null() {
+        let pairs = vec![("a".to_string(), Value::Int(1))];
+        assert_eq!(__field(&pairs, "a"), &Value::Int(1));
+        assert_eq!(__field(&pairs, "b"), &Value::Null);
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, **without** `syn`/`quote` (which
+//! are equally unavailable offline): the input token stream is walked by
+//! hand and the generated impl is assembled as a string.
+//!
+//! Supported shapes (matching real serde's untagged-by-default JSON
+//! representation):
+//!
+//! - structs with named fields → JSON object, fields in declaration order
+//! - unit structs → `null`
+//! - enums with unit variants → `"VariantName"`
+//! - newtype variants → `{"VariantName": <inner>}`
+//! - tuple variants → `{"VariantName": [..]}`
+//! - struct variants → `{"VariantName": {..}}`
+//!
+//! Not supported (the derive panics at compile time, which is the right
+//! failure mode for an offline stub): generic type parameters, tuple
+//! structs with more than zero fields, unions, and `#[serde(...)]`
+//! attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name (named) or index (positional).
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Input {
+    NamedStruct { name: String, fields: Vec<Field> },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{}])\n\
+                 }}\n}}",
+                pairs.join(", ")
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![\
+                             (\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Object(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: ::serde::Deserialize::from_value(::serde::__field(__obj, \"{n}\"))\
+                         .map_err(|e| ::serde::ValueError::context(e, \"{name}.{n}\"))?",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::ValueError> {{\n\
+                 let __obj = __v.expect_object(\"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})\n\
+                 }}\n}}",
+                inits.join(", ")
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::ValueError> {{\n\
+             ::std::result::Result::Ok({name})\n}}\n}}"
+        ),
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let keyed_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)\
+                             .map_err(|e| ::serde::ValueError::context(e, \"{name}::{vn}\"))?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(&__arr[{i}])\
+                                         .map_err(|e| ::serde::ValueError::context(e, \"{name}::{vn}\"))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __arr = __inner.expect_array(\"{name}::{vn}\")?;\n\
+                                 if __arr.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::ValueError::msg(\
+                                 format!(\"{name}::{vn}: expected {n} elements, got {{}}\", __arr.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n}}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{fname}: ::serde::Deserialize::from_value(::serde::__field(__vobj, \"{fname}\"))\
+                                         .map_err(|e| ::serde::ValueError::context(e, \"{name}::{vn}.{fname}\"))?",
+                                        fname = f.name
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __vobj = __inner.expect_object(\"{name}::{vn}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::ValueError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => ::std::result::Result::Err(::serde::ValueError::msg(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = (&__pairs[0].0, &__pairs[0].1);\n\
+                 match __tag.as_str() {{\n\
+                 {keyed}\n\
+                 __other => ::std::result::Result::Err(::serde::ValueError::msg(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::ValueError::msg(\
+                 format!(\"expected {name} variant, got {{}}\", __other.kind()))),\n\
+                 }}\n\
+                 }}\n}}",
+                units = unit_arms.join("\n"),
+                keyed = keyed_arms.join("\n"),
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (offline stub): generic types are not supported (type `{name}`)");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Input::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive (offline stub): tuple structs are not supported (type `{name}`)")
+            }
+            other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream());
+                Input::Enum { name, variants }
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past doc comments, attributes and visibility modifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (doc comments arrive in this form too).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(in ...)`.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` bodies, tracking angle-bracket depth so commas
+/// inside generic types don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Consume the type until a top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_elems(g.stream());
+                i += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant`.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// Counts top-level comma-separated elements of a tuple-variant body.
+fn count_tuple_elems(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx + 1 == tokens.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}

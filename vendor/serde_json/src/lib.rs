@@ -1,0 +1,177 @@
+//! Offline stand-in for the `serde_json` crate (see `vendor/README.md`).
+//!
+//! Provides [`Value`] plus the handful of entry points this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`to_vec`], [`to_writer`],
+//! [`from_str`], [`from_reader`] and [`to_value`] / [`from_value`].
+
+use std::io::{Read, Write};
+
+pub use serde::Value;
+
+/// Error type covering parsing, conversion and IO failures.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl From<serde::ValueError> for Error {
+    fn from(e: serde::ValueError) -> Self {
+        Error(e.0)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// `Result` alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Materializes any serializable value as a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Converts a [`Value`] tree into a concrete type.
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(Into::into)
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serializes to a two-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Serializes to a compact JSON byte vector.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serializes compactly into a writer.
+pub fn to_writer<W: Write, T: serde::Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a JSON string into any deserializable type.
+pub fn from_str<'de, T: serde::Deserialize<'de>>(text: &str) -> Result<T> {
+    let value = Value::parse_json(text)?;
+    T::deserialize(StrDeserializer(value))
+}
+
+/// Reads a whole reader, then parses it as JSON.
+pub fn from_reader<R: Read, T: for<'de> serde::Deserialize<'de>>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Deserializer over an owned, already-parsed value.
+struct StrDeserializer(Value);
+
+impl<'de> serde::Deserializer<'de> for StrDeserializer {
+    type Error = Error;
+    fn take_value(self) -> std::result::Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        y: Option<u32>,
+        tag: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Circle { radius: f64 },
+        Pair(u8, u8),
+        Label(String),
+    }
+
+    #[test]
+    fn derived_struct_round_trips() {
+        let p = Point {
+            x: 1.5,
+            y: None,
+            tag: "a\"b".to_string(),
+        };
+        let s = to_string(&p).unwrap();
+        assert_eq!(s, r#"{"x":1.5,"y":null,"tag":"a\"b"}"#);
+        assert_eq!(from_str::<Point>(&s).unwrap(), p);
+    }
+
+    #[test]
+    fn option_field_tolerates_missing_key() {
+        let p: Point = from_str(r#"{"x":2.0,"tag":"t"}"#).unwrap();
+        assert_eq!(p.y, None);
+    }
+
+    #[test]
+    fn derived_enum_round_trips_all_shapes() {
+        for shape in [
+            Shape::Dot,
+            Shape::Circle { radius: 2.25 },
+            Shape::Pair(3, 4),
+            Shape::Label("hi".to_string()),
+        ] {
+            let s = to_string(&shape).unwrap();
+            assert_eq!(from_str::<Shape>(&s).unwrap(), shape, "{s}");
+        }
+        assert_eq!(to_string(&Shape::Dot).unwrap(), "\"Dot\"");
+        assert_eq!(
+            to_string(&Shape::Circle { radius: 1.0 }).unwrap(),
+            r#"{"Circle":{"radius":1.0}}"#
+        );
+        assert_eq!(to_string(&Shape::Pair(1, 2)).unwrap(), r#"{"Pair":[1,2]}"#);
+        assert_eq!(
+            to_string(&Shape::Label("x".into())).unwrap(),
+            r#"{"Label":"x"}"#
+        );
+    }
+
+    #[test]
+    fn error_messages_carry_field_context() {
+        let err = from_str::<Point>(r#"{"x":"no","tag":"t"}"#).unwrap_err();
+        assert!(err.to_string().contains("Point.x"), "{err}");
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let p = Point {
+            x: -0.5,
+            y: Some(7),
+            tag: String::new(),
+        };
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &p).unwrap();
+        let back: Point = from_reader(&buf[..]).unwrap();
+        assert_eq!(back, p);
+    }
+}
