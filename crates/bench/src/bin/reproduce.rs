@@ -10,6 +10,9 @@
 //! reproduce fig4                          # Sequitur grammar/DAG example (exact)
 //! reproduce fig6 [--quick] [--seed N]     # accuracy curves (real training)
 //! reproduce fig7 [--seed N]               # accuracy vs size scatter (simulation)
+//! reproduce faults [--seed N]             # speedup under node failures/stragglers (simulation)
+//! reproduce pipeline [--quick] [--seed N] [--journal <run.ndjson>] [--resume]
+//!           [--inject-faults <plan.json>] # end-to-end micro pipeline, resumable
 //! reproduce verify [--seed N]             # qualitative shape checks
 //! reproduce all [--quick] [--seed N]      # everything, in order
 //! ```
@@ -18,7 +21,8 @@ use std::process::ExitCode;
 
 use wootz_bench::real::{fig6_report, table1_report, table2_report, MicroOpts};
 use wootz_bench::simrep::{
-    fig4_report, fig7_report, shape_check, table3_report, table4_report, table5_report,
+    fig4_report, fig7_report, faults_report, shape_check, table3_report, table4_report,
+    table5_report,
 };
 
 struct Args {
@@ -27,6 +31,9 @@ struct Args {
     seed: u64,
     json_dir: Option<std::path::PathBuf>,
     metrics_out: Option<std::path::PathBuf>,
+    journal: Option<std::path::PathBuf>,
+    resume: bool,
+    fault_plan: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,9 +43,23 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 7u64;
     let mut json_dir = None;
     let mut metrics_out = None;
+    let mut journal = None;
+    let mut resume = false;
+    let mut fault_plan = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--quick" => quick = true,
+            "--resume" => resume = true,
+            "--journal" => {
+                let v = args.next().ok_or("--journal needs a path".to_string())?;
+                journal = Some(std::path::PathBuf::from(v));
+            }
+            "--inject-faults" => {
+                let v = args
+                    .next()
+                    .ok_or("--inject-faults needs a path".to_string())?;
+                fault_plan = Some(std::path::PathBuf::from(v));
+            }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value".to_string())?;
                 seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
@@ -54,18 +75,25 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
+    if resume && journal.is_none() {
+        return Err("--resume requires --journal <path>".to_string());
+    }
     Ok(Args {
         command,
         quick,
         seed,
         json_dir,
         metrics_out,
+        journal,
+        resume,
+        fault_plan,
     })
 }
 
 fn usage() -> String {
-    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|verify|all> \
-     [--quick] [--seed N] [--json <dir>] [--metrics-out <path>]"
+    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|faults|pipeline|verify|all> \
+     [--quick] [--seed N] [--json <dir>] [--metrics-out <path>]\n\
+     pipeline extras: [--journal <run.ndjson>] [--resume] [--inject-faults <plan.json>]"
         .to_string()
 }
 
@@ -113,12 +141,13 @@ fn dispatch(args: &Args) -> ExitCode {
             "fig4" => Some(fig4_report()),
             "fig6" => Some(fig6_report(&micro)),
             "fig7" => Some(fig7_report(seed)),
+            "faults" => Some(faults_report(seed)),
             _ => None,
         }?;
         if let Some(dir) = &args.json_dir {
             std::fs::create_dir_all(dir).ok();
             let json = match name {
-                "table3" | "table4" | "table5" | "fig7" => {
+                "table3" | "table4" | "table5" | "fig7" | "faults" => {
                     Some(wootz_bench::simrep::artifact_json(name, seed))
                 }
                 "table1" | "table2" | "fig6" => {
@@ -137,6 +166,33 @@ fn dispatch(args: &Args) -> ExitCode {
     };
 
     match args.command.as_str() {
+        "pipeline" => {
+            let faults = match &args.fault_plan {
+                Some(path) => match wootz_fault::FaultPlan::load(path) {
+                    Ok(plan) => Some(plan),
+                    Err(e) => {
+                        eprintln!("cannot load fault plan `{}`: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            match wootz_bench::real::pipeline_report(
+                &micro,
+                args.journal.clone(),
+                args.resume,
+                faults.as_ref(),
+            ) {
+                Ok(text) => {
+                    println!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("pipeline failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "verify" => {
             let (ok, report) = shape_check(seed);
             println!("{report}");
@@ -150,7 +206,7 @@ fn dispatch(args: &Args) -> ExitCode {
         }
         "all" => {
             for name in [
-                "fig4", "table1", "table2", "fig6", "fig7", "table3", "table4", "table5",
+                "fig4", "table1", "table2", "fig6", "fig7", "table3", "table4", "table5", "faults",
             ] {
                 println!("================================================================");
                 println!("{}", run(name).expect("known artifact"));

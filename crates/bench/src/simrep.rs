@@ -3,7 +3,7 @@
 //! published numbers.
 
 use wootz_sequitur::Sequitur;
-use wootz_sim::tables::{fig7, table3, table3_alphas, table4, table5};
+use wootz_sim::tables::{faults_table, fig7, table3, table3_alphas, table4, table5};
 
 use crate::report;
 
@@ -96,6 +96,87 @@ pub fn table3_report(seed: u64) -> String {
         ],
         &body,
     ));
+    out
+}
+
+/// Renders the fault-tolerance table: the composability speedup at 16
+/// nodes on an unreliable cluster, comparing journal-and-resume execution
+/// against abort-and-restart (no such table exists in the paper; this
+/// quantifies how its headline speedups hold up under node failures and
+/// stragglers).
+pub fn faults_report(seed: u64) -> String {
+    let rows = faults_table(seed);
+    let fm = rows
+        .first()
+        .map(|r| r.result.fault)
+        .unwrap_or_else(wootz_sim::FaultModel::cluster_default);
+    let mut out = format!(
+        "Fault tolerance: composability speedup on an unreliable 16-node cluster.\n\
+         (per-node MTBF {:.0} h, restart {:.2} h, straggler p={:.2} at {:.0}x;\n\
+         `journal` = resume from the run journal after a failure, `abort` = the\n\
+         legacy restart-from-scratch behavior; expected-value model, no Monte-Carlo)\n\n",
+        fm.mtbf_hours, fm.restart_hours, fm.straggler_prob, fm.straggler_factor
+    );
+    // The abort regime's expectation is exponential in run length; beyond
+    // ~a century of simulated hours the exact digits carry no information,
+    // so clamp the rendering ("never finishes in practice").
+    let hours_capped = |x: f64, prec: usize| {
+        if x > 1e6 {
+            ">1e6".to_string()
+        } else {
+            report::f(x, prec)
+        }
+    };
+    let speedup_capped = |x: f64| {
+        if x > 1e4 {
+            ">10000x".to_string()
+        } else {
+            report::speedup(x)
+        }
+    };
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let res = &r.result;
+            vec![
+                r.model.clone(),
+                r.dataset.clone(),
+                format!("{:+.0}%", r.alpha_pct),
+                report::f(res.baseline.ideal_hours, 1),
+                report::f(res.baseline.journal_hours, 1),
+                hours_capped(res.baseline.abort_hours, 1),
+                report::f(res.comp.journal_hours, 2),
+                report::f(res.baseline.expected_failures, 1),
+                report::f(res.comp.expected_failures, 2),
+                report::speedup(res.speedup_ideal),
+                report::speedup(res.speedup_journal),
+                speedup_capped(res.speedup_abort),
+            ]
+        })
+        .collect();
+    out.push_str(&report::render_table(
+        &[
+            "model",
+            "dataset",
+            "alpha",
+            "hrs(base)",
+            "hrs(base,jrnl)",
+            "hrs(base,abort)",
+            "hrs(comp,jrnl)",
+            "fails(base)",
+            "fails(comp)",
+            "speedup",
+            "speedup(jrnl)",
+            "speedup(abort)",
+        ],
+        &body,
+    ));
+    out.push_str(
+        "\nreading: the composability arm finishes so quickly that it rarely sees a\n\
+         failure, while the baseline arm's exposure grows with wall-clock — under\n\
+         abort-and-restart the gap widens exponentially, and journaling recovers\n\
+         near-ideal time for both arms.\n",
+    );
     out
 }
 
@@ -468,6 +549,7 @@ pub fn artifact_json(name: &str, seed: u64) -> String {
         "table4" => serde_json::to_string_pretty(&table4(seed)).expect("serializable"),
         "table5" => serde_json::to_string_pretty(&table5(seed)).expect("serializable"),
         "fig7" => serde_json::to_string_pretty(&fig7(seed)).expect("serializable"),
+        "faults" => serde_json::to_string_pretty(&faults_table(seed)).expect("serializable"),
         other => panic!("artifact `{other}` has no JSON form"),
     }
 }

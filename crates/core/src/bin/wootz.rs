@@ -14,12 +14,24 @@
 //!     Run the hierarchical tuning-block identifier and print the blocks,
 //!     composite vectors and concurrent pre-training groups.
 //!
+//! wootz genmodel [--classes N] [--deep] [--family resnet|inception] [--out model.prototxt]
+//!     Emit a mini preset model as Prototxt, so scripted runs need no
+//!     hand-written model file.
+//!
 //! wootz prune --model <model.prototxt> --configs <configs.json>
 //!             --solver <solver.prototxt> --objective <objective.txt>
 //!             [--mode baseline|composability|hierarchical]
 //!             [--out results.json]
+//!             [--journal <run.ndjson>] [--resume]
+//!             [--inject-faults <plan.json>]
+//!             [--retry-attempts N] [--on-fail skip|abort]
 //!     Run the full pruning pipeline on the micro dataset named in the
-//!     solver's `dataset:` field.
+//!     solver's `dataset:` field. With `--journal`, every completed unit
+//!     of work is appended to an NDJSON journal; `--resume` replays it and
+//!     skips the finished work. `--inject-faults` loads a deterministic
+//!     fault plan (see `wootz-fault`); the retry flags control the
+//!     evaluation supervisor (defaults: 1 attempt + abort without faults,
+//!     3 attempts + skip when a fault plan is given).
 //! ```
 //!
 //! Configuration files are JSON arrays of per-module rate vectors, e.g.
@@ -36,7 +48,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wootz_core::blocks::{identify_tuning_blocks, partition_into_groups};
-use wootz_core::pipeline::{run_wootz, RunMode, WootzInputs};
+use wootz_core::pipeline::{run_wootz_with, RunMode, RunOptions, WootzInputs};
+use wootz_fault::{FaultPlan, OnExhausted, RetryPolicy};
 use wootz_core::prune::{sample_segment_subspace, sample_subspace, PruneConfig, PAPER_RATES};
 use wootz_core::stats::model_stats;
 use wootz_data::micro_dataset;
@@ -69,6 +82,7 @@ fn run() -> CliResult {
         "compile" => cmd_compile(args),
         "sample" => cmd_sample(args),
         "identify" => cmd_identify(args),
+        "genmodel" => cmd_genmodel(args),
         "prune" => cmd_prune(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -88,7 +102,7 @@ fn run() -> CliResult {
 }
 
 fn usage() -> &'static str {
-    "usage: wootz <compile|sample|identify|prune|help> [options] [--metrics-out <path>]\n\
+    "usage: wootz <compile|sample|identify|genmodel|prune|help> [options] [--metrics-out <path>]\n\
      run `wootz help` for per-command options"
 }
 
@@ -246,6 +260,39 @@ fn cmd_identify(mut args: Vec<String>) -> CliResult {
     Ok(())
 }
 
+fn cmd_genmodel(mut args: Vec<String>) -> CliResult {
+    let classes: usize = take_flag(&mut args, "--classes")
+        .map_or(Ok(8), |s| s.parse())
+        .map_err(|e| format!("bad --classes: {e}"))?;
+    let deep = take_switch(&mut args, "--deep");
+    let family = take_flag(&mut args, "--family").unwrap_or_else(|| "resnet".into());
+    let out = take_flag(&mut args, "--out");
+    reject_leftovers(&args)?;
+
+    let model = match (family.as_str(), deep) {
+        ("resnet", false) => wootz_models::resnet_mini(classes),
+        ("resnet", true) => wootz_models::resnet_mini_deep(classes),
+        ("inception", false) => wootz_models::inception_mini(classes),
+        ("inception", true) => wootz_models::inception_mini_deep(classes),
+        (other, _) => {
+            return Err(format!("unknown --family `{other}` (want resnet|inception)").into())
+        }
+    };
+    let text = model.to_prototxt();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!(
+                "wrote `{}` ({} convolution modules) to {path}",
+                model.name(),
+                model.conv_module_ids().len()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 fn cmd_prune(mut args: Vec<String>) -> CliResult {
     let model = load_model(&take_flag(&mut args, "--model").ok_or("prune needs --model")?)?;
     let subspace =
@@ -259,7 +306,42 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
         Some(other) => return Err(format!("unknown --mode `{other}`").into()),
     };
     let out: Option<PathBuf> = take_flag(&mut args, "--out").map(Into::into);
+    let journal: Option<PathBuf> = take_flag(&mut args, "--journal").map(Into::into);
+    let resume = take_switch(&mut args, "--resume");
+    let fault_path = take_flag(&mut args, "--inject-faults");
+    let retry_attempts: Option<u32> = match take_flag(&mut args, "--retry-attempts") {
+        Some(s) => Some(s.parse().map_err(|e| format!("bad --retry-attempts: {e}"))?),
+        None => None,
+    };
+    let on_fail = take_flag(&mut args, "--on-fail");
     reject_leftovers(&args)?;
+
+    if resume && journal.is_none() {
+        return Err("--resume requires --journal <path>".into());
+    }
+    let faults: Option<FaultPlan> = match &fault_path {
+        Some(path) => Some(
+            FaultPlan::load(path).map_err(|e| format!("cannot load fault plan `{path}`: {e}"))?,
+        ),
+        None => None,
+    };
+    // Without faults the default policy preserves the legacy semantics
+    // exactly (one attempt, abort); with a fault plan the supervisor
+    // defaults to three attempts and skipping exhausted configurations.
+    let mut retry = if faults.is_some() {
+        RetryPolicy::skip_after(3)
+    } else {
+        RetryPolicy::abort_fast()
+    };
+    if let Some(n) = retry_attempts {
+        retry.max_attempts = n.max(1);
+    }
+    match on_fail.as_deref() {
+        None => {}
+        Some("skip") => retry.on_exhausted = OnExhausted::Skip,
+        Some("abort") => retry.on_exhausted = OnExhausted::Abort,
+        Some(other) => return Err(format!("unknown --on-fail `{other}` (want skip|abort)").into()),
+    }
 
     let solver = SolverConfig::parse(
         &std::fs::read_to_string(&solver_path)
@@ -282,7 +364,13 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
         solver,
         objective,
     };
-    let run = run_wootz(&inputs, &dataset, mode, None)?;
+    let opts = RunOptions {
+        faults: faults.as_ref(),
+        retry,
+        journal,
+        resume,
+    };
+    let run = run_wootz_with(&inputs, &dataset, mode, None, &opts)?;
     println!("full-model accuracy: {:.3}", run.full_accuracy);
     println!(
         "explored {} configurations ({} fine-tune steps, {} pre-train steps, {} blocks)",
@@ -290,6 +378,12 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
         run.finetune_steps,
         run.pretrain_steps,
         run.blocks_pretrained
+    );
+    println!(
+        "exploration: {} evaluated fresh, {} resumed from journal, {} failed",
+        run.exploration.fresh_evals(),
+        run.exploration.resumed,
+        run.exploration.failed
     );
     match &run.best {
         Some(best) => println!(

@@ -1,6 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
+use wootz_fault::FaultError;
 use wootz_ir::IrError;
 use wootz_nn::NnError;
 
@@ -20,6 +21,30 @@ pub enum CoreError {
     Block(String),
     /// Pipeline-level failure (phase ordering, missing artifacts).
     Pipeline(String),
+    /// A configuration evaluation failed permanently: every attempt the
+    /// retry policy allowed was used up. Carries the config index and the
+    /// last attempt's error.
+    Eval {
+        /// Index of the failed configuration in the promising subspace.
+        config_index: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last attempt's error.
+        source: Box<CoreError>,
+    },
+    /// A worker thread or evaluator panicked; the payload was captured and
+    /// converted (never re-thrown).
+    Panic {
+        /// What panicked, naming the config/group index (e.g. "evaluator
+        /// for config 3").
+        what: String,
+        /// The panic payload's message.
+        message: String,
+    },
+    /// An injected or structural fault from the fault-tolerance layer.
+    Fault(FaultError),
+    /// A run-journal problem: header mismatch, corrupt entry, I/O failure.
+    Journal(String),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +55,19 @@ impl fmt::Display for CoreError {
             CoreError::Config(m) => write!(f, "pruning configuration error: {m}"),
             CoreError::Block(m) => write!(f, "tuning block error: {m}"),
             CoreError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            CoreError::Eval {
+                config_index,
+                attempts,
+                source,
+            } => write!(
+                f,
+                "evaluation of config {config_index} failed after {attempts} attempt(s): {source}"
+            ),
+            CoreError::Panic { what, message } => {
+                write!(f, "panic in {what}: {message}")
+            }
+            CoreError::Fault(e) => write!(f, "{e}"),
+            CoreError::Journal(m) => write!(f, "run journal error: {m}"),
         }
     }
 }
@@ -39,6 +77,8 @@ impl Error for CoreError {
         match self {
             CoreError::Ir(e) => Some(e),
             CoreError::Nn(e) => Some(e),
+            CoreError::Eval { source, .. } => Some(source.as_ref()),
+            CoreError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -53,6 +93,12 @@ impl From<IrError> for CoreError {
 impl From<NnError> for CoreError {
     fn from(e: NnError) -> Self {
         CoreError::Nn(e)
+    }
+}
+
+impl From<FaultError> for CoreError {
+    fn from(e: FaultError) -> Self {
+        CoreError::Fault(e)
     }
 }
 

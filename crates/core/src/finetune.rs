@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use wootz_fault::site;
 use wootz_ir::{LayerKind, ModelIr};
 use wootz_nn::{Checkpoint, TrainConfig, TrainLog, VarStore};
 use wootz_tensor::Tensor;
@@ -142,11 +143,16 @@ pub enum InitStrategy<'a> {
 /// Materializes the pruned network for `config` and initializes it per the
 /// strategy. Returns the ready-to-train model.
 ///
+/// A missing, empty, or shape-incompatible block checkpoint is **not** an
+/// error: the block's layers keep the inherited full-model weights (the
+/// baseline "default network" initialization) and an
+/// `assemble.block_fallback` event records the degradation. This is what
+/// keeps a long exploration run alive when one pre-training group died.
+///
 /// # Errors
 ///
-/// Returns [`CoreError`] on config/model mismatch, missing checkpoints, or
-/// shape disagreements (e.g. a block checkpoint whose rates do not match
-/// the configuration).
+/// Returns [`CoreError`] on config/model mismatch or a full checkpoint
+/// that cannot initialize the inherited weights.
 pub fn assemble(
     mm: &MultiplexingModel,
     config: &PruneConfig,
@@ -154,28 +160,100 @@ pub fn assemble(
     init: InitStrategy<'_>,
     seed: u64,
 ) -> Result<BuiltModel> {
+    assemble_supervised(mm, config, full, init, seed, None, 0).map(|(built, _)| built)
+}
+
+/// Like [`assemble`], but additionally consults a fault-injection plan at
+/// site [`site::ASSEMBLE_BLOCK`]: the unit-of-work key is the block's
+/// position within the composite, and a fired fault marks that block's
+/// checkpoint corrupt (exactly like a real corrupt file). `config_index`
+/// only labels the observability events.
+///
+/// Returns the built model plus the number of blocks that fell back to
+/// inherited weights.
+///
+/// # Errors
+///
+/// Same as [`assemble`]; block-checkpoint problems degrade, never abort.
+pub fn assemble_supervised(
+    mm: &MultiplexingModel,
+    config: &PruneConfig,
+    full: &Checkpoint,
+    init: InitStrategy<'_>,
+    seed: u64,
+    faults: Option<&wootz_fault::FaultPlan>,
+    config_index: u64,
+) -> Result<(BuiltModel, usize)> {
     let mut built = mm.build(&ModeToUse::FineTune(config), seed)?;
     let widths = pruned_widths(mm.ir(), config)?;
     init_from_full(mm.ir(), full, "net", &mut built.vars, "net", &widths, None)?;
+    let mut fallbacks = 0usize;
     if let InitStrategy::BlockTrained(blocks) = init {
-        for (block, ckpt) in blocks {
+        for (pos, (block, ckpt)) in blocks.iter().enumerate() {
             let prefix = format!("{}/", block.scope());
-            let (restored, _skipped) = ckpt
-                .restore(&mut built.vars, |name| {
-                    name.strip_prefix(&prefix)
-                        .map(|suffix| format!("net/{suffix}"))
-                        .unwrap_or_else(|| name.to_string())
-                })
+            let rename = |name: &str| {
+                name.strip_prefix(&prefix)
+                    .map(|suffix| format!("net/{suffix}"))
+                    .unwrap_or_else(|| name.to_string())
+            };
+            // Decide *before* touching the variable store whether this
+            // checkpoint can restore cleanly, so a bad block never leaves
+            // the network half-overwritten.
+            let injected =
+                wootz_fault::FaultPlan::fire_opt(faults, site::ASSEMBLE_BLOCK, pos as u64, 1);
+            let reason = if injected.is_some() {
+                Some("injected corrupt checkpoint".to_string())
+            } else {
+                checkpoint_restore_problem(ckpt, &built.vars, &rename)
+            };
+            if let Some(reason) = reason {
+                fallbacks += 1;
+                wootz_obs::counter("assemble.block_fallbacks").incr();
+                wootz_obs::event("assemble.block_fallback")
+                    .field("config", config_index as usize)
+                    .field("key", block.key())
+                    .field("reason", reason)
+                    .emit();
+                continue;
+            }
+            ckpt.restore(&mut built.vars, rename)
                 .map_err(CoreError::from)?;
-            if restored == 0 {
-                return Err(CoreError::Pipeline(format!(
-                    "block checkpoint `{}` restored nothing into the pruned network",
-                    block.key()
-                )));
+        }
+    }
+    Ok((built, fallbacks))
+}
+
+/// Why a block checkpoint cannot initialize the assembled network, or
+/// `None` when a restore would apply cleanly and non-trivially.
+fn checkpoint_restore_problem(
+    ckpt: &Checkpoint,
+    vars: &VarStore,
+    rename: &impl Fn(&str) -> String,
+) -> Option<String> {
+    if ckpt.is_empty() {
+        return Some("checkpoint is empty".to_string());
+    }
+    let mut would_restore = 0usize;
+    for (name, tensor) in ckpt.iter() {
+        let target = rename(name);
+        if vars.contains(&target) {
+            match vars.value(&target) {
+                Ok(existing) if existing.shape() == tensor.shape() => would_restore += 1,
+                Ok(existing) => {
+                    return Some(format!(
+                        "`{target}` shape mismatch: checkpoint {:?} vs network {:?}",
+                        tensor.shape(),
+                        existing.shape()
+                    ));
+                }
+                Err(e) => return Some(format!("`{target}`: {e}")),
             }
         }
     }
-    Ok(built)
+    if would_restore == 0 {
+        return Some("checkpoint restores nothing into the pruned network".to_string());
+    }
+    None
 }
 
 /// Runs global fine-tuning (standard classifier training over all
@@ -321,14 +399,124 @@ mod tests {
     }
 
     #[test]
-    fn empty_block_checkpoint_is_an_error() {
+    fn empty_block_checkpoint_falls_back_to_inherited_weights() {
         let (mm, full) = setup();
         let n = mm.ir().conv_module_ids().len();
         let config = PruneConfig::uniform(n, 50).unwrap();
         let block = TuningBlock::new(0, vec![(1, 50)]).unwrap();
         let empty = Checkpoint::new();
         let pairs = vec![(&block, &empty)];
-        assert!(assemble(&mm, &config, &full, InitStrategy::BlockTrained(&pairs), 0).is_err());
+        let (built, fallbacks) = assemble_supervised(
+            &mm,
+            &config,
+            &full,
+            InitStrategy::BlockTrained(&pairs),
+            0,
+            None,
+            0,
+        )
+        .unwrap();
+        assert_eq!(fallbacks, 1, "empty checkpoint degrades, not aborts");
+        // The network equals the default (inherited-only) initialization.
+        let default_net = assemble(&mm, &config, &full, InitStrategy::Default, 0).unwrap();
+        assert_eq!(
+            built.vars.value("net/res2_1_branch2a/weight").unwrap(),
+            default_net.vars.value("net/res2_1_branch2a/weight").unwrap()
+        );
+    }
+
+    #[test]
+    fn shape_incompatible_checkpoint_falls_back_without_partial_restore() {
+        let (mm, full) = setup();
+        let n = mm.ir().conv_module_ids().len();
+        let config = PruneConfig::uniform(n, 50).unwrap();
+        let block = TuningBlock::new(0, vec![(1, 50)]).unwrap();
+        // A checkpoint trained for a *different* rate: shapes disagree.
+        let other = PruneConfig::uniform(n, 30).unwrap();
+        let other_net = assemble(&mm, &other, &full, InitStrategy::Default, 1).unwrap();
+        let scope = block.scope();
+        let mut ckpt = Checkpoint::new();
+        for (name, p) in other_net.vars.iter() {
+            if let Some(suffix) = name.strip_prefix("net/") {
+                if suffix.starts_with("res2_1_") {
+                    ckpt.insert(format!("{scope}/{suffix}"), p.value.map(|v| v + 100.0));
+                }
+            }
+        }
+        let pairs = vec![(&block, &ckpt)];
+        let (built, fallbacks) = assemble_supervised(
+            &mm,
+            &config,
+            &full,
+            InitStrategy::BlockTrained(&pairs),
+            0,
+            None,
+            0,
+        )
+        .unwrap();
+        assert_eq!(fallbacks, 1);
+        // Inherited weights intact — no half-applied overwrite (no +100s).
+        let w = built.vars.value("net/res2_1_branch2a/weight").unwrap();
+        assert!(w.data().iter().all(|&v| v < 50.0));
+    }
+
+    #[test]
+    fn injected_corrupt_checkpoint_forces_fallback() {
+        let (mm, full) = setup();
+        let n = mm.ir().conv_module_ids().len();
+        let config = PruneConfig::uniform(n, 50).unwrap();
+        let block = TuningBlock::new(0, vec![(1, 50)]).unwrap();
+        let good_net = assemble(&mm, &config, &full, InitStrategy::Default, 5).unwrap();
+        let scope = block.scope();
+        let mut ckpt = Checkpoint::new();
+        for (name, p) in good_net.vars.iter() {
+            if let Some(suffix) = name.strip_prefix("net/") {
+                if suffix.starts_with("res2_1_") {
+                    ckpt.insert(format!("{scope}/{suffix}"), p.value.map(|v| v + 100.0));
+                }
+            }
+        }
+        let plan = wootz_fault::FaultPlan {
+            seed: 0,
+            triggers: vec![wootz_fault::Trigger {
+                site: site::ASSEMBLE_BLOCK.into(),
+                key: Some(0),
+                kind: wootz_fault::FaultKind::CorruptCheckpoint,
+                times: Some(1),
+            }],
+            rates: vec![],
+        };
+        let pairs = vec![(&block, &ckpt)];
+        let (built, fallbacks) = assemble_supervised(
+            &mm,
+            &config,
+            &full,
+            InitStrategy::BlockTrained(&pairs),
+            5,
+            Some(&plan),
+            7,
+        )
+        .unwrap();
+        assert_eq!(fallbacks, 1);
+        let w = built.vars.value("net/res2_1_branch2a/weight").unwrap();
+        assert!(
+            w.data().iter().all(|&v| v < 50.0),
+            "block weights must be the inherited ones"
+        );
+        // Without the plan the same checkpoint applies.
+        let (built, fallbacks) = assemble_supervised(
+            &mm,
+            &config,
+            &full,
+            InitStrategy::BlockTrained(&pairs),
+            5,
+            None,
+            7,
+        )
+        .unwrap();
+        assert_eq!(fallbacks, 0);
+        let w = built.vars.value("net/res2_1_branch2a/weight").unwrap();
+        assert!(w.data().iter().all(|&v| v > 50.0));
     }
 
     #[test]

@@ -1,0 +1,484 @@
+//! Append-only NDJSON run journal — crash-resumable exploration.
+//!
+//! A journal is one JSON object per line. The first line is always a
+//! [`JournalHeader`] that pins the run's identity (subspace hash,
+//! objective, seed, mode); every later line is a [`JournalEntry`] recording
+//! a completed unit of work: the trained full model, one pre-trained
+//! tuning block, or one configuration evaluation.
+//!
+//! Each entry is flushed as soon as it is appended, so a killed run loses
+//! at most the line being written. On resume, a torn final line is
+//! detected, reported, and truncated away; corruption anywhere *else* in
+//! the file is a hard [`CoreError::Journal`] error — silent data loss is
+//! never tolerated mid-file.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use wootz_fault::fnv1a64;
+use wootz_nn::Checkpoint;
+
+use crate::explore::EvalRecord;
+use crate::pretrain::PretrainedBlock;
+use crate::prune::PruneConfig;
+use crate::{CoreError, Result};
+
+/// Current journal format version.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// The identity of a run. A journal may only resume a run whose header
+/// matches field-for-field; anything else means the journal belongs to a
+/// different experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Journal format version (see [`JOURNAL_VERSION`]).
+    pub version: u32,
+    /// FNV-1a hash over the promising subspace's rates (see
+    /// [`subspace_hash`]).
+    pub subspace_hash: u64,
+    /// The pruning objective, serialized as canonical JSON.
+    pub objective: String,
+    /// The solver seed.
+    pub seed: u64,
+    /// The run mode (`Baseline`, `Composability`, ...).
+    pub mode: String,
+}
+
+/// One journal line after the header.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalEntry {
+    /// The header line (only valid as the first line).
+    Header(JournalHeader),
+    /// The trained full model and its test accuracy.
+    FullModel {
+        /// Test accuracy of the trained full model.
+        accuracy: f64,
+        /// Full-model weights under scope `net/`.
+        checkpoint: Checkpoint,
+    },
+    /// One pre-trained tuning block.
+    Block(PretrainedBlock),
+    /// One configuration evaluation (success or recorded failure).
+    Eval(EvalRecord),
+}
+
+/// Deterministic identity hash of a promising subspace: FNV-1a over every
+/// configuration's rates in order. Two subspaces hash equal iff they
+/// contain the same rates in the same order.
+pub fn subspace_hash(subspace: &[PruneConfig]) -> u64 {
+    let mut bytes = Vec::new();
+    for config in subspace {
+        bytes.extend_from_slice(config.rates());
+        bytes.push(0xff);
+    }
+    fnv1a64(&bytes)
+}
+
+/// Everything a journal already knows about a run: replayed units of work,
+/// keyed for the phase supervisors.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// The trained full model, when journaled.
+    pub full: Option<(Checkpoint, f64)>,
+    /// Pre-trained blocks by block key.
+    pub blocks: BTreeMap<String, PretrainedBlock>,
+    /// Completed evaluations by config index.
+    pub evals: BTreeMap<usize, EvalRecord>,
+    /// Whether a torn final line was dropped during replay.
+    pub truncated_tail: bool,
+}
+
+impl Replay {
+    /// Total replayed work units.
+    pub fn len(&self) -> usize {
+        usize::from(self.full.is_some()) + self.blocks.len() + self.evals.len()
+    }
+
+    /// Whether nothing was replayed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An open, append-only journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates (truncating) a journal at `path` and writes the header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] on I/O or serialization failure.
+    pub fn create(path: impl AsRef<Path>, header: &JournalHeader) -> Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)
+            .map_err(|e| journal_err(&path, format!("cannot create: {e}")))?;
+        let mut journal = Journal { file, path };
+        journal.append(&JournalEntry::Header(header.clone()))?;
+        wootz_obs::event("journal.created")
+            .field("path", journal.path.display().to_string())
+            .emit();
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for resuming: verifies its header against
+    /// `expect`, replays every intact entry, truncates a torn final line,
+    /// and returns the journal positioned for appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] when the file is unreadable, the
+    /// header mismatches, or a non-final line is corrupt.
+    pub fn resume(path: impl AsRef<Path>, expect: &JournalHeader) -> Result<(Journal, Replay)> {
+        let path = path.as_ref().to_path_buf();
+        let (header, replay, keep_bytes) = read_entries(&path)?;
+        check_header(&path, &header, expect)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| journal_err(&path, format!("cannot reopen for append: {e}")))?;
+        if replay.truncated_tail {
+            // Drop the torn bytes so the next append starts a clean line.
+            file.set_len(keep_bytes)
+                .map_err(|e| journal_err(&path, format!("cannot truncate torn tail: {e}")))?;
+            wootz_obs::event("journal.truncated_tail")
+                .field("path", path.display().to_string())
+                .field("kept_bytes", keep_bytes as usize)
+                .emit();
+        }
+        wootz_obs::event("journal.resumed")
+            .field("path", path.display().to_string())
+            .field("evals", replay.evals.len())
+            .field("blocks", replay.blocks.len())
+            .field("full_model", usize::from(replay.full.is_some()))
+            .emit();
+        Ok((Journal { file, path }, replay))
+    }
+
+    /// Appends one entry as a single NDJSON line and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Journal`] on I/O or serialization failure.
+    pub fn append(&mut self, entry: &JournalEntry) -> Result<()> {
+        let line = serde_json::to_string(entry)
+            .map_err(|e| journal_err(&self.path, format!("cannot serialize entry: {e}")))?;
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .and_then(|()| self.file.flush())
+            .map_err(|e| journal_err(&self.path, format!("append failed: {e}")))?;
+        wootz_obs::counter("journal.appends").incr();
+        Ok(())
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads a journal without opening it for writing — header plus replay.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Journal`] on unreadable files, a missing or
+/// malformed header, or mid-file corruption.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<(JournalHeader, Replay)> {
+    let (header, replay, _) = read_entries(path.as_ref())?;
+    Ok((header, replay))
+}
+
+fn journal_err(path: &Path, detail: String) -> CoreError {
+    CoreError::Journal(format!("`{}`: {detail}", path.display()))
+}
+
+fn check_header(path: &Path, found: &JournalHeader, expect: &JournalHeader) -> Result<()> {
+    if found.version != expect.version {
+        return Err(journal_err(
+            path,
+            format!(
+                "version mismatch: journal has {}, this build writes {}",
+                found.version, expect.version
+            ),
+        ));
+    }
+    if found.subspace_hash != expect.subspace_hash {
+        return Err(journal_err(
+            path,
+            format!(
+                "subspace mismatch: journal was recorded for subspace {:#018x}, this run explores {:#018x}",
+                found.subspace_hash, expect.subspace_hash
+            ),
+        ));
+    }
+    if found.objective != expect.objective {
+        return Err(journal_err(
+            path,
+            "objective mismatch: the journal belongs to a run with a different pruning objective"
+                .to_string(),
+        ));
+    }
+    if found.seed != expect.seed {
+        return Err(journal_err(
+            path,
+            format!(
+                "seed mismatch: journal seed {}, this run's seed {}",
+                found.seed, expect.seed
+            ),
+        ));
+    }
+    if found.mode != expect.mode {
+        return Err(journal_err(
+            path,
+            format!(
+                "mode mismatch: journal mode `{}`, this run's mode `{}`",
+                found.mode, expect.mode
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Parses the whole journal. Returns the header, the replay, and the byte
+/// length of the intact prefix (for torn-tail truncation).
+fn read_entries(path: &Path) -> Result<(JournalHeader, Replay, u64)> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| journal_err(path, format!("cannot read: {e}")))?;
+    let mut replay = Replay::default();
+    let mut header: Option<JournalHeader> = None;
+    let mut offset: u64 = 0; // bytes of intact, newline-terminated lines
+    let mut cursor = 0usize;
+    let mut line_no = 0usize;
+    let bytes = text.as_bytes();
+    while cursor < bytes.len() {
+        let nl = text[cursor..].find('\n').map(|i| cursor + i);
+        let (line, terminated, next) = match nl {
+            Some(i) => (&text[cursor..i], true, i + 1),
+            None => (&text[cursor..], false, bytes.len()),
+        };
+        line_no += 1;
+        if line.trim().is_empty() {
+            cursor = next;
+            if terminated {
+                offset = next as u64;
+            }
+            continue;
+        }
+        match serde_json::from_str::<JournalEntry>(line) {
+            Ok(entry) => {
+                if line_no == 1 {
+                    match entry {
+                        JournalEntry::Header(h) => header = Some(h),
+                        _ => {
+                            return Err(journal_err(
+                                path,
+                                "first line is not a journal header".to_string(),
+                            ))
+                        }
+                    }
+                } else {
+                    match entry {
+                        JournalEntry::Header(_) => {
+                            return Err(journal_err(
+                                path,
+                                format!("line {line_no}: unexpected second header"),
+                            ))
+                        }
+                        JournalEntry::FullModel {
+                            accuracy,
+                            checkpoint,
+                        } => replay.full = Some((checkpoint, accuracy)),
+                        JournalEntry::Block(block) => {
+                            replay.blocks.insert(block.key.clone(), block);
+                        }
+                        JournalEntry::Eval(record) => {
+                            replay.evals.insert(record.config_index(), record);
+                        }
+                    }
+                }
+                cursor = next;
+                if terminated {
+                    offset = next as u64;
+                } else {
+                    // Intact JSON but no trailing newline (flush happened,
+                    // newline write was cut). Keep the entry, but treat the
+                    // tail as needing a newline: safest is to truncate to
+                    // the previous line end and drop this entry... except
+                    // the entry is valid. Keep it and record its end; the
+                    // resume path re-terminates by appending from here.
+                    offset = next as u64;
+                }
+            }
+            Err(e) => {
+                if terminated || line_no == 1 {
+                    return Err(journal_err(
+                        path,
+                        format!("corrupt entry at line {line_no}: {e}"),
+                    ));
+                }
+                // Torn final line: tolerated, dropped.
+                replay.truncated_tail = true;
+                cursor = next;
+            }
+        }
+    }
+    let header = header.ok_or_else(|| journal_err(path, "journal is empty".to_string()))?;
+    Ok((header, replay, offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{EvalOutcome, EvalRecord};
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            subspace_hash: 0xabcd,
+            objective: "{\"o\":1}".to_string(),
+            seed: 7,
+            mode: "Composability".to_string(),
+        }
+    }
+
+    fn eval(i: usize) -> JournalEntry {
+        JournalEntry::Eval(EvalRecord::Done {
+            config_index: i,
+            outcome: EvalOutcome {
+                model_size: 100 + i,
+                flops: 5,
+                accuracy: 0.5,
+                cost: 1.0,
+                log: None,
+            },
+            satisfies: i % 2 == 0,
+        })
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("wootz_journal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_then_resume_round_trips() {
+        let path = tmp("roundtrip.ndjson");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&eval(0)).unwrap();
+        j.append(&eval(3)).unwrap();
+        j.append(&JournalEntry::Block(PretrainedBlock {
+            key: "b0".to_string(),
+            checkpoint: Checkpoint::new(),
+            first_loss: 1.0,
+            last_loss: 0.5,
+            steps: 10,
+        }))
+        .unwrap();
+        drop(j);
+        let (j2, replay) = Journal::resume(&path, &header()).unwrap();
+        assert_eq!(replay.evals.len(), 2);
+        assert_eq!(replay.evals[&3].config_index(), 3);
+        assert_eq!(replay.blocks["b0"].steps, 10);
+        assert!(!replay.truncated_tail);
+        drop(j2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_truncated() {
+        let path = tmp("torn.ndjson");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&eval(0)).unwrap();
+        j.append(&eval(1)).unwrap();
+        drop(j);
+        // Simulate a kill mid-append: append half a line, no newline.
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"Eval\":{\"Done\":{\"config_index\":2,").unwrap();
+        drop(f);
+        let (mut j2, replay) = Journal::resume(&path, &header()).unwrap();
+        assert!(replay.truncated_tail);
+        assert_eq!(replay.evals.len(), 2, "torn eval 2 dropped");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
+        // Appending after resume yields a parseable journal again.
+        j2.append(&eval(2)).unwrap();
+        drop(j2);
+        let (_, replay) = read_journal(&path).unwrap();
+        assert_eq!(replay.evals.len(), 3);
+        assert!(!replay.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let path = tmp("midfile.ndjson");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&eval(0)).unwrap();
+        j.append(&eval(1)).unwrap();
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{ definitely not json";
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = Journal::resume(&path, &header()).unwrap_err().to_string();
+        assert!(err.contains("corrupt entry at line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_mismatches_are_rejected_with_detail() {
+        let path = tmp("mismatch.ndjson");
+        let j = Journal::create(&path, &header()).unwrap();
+        drop(j);
+        let mut other = header();
+        other.subspace_hash = 0x1234;
+        let err = Journal::resume(&path, &other).unwrap_err().to_string();
+        assert!(err.contains("subspace mismatch"), "{err}");
+        let mut other = header();
+        other.seed = 8;
+        let err = Journal::resume(&path, &other).unwrap_err().to_string();
+        assert!(err.contains("seed mismatch"), "{err}");
+        let mut other = header();
+        other.mode = "Baseline".to_string();
+        let err = Journal::resume(&path, &other).unwrap_err().to_string();
+        assert!(err.contains("mode mismatch"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_or_headerless_journals_are_errors() {
+        let err = read_journal("/nonexistent/run.ndjson")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("cannot read"), "{err}");
+        let path = tmp("headerless.ndjson");
+        std::fs::write(&path, serde_json::to_string(&eval(0)).unwrap() + "\n").unwrap();
+        let err = read_journal(&path).unwrap_err().to_string();
+        assert!(err.contains("not a journal header"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn subspace_hash_tracks_rates_and_order() {
+        let a = vec![
+            PruneConfig::new(vec![30, 50]).unwrap(),
+            PruneConfig::new(vec![0, 70]).unwrap(),
+        ];
+        let b = vec![
+            PruneConfig::new(vec![0, 70]).unwrap(),
+            PruneConfig::new(vec![30, 50]).unwrap(),
+        ];
+        assert_eq!(subspace_hash(&a), subspace_hash(&a));
+        assert_ne!(subspace_hash(&a), subspace_hash(&b), "order matters");
+        assert_ne!(subspace_hash(&a), subspace_hash(&a[..1]), "length matters");
+    }
+}

@@ -29,7 +29,10 @@
 //!   (§6.1);
 //! * [`finetune`] — block-trained network assembly and global fine-tuning;
 //! * [`explore`] — objective-ordered exploration of the promising subspace
-//!   across one or more workers;
+//!   across one or more workers, supervised against failures (retry,
+//!   skip-with-record, panic capture, deterministic fault injection);
+//! * [`journal`] — the append-only NDJSON run journal that makes long
+//!   exploration runs crash-resumable;
 //! * [`pipeline`] — the end-to-end driver tying everything together
 //!   (Figure 2).
 
@@ -42,6 +45,7 @@ pub mod compile;
 mod error;
 pub mod explore;
 pub mod finetune;
+pub mod journal;
 pub mod optimal;
 pub mod pipeline;
 pub mod pretrain;

@@ -4,17 +4,23 @@
 //! composability-based pruning (tuning-block identification → Teacher–
 //! Student pre-training → assembly → objective-ordered exploration).
 
+use std::path::PathBuf;
+
 use serde::{Deserialize, Serialize};
 use wootz_data::Dataset;
+use wootz_fault::{FaultPlan, RetryPolicy};
 use wootz_ir::{Metric, ModelIr, Objective, SolverConfig};
 use wootz_nn::{Checkpoint, LrSchedule, TrainConfig, TrainLog};
 use wootz_tensor::sgd::SgdConfig;
 
 use crate::blocks::{identify_tuning_blocks, module_level_blocks, BlockSet};
 use crate::compile::{ModeToUse, MultiplexingModel};
-use crate::explore::{explore_parallel, EvalOutcome, ExplorationResult};
-use crate::finetune::{assemble, global_finetune, InitStrategy};
-use crate::pretrain::{pretrain_blocks_parallel, PretrainConfig};
+use crate::explore::{
+    explore_parallel_supervised, EvalOutcome, ExplorationResult, ExploreOptions,
+};
+use crate::finetune::{assemble_supervised, global_finetune, InitStrategy};
+use crate::journal::{subspace_hash, Journal, JournalEntry, JournalHeader, JOURNAL_VERSION};
+use crate::pretrain::{pretrain_blocks_supervised, PretrainConfig, PretrainOptions};
 use crate::prune::{config_param_count, PruneConfig};
 use crate::{CoreError, Result};
 
@@ -71,10 +77,30 @@ pub struct WootzRun {
     pub exploration: ExplorationResult,
     /// Number of tuning blocks pre-trained (0 for the baseline).
     pub blocks_pretrained: usize,
+    /// Number of tuning blocks that failed pre-training even after the
+    /// per-block fallback (their layers assemble from inherited weights).
+    pub blocks_failed: Option<usize>,
     /// SGD steps spent pre-training blocks (the composability overhead).
     pub pretrain_steps: usize,
     /// SGD steps spent across all network evaluations.
     pub finetune_steps: usize,
+}
+
+/// Fault-tolerance and journaling options for [`run_wootz_with`]. The
+/// default (`no faults, one attempt, abort on failure, no journal`)
+/// reproduces the pre-supervisor pipeline bit for bit.
+#[derive(Debug, Default, Clone)]
+pub struct RunOptions<'a> {
+    /// Deterministic fault-injection plan.
+    pub faults: Option<&'a FaultPlan>,
+    /// Retry policy for configuration evaluations.
+    pub retry: RetryPolicy,
+    /// When set, every completed unit of work (full model, pre-trained
+    /// block, evaluation) is appended to this NDJSON journal.
+    pub journal: Option<PathBuf>,
+    /// When true and the journal file exists, verify its header and replay
+    /// its entries instead of redoing the work.
+    pub resume: bool,
 }
 
 /// Trains the full model on the dataset (the preparation step: "adapt the
@@ -162,6 +188,23 @@ pub fn run_wootz(
     mode: RunMode,
     full: Option<(Checkpoint, f64)>,
 ) -> Result<WootzRun> {
+    run_wootz_with(inputs, dataset, mode, full, &RunOptions::default())
+}
+
+/// [`run_wootz`] with explicit fault-tolerance options: fault injection,
+/// retry policy, and the crash-resumable run journal.
+///
+/// # Errors
+///
+/// Propagates every phase's errors; with `opts.resume` set, also journal
+/// header mismatches and mid-file corruption.
+pub fn run_wootz_with(
+    inputs: &WootzInputs,
+    dataset: &Dataset,
+    mode: RunMode,
+    full: Option<(Checkpoint, f64)>,
+    opts: &RunOptions<'_>,
+) -> Result<WootzRun> {
     let _run = wootz_obs::span("pipeline.run")
         .with("mode", format!("{mode:?}"))
         .with("configs", inputs.subspace.len())
@@ -170,10 +213,36 @@ pub fn run_wootz(
         let _compile = wootz_obs::span("pipeline.compile");
         MultiplexingModel::compile(inputs.model.clone())?
     };
-    let (full_ckpt, full_accuracy) = match full {
-        Some((c, a)) => (c, a),
-        None => {
+
+    // Journal setup: create fresh, or verify + replay an existing one.
+    let header = JournalHeader {
+        version: JOURNAL_VERSION,
+        subspace_hash: subspace_hash(&inputs.subspace),
+        objective: serde_json::to_string(&inputs.objective)
+            .map_err(|e| CoreError::Journal(format!("cannot serialize objective: {e}")))?,
+        seed: inputs.solver.seed,
+        mode: format!("{mode:?}"),
+    };
+    let (mut journal, replay) = match &opts.journal {
+        None => (None, crate::journal::Replay::default()),
+        Some(path) if opts.resume && path.exists() => {
+            let (journal, replay) = Journal::resume(path, &header)?;
+            (Some(journal), replay)
+        }
+        Some(path) => (Some(Journal::create(path, &header)?), Default::default()),
+    };
+
+    let (full_ckpt, full_accuracy) = match (full, replay.full) {
+        (Some((c, a)), _) => (c, a),
+        (None, Some((c, a))) => (c, a),
+        (None, None) => {
             let (c, a, _) = train_full_model(&mm, dataset, &inputs.solver)?;
+            if let Some(journal) = journal.as_mut() {
+                journal.append(&JournalEntry::FullModel {
+                    accuracy: a,
+                    checkpoint: c.clone(),
+                })?;
+            }
             (c, a)
         }
     };
@@ -188,6 +257,7 @@ pub fn run_wootz(
         }
     };
     let mut pretrain_steps = 0usize;
+    let mut blocks_failed = 0usize;
     let pretrained = match &block_set {
         None => None,
         Some(set) => {
@@ -201,10 +271,27 @@ pub fn run_wootz(
                 seed: inputs.solver.seed ^ 0xb10c,
             };
             let batch_size = inputs.solver.batch_size;
-            let outcome = pretrain_blocks_parallel(&mm, &set.blocks, &full_ckpt, &cfg, |step| {
-                dataset.train_batch(step, batch_size).0
-            })?;
+            let pretrain_opts = PretrainOptions {
+                faults: opts.faults,
+                completed: replay.blocks,
+            };
+            let mut block_sink = |block: &crate::pretrain::PretrainedBlock| -> Result<()> {
+                if let Some(journal) = journal.as_mut() {
+                    journal.append(&JournalEntry::Block(block.clone()))?;
+                }
+                Ok(())
+            };
+            let outcome = pretrain_blocks_supervised(
+                &mm,
+                &set.blocks,
+                &full_ckpt,
+                &cfg,
+                |step| dataset.train_batch(step, batch_size).0,
+                &pretrain_opts,
+                Some(&mut block_sink),
+            )?;
             pretrain_steps = outcome.total_steps;
+            blocks_failed = outcome.failed.len();
             Some(outcome)
         }
     };
@@ -223,6 +310,10 @@ pub fn run_wootz(
     let threshold = accuracy_threshold(&inputs.objective);
     let (eval_x, eval_y) = dataset.test_set(256);
     let finetune_steps = std::sync::atomic::AtomicUsize::new(0);
+    // Placeholder for blocks whose pre-training failed: assembles as an
+    // empty checkpoint, which the assembler degrades to inherited weights
+    // (with an `assemble.block_fallback` event), keeping the run alive.
+    let missing_ckpt = Checkpoint::new();
     let evaluate = |config_index: usize| -> Result<EvalOutcome> {
         let config = &inputs.subspace[config_index];
         let pairs_storage;
@@ -234,25 +325,25 @@ pub fn run_wootz(
                     .iter()
                     .map(|p| {
                         let block = &set.blocks[p.block_index];
-                        let ckpt = out.checkpoints.get(&block.key()).ok_or_else(|| {
-                            CoreError::Pipeline(format!(
-                                "missing checkpoint for block {}",
-                                block.key()
-                            ))
-                        })?;
-                        Ok((block, ckpt))
+                        let ckpt = out
+                            .checkpoints
+                            .get(&block.key())
+                            .unwrap_or(&missing_ckpt);
+                        (block, ckpt)
                     })
-                    .collect::<Result<Vec<_>>>()?;
+                    .collect::<Vec<_>>();
                 InitStrategy::BlockTrained(&pairs_storage)
             }
             _ => InitStrategy::Default,
         };
-        let mut built = assemble(
+        let (mut built, _fallbacks) = assemble_supervised(
             &mm,
             config,
             &full_ckpt,
             strategy,
             inputs.solver.seed ^ config_index as u64,
+            opts.faults,
+            config_index as u64,
         )?;
         let cfg = TrainConfig {
             max_steps: inputs.solver.max_iter,
@@ -285,25 +376,44 @@ pub fn run_wootz(
             log: Some(log),
         })
     };
-    let exploration = explore_parallel(
+    let explore_opts = ExploreOptions {
+        faults: opts.faults,
+        retry: opts.retry,
+        resume: replay.evals,
+    };
+    let mut eval_sink = |record: &crate::explore::EvalRecord| -> Result<()> {
+        if let Some(journal) = journal.as_mut() {
+            journal.append(&JournalEntry::Eval(record.clone()))?;
+        }
+        Ok(())
+    };
+    let exploration = explore_parallel_supervised(
         &inputs.objective,
         &sizes,
         inputs.solver.num_workers,
         evaluate,
+        &explore_opts,
+        Some(&mut eval_sink),
     )?;
     wootz_obs::event("pipeline.explored")
         .field("configs_explored", exploration.configs_explored)
         .field("wall_cost", exploration.wall_cost)
         .field("total_cost", exploration.total_cost)
+        .field("fresh", exploration.fresh_evals())
+        .field("resumed", exploration.resumed)
+        .field("failed", exploration.failed)
         .emit();
 
     let best = exploration.best.map(|i| {
         let record = &exploration.evaluated[i];
+        let outcome = record
+            .outcome()
+            .expect("best index always points at a successful record");
         BestNetwork {
-            config_index: record.config_index,
-            rates: inputs.subspace[record.config_index].rates().to_vec(),
-            model_size: record.outcome.model_size,
-            accuracy: record.outcome.accuracy,
+            config_index: record.config_index(),
+            rates: inputs.subspace[record.config_index()].rates().to_vec(),
+            model_size: outcome.model_size,
+            accuracy: outcome.accuracy,
         }
     });
     Ok(WootzRun {
@@ -312,6 +422,7 @@ pub fn run_wootz(
         best,
         exploration,
         blocks_pretrained: block_set.map(|s| s.blocks.len()).unwrap_or(0),
+        blocks_failed: Some(blocks_failed),
         pretrain_steps,
         finetune_steps: finetune_steps.into_inner(),
     })
@@ -363,6 +474,61 @@ mod tests {
         let run = run_wootz(&inputs, &ds, RunMode::Composability, None).unwrap();
         assert!(run.blocks_pretrained > 0);
         assert!(run.pretrain_steps > 0);
+    }
+
+    /// The issue's acceptance scenario: one evaluator panic, one group
+    /// error and one corrupt block checkpoint injected into a single run.
+    /// The run must complete (retrying/degrading only the affected work),
+    /// and a resume after a simulated kill must re-evaluate nothing that
+    /// was journaled while choosing the same best network.
+    #[test]
+    fn faulted_run_completes_degrades_and_resumes() {
+        use wootz_fault::{site, FaultKind, FaultPlan, RetryPolicy, Trigger};
+
+        let inputs = tiny_inputs(3);
+        let ds = micro_dataset("flowers102", 3);
+        let dir = std::env::temp_dir().join(format!("wootz_pipe_resume_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("run.ndjson");
+        let trigger = |site: &str, key: u64, kind: FaultKind| Trigger {
+            site: site.into(),
+            key: Some(key),
+            kind,
+            times: Some(1),
+        };
+        let plan = FaultPlan {
+            seed: 11,
+            triggers: vec![
+                trigger(site::EXPLORE_EVAL, 0, FaultKind::EvalPanic),
+                trigger(site::PRETRAIN_GROUP, 0, FaultKind::EvalError),
+                trigger(site::ASSEMBLE_BLOCK, 1, FaultKind::CorruptCheckpoint),
+            ],
+            rates: vec![],
+        };
+        let opts = RunOptions {
+            faults: Some(&plan),
+            retry: RetryPolicy::skip_after(3),
+            journal: Some(journal.clone()),
+            resume: false,
+        };
+        let cold = run_wootz_with(&inputs, &ds, RunMode::Composability, None, &opts).unwrap();
+        assert!(cold.exploration.configs_explored >= 1);
+        assert!(cold.blocks_pretrained > 0);
+        // The panic was retried and recovered; nothing was skipped.
+        assert_eq!(cold.exploration.failed, 0);
+        assert!(cold.best.is_some());
+
+        // Simulated kill + resume: replay the journal, evaluate nothing
+        // fresh, land on the same best network.
+        let opts = RunOptions {
+            resume: true,
+            ..opts
+        };
+        let warm = run_wootz_with(&inputs, &ds, RunMode::Composability, None, &opts).unwrap();
+        assert_eq!(warm.exploration.fresh_evals(), 0, "{warm:?}");
+        assert_eq!(warm.exploration.resumed, cold.exploration.configs_explored);
+        assert_eq!(warm.best, cold.best);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

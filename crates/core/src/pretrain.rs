@@ -9,8 +9,10 @@
 //! blocks.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::{Deserialize, Serialize};
+use wootz_fault::{panic_message, site, FaultError, FaultPlan};
 use wootz_nn::{backward, forward, Checkpoint, Mode};
 use wootz_tensor::ops::{mse_loss, mse_loss_backward};
 use wootz_tensor::sgd::SgdConfig;
@@ -18,6 +20,7 @@ use wootz_tensor::Tensor;
 
 use crate::blocks::partition_into_groups;
 use crate::compile::{ModeToUse, MultiplexingModel, TuningBlock};
+use crate::error::CoreError;
 use crate::finetune::init_from_full;
 use crate::prune::kept_count;
 use crate::Result;
@@ -64,6 +67,51 @@ pub struct PretrainOutcome {
     /// Total SGD steps executed across groups (the pre-training overhead
     /// the evaluation charges to the composability-based method).
     pub total_steps: usize,
+    /// Blocks that could not be pre-trained even after the per-block
+    /// fallback: `(key, error message)`. The assembly stage initializes
+    /// these from inherited full-model weights instead.
+    pub failed: Vec<(String, String)>,
+}
+
+/// One pre-trained tuning block, as produced by the supervisor and stored
+/// in the run journal. `steps` carries the group's SGD-step cost on the
+/// group's first block (the rest record 0) so that replaying a journal
+/// reproduces [`PretrainOutcome::total_steps`] exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PretrainedBlock {
+    /// The block's [`TuningBlock::key`].
+    pub key: String,
+    /// Trained block parameters under the block's scope prefix.
+    pub checkpoint: Checkpoint,
+    /// First-step reconstruction loss.
+    pub first_loss: f32,
+    /// Last-step reconstruction loss.
+    pub last_loss: f32,
+    /// SGD steps this block is charged for (see above).
+    pub steps: usize,
+}
+
+/// Options for the supervised pre-training loop.
+#[derive(Default)]
+pub struct PretrainOptions<'a> {
+    /// Deterministic fault-injection plan (`None` = no faults, zero cost).
+    pub faults: Option<&'a FaultPlan>,
+    /// Blocks already pre-trained in an earlier (journaled) run, replayed
+    /// instead of retrained. A group is only retrained when at least one of
+    /// its blocks is missing here.
+    pub completed: BTreeMap<String, PretrainedBlock>,
+}
+
+/// Callback invoked once per freshly trained block (journal hook).
+pub type BlockSink<'s> = dyn FnMut(&PretrainedBlock) -> Result<()> + 's;
+
+/// What one supervised group produced: trained blocks, blocks that failed
+/// both the group run and the per-block fallback, and the group-level error
+/// (if any) for abort decisions.
+struct GroupOutcome {
+    blocks: Vec<PretrainedBlock>,
+    failed: Vec<(String, String)>,
+    first_error: Option<CoreError>,
 }
 
 /// Pre-trains every tuning block against the given full model.
@@ -119,6 +167,48 @@ pub fn pretrain_blocks_parallel(
     cfg: &PretrainConfig,
     next_batch: impl Fn(usize) -> Tensor + Sync,
 ) -> Result<PretrainOutcome> {
+    pretrain_blocks_supervised(
+        mm,
+        blocks,
+        full,
+        cfg,
+        next_batch,
+        &PretrainOptions::default(),
+        None,
+    )
+}
+
+/// The supervised variant of [`pretrain_blocks_parallel`]: groups still run
+/// on parallel OS threads, but each group is wrapped in a supervisor that
+///
+/// 1. catches evaluator panics (`catch_unwind`) and converts them into
+///    structured [`CoreError::Panic`] values naming the group,
+/// 2. consults the fault-injection plan at sites [`site::PRETRAIN_GROUP`]
+///    (keyed by group index) and [`site::PRETRAIN_BLOCK`] (keyed by block
+///    index),
+/// 3. degrades a failed group to per-block training — blocks that still
+///    fail are recorded in [`PretrainOutcome::failed`] and later fall back
+///    to inherited weights at assembly time, and
+/// 4. replays blocks from `opts.completed` (a resumed journal) instead of
+///    retraining them, and reports each freshly trained block to `sink`.
+///
+/// Without faults and without panics the outcome is bit-identical to
+/// [`pretrain_blocks`].
+///
+/// # Errors
+///
+/// Returns the first group's error only if *no* block was produced at all
+/// (a systematic failure, e.g. a model/block mismatch); partial failures
+/// degrade instead of aborting.
+pub fn pretrain_blocks_supervised(
+    mm: &MultiplexingModel,
+    blocks: &[TuningBlock],
+    full: &Checkpoint,
+    cfg: &PretrainConfig,
+    next_batch: impl Fn(usize) -> Tensor + Sync,
+    opts: &PretrainOptions<'_>,
+    mut sink: Option<&mut BlockSink<'_>>,
+) -> Result<PretrainOutcome> {
     let groups = partition_into_groups(blocks);
     let _run = wootz_obs::span("pretrain.run")
         .with("blocks", blocks.len())
@@ -128,27 +218,242 @@ pub fn pretrain_blocks_parallel(
         ..PretrainOutcome::default()
     };
     let next_batch = &next_batch;
-    let partials: Vec<Result<PretrainOutcome>> = std::thread::scope(|scope| {
+    // A group is retrained only when at least one of its blocks is missing
+    // from the journal.
+    let todo: Vec<bool> = groups
+        .iter()
+        .map(|g| {
+            g.iter()
+                .any(|&i| !opts.completed.contains_key(&blocks[i].key()))
+        })
+        .collect();
+    let results: Vec<Option<GroupOutcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = groups
             .iter()
             .enumerate()
             .map(|(gi, group)| {
-                scope
-                    .spawn(move || pretrain_one_group(mm, blocks, group, gi, full, cfg, next_batch))
+                if !todo[gi] {
+                    return None;
+                }
+                Some(scope.spawn(move || {
+                    supervise_group(mm, blocks, group, gi, full, cfg, next_batch, opts.faults)
+                }))
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("pre-training thread must not panic"))
+            .enumerate()
+            .map(|(gi, h)| {
+                h.map(|h| {
+                    h.join().unwrap_or_else(|payload| GroupOutcome {
+                        blocks: Vec::new(),
+                        failed: groups[gi]
+                            .iter()
+                            .map(|&bi| {
+                                (blocks[bi].key(), "supervisor thread panicked".to_string())
+                            })
+                            .collect(),
+                        first_error: Some(CoreError::Panic {
+                            what: format!("pre-training thread for group {gi}"),
+                            message: panic_message(payload.as_ref()),
+                        }),
+                    })
+                })
+            })
             .collect()
     });
-    for partial in partials {
-        let partial = partial?;
-        outcome.total_steps += partial.total_steps;
-        outcome.checkpoints.extend(partial.checkpoints);
-        outcome.losses.extend(partial.losses);
+    let mut first_error: Option<CoreError> = None;
+    for (gi, group) in groups.iter().enumerate() {
+        match &results[gi] {
+            None => {
+                // Fully journaled group: replay in block order.
+                for &bi in group {
+                    let done = &opts.completed[&blocks[bi].key()];
+                    outcome.total_steps += done.steps;
+                    outcome
+                        .checkpoints
+                        .insert(done.key.clone(), done.checkpoint.clone());
+                    outcome
+                        .losses
+                        .push((done.key.clone(), done.first_loss, done.last_loss));
+                }
+            }
+            Some(res) => {
+                for block in &res.blocks {
+                    // Prefer the journaled copy when a partially completed
+                    // group was retrained, so resumes replay byte-identically.
+                    let block = opts.completed.get(&block.key).unwrap_or(block);
+                    outcome.total_steps += block.steps;
+                    outcome
+                        .checkpoints
+                        .insert(block.key.clone(), block.checkpoint.clone());
+                    outcome
+                        .losses
+                        .push((block.key.clone(), block.first_loss, block.last_loss));
+                    if !opts.completed.contains_key(&block.key) {
+                        if let Some(sink) = sink.as_deref_mut() {
+                            sink(block)?;
+                        }
+                    }
+                }
+                outcome.failed.extend(res.failed.iter().cloned());
+            }
+        }
+    }
+    for res in results.into_iter().flatten() {
+        if first_error.is_none() {
+            first_error = res.first_error;
+        }
+    }
+    if outcome.checkpoints.is_empty() {
+        if let Some(e) = first_error {
+            return Err(e);
+        }
     }
     Ok(outcome)
+}
+
+/// Runs `f` with panics converted into [`CoreError::Panic`] naming `what`.
+fn run_caught<T>(what: impl FnOnce() -> String, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(res) => res,
+        Err(payload) => Err(CoreError::Panic {
+            what: what(),
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+fn injected(site: &str, key: u64, kind: &wootz_fault::FaultKind) -> CoreError {
+    CoreError::Fault(FaultError::Injected {
+        site: site.to_string(),
+        key,
+        kind: kind.label().to_string(),
+    })
+}
+
+/// Supervises one group: tries the joint group run first; on any failure
+/// (real error, panic, or injected fault) degrades to training each block
+/// alone. Blocks that fail even alone are reported, not fatal.
+#[allow(clippy::too_many_arguments)]
+fn supervise_group(
+    mm: &MultiplexingModel,
+    blocks: &[TuningBlock],
+    group: &[usize],
+    group_index: usize,
+    full: &Checkpoint,
+    cfg: &PretrainConfig,
+    next_batch: &(impl Fn(usize) -> Tensor + Sync),
+    faults: Option<&FaultPlan>,
+) -> GroupOutcome {
+    let group_attempt = || -> Result<PretrainOutcome> {
+        if let Some(kind) =
+            FaultPlan::fire_opt(faults, site::PRETRAIN_GROUP, group_index as u64, 1)
+        {
+            if let wootz_fault::FaultKind::EvalPanic = kind {
+                // Exercise the real panic path so the supervisor's
+                // catch_unwind is what recovers, not this early return.
+                return run_caught(
+                    || format!("pre-training group {group_index}"),
+                    || panic!("injected panic at {}[{group_index}]", site::PRETRAIN_GROUP),
+                );
+            }
+            return Err(injected(site::PRETRAIN_GROUP, group_index as u64, &kind));
+        }
+        run_caught(
+            || format!("pre-training group {group_index}"),
+            || pretrain_one_group(mm, blocks, group, group_index, full, cfg, next_batch),
+        )
+    };
+    match group_attempt() {
+        Ok(partial) => GroupOutcome {
+            blocks: as_pretrained_blocks(partial, group, blocks, cfg.steps),
+            failed: Vec::new(),
+            first_error: None,
+        },
+        Err(err) => {
+            wootz_obs::counter("pretrain.group_failures").incr();
+            wootz_obs::event("pretrain.group_failed")
+                .field("group", group_index)
+                .field("blocks", group.len())
+                .field("error", err.to_string())
+                .emit();
+            let mut out = GroupOutcome {
+                blocks: Vec::new(),
+                failed: Vec::new(),
+                first_error: Some(err),
+            };
+            for &bi in group {
+                let key = blocks[bi].key();
+                let block_attempt = || -> Result<PretrainOutcome> {
+                    if let Some(kind) =
+                        FaultPlan::fire_opt(faults, site::PRETRAIN_BLOCK, bi as u64, 1)
+                    {
+                        return Err(injected(site::PRETRAIN_BLOCK, bi as u64, &kind));
+                    }
+                    run_caught(
+                        || format!("fallback pre-training for block {key}"),
+                        || {
+                            pretrain_one_group(
+                                mm,
+                                blocks,
+                                &[bi],
+                                group_index,
+                                full,
+                                cfg,
+                                next_batch,
+                            )
+                        },
+                    )
+                };
+                match block_attempt() {
+                    Ok(partial) => {
+                        // A solo fallback run costs the full step budget.
+                        out.blocks
+                            .extend(as_pretrained_blocks(partial, &[bi], blocks, cfg.steps));
+                    }
+                    Err(e) => {
+                        wootz_obs::counter("pretrain.block_failures").incr();
+                        wootz_obs::event("pretrain.block_failed")
+                            .field("key", key.clone())
+                            .field("group", group_index)
+                            .field("error", e.to_string())
+                            .emit();
+                        out.failed.push((key, e.to_string()));
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Converts a per-group [`PretrainOutcome`] into journalable blocks; the
+/// group's first block carries the whole step cost.
+fn as_pretrained_blocks(
+    partial: PretrainOutcome,
+    group: &[usize],
+    blocks: &[TuningBlock],
+    steps: usize,
+) -> Vec<PretrainedBlock> {
+    let mut out = Vec::with_capacity(group.len());
+    for (i, &bi) in group.iter().enumerate() {
+        let key = blocks[bi].key();
+        let (first, last) = partial
+            .losses
+            .iter()
+            .find(|(k, _, _)| *k == key)
+            .map(|(_, f, l)| (*f, *l))
+            .unwrap_or((f32::NAN, f32::NAN));
+        out.push(PretrainedBlock {
+            checkpoint: partial.checkpoints.get(&key).cloned().unwrap_or_default(),
+            key,
+            first_loss: first,
+            last_loss: last,
+            steps: if i == 0 { steps } else { 0 },
+        });
+    }
+    out
 }
 
 /// Trains one non-overlapping group of blocks jointly; `group_index` keys
@@ -368,6 +673,151 @@ mod tests {
             // Module 2 is stage 1 module 0 => res3_0 layers.
             assert!(name.contains("res3_0_"), "{name}");
         }
+    }
+
+    #[test]
+    fn injected_group_fault_falls_back_to_per_block_training() {
+        let (mm, full) = trained_full();
+        let blocks = vec![
+            TuningBlock::new(0, vec![(1, 50)]).unwrap(),
+            TuningBlock::new(1, vec![(3, 50)]).unwrap(),
+        ];
+        let cfg = PretrainConfig {
+            steps: 4,
+            ..PretrainConfig::default()
+        };
+        // Both blocks are disjoint => one group (index 0). Panic that group.
+        let plan = FaultPlan {
+            seed: 0,
+            triggers: vec![wootz_fault::Trigger {
+                site: site::PRETRAIN_GROUP.into(),
+                key: Some(0),
+                kind: wootz_fault::FaultKind::EvalPanic,
+                times: Some(1),
+            }],
+            rates: vec![],
+        };
+        let opts = PretrainOptions {
+            faults: Some(&plan),
+            completed: BTreeMap::new(),
+        };
+        let out =
+            pretrain_blocks_supervised(&mm, &blocks, &full, &cfg, batches, &opts, None).unwrap();
+        assert_eq!(out.checkpoints.len(), 2, "fallback still trains each block");
+        assert!(out.failed.is_empty());
+        assert_eq!(
+            out.total_steps, 8,
+            "two solo fallback runs cost 2x the group budget"
+        );
+    }
+
+    #[test]
+    fn doubly_faulty_block_is_reported_not_fatal() {
+        let (mm, full) = trained_full();
+        let blocks = vec![
+            TuningBlock::new(0, vec![(1, 50)]).unwrap(),
+            TuningBlock::new(1, vec![(3, 50)]).unwrap(),
+        ];
+        let cfg = PretrainConfig {
+            steps: 2,
+            ..PretrainConfig::default()
+        };
+        let plan = FaultPlan {
+            seed: 0,
+            triggers: vec![
+                wootz_fault::Trigger {
+                    site: site::PRETRAIN_GROUP.into(),
+                    key: Some(0),
+                    kind: wootz_fault::FaultKind::EvalError,
+                    times: Some(1),
+                },
+                wootz_fault::Trigger {
+                    site: site::PRETRAIN_BLOCK.into(),
+                    key: Some(1),
+                    kind: wootz_fault::FaultKind::EvalError,
+                    times: Some(1),
+                },
+            ],
+            rates: vec![],
+        };
+        let opts = PretrainOptions {
+            faults: Some(&plan),
+            completed: BTreeMap::new(),
+        };
+        let out =
+            pretrain_blocks_supervised(&mm, &blocks, &full, &cfg, batches, &opts, None).unwrap();
+        assert_eq!(out.checkpoints.len(), 1, "block 0 recovered via fallback");
+        assert_eq!(out.failed.len(), 1);
+        assert_eq!(out.failed[0].0, blocks[1].key());
+        assert!(out.failed[0].1.contains("pretrain.block"));
+    }
+
+    #[test]
+    fn completed_blocks_replay_without_retraining() {
+        let (mm, full) = trained_full();
+        let blocks = vec![
+            TuningBlock::new(0, vec![(1, 50)]).unwrap(),
+            TuningBlock::new(1, vec![(3, 50)]).unwrap(),
+        ];
+        let cfg = PretrainConfig {
+            steps: 3,
+            ..PretrainConfig::default()
+        };
+        let mut journaled: Vec<PretrainedBlock> = Vec::new();
+        {
+            let mut sink = |b: &PretrainedBlock| {
+                journaled.push(b.clone());
+                Ok(())
+            };
+            pretrain_blocks_supervised(
+                &mm,
+                &blocks,
+                &full,
+                &cfg,
+                batches,
+                &PretrainOptions::default(),
+                Some(&mut sink),
+            )
+            .unwrap();
+        }
+        assert_eq!(journaled.len(), 2, "sink sees every fresh block");
+        let first = pretrain_blocks_supervised(
+            &mm,
+            &blocks,
+            &full,
+            &cfg,
+            batches,
+            &PretrainOptions::default(),
+            None,
+        )
+        .unwrap();
+        let completed: BTreeMap<String, PretrainedBlock> = journaled
+            .into_iter()
+            .map(|b| (b.key.clone(), b))
+            .collect();
+        let mut fresh = 0usize;
+        let mut sink = |_: &PretrainedBlock| {
+            fresh += 1;
+            Ok(())
+        };
+        let resumed = pretrain_blocks_supervised(
+            &mm,
+            &blocks,
+            &full,
+            &cfg,
+            // A resumed run must not even need the data: nothing retrains.
+            |_| panic!("resume must not draw batches"),
+            &PretrainOptions {
+                faults: None,
+                completed,
+            },
+            Some(&mut sink),
+        )
+        .unwrap();
+        assert_eq!(fresh, 0, "nothing retrained on resume");
+        assert_eq!(resumed.checkpoints, first.checkpoints);
+        assert_eq!(resumed.total_steps, first.total_steps);
+        assert_eq!(resumed.losses, first.losses);
     }
 
     #[test]

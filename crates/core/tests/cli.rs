@@ -222,6 +222,143 @@ fn prune_with_metrics_out_writes_parseable_ndjson() {
 }
 
 #[test]
+fn genmodel_emits_a_compilable_model() {
+    let dir = tempdir("genmodel");
+    let model = dir.join("gen.prototxt");
+    let out = wootz()
+        .args(["genmodel", "--classes", "8", "--out"])
+        .arg(&model)
+        .output()
+        .unwrap();
+    let stdout = assert_success(&out);
+    assert!(stdout.contains("resnet_mini"), "{stdout}");
+    let out = wootz()
+        .args(["compile", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = assert_success(&out);
+    assert!(stdout.contains("4 convolution modules"), "{stdout}");
+
+    // The inception family is a different shape.
+    let out = wootz()
+        .args(["genmodel", "--family", "inception"])
+        .output()
+        .unwrap();
+    let stdout = assert_success(&out);
+    assert!(stdout.contains("inception"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Runs `prune` with identical inputs: once cold with `--journal`, once
+/// warm with `--resume`. The resumed run must do strictly less fresh
+/// evaluation work while reporting the same best network.
+#[test]
+fn prune_journal_then_resume_skips_finished_work() {
+    let dir = tempdir("resume");
+    let model = write_model(&dir);
+    let configs = dir.join("configs.json");
+    std::fs::write(&configs, "[[30,30,30,30],[70,70,70,70]]").unwrap();
+    let solver = dir.join("solver.prototxt");
+    std::fs::write(
+        &solver,
+        "dataset: \"flowers102\"\nbase_lr: 0.03\nmax_iter: 30\nbatch_size: 8\npretrain_iter: 8\neval_every: 10\nseed: 3\n",
+    )
+    .unwrap();
+    let objective = dir.join("objective.txt");
+    std::fs::write(&objective, "min ModelSize\nconstraint Accuracy >= 0.1\n").unwrap();
+    let journal = dir.join("run.ndjson");
+
+    let run = |extra: &[&str]| {
+        let mut cmd = wootz();
+        cmd.args(["prune", "--model"])
+            .arg(&model)
+            .args(["--configs"])
+            .arg(&configs)
+            .args(["--solver"])
+            .arg(&solver)
+            .args(["--objective"])
+            .arg(&objective)
+            .args(["--journal"])
+            .arg(&journal)
+            .args(extra);
+        cmd.output().unwrap()
+    };
+
+    let cold = assert_success(&run(&[]));
+    let warm = assert_success(&run(&["--resume"]));
+
+    let fresh = |stdout: &str| -> usize {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("exploration:"))
+            .unwrap_or_else(|| panic!("no exploration line in {stdout}"));
+        line.split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let best = |stdout: &str| -> String {
+        stdout
+            .lines()
+            .find(|l| l.starts_with("best network:"))
+            .unwrap_or_else(|| panic!("no best line in {stdout}"))
+            .to_string()
+    };
+    assert!(fresh(&cold) >= 1, "{cold}");
+    assert!(
+        fresh(&warm) < fresh(&cold),
+        "resume did not skip work:\ncold: {cold}\nwarm: {warm}"
+    );
+    assert!(warm.contains("resumed from journal"), "{warm}");
+    assert_eq!(best(&cold), best(&warm), "\ncold: {cold}\nwarm: {warm}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A deterministic fault plan with an exhaustible per-config trigger:
+/// the faulty configuration is retried, then skipped, and the run still
+/// completes and reports the failure.
+#[test]
+fn prune_with_fault_plan_skips_exhausted_config() {
+    let dir = tempdir("faults");
+    let model = write_model(&dir);
+    let configs = dir.join("configs.json");
+    std::fs::write(&configs, "[[70,70,70,70],[30,30,30,30]]").unwrap();
+    let solver = dir.join("solver.prototxt");
+    std::fs::write(
+        &solver,
+        "dataset: \"flowers102\"\nbase_lr: 0.03\nmax_iter: 30\nbatch_size: 8\npretrain_iter: 8\neval_every: 10\nseed: 3\n",
+    )
+    .unwrap();
+    let objective = dir.join("objective.txt");
+    std::fs::write(&objective, "min ModelSize\nconstraint Accuracy >= 0.0\n").unwrap();
+    let plan = dir.join("faults.json");
+    // Config 0 fails on every attempt (times=99 > max_attempts).
+    std::fs::write(
+        &plan,
+        "{\"seed\": 5, \"triggers\": [{\"site\":\"explore.eval\",\"key\":0,\"kind\":\"EvalError\",\"times\":99}], \"rates\": []}",
+    )
+    .unwrap();
+    let out = wootz()
+        .args(["prune", "--model"])
+        .arg(&model)
+        .args(["--configs"])
+        .arg(&configs)
+        .args(["--solver"])
+        .arg(&solver)
+        .args(["--objective"])
+        .arg(&objective)
+        .args(["--inject-faults"])
+        .arg(&plan)
+        .output()
+        .unwrap();
+    let stdout = assert_success(&out);
+    assert!(stdout.contains("1 failed"), "{stdout}");
+    assert!(stdout.contains("best network"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_inputs_fail_with_messages() {
     let out = wootz().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

@@ -174,17 +174,17 @@ proptest! {
         );
         if res.configs_explored < sizes.len() {
             prop_assert!(
-                res.evaluated[last_round_start..].iter().any(|r| r.satisfies),
+                res.evaluated[last_round_start..].iter().any(|r| r.satisfies()),
                 "stopped without a satisfying record in the final round"
             );
         }
         if let Some(best) = res.best {
-            let best_size = res.evaluated[best].outcome.model_size;
-            for r in res.evaluated.iter().filter(|r| r.satisfies) {
-                prop_assert!(best_size <= r.outcome.model_size);
+            let best_size = res.evaluated[best].outcome().unwrap().model_size;
+            for r in res.evaluated.iter().filter(|r| r.satisfies()) {
+                prop_assert!(best_size <= r.outcome().unwrap().model_size);
             }
         } else {
-            prop_assert!(res.evaluated.iter().all(|r| !r.satisfies));
+            prop_assert!(res.evaluated.iter().all(|r| !r.satisfies()));
         }
     }
 

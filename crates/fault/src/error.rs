@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors originating in the fault-tolerance layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A fault plan file could not be read or parsed.
+    Plan(String),
+    /// An injected fault fired and surfaced as a failure.
+    Injected {
+        /// The injection site (see [`crate::site`]).
+        site: String,
+        /// The work-unit key at that site (config/group/block index).
+        key: u64,
+        /// A short description of the injected fault kind.
+        kind: String,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Plan(m) => write!(f, "fault plan error: {m}"),
+            FaultError::Injected { site, key, kind } => {
+                write!(f, "injected fault at {site}[{key}]: {kind}")
+            }
+        }
+    }
+}
+
+impl Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_site_and_key() {
+        let e = FaultError::Injected {
+            site: "explore.eval".into(),
+            key: 3,
+            kind: "EvalError".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("explore.eval") && s.contains('3'), "{s}");
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<FaultError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! Small deterministic hashing/mixing utilities.
+//!
+//! Fault schedules must be identical across runs, platforms and thread
+//! interleavings, so every probabilistic decision is a pure function of
+//! `(seed, site, key)` through these mixers — no shared RNG state.
+
+/// FNV-1a 64-bit hash over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: a strong 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic uniform draw in `[0, 1)` from `(seed, site, key)`.
+pub fn u01(seed: u64, site: &str, key: u64) -> f64 {
+    let mixed = splitmix64(seed ^ fnv1a64(site.as_bytes()).rotate_left(17) ^ splitmix64(key));
+    // 53 high bits -> [0, 1).
+    (mixed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn u01_is_deterministic_and_in_range() {
+        for key in 0..100 {
+            let a = u01(7, "explore.eval", key);
+            let b = u01(7, "explore.eval", key);
+            assert_eq!(a, b);
+            assert!((0.0..1.0).contains(&a));
+        }
+        // Different sites and seeds decorrelate.
+        assert_ne!(u01(7, "explore.eval", 1), u01(7, "pretrain.group", 1));
+        assert_ne!(u01(7, "explore.eval", 1), u01(8, "explore.eval", 1));
+    }
+
+    #[test]
+    fn u01_is_roughly_uniform() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|k| u01(42, "s", k)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
@@ -12,6 +12,24 @@ use wootz_tensor::Tensor;
 
 use crate::var::VarStore;
 use crate::{NnError, Result};
+
+/// Magic string identifying the versioned checkpoint container.
+const CKPT_MAGIC: &str = "wootz-ckpt";
+/// Current container version. Bump on incompatible layout changes.
+const CKPT_VERSION: u32 = 1;
+
+/// The on-disk envelope: a versioned, checksummed container around the
+/// entry map. Older files that are a bare `{"entries": {...}}` map still
+/// load (no checksum protection).
+#[derive(Debug, Serialize, Deserialize)]
+struct CheckpointFile {
+    magic: String,
+    version: u32,
+    /// FNV-1a over entry names, shapes, and value bits — independent of
+    /// JSON float formatting.
+    checksum: u64,
+    entries: BTreeMap<String, Tensor>,
+}
 
 /// A serializable map from variable names to tensor values.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -100,24 +118,116 @@ impl Checkpoint {
         Ok((restored, skipped))
     }
 
-    /// Serializes the checkpoint to a JSON file.
+    /// A checksum over the checkpoint *content*: entry names, shapes and
+    /// the raw bit patterns of every value. Bit-identical checkpoints hash
+    /// identically regardless of how floats are formatted on disk.
+    pub fn content_hash(&self) -> u64 {
+        // FNV-1a, 64-bit.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (name, tensor) in &self.entries {
+            eat(name.as_bytes());
+            eat(&[0xff]); // separator
+            for &d in tensor.shape() {
+                eat(&(d as u64).to_le_bytes());
+            }
+            eat(&[0xfe]);
+            for &v in tensor.data() {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
+    /// Serializes the checkpoint to a versioned, checksummed JSON file.
+    ///
+    /// The write is atomic: the bytes go to `<path>.tmp`, are fsynced, and
+    /// the temp file is renamed over `path`. A crash mid-save leaves either
+    /// the old file or the new file, never a torn one.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::Io`] / [`NnError::Serde`] on failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let file = File::create(path)?;
-        serde_json::to_writer(BufWriter::new(file), self).map_err(|e| NnError::Serde(e.to_string()))
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        let container = CheckpointFile {
+            magic: CKPT_MAGIC.to_string(),
+            version: CKPT_VERSION,
+            checksum: self.content_hash(),
+            entries: self.entries.clone(),
+        };
+        {
+            let file = File::create(&tmp)?;
+            let mut writer = BufWriter::new(file);
+            serde_json::to_writer(&mut writer, &container)
+                .map_err(|e| NnError::Serde(e.to_string()))?;
+            writer.flush()?;
+            writer.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
     }
 
-    /// Loads a checkpoint from a JSON file.
+    /// Loads a checkpoint from a JSON file, accepting both the versioned
+    /// container written by [`Checkpoint::save`] and the legacy bare
+    /// `{"entries": {...}}` form.
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::Io`] / [`NnError::Serde`] on failure.
+    /// Returns [`NnError::Io`] on read failure and [`NnError::Serde`] with
+    /// a message that distinguishes truncation, an unsupported container
+    /// version, and a checksum mismatch.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
-        let file = File::open(path)?;
-        serde_json::from_reader(BufReader::new(file)).map_err(|e| NnError::Serde(e.to_string()))
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        if let Ok(container) = serde_json::from_str::<CheckpointFile>(&text) {
+            if container.magic != CKPT_MAGIC {
+                return Err(NnError::Serde(format!(
+                    "`{}`: bad magic `{}` (expected `{CKPT_MAGIC}`)",
+                    path.display(),
+                    container.magic
+                )));
+            }
+            if container.version != CKPT_VERSION {
+                return Err(NnError::Serde(format!(
+                    "`{}`: unsupported checkpoint version {} (this build reads version {CKPT_VERSION})",
+                    path.display(),
+                    container.version
+                )));
+            }
+            let ckpt = Checkpoint {
+                entries: container.entries,
+            };
+            let computed = ckpt.content_hash();
+            if computed != container.checksum {
+                return Err(NnError::Serde(format!(
+                    "`{}`: checksum mismatch (stored {:#018x}, computed {computed:#018x}) — the checkpoint is corrupt",
+                    path.display(),
+                    container.checksum
+                )));
+            }
+            return Ok(ckpt);
+        }
+        // Legacy bare form.
+        match serde_json::from_str::<Checkpoint>(&text) {
+            Ok(ckpt) => Ok(ckpt),
+            Err(e) => {
+                if !text.trim_end().ends_with('}') {
+                    Err(NnError::Serde(format!(
+                        "`{}`: file appears truncated (does not end with `}}`) — likely a torn write: {e}",
+                        path.display()
+                    )))
+                } else {
+                    Err(NnError::Serde(format!("`{}`: {e}", path.display())))
+                }
+            }
+        }
     }
 }
 
@@ -187,6 +297,89 @@ mod tests {
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(ckpt, loaded);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_versioned() {
+        let dir = std::env::temp_dir().join("wootz_ckpt_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut ckpt = Checkpoint::new();
+        ckpt.insert("w", Tensor::from_vec(vec![0.25, -1.0], &[2]).unwrap());
+        ckpt.save(&path).unwrap();
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file renamed away"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("wootz-ckpt"), "{text}");
+        assert!(text.contains("\"version\""), "{text}");
+        assert!(text.contains("\"checksum\""), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_distinguishes_truncation_checksum_and_version() {
+        let dir = std::env::temp_dir().join("wootz_ckpt_detail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut ckpt = Checkpoint::new();
+        ckpt.insert("w", Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap());
+        ckpt.save(&path).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        // Truncation: chop off the tail, as a killed process would.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err().to_string();
+        assert!(err.contains("truncated"), "{err}");
+
+        // Checksum mismatch: flip a stored value, keep valid JSON.
+        std::fs::write(&path, good.replace("1.0", "9.0")).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err().to_string();
+        assert!(err.contains("checksum mismatch"), "{err}");
+
+        // Version mismatch.
+        std::fs::write(&path, good.replace("\"version\":1", "\"version\":99")).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err().to_string();
+        assert!(err.contains("version 99"), "{err}");
+
+        // Untouched file still loads.
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_bare_checkpoints_still_load() {
+        let dir = std::env::temp_dir().join("wootz_ckpt_legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        std::fs::write(
+            &path,
+            r#"{"entries":{"w":{"shape":[2],"data":[1.0,2.0]}}}"#,
+        )
+        .unwrap();
+        let ckpt = Checkpoint::load(&path).unwrap();
+        assert_eq!(ckpt.len(), 1);
+        assert_eq!(ckpt.get("w").unwrap().data(), &[1.0, 2.0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn content_hash_tracks_values_names_and_shapes() {
+        let mut a = Checkpoint::new();
+        a.insert("w", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let base = a.content_hash();
+        assert_eq!(base, a.clone().content_hash(), "deterministic");
+        let mut b = Checkpoint::new();
+        b.insert("w", Tensor::from_vec(vec![1.0, 2.5], &[2]).unwrap());
+        assert_ne!(base, b.content_hash(), "value change");
+        let mut c = Checkpoint::new();
+        c.insert("v", Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        assert_ne!(base, c.content_hash(), "name change");
+        let mut d = Checkpoint::new();
+        d.insert("w", Tensor::from_vec(vec![1.0, 2.0], &[2, 1]).unwrap());
+        assert_ne!(base, d.content_hash(), "shape change");
     }
 
     #[test]

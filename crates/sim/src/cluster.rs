@@ -87,6 +87,10 @@ pub struct ArmResult {
     pub best_size_pct: Option<f64>,
     /// Chosen network's accuracy.
     pub best_accuracy: Option<f64>,
+    /// Mean cost of one evaluation (total evaluation cost over
+    /// configurations explored), used by the fault model to price the
+    /// work lost when a node dies mid-evaluation.
+    pub mean_eval_hours: f64,
 }
 
 /// The complete result of one simulated experiment.
@@ -255,10 +259,15 @@ pub fn simulate_pruning(exp: &SimExperiment) -> SimResult {
     let arm = |res: &wootz_core::explore::ExplorationResult, extra: f64| ArmResult {
         configs: res.configs_explored,
         hours: res.wall_cost + extra,
-        best_size_pct: res
+        best_size_pct: res.best.and_then(|i| {
+            res.evaluated[i]
+                .outcome()
+                .map(|o| o.model_size as f64 / full_params as f64 * 100.0)
+        }),
+        best_accuracy: res
             .best
-            .map(|i| res.evaluated[i].outcome.model_size as f64 / full_params as f64 * 100.0),
-        best_accuracy: res.best.map(|i| res.evaluated[i].outcome.accuracy),
+            .and_then(|i| res.evaluated[i].outcome().map(|o| o.accuracy)),
+        mean_eval_hours: res.total_cost / res.configs_explored.max(1) as f64,
     };
     let baseline = arm(&baseline_explore, 0.0);
     let comp = arm(&comp_explore, pretrain_hours);

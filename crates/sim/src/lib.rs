@@ -34,6 +34,7 @@
 
 mod cluster;
 mod curves;
+mod faults;
 mod profiles;
 pub mod tables;
 
@@ -41,6 +42,7 @@ pub use cluster::{
     simulate_pruning, ArmResult, BlockStrategy, SimExperiment, SimResult, SubspaceKind,
 };
 pub use curves::{AccuracyModel, CurvePoint};
+pub use faults::{faulted_arm, simulate_pruning_faulted, FaultModel, FaultedArm, FaultedSimResult};
 pub use profiles::{
     all_datasets, dataset_profile, model_profile, Calibration, DatasetProfile, ModelProfile,
 };

@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::{simulate_pruning, BlockStrategy, SimExperiment, SimResult, SubspaceKind};
+use crate::faults::{simulate_pruning_faulted, FaultModel, FaultedSimResult};
 
 /// The α (accuracy-drop) grid the paper reports per dataset in Table 3.
 pub fn table3_alphas(dataset: &str) -> Vec<f64> {
@@ -224,6 +225,45 @@ pub fn fig7(seed: u64) -> Vec<Fig7Panel> {
         });
     }
     panels
+}
+
+/// One fault-tolerance row: one (model, dataset, α) cell at 16 nodes under
+/// the default unreliable-cluster model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultsRow {
+    /// Model name.
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Accuracy drop α in percentage points.
+    pub alpha_pct: f64,
+    /// Worker count.
+    pub nodes: usize,
+    /// The fault-free result plus both arms under faults.
+    pub result: FaultedSimResult,
+}
+
+/// Generates the fault-tolerance table: both detailed models on two
+/// datasets at 16 nodes, under [`FaultModel::cluster_default`]. Reports
+/// how the composability speedup behaves when runs journal-and-resume
+/// versus abort-and-restart.
+pub fn faults_table(seed: u64) -> Vec<FaultsRow> {
+    let fm = FaultModel::cluster_default();
+    let nodes = 16usize;
+    let mut rows = Vec::new();
+    for model in ["resnet50", "inception_v3"] {
+        for (dataset, alpha) in [("flowers102", 0.0), ("cub200", 4.0), ("dogs", 6.0)] {
+            let exp = SimExperiment::table3(model, dataset, alpha, nodes, seed);
+            rows.push(FaultsRow {
+                model: model.into(),
+                dataset: dataset.into(),
+                alpha_pct: alpha,
+                nodes,
+                result: simulate_pruning_faulted(&exp, &fm),
+            });
+        }
+    }
+    rows
 }
 
 #[cfg(test)]

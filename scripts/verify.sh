@@ -19,6 +19,41 @@ cargo test -q
 
 echo "== docs: cargo doc --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
-    -p wootz-obs -p wootz-tensor -p wootz-nn -p wootz-core -p wootz-sim
+    -p wootz-obs -p wootz-tensor -p wootz-nn -p wootz-core -p wootz-sim \
+    -p wootz-fault
+
+echo "== smoke: fault injection + journal resume =="
+# A cold run under a deterministic fault plan journals every completed unit
+# of work; a second --resume run must replay the journal (strictly fewer
+# fresh evaluations) and land on the same best network.
+SMOKE=$(mktemp -d "${TMPDIR:-/tmp}/wootz_smoke.XXXXXX")
+trap 'rm -rf "$SMOKE"' EXIT
+W=target/release/wootz
+"$W" genmodel --classes 8 --out "$SMOKE/model.prototxt" >/dev/null
+"$W" sample --modules 4 --count 6 --seed 5 --out "$SMOKE/configs.json" >/dev/null
+printf 'dataset: "flowers102"\nbase_lr: 0.03\nmax_iter: 30\nbatch_size: 8\npretrain_iter: 8\neval_every: 10\nseed: 3\n' \
+    > "$SMOKE/solver.prototxt"
+printf 'min ModelSize\nconstraint Accuracy >= 0.1\n' > "$SMOKE/objective.txt"
+printf '{"seed": 5, "triggers": [{"site":"explore.eval","key":0,"kind":"EvalError","times":1}], "rates": []}' \
+    > "$SMOKE/faults.json"
+
+run_prune() {
+    "$W" prune --model "$SMOKE/model.prototxt" --configs "$SMOKE/configs.json" \
+        --solver "$SMOKE/solver.prototxt" --objective "$SMOKE/objective.txt" \
+        --inject-faults "$SMOKE/faults.json" --journal "$SMOKE/run.ndjson" "$@"
+}
+COLD=$(run_prune)
+WARM=$(run_prune --resume)
+cold_fresh=$(printf '%s\n' "$COLD" | sed -n 's/^exploration: \([0-9]*\) evaluated fresh.*/\1/p')
+warm_fresh=$(printf '%s\n' "$WARM" | sed -n 's/^exploration: \([0-9]*\) evaluated fresh.*/\1/p')
+cold_best=$(printf '%s\n' "$COLD" | grep '^best network:')
+warm_best=$(printf '%s\n' "$WARM" | grep '^best network:')
+[ -n "$cold_fresh" ] && [ -n "$warm_fresh" ] || {
+    echo "smoke FAILED: missing exploration summary"; exit 1; }
+[ "$warm_fresh" -lt "$cold_fresh" ] || {
+    echo "smoke FAILED: resume did not skip work (fresh $cold_fresh -> $warm_fresh)"; exit 1; }
+[ "$cold_best" = "$warm_best" ] || {
+    echo "smoke FAILED: best network changed across resume"; echo "  cold: $cold_best"; echo "  warm: $warm_best"; exit 1; }
+echo "smoke ok: fresh $cold_fresh -> $warm_fresh, best network stable"
 
 echo "verify.sh: all gates passed"

@@ -34,9 +34,10 @@ fn pipeline_is_deterministic_in_its_seed() {
     assert_eq!(a.full_accuracy, b.full_accuracy);
     assert_eq!(a.exploration.evaluated.len(), b.exploration.evaluated.len());
     for (ra, rb) in a.exploration.evaluated.iter().zip(&b.exploration.evaluated) {
-        assert_eq!(ra.config_index, rb.config_index);
-        assert_eq!(ra.outcome.model_size, rb.outcome.model_size);
-        assert_eq!(ra.outcome.accuracy, rb.outcome.accuracy);
+        assert_eq!(ra.config_index(), rb.config_index());
+        let (oa, ob) = (ra.outcome().unwrap(), rb.outcome().unwrap());
+        assert_eq!(oa.model_size, ob.model_size);
+        assert_eq!(oa.accuracy, ob.accuracy);
     }
     assert_eq!(
         a.best.as_ref().map(|x| (x.config_index, x.model_size)),

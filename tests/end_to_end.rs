@@ -46,8 +46,8 @@ fn prototxt_to_best_network() {
     // The chosen network is the smallest satisfying one: nothing evaluated
     // and satisfying may be smaller.
     for rec in &run.exploration.evaluated {
-        if rec.satisfies {
-            assert!(best.model_size <= rec.outcome.model_size);
+        if rec.satisfies() {
+            assert!(best.model_size <= rec.outcome().unwrap().model_size);
         }
     }
     // Sizes agree with the analytic model.
@@ -75,13 +75,13 @@ fn schemes_explore_in_the_same_order() {
         .exploration
         .evaluated
         .iter()
-        .map(|r| r.config_index)
+        .map(|r| r.config_index())
         .collect();
     let order_b: Vec<usize> = b
         .exploration
         .evaluated
         .iter()
-        .map(|r| r.config_index)
+        .map(|r| r.config_index())
         .collect();
     assert_eq!(order_a, order_b);
     assert_eq!(order_a.len(), 4);
@@ -132,7 +132,7 @@ fn max_accuracy_explores_largest_first() {
         .exploration
         .evaluated
         .iter()
-        .map(|r| r.outcome.model_size)
+        .filter_map(|r| r.outcome().map(|o| o.model_size))
         .collect();
     let mut expected = sizes;
     expected.sort_unstable_by(|a, b| b.cmp(a));
