@@ -11,6 +11,7 @@
 //! reproduce fig6 [--quick] [--seed N]     # accuracy curves (real training)
 //! reproduce fig7 [--seed N]               # accuracy vs size scatter (simulation)
 //! reproduce faults [--seed N]             # speedup under node failures/stragglers (simulation)
+//! reproduce cluster [--seed N]            # sim fault model vs the real distributed runtime
 //! reproduce pipeline [--quick] [--seed N] [--journal <run.ndjson>] [--resume]
 //!           [--inject-faults <plan.json>] # end-to-end micro pipeline, resumable
 //! reproduce verify [--seed N]             # qualitative shape checks
@@ -91,13 +92,46 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|faults|pipeline|verify|all> \
+    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|faults|cluster|pipeline|verify|all> \
      [--quick] [--seed N] [--json <dir>] [--metrics-out <path>]\n\
      pipeline extras: [--journal <run.ndjson>] [--resume] [--inject-faults <plan.json>]"
         .to_string()
 }
 
+/// Hidden worker entry point: `reproduce cluster-worker --run-dir D
+/// --worker-id I` re-enters this binary as a distributed worker process
+/// (the `cluster` report spawns these against its own executable).
+fn cluster_worker_main() -> ExitCode {
+    let mut run_dir = None;
+    let mut worker_id = None;
+    let mut args = std::env::args().skip(2);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--run-dir" => run_dir = args.next().map(std::path::PathBuf::from),
+            "--worker-id" => worker_id = args.next(),
+            other => {
+                eprintln!("cluster-worker: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(dir), Some(id)) = (run_dir, worker_id) else {
+        eprintln!("cluster-worker needs --run-dir <dir> --worker-id <id>");
+        return ExitCode::FAILURE;
+    };
+    match wootz_cluster::worker_main(&dir, &id) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cluster-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some(wootz_bench::clusterrep::WORKER_SUBCOMMAND) {
+        return cluster_worker_main();
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -193,6 +227,16 @@ fn dispatch(args: &Args) -> ExitCode {
                 }
             }
         }
+        "cluster" => match wootz_bench::clusterrep::cluster_report(seed) {
+            Ok(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(text) => {
+                eprintln!("{text}");
+                ExitCode::FAILURE
+            }
+        },
         "verify" => {
             let (ok, report) = shape_check(seed);
             println!("{report}");

@@ -19,6 +19,7 @@
 //! `benches/` directory holds one Criterion benchmark per artifact plus
 //! kernel/algorithm micro-benchmarks.
 
+pub mod clusterrep;
 pub mod real;
 pub mod report;
 pub mod simrep;

@@ -313,12 +313,13 @@ pub struct Table2Cell {
     pub final_plus: f64,
 }
 
-fn median(mut values: Vec<f64>) -> f64 {
+/// Median of a sample (upper median for even sizes). Returns `None` for an
+/// empty sample — instead of the NaN this used to produce, which would leak
+/// straight into rendered report rows.
+fn median(mut values: Vec<f64>) -> Option<f64> {
     values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    if values.is_empty() {
-        return f64::NAN;
-    }
-    values[values.len() / 2]
+    let mid = values.len() / 2;
+    values.get(mid).copied()
 }
 
 /// Runs the composability-hypothesis experiment for one cell.
@@ -348,10 +349,10 @@ pub fn table2_cell(model_name: &str, ir: ModelIr, dataset: &str, opts: &MicroOpt
         model: model_name.to_string(),
         dataset: dataset.to_string(),
         full_accuracy: cell.full_accuracy,
-        init: median(init),
-        init_plus: median(init_plus),
-        final_acc: median(final_acc),
-        final_plus: median(final_plus),
+        init: median(init).expect("Table 2 cells evaluate at least one configuration"),
+        init_plus: median(init_plus).expect("Table 2 cells evaluate at least one configuration"),
+        final_acc: median(final_acc).expect("Table 2 cells evaluate at least one configuration"),
+        final_plus: median(final_plus).expect("Table 2 cells evaluate at least one configuration"),
     }
 }
 
@@ -605,9 +606,13 @@ mod tests {
     }
 
     #[test]
-    fn median_of_odd_list() {
-        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
-        assert!(median(vec![]).is_nan());
+    fn median_handles_odd_even_and_empty_samples() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), Some(2.0));
+        // Upper median for even sizes.
+        assert_eq!(median(vec![4.0, 1.0, 3.0, 2.0]), Some(3.0));
+        // An empty sample is None, never NaN: report code cannot print a
+        // NaN row by accident.
+        assert_eq!(median(vec![]), None);
     }
 
     #[test]

@@ -25,13 +25,22 @@
 //!             [--journal <run.ndjson>] [--resume]
 //!             [--inject-faults <plan.json>]
 //!             [--retry-attempts N] [--on-fail skip|abort]
+//!             [--distributed N --run-dir <dir> [--lease-ms MS]]
 //!     Run the full pruning pipeline on the micro dataset named in the
 //!     solver's `dataset:` field. With `--journal`, every completed unit
 //!     of work is appended to an NDJSON journal; `--resume` replays it and
 //!     skips the finished work. `--inject-faults` loads a deterministic
 //!     fault plan (see `wootz-fault`); the retry flags control the
 //!     evaluation supervisor (defaults: 1 attempt + abort without faults,
-//!     3 attempts + skip when a fault plan is given).
+//!     3 attempts + skip when a fault plan is given). `--distributed N`
+//!     executes pre-training and evaluation on N worker OS processes fed
+//!     through a crash-safe task queue under `--run-dir` (results stay
+//!     bit-identical to the single-process run; see DESIGN.md §9).
+//!
+//! wootz worker --run-dir <dir> --worker-id <id>
+//!     Join a distributed run as a worker process. `wootz prune
+//!     --distributed` spawns these itself; extra workers started by hand
+//!     against the same run directory simply join the queue.
 //! ```
 //!
 //! Configuration files are JSON arrays of per-module rate vectors, e.g.
@@ -47,8 +56,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use wootz_cluster::{run_distributed, self_worker_cmd, worker_main, ClusterOptions};
 use wootz_core::blocks::{identify_tuning_blocks, partition_into_groups};
-use wootz_core::pipeline::{run_wootz_with, RunMode, RunOptions, WootzInputs};
+use wootz_core::pipeline::{run_wootz_with, RunMode, RunOptions, WootzInputs, WootzRun};
 use wootz_fault::{FaultPlan, OnExhausted, RetryPolicy};
 use wootz_core::prune::{sample_segment_subspace, sample_subspace, PruneConfig, PAPER_RATES};
 use wootz_core::stats::model_stats;
@@ -84,6 +94,7 @@ fn run() -> CliResult {
         "identify" => cmd_identify(args),
         "genmodel" => cmd_genmodel(args),
         "prune" => cmd_prune(args),
+        "worker" => cmd_worker(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -102,7 +113,7 @@ fn run() -> CliResult {
 }
 
 fn usage() -> &'static str {
-    "usage: wootz <compile|sample|identify|genmodel|prune|help> [options] [--metrics-out <path>]\n\
+    "usage: wootz <compile|sample|identify|genmodel|prune|worker|help> [options] [--metrics-out <path>]\n\
      run `wootz help` for per-command options"
 }
 
@@ -314,7 +325,20 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
         None => None,
     };
     let on_fail = take_flag(&mut args, "--on-fail");
+    let distributed: Option<usize> = match take_flag(&mut args, "--distributed") {
+        Some(s) => Some(s.parse().map_err(|e| format!("bad --distributed: {e}"))?),
+        None => None,
+    };
+    let run_dir: Option<PathBuf> = take_flag(&mut args, "--run-dir").map(Into::into);
+    let lease_ms: Option<u64> = match take_flag(&mut args, "--lease-ms") {
+        Some(s) => Some(s.parse().map_err(|e| format!("bad --lease-ms: {e}"))?),
+        None => None,
+    };
     reject_leftovers(&args)?;
+
+    if distributed.is_none() && (run_dir.is_some() || lease_ms.is_some()) {
+        return Err("--run-dir/--lease-ms only apply with --distributed N".into());
+    }
 
     if resume && journal.is_none() {
         return Err("--resume requires --journal <path>".into());
@@ -364,13 +388,32 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
         solver,
         objective,
     };
-    let opts = RunOptions {
-        faults: faults.as_ref(),
-        retry,
-        journal,
-        resume,
+    let run: WootzRun = match distributed {
+        None => {
+            let opts = RunOptions {
+                faults: faults.as_ref(),
+                retry,
+                journal,
+                resume,
+            };
+            run_wootz_with(&inputs, &dataset, mode, None, &opts)?
+        }
+        Some(workers) => {
+            let run_dir =
+                run_dir.ok_or("--distributed needs --run-dir <dir> for the task queue")?;
+            let mut copts = ClusterOptions::new(run_dir, workers, self_worker_cmd(&["worker"])?);
+            copts.faults = faults.as_ref();
+            copts.retry = retry;
+            copts.journal = journal;
+            copts.resume = resume;
+            if let Some(ms) = lease_ms {
+                copts.lease_ms = ms.max(1);
+            }
+            let (run, stats) = run_distributed(&inputs, &dataset, mode, &copts)?;
+            println!("{}", stats.summary());
+            run
+        }
     };
-    let run = run_wootz_with(&inputs, &dataset, mode, None, &opts)?;
     println!("full-model accuracy: {:.3}", run.full_accuracy);
     println!(
         "explored {} configurations ({} fine-tune steps, {} pre-train steps, {} blocks)",
@@ -398,5 +441,15 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
             .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
         println!("wrote results to {}", path.display());
     }
+    Ok(())
+}
+
+fn cmd_worker(mut args: Vec<String>) -> CliResult {
+    let run_dir: PathBuf = take_flag(&mut args, "--run-dir")
+        .ok_or("worker needs --run-dir <dir>")?
+        .into();
+    let worker_id = take_flag(&mut args, "--worker-id").ok_or("worker needs --worker-id <id>")?;
+    reject_leftovers(&args)?;
+    worker_main(&run_dir, &worker_id)?;
     Ok(())
 }

@@ -1,0 +1,1034 @@
+//! The coordinator: spawns workers, feeds the queue, reclaims leases,
+//! fences zombies, speculates on stragglers, and folds remote results into
+//! the exact exploration loop the single-process pipeline runs.
+//!
+//! The key structural decision is that the coordinator is *just another
+//! round runner* plugged into
+//! [`wootz_core::explore::explore_rounds_supervised`]: the round width
+//! stays `solver.num_workers` (the paper's logical task-assignment `p`),
+//! while `--distributed N` only chooses how many OS processes execute the
+//! round's tasks. Logical and physical parallelism are decoupled, so the
+//! distributed [`WootzRun`] is bit-identical to the single-process one for
+//! *any* worker count — including under worker crashes, hangs and
+//! stragglers, because a re-executed task is a pure function of its inputs
+//! and fencing guarantees exactly one result per unit of work is counted.
+//!
+//! Failure handling, in one paragraph: every claimed task carries a lease
+//! whose mtime is the worker's heartbeat; a lease older than `lease_ms` is
+//! *reclaimed* — the attempt is fenced (its late result will be rejected)
+//! and a fresh attempt is enqueued, up to `max_task_attempts`, after which
+//! the unit of work is *abandoned* and surfaces as a structured
+//! [`CoreError::Remote`] failure that flows through the normal retry /
+//! skip / abort policy. When the queue has drained but results are still
+//! outstanding, the slowest claimed task (deterministically the lowest
+//! sequence number among the over-deadline ones) is *speculated*: a
+//! duplicate attempt races the straggler and the first publication wins.
+//! Dead worker processes are respawned while work is outstanding. All
+//! coordinator state that matters across a crash rides on the PR 2 NDJSON
+//! journal, so killing the coordinator and re-running with `--resume`
+//! re-evaluates nothing that was journaled.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant, SystemTime};
+
+use serde::Serialize;
+
+use wootz_core::blocks::{partition_into_groups, BlockSet};
+use wootz_core::compile::MultiplexingModel;
+use wootz_core::explore::{
+    explore_rounds_supervised, EvalRecord, ExploreOptions, SupervisedEval,
+};
+use wootz_core::journal::{Journal, JournalEntry, Replay};
+use wootz_core::pipeline::{
+    best_network, block_pretrain_config, blocks_for_mode, journal_header, subspace_stats,
+    train_full_model, RunMode, WootzInputs, WootzRun,
+};
+use wootz_core::pretrain::PretrainedBlock;
+use wootz_core::{CoreError, Result};
+use wootz_data::Dataset;
+use wootz_fault::{FaultPlan, RetryPolicy};
+use wootz_nn::Checkpoint;
+
+use crate::protocol::{
+    atomic_write_json, cluster_err, read_json, Manifest, ResultPayload, TaskKind, TaskResult,
+    TaskSpec,
+};
+use crate::queue::RunDir;
+
+/// Options of a distributed run.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions<'a> {
+    /// Number of worker OS processes to spawn. This is *physical*
+    /// parallelism only; the exploration round width stays
+    /// `solver.num_workers`, which is what keeps results bit-identical to
+    /// the single-process pipeline for any value here.
+    pub workers: usize,
+    /// Lease duration in milliseconds. Workers heartbeat at a quarter of
+    /// this; a claimed task without a heartbeat for a full lease is
+    /// reclaimed.
+    pub lease_ms: u64,
+    /// Coordinator poll period in milliseconds.
+    pub poll_ms: u64,
+    /// Fixed speculation deadline override (ms of claimed run time). When
+    /// `None`, the deadline is `3 × median per-step wall time × expected
+    /// steps` over the completed tasks so far, floored at `lease_ms`.
+    pub speculate_after_ms: Option<u64>,
+    /// Maximum execution attempts per unit of work (first run, reclaims
+    /// and speculation all count) before it is abandoned.
+    pub max_task_attempts: u32,
+    /// Abort the run with diagnostics when nothing completes, reclaims or
+    /// abandons for this long.
+    pub stall_timeout_ms: u64,
+    /// How long to wait for workers to exit after the shutdown marker
+    /// before killing them (this grace window is also when late zombie
+    /// results get counted as rejected).
+    pub shutdown_grace_ms: u64,
+    /// The run directory holding the manifest, checkpoints and queue.
+    pub run_dir: PathBuf,
+    /// How to start a worker: executable plus leading arguments; the
+    /// coordinator appends `--run-dir <dir> --worker-id <id>`.
+    pub worker_cmd: (PathBuf, Vec<String>),
+    /// Deterministic fault-injection plan (embedded into the manifest so
+    /// workers share the schedule).
+    pub faults: Option<&'a FaultPlan>,
+    /// Retry policy for configuration evaluations (applied inside the
+    /// workers, exactly like the in-process supervisor).
+    pub retry: RetryPolicy,
+    /// NDJSON journal path (crash-resume support, same file format as the
+    /// single-process pipeline).
+    pub journal: Option<PathBuf>,
+    /// Replay an existing journal instead of redoing the work.
+    pub resume: bool,
+}
+
+impl<'a> ClusterOptions<'a> {
+    /// Defaults for a run over `run_dir` with `workers` processes started
+    /// via `worker_cmd` (executable + argument prefix).
+    pub fn new(
+        run_dir: impl Into<PathBuf>,
+        workers: usize,
+        worker_cmd: (PathBuf, Vec<String>),
+    ) -> Self {
+        ClusterOptions {
+            workers,
+            lease_ms: 1500,
+            poll_ms: 20,
+            speculate_after_ms: None,
+            max_task_attempts: 5,
+            stall_timeout_ms: 120_000,
+            shutdown_grace_ms: 5_000,
+            run_dir: run_dir.into(),
+            worker_cmd,
+            faults: None,
+            retry: RetryPolicy::default(),
+            journal: None,
+            resume: false,
+        }
+    }
+}
+
+/// What the distributed runtime observed, for reporting and tests.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ClusterStats {
+    /// Worker processes the run was started with.
+    pub workers: usize,
+    /// Task results accepted (one per completed unit of work).
+    pub tasks_completed: usize,
+    /// Expired leases that were fenced and re-enqueued.
+    pub leases_reclaimed: usize,
+    /// Speculative duplicate attempts launched against stragglers.
+    pub speculative_launched: usize,
+    /// Units of work won by a speculative attempt.
+    pub speculative_wins: usize,
+    /// Late results rejected by fencing (zombie workers).
+    pub zombie_results_rejected: usize,
+    /// Dead worker processes replaced while work was outstanding.
+    pub workers_respawned: usize,
+    /// Units of work abandoned after `max_task_attempts`.
+    pub tasks_abandoned: usize,
+    /// Accepted results per worker id (utilization).
+    pub per_worker_tasks: BTreeMap<String, usize>,
+}
+
+impl ClusterStats {
+    /// One-line human summary (the CLI's `cluster:` line).
+    pub fn summary(&self) -> String {
+        format!(
+            "cluster: {} workers, {} tasks completed, {} leases reclaimed, \
+             {} speculative launched ({} won), {} zombie results rejected, \
+             {} workers respawned, {} tasks abandoned",
+            self.workers,
+            self.tasks_completed,
+            self.leases_reclaimed,
+            self.speculative_launched,
+            self.speculative_wins,
+            self.zombie_results_rejected,
+            self.workers_respawned,
+            self.tasks_abandoned
+        )
+    }
+}
+
+/// One worker process slot (respawned in place when its process dies).
+struct Slot {
+    index: usize,
+    gen: u32,
+    id: String,
+    child: Option<Child>,
+}
+
+/// The set of spawned worker processes. Dropping the pool kills whatever
+/// is still running (after asking nicely via the shutdown marker), so an
+/// error path never leaks child processes.
+struct WorkerPool {
+    dir: RunDir,
+    exe: PathBuf,
+    prefix: Vec<String>,
+    slots: Vec<Slot>,
+}
+
+impl WorkerPool {
+    fn spawn(dir: RunDir, opts: &ClusterOptions<'_>) -> Result<WorkerPool> {
+        let mut pool = WorkerPool {
+            dir,
+            exe: opts.worker_cmd.0.clone(),
+            prefix: opts.worker_cmd.1.clone(),
+            slots: Vec::new(),
+        };
+        for index in 0..opts.workers {
+            let id = worker_id(index, 0);
+            let child = pool.spawn_process(&id)?;
+            pool.slots.push(Slot {
+                index,
+                gen: 0,
+                id,
+                child: Some(child),
+            });
+        }
+        wootz_obs::gauge("cluster.workers_alive").set(pool.slots.len() as f64);
+        Ok(pool)
+    }
+
+    fn spawn_process(&self, id: &str) -> Result<Child> {
+        let log_path = self.dir.logs().join(format!("{id}.log"));
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .map_err(|e| cluster_err(format!("cannot open log `{}`: {e}", log_path.display())))?;
+        let log_err = log
+            .try_clone()
+            .map_err(|e| cluster_err(format!("cannot clone log handle: {e}")))?;
+        let child = Command::new(&self.exe)
+            .args(&self.prefix)
+            .arg("--run-dir")
+            .arg(self.dir.root())
+            .arg("--worker-id")
+            .arg(id)
+            .stdin(Stdio::null())
+            .stdout(Stdio::from(log))
+            .stderr(Stdio::from(log_err))
+            .spawn()
+            .map_err(|e| {
+                cluster_err(format!(
+                    "cannot spawn worker `{id}` via `{}`: {e}",
+                    self.exe.display()
+                ))
+            })?;
+        wootz_obs::event("cluster.worker_spawned")
+            .field("worker", id)
+            .field("pid", child.id() as usize)
+            .emit();
+        Ok(child)
+    }
+
+    /// Replaces dead worker processes (one new generation per death).
+    fn respawn_dead(&mut self, stats: &mut ClusterStats) -> Result<()> {
+        for i in 0..self.slots.len() {
+            let exited = match self.slots[i].child.as_mut() {
+                Some(child) => child.try_wait().ok().flatten().is_some(),
+                None => false,
+            };
+            if exited {
+                let gen = self.slots[i].gen + 1;
+                let id = worker_id(self.slots[i].index, gen);
+                wootz_obs::counter("cluster.workers_respawned").incr();
+                wootz_obs::event("cluster.worker_respawned")
+                    .field("dead", self.slots[i].id.clone())
+                    .field("worker", id.clone())
+                    .emit();
+                let child = self.spawn_process(&id)?;
+                self.slots[i] = Slot {
+                    index: self.slots[i].index,
+                    gen,
+                    id,
+                    child: Some(child),
+                };
+                stats.workers_respawned += 1;
+            }
+        }
+        wootz_obs::gauge("cluster.workers_alive").set(self.poll_alive() as f64);
+        Ok(())
+    }
+
+    /// Number of worker processes currently running.
+    fn poll_alive(&mut self) -> usize {
+        let mut alive = 0;
+        for slot in &mut self.slots {
+            if let Some(child) = slot.child.as_mut() {
+                if child.try_wait().ok().flatten().is_none() {
+                    alive += 1;
+                }
+            }
+        }
+        alive
+    }
+
+    /// Kills and reaps every remaining worker process.
+    fn kill_all(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Best effort: let hand-started workers exit too, then make sure
+        // none of our children outlive the coordinator.
+        let _ = self.dir.request_shutdown();
+        self.kill_all();
+    }
+}
+
+fn worker_id(index: usize, gen: u32) -> String {
+    if gen == 0 {
+        format!("w{index}")
+    } else {
+        format!("w{index}-{gen}")
+    }
+}
+
+/// One live (un-fenced) execution attempt of a unit of work.
+struct Attempt {
+    task: TaskSpec,
+    claim_seen: Option<Instant>,
+    speculative: bool,
+}
+
+/// One unit of work (a queue sequence number) with its live attempts.
+struct Unit {
+    attempts_launched: u32,
+    live: Vec<Attempt>,
+}
+
+/// The outcome of driving one unit of work to completion: the accepted
+/// result, or `None` when every attempt was exhausted (abandoned).
+struct TaskOutcome {
+    result: Option<TaskResult>,
+    attempts: u32,
+}
+
+struct Coordinator<'a> {
+    dir: RunDir,
+    epoch: u64,
+    opts: &'a ClusterOptions<'a>,
+    pool: WorkerPool,
+    stats: ClusterStats,
+    next_seq: u64,
+    /// Result files already examined (accepted or rejected).
+    processed_results: BTreeSet<String>,
+    /// Per-step wall-time samples (ms) of accepted results — the
+    /// speculation deadline's calibration data.
+    rate_samples: Vec<f64>,
+}
+
+impl Coordinator<'_> {
+    fn alloc_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// The speculation deadline (ms of claimed run time) for a task of
+    /// `expected_steps`.
+    fn deadline_ms(&self, expected_steps: usize) -> u64 {
+        if let Some(ms) = self.opts.speculate_after_ms {
+            return ms;
+        }
+        let mut rates = self.rate_samples.clone();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = rates[rates.len() / 2];
+        ((3.0 * median * expected_steps.max(1) as f64) as u64).max(self.opts.lease_ms)
+    }
+
+    /// Enqueues `tasks` and runs the queue until every one of them has an
+    /// accepted result or is abandoned: reaps results with fencing,
+    /// reclaims expired leases, launches speculative attempts once the
+    /// queue drains, respawns dead workers, and watches for stalls.
+    fn drive(&mut self, tasks: Vec<TaskSpec>) -> Result<BTreeMap<u64, TaskOutcome>> {
+        let mut units: BTreeMap<u64, Unit> = BTreeMap::new();
+        for task in tasks {
+            self.dir.enqueue(&task)?;
+            units.insert(
+                task.seq,
+                Unit {
+                    attempts_launched: 1,
+                    live: vec![Attempt {
+                        task,
+                        claim_seen: None,
+                        speculative: false,
+                    }],
+                },
+            );
+        }
+        let total = units.len();
+        let mut done: BTreeMap<u64, TaskOutcome> = BTreeMap::new();
+        let mut last_progress = Instant::now();
+        while done.len() < total {
+            let mut progressed = false;
+
+            // 1. Reap freshly published results, applying fencing.
+            for name in self.dir.result_files()? {
+                if self.processed_results.contains(&name) {
+                    continue;
+                }
+                let result = self.dir.read_result(&name)?;
+                self.processed_results.insert(name);
+                progressed |= self.accept_or_fence(result, &mut units, &mut done);
+            }
+
+            // 2. Note newly appeared claims (the claim time starts the
+            // lease clock even before the first heartbeat lands — which is
+            // exactly how a hung worker that never heartbeats is caught).
+            let now = Instant::now();
+            let claimed: BTreeSet<(u64, u32)> = self
+                .dir
+                .claimed()?
+                .iter()
+                .filter_map(|n| crate::protocol::parse_task_file_name(n))
+                .collect();
+            for unit in units.values_mut() {
+                for att in &mut unit.live {
+                    if att.claim_seen.is_none()
+                        && claimed.contains(&(att.task.seq, att.task.attempt))
+                    {
+                        att.claim_seen = Some(now);
+                    }
+                }
+            }
+
+            // 3. Reclaim expired leases: fence the attempt now (its late
+            // result will be rejected) and enqueue a fresh attempt.
+            let mut reclaims: Vec<(u64, u32)> = Vec::new();
+            for (&seq, unit) in units.iter() {
+                if done.contains_key(&seq) {
+                    continue;
+                }
+                for att in &unit.live {
+                    let Some(seen) = att.claim_seen else { continue };
+                    let claim_age = now.saturating_duration_since(seen);
+                    let lease_age = self
+                        .dir
+                        .lease_heartbeat(&att.task.file_name())
+                        .and_then(|t| SystemTime::now().duration_since(t).ok());
+                    let age = lease_age.map_or(claim_age, |l| l.min(claim_age));
+                    if age.as_millis() as u64 > self.opts.lease_ms {
+                        reclaims.push((seq, att.task.attempt));
+                    }
+                }
+            }
+            for (seq, attempt) in reclaims {
+                if done.contains_key(&seq) {
+                    continue;
+                }
+                let unit = units.get_mut(&seq).expect("reclaim of a known unit");
+                let Some(pos) = unit.live.iter().position(|a| a.task.attempt == attempt)
+                else {
+                    continue;
+                };
+                let old = unit.live.remove(pos);
+                self.stats.leases_reclaimed += 1;
+                wootz_obs::counter("cluster.leases_reclaimed").incr();
+                wootz_obs::event("cluster.lease_reclaimed")
+                    .field("seq", seq as usize)
+                    .field("attempt", attempt as usize)
+                    .emit();
+                progressed = true;
+                if unit.attempts_launched < self.opts.max_task_attempts {
+                    unit.attempts_launched += 1;
+                    let task = TaskSpec {
+                        attempt: unit.attempts_launched,
+                        ..old.task.clone()
+                    };
+                    self.dir.enqueue(&task)?;
+                    unit.live.push(Attempt {
+                        task,
+                        claim_seen: None,
+                        speculative: false,
+                    });
+                } else if unit.live.is_empty() {
+                    self.stats.tasks_abandoned += 1;
+                    wootz_obs::counter("cluster.tasks_abandoned").incr();
+                    wootz_obs::event("cluster.task_abandoned")
+                        .field("seq", seq as usize)
+                        .field("attempts", unit.attempts_launched as usize)
+                        .emit();
+                    done.insert(
+                        seq,
+                        TaskOutcome {
+                            result: None,
+                            attempts: unit.attempts_launched,
+                        },
+                    );
+                }
+            }
+
+            // 4. Speculative re-execution: queue drained, at least one
+            // completed task to calibrate against, and a claimed straggler
+            // past its deadline — duplicate the lowest such sequence
+            // number (deterministic tie-break). First publication wins.
+            if !self.rate_samples.is_empty() && self.dir.pending()?.is_empty() {
+                let candidate = units
+                    .iter()
+                    .filter(|(seq, u)| {
+                        !done.contains_key(*seq)
+                            && u.live.len() == 1
+                            && u.attempts_launched < self.opts.max_task_attempts
+                    })
+                    .filter_map(|(&seq, u)| {
+                        let att = &u.live[0];
+                        let seen = att.claim_seen?;
+                        let running = now.saturating_duration_since(seen).as_millis() as u64;
+                        (running > self.deadline_ms(att.task.expected_steps)).then_some(seq)
+                    })
+                    .min();
+                if let Some(seq) = candidate {
+                    let unit = units.get_mut(&seq).expect("speculation on a known unit");
+                    unit.attempts_launched += 1;
+                    let task = TaskSpec {
+                        attempt: unit.attempts_launched,
+                        ..unit.live[0].task.clone()
+                    };
+                    self.dir.enqueue(&task)?;
+                    self.stats.speculative_launched += 1;
+                    wootz_obs::counter("cluster.speculative_launched").incr();
+                    wootz_obs::event("cluster.speculative_launch")
+                        .field("seq", seq as usize)
+                        .field("attempt", task.attempt as usize)
+                        .emit();
+                    unit.live.push(Attempt {
+                        task,
+                        claim_seen: None,
+                        speculative: true,
+                    });
+                }
+            }
+
+            // 5. Keep the physical pool at strength.
+            self.pool.respawn_dead(&mut self.stats)?;
+
+            // 6. Stall watchdog.
+            if progressed {
+                last_progress = Instant::now();
+            } else if last_progress.elapsed().as_millis() as u64 > self.opts.stall_timeout_ms {
+                return Err(cluster_err(format!(
+                    "no progress for {}ms: {}/{} tasks done, {} pending, {} claimed, \
+                     {} workers alive; worker logs in `{}`",
+                    self.opts.stall_timeout_ms,
+                    done.len(),
+                    total,
+                    self.dir.pending()?.len(),
+                    self.dir.claimed()?.len(),
+                    self.pool.poll_alive(),
+                    self.dir.logs().display()
+                )));
+            }
+            if done.len() < total {
+                std::thread::sleep(Duration::from_millis(self.opts.poll_ms));
+            }
+        }
+        Ok(done)
+    }
+
+    /// Applies the fencing rule to one published result. A result is
+    /// accepted iff its epoch matches, its unit of work is not yet
+    /// completed, and its attempt is still live (not reclaimed); accepting
+    /// it fences every other attempt of the unit. Everything else is a
+    /// zombie and is rejected, never double-counted.
+    fn accept_or_fence(
+        &mut self,
+        result: TaskResult,
+        units: &mut BTreeMap<u64, Unit>,
+        done: &mut BTreeMap<u64, TaskOutcome>,
+    ) -> bool {
+        let reject = |stats: &mut ClusterStats, reason: &str, result: &TaskResult| {
+            stats.zombie_results_rejected += 1;
+            wootz_obs::counter("cluster.zombie_results_rejected").incr();
+            wootz_obs::event("cluster.zombie_result_rejected")
+                .field("seq", result.seq as usize)
+                .field("attempt", result.attempt as usize)
+                .field("worker", result.worker.clone())
+                .field("reason", reason)
+                .emit();
+        };
+        if result.epoch != self.epoch {
+            reject(&mut self.stats, "stale epoch", &result);
+            return false;
+        }
+        let Some(unit) = units.get_mut(&result.seq) else {
+            reject(&mut self.stats, "unknown unit", &result);
+            return false;
+        };
+        if done.contains_key(&result.seq) {
+            reject(&mut self.stats, "already completed", &result);
+            return false;
+        }
+        let Some(pos) = unit
+            .live
+            .iter()
+            .position(|a| a.task.attempt == result.attempt)
+        else {
+            reject(&mut self.stats, "fenced attempt", &result);
+            return false;
+        };
+        let speculative = unit.live[pos].speculative;
+        let expected_steps = unit.live[pos].task.expected_steps.max(1);
+        // Accepted: this attempt wins; every other attempt of the unit is
+        // fenced from now on.
+        unit.live.clear();
+        self.rate_samples
+            .push(result.wall_ms as f64 / expected_steps as f64);
+        if speculative {
+            self.stats.speculative_wins += 1;
+            wootz_obs::counter("cluster.speculative_wins").incr();
+        }
+        self.stats.tasks_completed += 1;
+        *self
+            .stats
+            .per_worker_tasks
+            .entry(result.worker.clone())
+            .or_default() += 1;
+        wootz_obs::counter("cluster.tasks_completed").incr();
+        wootz_obs::histogram("cluster.task_wall_ms").record(result.wall_ms);
+        done.insert(
+            result.seq,
+            TaskOutcome {
+                result: Some(result),
+                attempts: unit.attempts_launched,
+            },
+        );
+        true
+    }
+
+    /// Runs the distributed pre-training phase: enqueues one task per
+    /// not-yet-journaled group, merges remote results with journal replays
+    /// in group order (mirroring
+    /// [`wootz_core::pretrain::pretrain_blocks_supervised`] exactly), and
+    /// journals every freshly trained block.
+    fn pretrain_phase(
+        &mut self,
+        inputs: &WootzInputs,
+        set: &BlockSet,
+        completed: &BTreeMap<String, PretrainedBlock>,
+        journal: &mut Option<Journal>,
+        block_ckpts: &mut BTreeMap<String, Checkpoint>,
+    ) -> Result<(usize, usize)> {
+        let _span = wootz_obs::span("cluster.pretrain").with("blocks", set.blocks.len());
+        let groups = partition_into_groups(&set.blocks);
+        let cfg = block_pretrain_config(&inputs.solver);
+        let todo: Vec<bool> = groups
+            .iter()
+            .map(|g| g.iter().any(|&i| !completed.contains_key(&set.blocks[i].key())))
+            .collect();
+        let mut tasks = Vec::new();
+        let mut seq_of_group: BTreeMap<usize, u64> = BTreeMap::new();
+        for (gi, group) in groups.iter().enumerate() {
+            if todo[gi] {
+                let seq = self.alloc_seq();
+                seq_of_group.insert(gi, seq);
+                tasks.push(TaskSpec {
+                    seq,
+                    attempt: 1,
+                    epoch: self.epoch,
+                    kind: TaskKind::Pretrain {
+                        group_index: gi,
+                        group: group.clone(),
+                    },
+                    expected_steps: cfg.steps,
+                });
+            }
+        }
+        let mut done = if tasks.is_empty() {
+            BTreeMap::new()
+        } else {
+            self.drive(tasks)?
+        };
+
+        let mut total_steps = 0usize;
+        let mut failed_list: Vec<(String, String)> = Vec::new();
+        let mut first_error: Option<CoreError> = None;
+        for (gi, group) in groups.iter().enumerate() {
+            if !todo[gi] {
+                // Fully journaled group: replay in block order.
+                for &bi in group {
+                    let block = &completed[&set.blocks[bi].key()];
+                    total_steps += block.steps;
+                    block_ckpts.insert(block.key.clone(), block.checkpoint.clone());
+                }
+                continue;
+            }
+            let outcome = done
+                .remove(&seq_of_group[&gi])
+                .expect("drive returns one outcome per task");
+            match outcome.result {
+                Some(TaskResult {
+                    payload: ResultPayload::Pretrain { blocks, failed, .. },
+                    ..
+                }) => {
+                    for block in &blocks {
+                        // Prefer the journaled copy when a partially
+                        // completed group was retrained, so resumes replay
+                        // byte-identically.
+                        let block = completed.get(&block.key).unwrap_or(block);
+                        total_steps += block.steps;
+                        block_ckpts.insert(block.key.clone(), block.checkpoint.clone());
+                        if !completed.contains_key(&block.key) {
+                            if let Some(j) = journal.as_mut() {
+                                j.append(&JournalEntry::Block(block.clone()))?;
+                            }
+                        }
+                    }
+                    failed_list.extend(failed);
+                }
+                Some(_) => {
+                    return Err(cluster_err(format!(
+                        "pre-training task for group {gi} returned an evaluation payload"
+                    )))
+                }
+                None => {
+                    let msg = format!(
+                        "pre-training group {gi} abandoned after {} worker attempts \
+                         (every lease expired)",
+                        outcome.attempts
+                    );
+                    for &bi in group {
+                        failed_list.push((set.blocks[bi].key(), msg.clone()));
+                    }
+                    if first_error.is_none() {
+                        first_error = Some(CoreError::Remote(msg));
+                    }
+                }
+            }
+        }
+        if block_ckpts.is_empty() {
+            if let Some(e) = first_error {
+                return Err(e);
+            }
+        }
+        Ok((total_steps, failed_list.len()))
+    }
+
+    /// Runs one exploration round remotely: one evaluation task per fresh
+    /// configuration, results re-associated positionally (the
+    /// `explore_rounds_supervised` contract).
+    fn explore_round(
+        &mut self,
+        inputs: &WootzInputs,
+        fresh_configs: &[usize],
+        finetune_steps: &mut usize,
+    ) -> Result<Vec<SupervisedEval>> {
+        let mut tasks = Vec::new();
+        let mut seq_of: Vec<(u64, usize)> = Vec::new();
+        for &config_index in fresh_configs {
+            let seq = self.alloc_seq();
+            seq_of.push((seq, config_index));
+            tasks.push(TaskSpec {
+                seq,
+                attempt: 1,
+                epoch: self.epoch,
+                kind: TaskKind::Eval { config_index },
+                expected_steps: inputs.solver.max_iter,
+            });
+        }
+        let mut done = if tasks.is_empty() {
+            BTreeMap::new()
+        } else {
+            self.drive(tasks)?
+        };
+        let mut out = Vec::with_capacity(fresh_configs.len());
+        for (seq, config_index) in seq_of {
+            let outcome = done
+                .remove(&seq)
+                .expect("drive returns one outcome per task");
+            let sup = match outcome.result {
+                Some(TaskResult {
+                    payload: ResultPayload::Eval(wire),
+                    ..
+                }) => {
+                    if wire.config_index != config_index {
+                        return Err(cluster_err(format!(
+                            "task {seq} returned config {} but config {config_index} \
+                             was scheduled",
+                            wire.config_index
+                        )));
+                    }
+                    wire.into_supervised()
+                }
+                Some(_) => {
+                    return Err(cluster_err(format!(
+                        "evaluation task {seq} returned a pre-training payload"
+                    )))
+                }
+                None => SupervisedEval {
+                    result: Err(CoreError::Remote(format!(
+                        "configuration {config_index}: task abandoned after {} worker \
+                         attempts (every lease expired)",
+                        outcome.attempts
+                    ))),
+                    attempts: outcome.attempts,
+                    backoff: 0.0,
+                },
+            };
+            if let Ok(o) = &sup.result {
+                *finetune_steps += o.log.as_ref().map_or(0, |l| l.steps_run);
+            }
+            out.push(sup);
+        }
+        Ok(out)
+    }
+
+    /// Shuts the run down: writes the shutdown marker, waits up to the
+    /// grace period for workers to finish their in-flight tasks and exit
+    /// (counting any late result published meanwhile as a fenced zombie),
+    /// then kills whatever is left.
+    fn finish(mut self) -> Result<ClusterStats> {
+        self.dir.request_shutdown()?;
+        let deadline = Instant::now() + Duration::from_millis(self.opts.shutdown_grace_ms);
+        loop {
+            self.reap_late_results()?;
+            let alive = self.pool.poll_alive();
+            wootz_obs::gauge("cluster.workers_alive").set(alive as f64);
+            if alive == 0 || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.pool.kill_all();
+        self.reap_late_results()?;
+        wootz_obs::gauge("cluster.workers_alive").set(0.0);
+        Ok(self.stats)
+    }
+
+    /// After all scheduled work completed, any result file that was never
+    /// accepted is by definition a fenced zombie (a reclaimed attempt that
+    /// finished late). Counting them here makes the fencing guarantee
+    /// observable even when the zombie outlives the phase that fenced it.
+    fn reap_late_results(&mut self) -> Result<()> {
+        for name in self.dir.result_files()? {
+            if self.processed_results.insert(name.clone()) {
+                self.stats.zombie_results_rejected += 1;
+                wootz_obs::counter("cluster.zombie_results_rejected").incr();
+                wootz_obs::event("cluster.zombie_result_rejected")
+                    .field("file", name)
+                    .field("reason", "run complete")
+                    .emit();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the complete pruning pipeline with the distributed runtime:
+/// identical phases and identical results to
+/// [`wootz_core::pipeline::run_wootz_with`], but pre-training groups and
+/// configuration evaluations execute on `opts.workers` separate worker OS
+/// processes fed through the crash-safe filesystem queue.
+///
+/// Bit-identity: the exploration round width is `solver.num_workers`
+/// (logical), tasks are pure functions of their inputs, and fencing admits
+/// exactly one result per unit of work — so the returned [`WootzRun`]'s
+/// exploration record and best network equal the single-process run's for
+/// any worker count, any schedule, and any combination of worker crashes,
+/// hangs and stragglers (abandonment aside). One accounting nuance:
+/// `finetune_steps` counts the steps of *accepted* results only, so a
+/// remote retry that trains and then fails does not inflate it the way an
+/// in-process retry would.
+///
+/// # Errors
+///
+/// Propagates phase errors, journal errors, and queue I/O failures;
+/// returns a stall error (with diagnostics) when no task makes progress
+/// for `opts.stall_timeout_ms`.
+pub fn run_distributed(
+    inputs: &WootzInputs,
+    dataset: &Dataset,
+    mode: RunMode,
+    opts: &ClusterOptions<'_>,
+) -> Result<(WootzRun, ClusterStats)> {
+    if opts.workers == 0 {
+        return Err(cluster_err("need at least one worker process"));
+    }
+    let _span = wootz_obs::span("cluster.run")
+        .with("workers", opts.workers)
+        .with("mode", format!("{mode:?}"))
+        .with("configs", inputs.subspace.len());
+
+    // Journal setup: create fresh, or verify + replay an existing one. The
+    // journal's single-writer lock is also what makes a SIGKILLed
+    // coordinator safely resumable (the stale lock is taken over).
+    let header = journal_header(inputs, mode)?;
+    let (mut journal, replay) = match &opts.journal {
+        None => (None, Replay::default()),
+        Some(path) if opts.resume && path.exists() => {
+            let (j, r) = Journal::resume(path, &header)?;
+            (Some(j), r)
+        }
+        Some(path) => (Some(Journal::create(path, &header)?), Replay::default()),
+    };
+
+    // Fencing epoch: strictly greater than any previous coordinator's over
+    // this run directory (read *before* wiping the queue state).
+    let dir = RunDir::new(&opts.run_dir);
+    let epoch = match read_json::<Manifest>(&dir.manifest()) {
+        Ok(m) => m.epoch + 1,
+        Err(_) => 1,
+    };
+    dir.init_epoch()?;
+
+    // The trained full model: replayed from the journal or trained locally
+    // (training it remotely would serialize on one worker anyway).
+    let (full_ckpt, full_accuracy) = match replay.full {
+        Some((c, a)) => (c, a),
+        None => {
+            let mm = MultiplexingModel::compile(inputs.model.clone())?;
+            let (c, a, _) = train_full_model(&mm, dataset, &inputs.solver)?;
+            if let Some(j) = journal.as_mut() {
+                j.append(&JournalEntry::FullModel {
+                    accuracy: a,
+                    checkpoint: c.clone(),
+                })?;
+            }
+            (c, a)
+        }
+    };
+    full_ckpt.save(dir.full_ckpt())?;
+    let manifest = Manifest {
+        epoch,
+        model: inputs.model.clone(),
+        subspace: inputs.subspace.clone(),
+        solver: inputs.solver.clone(),
+        objective: inputs.objective.clone(),
+        mode,
+        faults: opts.faults.cloned(),
+        retry: opts.retry,
+        lease_ms: opts.lease_ms,
+    };
+    atomic_write_json(&dir.manifest(), &manifest)?;
+    wootz_obs::event("cluster.manifest_written")
+        .field("epoch", epoch as usize)
+        .field("workers", opts.workers)
+        .emit();
+
+    let pool = WorkerPool::spawn(dir.clone(), opts)?;
+    let mut coord = Coordinator {
+        dir: dir.clone(),
+        epoch,
+        opts,
+        pool,
+        stats: ClusterStats {
+            workers: opts.workers,
+            ..ClusterStats::default()
+        },
+        next_seq: 0,
+        processed_results: BTreeSet::new(),
+        rate_samples: Vec::new(),
+    };
+
+    // Phases 1-2: block identification (local, deterministic) and
+    // distributed pre-training.
+    let block_set = blocks_for_mode(inputs, mode)?;
+    let mut pretrain_steps = 0usize;
+    let mut blocks_failed = 0usize;
+    let mut block_ckpts: BTreeMap<String, Checkpoint> = BTreeMap::new();
+    if let Some(set) = &block_set {
+        let (steps, failed) =
+            coord.pretrain_phase(inputs, set, &replay.blocks, &mut journal, &mut block_ckpts)?;
+        pretrain_steps = steps;
+        blocks_failed = failed;
+        // Publish the bag of pre-trained blocks for the evaluation workers.
+        let mut index: BTreeMap<String, String> = BTreeMap::new();
+        for (i, (key, ckpt)) in block_ckpts.iter().enumerate() {
+            let file = format!("b{i:04}.ckpt");
+            ckpt.save(dir.blocks().join(&file))?;
+            index.insert(key.clone(), file);
+        }
+        atomic_write_json(&dir.blocks_index(), &index)?;
+    }
+
+    // Phase 3: distributed exploration through the shared round engine.
+    let (sizes, _flops) = subspace_stats(inputs)?;
+    let explore_opts = ExploreOptions {
+        faults: opts.faults,
+        retry: opts.retry,
+        resume: replay.evals,
+    };
+    let mut finetune_steps = 0usize;
+    let exploration = {
+        let coord = &mut coord;
+        let finetune = &mut finetune_steps;
+        let mut sink = |record: &EvalRecord| -> Result<()> {
+            if let Some(j) = journal.as_mut() {
+                j.append(&JournalEntry::Eval(record.clone()))?;
+            }
+            Ok(())
+        };
+        explore_rounds_supervised(
+            &inputs.objective,
+            &sizes,
+            inputs.solver.num_workers,
+            |_, fresh_configs| coord.explore_round(inputs, fresh_configs, finetune),
+            &explore_opts,
+            Some(&mut sink),
+        )?
+    };
+
+    let best = best_network(inputs, &exploration);
+    let stats = coord.finish()?;
+    wootz_obs::event("cluster.run_done")
+        .field("tasks", stats.tasks_completed)
+        .field("reclaimed", stats.leases_reclaimed)
+        .field("speculative_wins", stats.speculative_wins)
+        .field("zombies_rejected", stats.zombie_results_rejected)
+        .emit();
+    Ok((
+        WootzRun {
+            mode,
+            full_accuracy,
+            best,
+            exploration,
+            blocks_pretrained: block_set.map(|s| s.blocks.len()).unwrap_or(0),
+            blocks_failed: Some(blocks_failed),
+            pretrain_steps,
+            finetune_steps,
+        },
+        stats,
+    ))
+}
+
+/// Resolves the default worker command for callers living in the same
+/// binary as the worker subcommand: the current executable plus the given
+/// subcommand prefix.
+///
+/// # Errors
+///
+/// Fails when the current executable path cannot be determined.
+pub fn self_worker_cmd(prefix: &[&str]) -> Result<(PathBuf, Vec<String>)> {
+    let exe = std::env::current_exe()
+        .map_err(|e| cluster_err(format!("cannot locate current executable: {e}")))?;
+    Ok((exe, prefix.iter().map(|s| s.to_string()).collect()))
+}

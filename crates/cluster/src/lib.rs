@@ -1,0 +1,65 @@
+//! `wootz-cluster`: a multi-process distributed execution runtime for the
+//! Wootz exploration pipeline.
+//!
+//! The single-process pipeline evaluates pruned configurations one after the
+//! other (or on threads). This crate distributes the same work across *OS
+//! processes* — surviving worker crashes, hangs, and stragglers — while
+//! producing **bit-identical** results to the single-process run. The
+//! exploration round width remains `solver.num_workers` (the paper's logical
+//! parallelism *p*); the number of worker processes only changes how fast a
+//! round's evaluations physically execute, never which evaluations run or
+//! how their results fold.
+//!
+//! # Architecture
+//!
+//! Everything rides on a **crash-safe filesystem task queue** (no sockets —
+//! the vendored dependency set is offline and networking-free):
+//!
+//! ```text
+//! run-dir/
+//!   manifest.json      frozen inputs + epoch (fencing token) + lease period
+//!   full.ckpt          checksummed full-model checkpoint
+//!   blocks/            pre-trained block checkpoints + index.json
+//!   tasks/             pending   t{seq:06}.a{attempt:03}.json
+//!   claims/            claimed   (atomic rename from tasks/ = exactly-once claim)
+//!   leases/            per-task lease files; mtime refreshed = heartbeat
+//!   results/           one JSON result per (seq, attempt), atomic tmp+rename
+//!   logs/              per-worker stdout/stderr
+//!   shutdown           marker file: workers drain and exit
+//! ```
+//!
+//! * **Claim** — a worker renames `tasks/X` → `claims/X`. `rename(2)` on one
+//!   filesystem is atomic, so exactly one claimant wins; losers see
+//!   `NotFound` and move on.
+//! * **Lease + heartbeat** — the claimant writes `leases/X` and refreshes it
+//!   at a quarter of the lease period from a background thread. The
+//!   coordinator reclaims any claimed task whose lease (or claim) is older
+//!   than the lease period, re-enqueueing a fresh *attempt*.
+//! * **Fencing** — every task carries the coordinator's `epoch` and an
+//!   `attempt` number. A result is accepted only if its epoch matches and
+//!   its attempt is still live; a zombie worker completing a reclaimed task
+//!   publishes a result that is *rejected*, never double-counted.
+//! * **Speculation** — once the queue drains, the coordinator watches the
+//!   slowest outstanding task against a deadline derived from the observed
+//!   per-step rate (3× the median) and launches a duplicate attempt. First
+//!   publication wins; the loser is fenced.
+//! * **Determinism** — each task ([`wootz_core::pipeline::EvalContext`]
+//!   evaluation or a block pre-training group) is a pure function of the
+//!   manifest + checkpoints, so any attempt on any process produces the
+//!   same bytes, and the fold order is fixed by the round runner.
+//!
+//! Process-level faults (worker crash / hang / straggler) are injected
+//! deterministically through [`wootz_fault`] at `site::CLUSTER_TASK`, which
+//! is how the integration tests exercise reclamation, fencing, and
+//! speculative re-execution without flaky timing dependence.
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod protocol;
+pub mod queue;
+pub mod worker;
+
+pub use coordinator::{run_distributed, self_worker_cmd, ClusterOptions, ClusterStats};
+pub use queue::RunDir;
+pub use worker::worker_main;

@@ -1,0 +1,351 @@
+//! On-disk wire formats of the distributed runtime.
+//!
+//! Everything the coordinator and the worker processes exchange lives in
+//! plain files under the *run directory*: a [`Manifest`] that pins the
+//! run's identity and inputs, task specifications ([`TaskSpec`]), and task
+//! results ([`TaskResult`]). All of it is JSON written atomically
+//! (temp-file + rename), so a reader never observes a partial file and a
+//! `SIGKILL`ed writer leaves at most an orphaned temp file behind.
+//!
+//! The formats are deliberately *value-complete*: a worker process needs
+//! nothing but the run directory to reconstruct the exact evaluation
+//! function the single-process pipeline would run (the model IR, subspace,
+//! solver and objective are all in the manifest; the trained full model
+//! and the pre-trained block checkpoints are checksummed binary files next
+//! to it). The vendored `serde_json` round-trips `f32` values bit-exactly,
+//! which is what makes remote results byte-identical to local ones.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use wootz_core::explore::{EvalOutcome, SupervisedEval};
+use wootz_core::pipeline::RunMode;
+use wootz_core::pretrain::PretrainedBlock;
+use wootz_core::prune::PruneConfig;
+use wootz_core::{CoreError, Result};
+use wootz_fault::{FaultPlan, RetryPolicy};
+use wootz_ir::{ModelIr, Objective, SolverConfig};
+
+/// Manifest file name inside the run directory.
+pub const MANIFEST: &str = "manifest.json";
+/// Trained full-model checkpoint file name.
+pub const FULL_CKPT: &str = "full.ckpt";
+/// Directory of pre-trained block checkpoints (plus `index.json`).
+pub const BLOCKS_DIR: &str = "blocks";
+/// Index file inside [`BLOCKS_DIR`]: block key → checkpoint file name.
+pub const BLOCKS_INDEX: &str = "index.json";
+/// Directory of pending (unclaimed) tasks.
+pub const TASKS_DIR: &str = "tasks";
+/// Directory of claimed tasks (a claim is an atomic rename into here).
+pub const CLAIMS_DIR: &str = "claims";
+/// Directory of per-task lease files (mtime = last heartbeat).
+pub const LEASES_DIR: &str = "leases";
+/// Directory of completed task results.
+pub const RESULTS_DIR: &str = "results";
+/// Directory of per-worker log files.
+pub const LOGS_DIR: &str = "logs";
+/// Marker file telling workers to exit their poll loop.
+pub const SHUTDOWN: &str = "shutdown";
+
+/// Everything a worker process needs to reconstruct the run: the four
+/// pipeline inputs, the supervision policy, and the coordinator's fencing
+/// epoch. Written once per coordinator start, before any worker is
+/// spawned.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Fencing epoch. Incremented on every coordinator start over the same
+    /// run directory; a result whose epoch does not match the current
+    /// manifest is a zombie from a previous coordinator and is rejected.
+    pub epoch: u64,
+    /// The to-be-pruned model.
+    pub model: ModelIr,
+    /// The promising subspace.
+    pub subspace: Vec<PruneConfig>,
+    /// Training meta data.
+    pub solver: SolverConfig,
+    /// The pruning objective.
+    pub objective: Objective,
+    /// The run mode (workers recompute tuning blocks from it).
+    pub mode: RunMode,
+    /// Deterministic fault-injection plan, shared by every process so the
+    /// schedule is identical no matter which worker claims a task.
+    pub faults: Option<FaultPlan>,
+    /// Retry policy the in-worker evaluation supervisor applies.
+    pub retry: RetryPolicy,
+    /// Lease duration in milliseconds; workers heartbeat at a quarter of
+    /// this period.
+    pub lease_ms: u64,
+}
+
+/// The unit of work a task executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Evaluate one pruning configuration (assemble + fine-tune + test).
+    Eval {
+        /// Index into the promising subspace.
+        config_index: usize,
+    },
+    /// Pre-train one group of non-overlapping tuning blocks.
+    Pretrain {
+        /// Group index (keys the deterministic batch stream).
+        group_index: usize,
+        /// Block indices (into the mode's block list) of the group.
+        group: Vec<usize>,
+    },
+}
+
+/// One schedulable task. `(seq, attempt)` is globally unique within an
+/// epoch: re-executions of the same unit of work (after lease reclamation
+/// or for speculation) get a fresh attempt number, so files never collide
+/// and fencing can distinguish the copies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Queue sequence number (stable identity of the unit of work).
+    pub seq: u64,
+    /// 1-based execution attempt of this unit of work.
+    pub attempt: u32,
+    /// The coordinator epoch that enqueued this task.
+    pub epoch: u64,
+    /// What to execute.
+    pub kind: TaskKind,
+    /// Expected SGD steps (from the solver), the deadline basis for
+    /// straggler speculation.
+    pub expected_steps: usize,
+}
+
+impl TaskSpec {
+    /// Canonical file name of this `(seq, attempt)` in the queue dirs.
+    pub fn file_name(&self) -> String {
+        task_file_name(self.seq, self.attempt)
+    }
+
+    /// The fault-injection key of this task at `site::CLUSTER_TASK`:
+    /// config index for evaluations, group index for pre-training — the
+    /// same keying the in-process fault sites use.
+    pub fn fault_key(&self) -> u64 {
+        match &self.kind {
+            TaskKind::Eval { config_index } => *config_index as u64,
+            TaskKind::Pretrain { group_index, .. } => *group_index as u64,
+        }
+    }
+}
+
+/// Builds the canonical queue file name of a `(seq, attempt)` pair.
+pub fn task_file_name(seq: u64, attempt: u32) -> String {
+    format!("t{seq:06}.a{attempt:03}.json")
+}
+
+/// Parses a queue file name back into its `(seq, attempt)` pair.
+pub fn parse_task_file_name(name: &str) -> Option<(u64, u32)> {
+    let rest = name.strip_prefix('t')?.strip_suffix(".json")?;
+    let (seq, attempt) = rest.split_once(".a")?;
+    Some((seq.parse().ok()?, attempt.parse().ok()?))
+}
+
+/// A [`SupervisedEval`] in wire form: the error side is carried as its
+/// rendered message (errors are not serializable structurally), which the
+/// coordinator re-wraps as [`CoreError::Remote`] — a variant that displays
+/// verbatim, so the failure record the fold produces is byte-identical to
+/// the single-process one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireEval {
+    /// Index of the evaluated configuration.
+    pub config_index: usize,
+    /// The measured outcome, when the final attempt succeeded.
+    pub outcome: Option<EvalOutcome>,
+    /// The last attempt's rendered error, when all attempts failed.
+    pub error: Option<String>,
+    /// Attempts the in-worker supervisor made.
+    pub attempts: u32,
+    /// Retry backoff the supervisor charged.
+    pub backoff: f64,
+}
+
+impl WireEval {
+    /// Wraps a supervisor outcome for the wire.
+    pub fn from_supervised(config_index: usize, sup: SupervisedEval) -> Self {
+        let (outcome, error) = match sup.result {
+            Ok(o) => (Some(o), None),
+            Err(e) => (None, Some(e.to_string())),
+        };
+        WireEval {
+            config_index,
+            outcome,
+            error,
+            attempts: sup.attempts,
+            backoff: sup.backoff,
+        }
+    }
+
+    /// Unwraps back into the supervisor outcome the fold consumes.
+    pub fn into_supervised(self) -> SupervisedEval {
+        let result = match (self.outcome, self.error) {
+            (Some(o), _) => Ok(o),
+            (None, Some(msg)) => Err(CoreError::Remote(msg)),
+            (None, None) => Err(CoreError::Remote(
+                "remote worker returned neither outcome nor error".to_string(),
+            )),
+        };
+        SupervisedEval {
+            result,
+            attempts: self.attempts,
+            backoff: self.backoff,
+        }
+    }
+}
+
+/// The payload of a completed task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResultPayload {
+    /// One configuration evaluation.
+    Eval(WireEval),
+    /// One pre-trained group.
+    Pretrain {
+        /// Group index this payload belongs to.
+        group_index: usize,
+        /// Freshly trained blocks (journal-ready).
+        blocks: Vec<PretrainedBlock>,
+        /// Blocks that failed even the per-block fallback, as
+        /// `(key, rendered error)`.
+        failed: Vec<(String, String)>,
+    },
+}
+
+/// A completed task, written atomically into `results/` by the worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// The task's queue sequence number.
+    pub seq: u64,
+    /// The execution attempt that produced this result.
+    pub attempt: u32,
+    /// The epoch of the manifest the worker executed under.
+    pub epoch: u64,
+    /// Id of the worker process that executed the task.
+    pub worker: String,
+    /// Wall-clock execution time in milliseconds (straggler telemetry and
+    /// the speculation deadline's calibration input).
+    pub wall_ms: u64,
+    /// What the task produced.
+    pub payload: ResultPayload,
+}
+
+/// Writes `value` as JSON to `path` atomically: the bytes land in a
+/// sibling temp file first and are renamed into place, so concurrent
+/// readers see either nothing or the complete document.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Pipeline`] on serialization or I/O failure.
+pub fn atomic_write_json<T: Serialize>(path: &Path, value: &T) -> Result<()> {
+    let json = serde_json::to_vec(value)
+        .map_err(|e| cluster_err(format!("cannot serialize `{}`: {e}", path.display())))?;
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| cluster_err(format!("`{}` has no file name", path.display())))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
+    std::fs::write(&tmp, &json)
+        .map_err(|e| cluster_err(format!("cannot write `{}`: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        cluster_err(format!("cannot publish `{}`: {e}", path.display()))
+    })
+}
+
+/// Reads a JSON document written by [`atomic_write_json`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Pipeline`] on I/O or parse failure.
+pub fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| cluster_err(format!("cannot read `{}`: {e}", path.display())))?;
+    serde_json::from_str(&text)
+        .map_err(|e| cluster_err(format!("cannot parse `{}`: {e}", path.display())))
+}
+
+/// Builds the crate's uniform [`CoreError::Pipeline`] with a `cluster:`
+/// prefix, so distributed-runtime failures are recognizable end to end.
+pub fn cluster_err(detail: impl Into<String>) -> CoreError {
+    CoreError::Pipeline(format!("cluster: {}", detail.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_file_names_round_trip() {
+        let spec = TaskSpec {
+            seq: 42,
+            attempt: 3,
+            epoch: 1,
+            kind: TaskKind::Eval { config_index: 7 },
+            expected_steps: 10,
+        };
+        assert_eq!(spec.file_name(), "t000042.a003.json");
+        assert_eq!(parse_task_file_name(&spec.file_name()), Some((42, 3)));
+        assert_eq!(parse_task_file_name("garbage"), None);
+        assert_eq!(parse_task_file_name(".t000001.a001.json.tmp-9"), None);
+    }
+
+    #[test]
+    fn wire_eval_round_trips_both_sides() {
+        let ok = WireEval::from_supervised(
+            4,
+            SupervisedEval {
+                result: Ok(EvalOutcome {
+                    model_size: 10,
+                    flops: 20,
+                    accuracy: 0.5,
+                    cost: 3.25,
+                    log: None,
+                }),
+                attempts: 2,
+                backoff: 1.25,
+            },
+        );
+        let json = serde_json::to_string(&ok).unwrap();
+        let back: WireEval = serde_json::from_str(&json).unwrap();
+        let sup = back.into_supervised();
+        assert_eq!(sup.attempts, 2);
+        assert_eq!(sup.backoff, 1.25);
+        assert_eq!(sup.result.unwrap().cost, 3.25);
+
+        let err = WireEval::from_supervised(
+            4,
+            SupervisedEval {
+                result: Err(CoreError::Pipeline("boom".into())),
+                attempts: 3,
+                backoff: 0.0,
+            },
+        );
+        let sup = err.into_supervised();
+        let rendered = sup.result.unwrap_err().to_string();
+        // CoreError::Remote displays the worker-side rendering verbatim.
+        assert_eq!(rendered, CoreError::Pipeline("boom".into()).to_string());
+    }
+
+    #[test]
+    fn atomic_write_then_read_round_trips() {
+        let dir = std::env::temp_dir().join(format!("wootz_proto_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t000001.a001.json");
+        let spec = TaskSpec {
+            seq: 1,
+            attempt: 1,
+            epoch: 2,
+            kind: TaskKind::Pretrain {
+                group_index: 0,
+                group: vec![0, 2],
+            },
+            expected_steps: 6,
+        };
+        atomic_write_json(&path, &spec).unwrap();
+        let back: TaskSpec = read_json(&path).unwrap();
+        assert_eq!(back, spec);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

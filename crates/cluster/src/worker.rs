@@ -1,0 +1,229 @@
+//! The worker process: claim → lease/heartbeat → execute → publish.
+//!
+//! A worker is started as `wootz worker --run-dir <dir> --worker-id <id>`
+//! (the coordinator spawns and respawns them, but a worker started by hand
+//! joins the same queue — workers are fungible). It reconstructs the exact
+//! evaluation environment of the single-process pipeline from the run
+//! directory alone: manifest → model/subspace/solver/objective, the
+//! checksummed full-model checkpoint, the block-checkpoint directory, and
+//! the same deterministic micro dataset. Because every unit of work
+//! ([`wootz_core::pipeline::EvalContext::evaluate`],
+//! [`wootz_core::pretrain::pretrain_group_supervised`]) is a pure function
+//! of its inputs, a task executes bit-identically no matter which process
+//! — or which attempt — runs it.
+//!
+//! Process-level faults fire here, at `site::CLUSTER_TASK`:
+//!
+//! * `WorkerCrash` aborts the process mid-task (no result, no lease, no
+//!   cleanup) — the coordinator must reclaim via lease expiry and respawn.
+//! * `WorkerHang { millis }` wedges the worker *before* its first lease
+//!   write, so no heartbeat ever lands; the task is reclaimed meanwhile and
+//!   the late ("zombie") result must be rejected by fencing.
+//! * `SlowWorker { factor }` stretches the task's wall time (heartbeats
+//!   stay alive) without touching the result — the straggler that trips
+//!   speculative re-execution while preserving result bit-identity.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wootz_core::compile::MultiplexingModel;
+use wootz_core::explore::supervise_eval;
+use wootz_core::pipeline::{
+    block_pretrain_config, blocks_for_mode, subspace_stats, EvalContext, WootzInputs,
+};
+use wootz_core::pretrain::pretrain_group_supervised;
+use wootz_core::Result;
+use wootz_data::micro_dataset;
+use wootz_fault::{site, FaultKind, FaultPlan};
+use wootz_nn::Checkpoint;
+
+use crate::protocol::{cluster_err, read_json, Manifest, ResultPayload, TaskKind, TaskResult, WireEval};
+use crate::queue::RunDir;
+
+/// The entry point of a worker process. Polls the queue until the
+/// coordinator writes the shutdown marker, executing one claimed task at a
+/// time. Returns when shut down cleanly.
+///
+/// # Errors
+///
+/// Returns an error when the run directory is unusable (missing manifest,
+/// corrupt checkpoint, ...). Task-level failures are *not* errors here —
+/// they are reported through the task's result and handled by the
+/// supervision policy.
+pub fn worker_main(run_dir: &Path, worker_id: &str) -> Result<()> {
+    let dir = RunDir::new(run_dir);
+    let manifest: Manifest = read_json(&dir.manifest())?;
+    let _span = wootz_obs::span("cluster.worker")
+        .with("worker", worker_id)
+        .with("epoch", manifest.epoch as usize);
+    wootz_obs::event("cluster.worker_started")
+        .field("worker", worker_id)
+        .field("epoch", manifest.epoch as usize)
+        .emit();
+
+    // Reconstruct the evaluation environment exactly as the single-process
+    // pipeline builds it.
+    let inputs = WootzInputs {
+        model: manifest.model.clone(),
+        subspace: manifest.subspace.clone(),
+        solver: manifest.solver.clone(),
+        objective: manifest.objective.clone(),
+    };
+    let dataset = micro_dataset(&inputs.solver.dataset, inputs.solver.seed);
+    let mm = MultiplexingModel::compile(inputs.model.clone())?;
+    let full_ckpt = Checkpoint::load(dir.full_ckpt())?;
+    let block_set = blocks_for_mode(&inputs, manifest.mode)?;
+    let (sizes, flops) = subspace_stats(&inputs)?;
+    let faults = manifest.faults.as_ref();
+    // Block checkpoints appear only once the pre-training phase finished;
+    // loaded lazily on the first evaluation task.
+    let mut block_ckpts: Option<BTreeMap<String, Checkpoint>> = None;
+
+    let poll = Duration::from_millis((manifest.lease_ms / 8).clamp(5, 200));
+    loop {
+        if dir.shutdown_requested() {
+            wootz_obs::event("cluster.worker_shutdown")
+                .field("worker", worker_id)
+                .emit();
+            return Ok(());
+        }
+        let Some(task) = dir.try_claim(worker_id)? else {
+            std::thread::sleep(poll);
+            continue;
+        };
+        let _task_span = wootz_obs::span("cluster.task")
+            .with("seq", task.seq as usize)
+            .with("attempt", task.attempt as usize)
+            .with("worker", worker_id);
+
+        // Process-level fault injection, keyed exactly like the in-process
+        // sites (config index / group index), per attempt.
+        let mut slow_factor: Option<f64> = None;
+        match FaultPlan::fire_opt(faults, site::CLUSTER_TASK, task.fault_key(), task.attempt) {
+            Some(FaultKind::WorkerCrash) => {
+                // Die instantly, mid-task: no result, no cleanup. This is
+                // what a SIGKILLed or OOM-killed worker looks like.
+                std::process::abort();
+            }
+            Some(FaultKind::WorkerHang { millis }) => {
+                // Wedge before the first lease write: the coordinator sees
+                // a claim without a heartbeat, reclaims, and this worker
+                // later completes as a zombie.
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            Some(FaultKind::SlowWorker { factor }) => slow_factor = Some(factor.max(1.0)),
+            // EvalError / EvalPanic / CorruptCheckpoint belong to the
+            // in-process sites, which the supervised executors below
+            // consult themselves.
+            _ => {}
+        }
+
+        // Lease + heartbeat: refresh at a quarter of the lease period.
+        dir.write_lease(&task, worker_id)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let heartbeat = {
+            let stop = Arc::clone(&stop);
+            let dir = dir.clone();
+            let task = task.clone();
+            let worker = worker_id.to_string();
+            let period = Duration::from_millis((manifest.lease_ms / 4).max(1));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let _ = dir.write_lease(&task, &worker);
+                }
+            })
+        };
+
+        let started = Instant::now();
+        let payload = match &task.kind {
+            TaskKind::Eval { config_index } => {
+                if block_set.is_some() && block_ckpts.is_none() {
+                    block_ckpts = Some(load_block_checkpoints(&dir)?);
+                }
+                let ctx = EvalContext::new(
+                    &inputs,
+                    &dataset,
+                    &mm,
+                    &full_ckpt,
+                    block_set.as_ref(),
+                    block_ckpts.as_ref(),
+                    &sizes,
+                    &flops,
+                    faults,
+                );
+                let sup = supervise_eval(
+                    &|i| ctx.evaluate(i),
+                    *config_index,
+                    &manifest.retry,
+                    faults,
+                );
+                ResultPayload::Eval(WireEval::from_supervised(*config_index, sup))
+            }
+            TaskKind::Pretrain { group_index, group } => {
+                let set = block_set.as_ref().ok_or_else(|| {
+                    cluster_err(format!(
+                        "pre-training task {} in a mode without tuning blocks",
+                        task.seq
+                    ))
+                })?;
+                let cfg = block_pretrain_config(&inputs.solver);
+                let batch_size = inputs.solver.batch_size;
+                let (blocks, failed) = pretrain_group_supervised(
+                    &mm,
+                    &set.blocks,
+                    group,
+                    *group_index,
+                    &full_ckpt,
+                    &cfg,
+                    &|step| dataset.train_batch(step, batch_size).0,
+                    faults,
+                );
+                ResultPayload::Pretrain {
+                    group_index: *group_index,
+                    blocks,
+                    failed,
+                }
+            }
+        };
+
+        if let Some(factor) = slow_factor {
+            // Straggle with a live heartbeat: the lease stays fresh, so
+            // only speculative re-execution (not reclamation) can beat us.
+            let extra = started.elapsed().mul_f64(factor - 1.0);
+            std::thread::sleep(extra);
+        }
+
+        let result = TaskResult {
+            seq: task.seq,
+            attempt: task.attempt,
+            epoch: task.epoch,
+            worker: worker_id.to_string(),
+            wall_ms: started.elapsed().as_millis() as u64,
+            payload,
+        };
+        stop.store(true, Ordering::Relaxed);
+        dir.publish_result(&result)?;
+        dir.release(&task);
+        let _ = heartbeat.join();
+        wootz_obs::counter("cluster.worker_tasks").incr();
+    }
+}
+
+/// Loads the pre-trained block checkpoints a coordinator published under
+/// `blocks/` (key → checksummed checkpoint file).
+fn load_block_checkpoints(dir: &RunDir) -> Result<BTreeMap<String, Checkpoint>> {
+    let index: BTreeMap<String, String> = read_json(&dir.blocks_index())?;
+    let mut out = BTreeMap::new();
+    for (key, file) in index {
+        let ckpt = Checkpoint::load(dir.blocks().join(&file))?;
+        out.insert(key, ckpt);
+    }
+    Ok(out)
+}

@@ -45,6 +45,11 @@ pub enum CoreError {
     Fault(FaultError),
     /// A run-journal problem: header mismatch, corrupt entry, I/O failure.
     Journal(String),
+    /// An error reported by a remote worker process, already rendered on
+    /// the worker side. Displays verbatim so a failure record produced by
+    /// the distributed runtime matches the single-process rendering of the
+    /// same underlying error bit for bit.
+    Remote(String),
 }
 
 impl fmt::Display for CoreError {
@@ -68,6 +73,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Fault(e) => write!(f, "{e}"),
             CoreError::Journal(m) => write!(f, "run journal error: {m}"),
+            CoreError::Remote(m) => write!(f, "{m}"),
         }
     }
 }

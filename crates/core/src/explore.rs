@@ -197,11 +197,18 @@ pub fn task_assignment(order: &[usize], workers: usize) -> Vec<Vec<usize>> {
     nodes
 }
 
-/// The outcome of supervising one configuration to completion.
-struct SupervisedEval {
-    result: std::result::Result<EvalOutcome, CoreError>,
-    attempts: u32,
-    backoff: f64,
+/// The outcome of supervising one configuration to completion: the final
+/// result after retries, how many attempts were made, and the retry
+/// backoff charged. Produced by [`supervise_eval`] locally, or by a remote
+/// worker process in the distributed runtime (`wootz-cluster`), which is
+/// why the fields are public.
+pub struct SupervisedEval {
+    /// The last attempt's result.
+    pub result: std::result::Result<EvalOutcome, CoreError>,
+    /// Attempts made (1-based; 1 = first attempt succeeded).
+    pub attempts: u32,
+    /// Backoff cost accumulated between attempts.
+    pub backoff: f64,
 }
 
 /// Runs one attempt of `evaluate(config_index)` under the fault plan,
@@ -220,13 +227,19 @@ where
         Some(FaultKind::EvalPanic) => panic!(
             "injected fault: evaluator panic (config {config_index}, attempt {attempt})"
         ),
-        Some(kind @ (FaultKind::EvalError | FaultKind::CorruptCheckpoint)) => {
-            Err(CoreError::Fault(FaultError::Injected {
-                site: site::EXPLORE_EVAL.to_string(),
-                key: config_index as u64,
-                kind: kind.label().to_string(),
-            }))
-        }
+        // Process-level kinds (WorkerCrash/WorkerHang) belong to the
+        // distributed `cluster.task` site; planted here they degrade to a
+        // clean injected error rather than killing the host process.
+        Some(
+            kind @ (FaultKind::EvalError
+            | FaultKind::CorruptCheckpoint
+            | FaultKind::WorkerCrash
+            | FaultKind::WorkerHang { .. }),
+        ) => Err(CoreError::Fault(FaultError::Injected {
+            site: site::EXPLORE_EVAL.to_string(),
+            key: config_index as u64,
+            kind: kind.label().to_string(),
+        })),
         Some(FaultKind::SlowWorker { factor }) => evaluate(config_index).map(|mut o| {
             o.cost *= factor.max(1.0);
             o
@@ -244,7 +257,12 @@ where
 
 /// Supervises one configuration: retries per policy, accumulates backoff
 /// cost, emits `explore.retry` events.
-fn supervise_eval<E>(
+///
+/// Public because the distributed runtime (`wootz-cluster`) runs exactly
+/// this supervisor inside each worker process, so local and remote
+/// evaluation share retry semantics, fault-injection sites and error
+/// rendering bit for bit.
+pub fn supervise_eval<E>(
     evaluate: &E,
     config_index: usize,
     retry: &RetryPolicy,
@@ -416,10 +434,56 @@ pub fn explore_supervised<E>(
     workers: usize,
     evaluate: E,
     opts: &ExploreOptions<'_>,
-    mut sink: Option<&mut RecordSink<'_>>,
+    sink: Option<&mut RecordSink<'_>>,
 ) -> Result<ExplorationResult>
 where
     E: Fn(usize) -> Result<EvalOutcome>,
+{
+    explore_rounds_supervised(
+        objective,
+        sizes,
+        workers,
+        |_, fresh_configs| {
+            Ok(fresh_configs
+                .iter()
+                .map(|&config_index| {
+                    let _cfg_span = wootz_obs::span("explore.config").with("config", config_index);
+                    supervise_eval(&evaluate, config_index, &opts.retry, opts.faults)
+                })
+                .collect())
+        },
+        opts,
+        sink,
+    )
+}
+
+/// The round-barrier exploration loop with a pluggable round runner — the
+/// common engine behind [`explore_supervised`] (sequential, in-process),
+/// [`explore_parallel_supervised`] (thread-per-config) and the distributed
+/// coordinator in `wootz-cluster` (task queue + worker OS processes).
+///
+/// `run_round(round_index, fresh_configs)` must return exactly one
+/// [`SupervisedEval`] per entry of `fresh_configs`, **in the same order**
+/// (the fold re-associates results positionally). Entries of the round
+/// present in `opts.resume` are replayed and never handed to `run_round`.
+/// Because each configuration's evaluation is deterministic, any runner
+/// that preserves this per-round contract yields a bit-identical
+/// [`ExplorationResult`], no matter how the work was scheduled physically.
+///
+/// # Errors
+///
+/// Propagates `run_round` errors, evaluator errors per the retry policy's
+/// exhaustion action, and journal sink errors.
+pub fn explore_rounds_supervised<R>(
+    objective: &Objective,
+    sizes: &[usize],
+    workers: usize,
+    mut run_round: R,
+    opts: &ExploreOptions<'_>,
+    mut sink: Option<&mut RecordSink<'_>>,
+) -> Result<ExplorationResult>
+where
+    R: FnMut(usize, &[usize]) -> Result<Vec<SupervisedEval>>,
 {
     let order = exploration_order(objective, sizes);
     let p = workers.max(1);
@@ -438,14 +502,17 @@ where
         let _round_span = wootz_obs::span("explore.round")
             .with("round", round_index)
             .with("configs", round.len());
-        let fresh: Vec<SupervisedEval> = round
+        let fresh_configs: Vec<usize> = round
             .iter()
             .filter(|(_, c)| !opts.resume.contains_key(c))
-            .map(|&(_, config_index)| {
-                let _cfg_span = wootz_obs::span("explore.config").with("config", config_index);
-                supervise_eval(&evaluate, config_index, &opts.retry, opts.faults)
-            })
+            .map(|&(_, c)| c)
             .collect();
+        let fresh = run_round(round_index, &fresh_configs)?;
+        assert_eq!(
+            fresh.len(),
+            fresh_configs.len(),
+            "round runner must return one result per fresh config"
+        );
         let found = fold_round(
             objective,
             opts,
@@ -508,86 +575,56 @@ pub fn explore_parallel_supervised<E>(
     workers: usize,
     evaluate: E,
     opts: &ExploreOptions<'_>,
-    mut sink: Option<&mut RecordSink<'_>>,
+    sink: Option<&mut RecordSink<'_>>,
 ) -> Result<ExplorationResult>
 where
     E: Fn(usize) -> Result<EvalOutcome> + Sync,
 {
-    let order = exploration_order(objective, sizes);
-    let p = workers.max(1);
-    let _run = wootz_obs::span("explore.run")
-        .with("configs", order.len())
-        .with("workers", p);
-    let mut result = ExplorationResult::empty();
     let evaluate = &evaluate;
     let retry = &opts.retry;
     let faults = opts.faults;
-    let mut worker_cost = vec![0.0f64; p];
-    let mut pos = 0;
-    let mut round_index = 0usize;
-    while pos < order.len() {
-        let round: Vec<(usize, usize)> = (pos..(pos + p).min(order.len()))
-            .map(|g| (g, order[g]))
-            .collect();
-        pos += round.len();
-        let _round_span = wootz_obs::span("explore.round")
-            .with("round", round_index)
-            .with("configs", round.len());
-        let fresh_configs: Vec<usize> = round
-            .iter()
-            .filter(|(_, c)| !opts.resume.contains_key(c))
-            .map(|&(_, c)| c)
-            .collect();
-        let fresh: Vec<SupervisedEval> = std::thread::scope(|scope| {
-            let handles: Vec<_> = fresh_configs
-                .iter()
-                .map(|&config_index| {
-                    scope.spawn(move || {
-                        // Worker threads have their own span stacks, so each
-                        // evaluation shows up as a top-level span tagged with
-                        // its configuration index.
-                        let _cfg_span =
-                            wootz_obs::span("explore.config").with("config", config_index);
-                        supervise_eval(evaluate, config_index, retry, faults)
+    explore_rounds_supervised(
+        objective,
+        sizes,
+        workers,
+        |_, fresh_configs| {
+            Ok(std::thread::scope(|scope| {
+                let handles: Vec<_> = fresh_configs
+                    .iter()
+                    .map(|&config_index| {
+                        scope.spawn(move || {
+                            // Worker threads have their own span stacks, so each
+                            // evaluation shows up as a top-level span tagged with
+                            // its configuration index.
+                            let _cfg_span =
+                                wootz_obs::span("explore.config").with("config", config_index);
+                            supervise_eval(evaluate, config_index, retry, faults)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .zip(&fresh_configs)
-                .map(|(h, &config_index)| match h.join() {
-                    Ok(sup) => sup,
-                    // `supervise_eval` already catches evaluator panics;
-                    // this captures the (pathological) case of a panic in
-                    // the supervision scaffolding itself.
-                    Err(payload) => SupervisedEval {
-                        result: Err(CoreError::Panic {
-                            what: format!("evaluator thread for config {config_index}"),
-                            message: panic_message(&*payload),
-                        }),
-                        attempts: 1,
-                        backoff: 0.0,
-                    },
-                })
-                .collect()
-        });
-        let found = fold_round(
-            objective,
-            opts,
-            &round,
-            fresh.into_iter(),
-            p,
-            &mut worker_cost,
-            &mut result,
-            &mut sink,
-        )?;
-        emit_progress(round_index, &result, found);
-        round_index += 1;
-        if found {
-            break;
-        }
-    }
-    finish(objective, result, &worker_cost)
+                    .collect();
+                handles
+                    .into_iter()
+                    .zip(fresh_configs)
+                    .map(|(h, &config_index)| match h.join() {
+                        Ok(sup) => sup,
+                        // `supervise_eval` already catches evaluator panics;
+                        // this captures the (pathological) case of a panic in
+                        // the supervision scaffolding itself.
+                        Err(payload) => SupervisedEval {
+                            result: Err(CoreError::Panic {
+                                what: format!("evaluator thread for config {config_index}"),
+                                message: panic_message(&*payload),
+                            }),
+                            attempts: 1,
+                            backoff: 0.0,
+                        },
+                    })
+                    .collect()
+            }))
+        },
+        opts,
+        sink,
+    )
 }
 
 fn emit_progress(round_index: usize, result: &ExplorationResult, found: bool) {

@@ -11,6 +11,14 @@
 //! detected, reported, and truncated away; corruption anywhere *else* in
 //! the file is a hard [`CoreError::Journal`] error — silent data loss is
 //! never tolerated mid-file.
+//!
+//! A journal has **exactly one writer**. Opening it for writing takes a
+//! sidecar lock file (`<path>.lock`, created with `O_EXCL`, containing the
+//! writer's pid); a second writer — another process or another handle in
+//! the same process — fails with a `journal is locked` error instead of
+//! silently interleaving lines. A lock whose pid is no longer alive (the
+//! writer was SIGKILLed) is stale and is taken over, so a killed
+//! coordinator can always be resumed.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -103,11 +111,91 @@ impl Replay {
     }
 }
 
-/// An open, append-only journal.
+/// A held single-writer lock on a journal path. Dropping it removes the
+/// lock file.
+#[derive(Debug)]
+struct JournalLock {
+    path: PathBuf,
+}
+
+impl JournalLock {
+    /// Takes the `<journal>.lock` file exclusively, or fails with a
+    /// `journal is locked` error when another *live* writer holds it. A
+    /// lock left behind by a dead process (pid no longer present) is
+    /// stale and is silently replaced.
+    fn acquire(journal_path: &Path) -> Result<JournalLock> {
+        let mut name = journal_path.file_name().unwrap_or_default().to_os_string();
+        name.push(".lock");
+        let path = journal_path.with_file_name(name);
+        // Bounded retry: between detecting a stale lock and re-creating,
+        // another writer may slip in; just re-examine.
+        for _ in 0..16 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    let _ = write!(file, "{}", std::process::id());
+                    let _ = file.flush();
+                    return Ok(JournalLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(journal_err(
+                                journal_path,
+                                format!(
+                                    "journal is locked by running process {pid} \
+                                     (`{}`); a journal has exactly one writer",
+                                    path.display()
+                                ),
+                            ));
+                        }
+                        // Dead pid or unreadable/partial lock file: stale.
+                        _ => {
+                            wootz_obs::event("journal.stale_lock_taken")
+                                .field("path", path.display().to_string())
+                                .field("dead_pid", holder.unwrap_or(0) as usize)
+                                .emit();
+                            let _ = std::fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => {
+                    return Err(journal_err(
+                        journal_path,
+                        format!("cannot create lock `{}`: {e}", path.display()),
+                    ))
+                }
+            }
+        }
+        Err(journal_err(
+            journal_path,
+            format!("lock `{}` is being contended; giving up", path.display()),
+        ))
+    }
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Whether a pid names a live process. Uses `/proc` (this runtime targets
+/// Linux); on systems without `/proc`, locks are conservatively treated as
+/// stale.
+fn pid_alive(pid: u32) -> bool {
+    Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// An open, append-only journal. Holds the single-writer lock for the
+/// journal path until dropped.
 #[derive(Debug)]
 pub struct Journal {
     file: File,
     path: PathBuf,
+    _lock: JournalLock,
 }
 
 impl Journal {
@@ -115,12 +203,18 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Journal`] on I/O or serialization failure.
+    /// Returns [`CoreError::Journal`] on I/O or serialization failure, or
+    /// when another live process holds the journal's writer lock.
     pub fn create(path: impl AsRef<Path>, header: &JournalHeader) -> Result<Journal> {
         let path = path.as_ref().to_path_buf();
+        let lock = JournalLock::acquire(&path)?;
         let file = File::create(&path)
             .map_err(|e| journal_err(&path, format!("cannot create: {e}")))?;
-        let mut journal = Journal { file, path };
+        let mut journal = Journal {
+            file,
+            path,
+            _lock: lock,
+        };
         journal.append(&JournalEntry::Header(header.clone()))?;
         wootz_obs::event("journal.created")
             .field("path", journal.path.display().to_string())
@@ -135,9 +229,11 @@ impl Journal {
     /// # Errors
     ///
     /// Returns [`CoreError::Journal`] when the file is unreadable, the
-    /// header mismatches, or a non-final line is corrupt.
+    /// header mismatches, a non-final line is corrupt, or another live
+    /// process holds the journal's writer lock.
     pub fn resume(path: impl AsRef<Path>, expect: &JournalHeader) -> Result<(Journal, Replay)> {
         let path = path.as_ref().to_path_buf();
+        let lock = JournalLock::acquire(&path)?;
         let (header, replay, keep_bytes) = read_entries(&path)?;
         check_header(&path, &header, expect)?;
         let file = OpenOptions::new()
@@ -159,7 +255,14 @@ impl Journal {
             .field("blocks", replay.blocks.len())
             .field("full_model", usize::from(replay.full.is_some()))
             .emit();
-        Ok((Journal { file, path }, replay))
+        Ok((
+            Journal {
+                file,
+                path,
+                _lock: lock,
+            },
+            replay,
+        ))
     }
 
     /// Appends one entry as a single NDJSON line and flushes it to the OS.
@@ -464,6 +567,94 @@ mod tests {
         std::fs::write(&path, serde_json::to_string(&eval(0)).unwrap() + "\n").unwrap();
         let err = read_journal(&path).unwrap_err().to_string();
         assert!(err.contains("not a journal header"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn second_writer_on_same_path_is_rejected() {
+        let path = tmp("two_writers.ndjson");
+        std::fs::remove_file(path.with_file_name("two_writers.ndjson.lock")).ok();
+        let j1 = Journal::create(&path, &header()).unwrap();
+        // A second writer in this (live) process: create and resume both
+        // refuse while the lock is held.
+        let err = Journal::create(&path, &header()).unwrap_err().to_string();
+        assert!(err.contains("journal is locked by running process"), "{err}");
+        let err = Journal::resume(&path, &header()).unwrap_err().to_string();
+        assert!(err.contains("journal is locked"), "{err}");
+        drop(j1);
+        // Lock released on drop: the next writer may proceed.
+        let (_j2, replay) = Journal::resume(&path, &header()).unwrap();
+        assert!(replay.is_empty());
+        drop(_j2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lock_held_by_live_foreign_process_is_respected() {
+        let path = tmp("foreign_lock.ndjson");
+        let j = Journal::create(&path, &header()).unwrap();
+        drop(j);
+        // Pid 1 is always alive (init); pretend it owns the lock.
+        let lock = path.with_file_name("foreign_lock.ndjson.lock");
+        std::fs::write(&lock, "1").unwrap();
+        let err = Journal::resume(&path, &header()).unwrap_err().to_string();
+        assert!(err.contains("locked by running process 1"), "{err}");
+        std::fs::remove_file(&lock).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_lock_of_dead_process_is_taken_over() {
+        let path = tmp("stale_lock.ndjson");
+        let j = Journal::create(&path, &header()).unwrap();
+        drop(j);
+        let lock = path.with_file_name("stale_lock.ndjson.lock");
+        // A pid that cannot exist (beyond PID_MAX_LIMIT): the writer died.
+        std::fs::write(&lock, "4294967294").unwrap();
+        let (j2, _) = Journal::resume(&path, &header())
+            .expect("stale lock of a dead writer must be reclaimable");
+        drop(j2);
+        assert!(!lock.exists(), "lock removed on drop");
+        // Garbage lock contents are stale too.
+        std::fs::write(&lock, "not-a-pid").unwrap();
+        let (j3, _) = Journal::resume(&path, &header()).unwrap();
+        drop(j3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A *different OS process* is killed mid-append, leaving a torn final
+    /// line and a stale lock; the next writer must truncate the tear, take
+    /// over the lock, and resume cleanly.
+    #[test]
+    fn torn_line_written_by_another_process_is_tolerated() {
+        let path = tmp("torn_mp.ndjson");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&eval(0)).unwrap();
+        drop(j);
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        // The "dying writer": a real child process appends half a JSON line
+        // (its kill cut the write short) and leaves its own lock behind.
+        let lock = path.with_file_name("torn_mp.ndjson.lock");
+        let status = std::process::Command::new("sh")
+            .arg("-c")
+            .arg(format!(
+                "printf '{{\"Eval\":{{\"Done\":{{\"config_index\":1,' >> '{}'; \
+                 printf '4294967294' > '{}'",
+                path.display(),
+                lock.display()
+            ))
+            .status()
+            .expect("spawn sh");
+        assert!(status.success());
+        let (j2, replay) = Journal::resume(&path, &header()).unwrap();
+        assert!(replay.truncated_tail, "foreign torn tail detected");
+        assert_eq!(replay.evals.len(), 1, "only the intact entry replays");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            good_len,
+            "torn bytes truncated away"
+        );
+        drop(j2);
         std::fs::remove_file(&path).ok();
     }
 

@@ -4,6 +4,7 @@
 //! composability-based pruning (tuning-block identification → Teacher–
 //! Student pre-training → assembly → objective-ordered exploration).
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
@@ -12,6 +13,7 @@ use wootz_fault::{FaultPlan, RetryPolicy};
 use wootz_ir::{Metric, ModelIr, Objective, SolverConfig};
 use wootz_nn::{Checkpoint, LrSchedule, TrainConfig, TrainLog};
 use wootz_tensor::sgd::SgdConfig;
+use wootz_tensor::Tensor;
 
 use crate::blocks::{identify_tuning_blocks, module_level_blocks, BlockSet};
 use crate::compile::{ModeToUse, MultiplexingModel};
@@ -169,6 +171,221 @@ fn accuracy_threshold(objective: &Objective) -> Option<f64> {
         .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
 }
 
+/// The journal identity header for a run over these inputs in this mode.
+/// Both the single-process pipeline and the distributed coordinator derive
+/// their header from here, so a journal written by one is resumable by the
+/// other.
+///
+/// # Errors
+///
+/// Fails only if the objective cannot be serialized.
+pub fn journal_header(inputs: &WootzInputs, mode: RunMode) -> Result<JournalHeader> {
+    Ok(JournalHeader {
+        version: JOURNAL_VERSION,
+        subspace_hash: subspace_hash(&inputs.subspace),
+        objective: serde_json::to_string(&inputs.objective)
+            .map_err(|e| CoreError::Journal(format!("cannot serialize objective: {e}")))?,
+        seed: inputs.solver.seed,
+        mode: format!("{mode:?}"),
+    })
+}
+
+/// The pre-training configuration the pipeline derives from a solver —
+/// shared with the distributed worker so both pre-train blocks with
+/// identical hyper-parameters and seed.
+pub fn block_pretrain_config(solver: &SolverConfig) -> PretrainConfig {
+    PretrainConfig {
+        steps: solver.pretrain_iter,
+        sgd: SgdConfig {
+            learning_rate: solver.pretrain_lr,
+            weight_decay: solver.pretrain_weight_decay,
+            momentum: solver.momentum,
+        },
+        seed: solver.seed ^ 0xb10c,
+    }
+}
+
+/// The tuning-block set a mode implies (deterministic in the subspace, so
+/// coordinator and workers recompute it independently and agree).
+///
+/// # Errors
+///
+/// Propagates hierarchical block-identification errors.
+pub fn blocks_for_mode(inputs: &WootzInputs, mode: RunMode) -> Result<Option<BlockSet>> {
+    Ok(match mode {
+        RunMode::Baseline => None,
+        RunMode::Composability => Some(module_level_blocks(&inputs.subspace)),
+        RunMode::ComposabilityHierarchical => Some(identify_tuning_blocks(&inputs.subspace)?),
+    })
+}
+
+/// Analytic per-configuration model sizes and FLOP counts of the subspace.
+///
+/// # Errors
+///
+/// Propagates configuration/shape errors from the analytic counters.
+pub fn subspace_stats(inputs: &WootzInputs) -> Result<(Vec<usize>, Vec<u64>)> {
+    let sizes: Vec<usize> = inputs
+        .subspace
+        .iter()
+        .map(|c| config_param_count(&inputs.model, c))
+        .collect::<Result<_>>()?;
+    let flops: Vec<u64> = inputs
+        .subspace
+        .iter()
+        .map(|c| crate::stats::config_flop_count(&inputs.model, c))
+        .collect::<Result<_>>()?;
+    Ok((sizes, flops))
+}
+
+/// Maps an exploration result back onto the subspace's best network
+/// summary (shared between the local pipeline and the distributed
+/// coordinator so both render the identical [`BestNetwork`]).
+pub fn best_network(inputs: &WootzInputs, exploration: &ExplorationResult) -> Option<BestNetwork> {
+    exploration.best.map(|i| {
+        let record = &exploration.evaluated[i];
+        let outcome = record
+            .outcome()
+            .expect("best index always points at a successful record");
+        BestNetwork {
+            config_index: record.config_index(),
+            rates: inputs.subspace[record.config_index()].rates().to_vec(),
+            model_size: outcome.model_size,
+            accuracy: outcome.accuracy,
+        }
+    })
+}
+
+/// Everything needed to evaluate one pruning configuration: the compiled
+/// multiplexing model, the trained full model, the (optional) pre-trained
+/// block checkpoints and the analytic stats. Extracted from the body of
+/// [`run_wootz_with`] so a remote worker process (`wootz-cluster`) can
+/// reconstruct the identical evaluation function from on-disk artifacts:
+/// [`EvalContext::evaluate`] is a pure, deterministic function of
+/// `config_index`, whichever process calls it.
+pub struct EvalContext<'a> {
+    inputs: &'a WootzInputs,
+    dataset: &'a Dataset,
+    mm: &'a MultiplexingModel,
+    full_ckpt: &'a Checkpoint,
+    block_set: Option<&'a BlockSet>,
+    checkpoints: Option<&'a BTreeMap<String, Checkpoint>>,
+    sizes: &'a [usize],
+    flops: &'a [u64],
+    faults: Option<&'a FaultPlan>,
+    eval_set: (Tensor, Vec<usize>),
+    threshold: Option<f64>,
+    // Placeholder for blocks whose pre-training failed: assembles as an
+    // empty checkpoint, which the assembler degrades to inherited weights
+    // (with an `assemble.block_fallback` event), keeping the run alive.
+    missing_ckpt: Checkpoint,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Builds the evaluation context. `checkpoints` are the pre-trained
+    /// block checkpoints keyed by block key; pass `None` (with
+    /// `block_set: None`) for baseline runs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        inputs: &'a WootzInputs,
+        dataset: &'a Dataset,
+        mm: &'a MultiplexingModel,
+        full_ckpt: &'a Checkpoint,
+        block_set: Option<&'a BlockSet>,
+        checkpoints: Option<&'a BTreeMap<String, Checkpoint>>,
+        sizes: &'a [usize],
+        flops: &'a [u64],
+        faults: Option<&'a FaultPlan>,
+    ) -> Self {
+        EvalContext {
+            inputs,
+            dataset,
+            mm,
+            full_ckpt,
+            block_set,
+            checkpoints,
+            sizes,
+            flops,
+            faults,
+            eval_set: dataset.test_set(256),
+            threshold: accuracy_threshold(&inputs.objective),
+            missing_ckpt: Checkpoint::new(),
+        }
+    }
+
+    /// Assembles, fine-tunes and measures configuration `config_index`.
+    /// Deterministic: the assembly seed and the batch stream are pure
+    /// functions of the solver seed and `config_index`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly and training errors.
+    pub fn evaluate(&self, config_index: usize) -> Result<EvalOutcome> {
+        let config = &self.inputs.subspace[config_index];
+        let pairs_storage;
+        let strategy = match (self.block_set, self.checkpoints) {
+            (Some(set), Some(ckpts)) => {
+                let composite = &set.composites[config_index];
+                pairs_storage = composite
+                    .parts
+                    .iter()
+                    .map(|p| {
+                        let block = &set.blocks[p.block_index];
+                        let ckpt = ckpts.get(&block.key()).unwrap_or(&self.missing_ckpt);
+                        (block, ckpt)
+                    })
+                    .collect::<Vec<_>>();
+                InitStrategy::BlockTrained(&pairs_storage)
+            }
+            _ => InitStrategy::Default,
+        };
+        let (mut built, _fallbacks) = assemble_supervised(
+            self.mm,
+            config,
+            self.full_ckpt,
+            strategy,
+            self.inputs.solver.seed ^ config_index as u64,
+            self.faults,
+            config_index as u64,
+        )?;
+        let solver = &self.inputs.solver;
+        let cfg = TrainConfig {
+            max_steps: solver.max_iter,
+            sgd: SgdConfig {
+                learning_rate: solver.base_lr,
+                weight_decay: solver.weight_decay,
+                momentum: solver.momentum,
+            },
+            schedule: schedule_of(solver),
+            eval_every: solver.eval_every.max(1),
+        };
+        let batch_size = solver.batch_size;
+        let (eval_x, eval_y) = &self.eval_set;
+        let log = global_finetune(
+            &mut built,
+            &cfg,
+            |step| {
+                self.dataset
+                    .train_batch(step.wrapping_add(config_index * 1009), batch_size)
+            },
+            Some((eval_x, eval_y)),
+        )?;
+        let accuracy = log.final_accuracy.unwrap_or(0.0) as f64;
+        // Steps-to-target as cost when the target was hit mid-run.
+        let cost_steps = self
+            .threshold
+            .and_then(|t| log.first_step_reaching(t as f32))
+            .unwrap_or(log.steps_run);
+        Ok(EvalOutcome {
+            model_size: self.sizes[config_index],
+            flops: self.flops[config_index],
+            accuracy,
+            cost: cost_steps as f64,
+            log: Some(log),
+        })
+    }
+}
+
 /// Runs the complete pruning pipeline on a dataset.
 ///
 /// The full model is trained first (or taken from `full`), tuning blocks
@@ -215,14 +432,7 @@ pub fn run_wootz_with(
     };
 
     // Journal setup: create fresh, or verify + replay an existing one.
-    let header = JournalHeader {
-        version: JOURNAL_VERSION,
-        subspace_hash: subspace_hash(&inputs.subspace),
-        objective: serde_json::to_string(&inputs.objective)
-            .map_err(|e| CoreError::Journal(format!("cannot serialize objective: {e}")))?,
-        seed: inputs.solver.seed,
-        mode: format!("{mode:?}"),
-    };
+    let header = journal_header(inputs, mode)?;
     let (mut journal, replay) = match &opts.journal {
         None => (None, crate::journal::Replay::default()),
         Some(path) if opts.resume && path.exists() => {
@@ -250,26 +460,14 @@ pub fn run_wootz_with(
     // Phase 1-2: block identification and pre-training.
     let block_set: Option<BlockSet> = {
         let _ident = wootz_obs::span("pipeline.identify_blocks");
-        match mode {
-            RunMode::Baseline => None,
-            RunMode::Composability => Some(module_level_blocks(&inputs.subspace)),
-            RunMode::ComposabilityHierarchical => Some(identify_tuning_blocks(&inputs.subspace)?),
-        }
+        blocks_for_mode(inputs, mode)?
     };
     let mut pretrain_steps = 0usize;
     let mut blocks_failed = 0usize;
     let pretrained = match &block_set {
         None => None,
         Some(set) => {
-            let cfg = PretrainConfig {
-                steps: inputs.solver.pretrain_iter,
-                sgd: SgdConfig {
-                    learning_rate: inputs.solver.pretrain_lr,
-                    weight_decay: inputs.solver.pretrain_weight_decay,
-                    momentum: inputs.solver.momentum,
-                },
-                seed: inputs.solver.seed ^ 0xb10c,
-            };
+            let cfg = block_pretrain_config(&inputs.solver);
             let batch_size = inputs.solver.batch_size;
             let pretrain_opts = PretrainOptions {
                 faults: opts.faults,
@@ -297,84 +495,24 @@ pub fn run_wootz_with(
     };
 
     // Phase 3: exploration.
-    let sizes: Vec<usize> = inputs
-        .subspace
-        .iter()
-        .map(|c| config_param_count(&inputs.model, c))
-        .collect::<Result<_>>()?;
-    let flops: Vec<u64> = inputs
-        .subspace
-        .iter()
-        .map(|c| crate::stats::config_flop_count(&inputs.model, c))
-        .collect::<Result<_>>()?;
-    let threshold = accuracy_threshold(&inputs.objective);
-    let (eval_x, eval_y) = dataset.test_set(256);
+    let (sizes, flops) = subspace_stats(inputs)?;
     let finetune_steps = std::sync::atomic::AtomicUsize::new(0);
-    // Placeholder for blocks whose pre-training failed: assembles as an
-    // empty checkpoint, which the assembler degrades to inherited weights
-    // (with an `assemble.block_fallback` event), keeping the run alive.
-    let missing_ckpt = Checkpoint::new();
+    let ctx = EvalContext::new(
+        inputs,
+        dataset,
+        &mm,
+        &full_ckpt,
+        block_set.as_ref(),
+        pretrained.as_ref().map(|o| &o.checkpoints),
+        &sizes,
+        &flops,
+        opts.faults,
+    );
     let evaluate = |config_index: usize| -> Result<EvalOutcome> {
-        let config = &inputs.subspace[config_index];
-        let pairs_storage;
-        let strategy = match (&block_set, &pretrained) {
-            (Some(set), Some(out)) => {
-                let composite = &set.composites[config_index];
-                pairs_storage = composite
-                    .parts
-                    .iter()
-                    .map(|p| {
-                        let block = &set.blocks[p.block_index];
-                        let ckpt = out
-                            .checkpoints
-                            .get(&block.key())
-                            .unwrap_or(&missing_ckpt);
-                        (block, ckpt)
-                    })
-                    .collect::<Vec<_>>();
-                InitStrategy::BlockTrained(&pairs_storage)
-            }
-            _ => InitStrategy::Default,
-        };
-        let (mut built, _fallbacks) = assemble_supervised(
-            &mm,
-            config,
-            &full_ckpt,
-            strategy,
-            inputs.solver.seed ^ config_index as u64,
-            opts.faults,
-            config_index as u64,
-        )?;
-        let cfg = TrainConfig {
-            max_steps: inputs.solver.max_iter,
-            sgd: SgdConfig {
-                learning_rate: inputs.solver.base_lr,
-                weight_decay: inputs.solver.weight_decay,
-                momentum: inputs.solver.momentum,
-            },
-            schedule: schedule_of(&inputs.solver),
-            eval_every: inputs.solver.eval_every.max(1),
-        };
-        let batch_size = inputs.solver.batch_size;
-        let log = global_finetune(
-            &mut built,
-            &cfg,
-            |step| dataset.train_batch(step.wrapping_add(config_index * 1009), batch_size),
-            Some((&eval_x, &eval_y)),
-        )?;
-        let accuracy = log.final_accuracy.unwrap_or(0.0) as f64;
-        // Steps-to-target as cost when the target was hit mid-run.
-        let cost_steps = threshold
-            .and_then(|t| log.first_step_reaching(t as f32))
-            .unwrap_or(log.steps_run);
-        finetune_steps.fetch_add(log.steps_run, std::sync::atomic::Ordering::Relaxed);
-        Ok(EvalOutcome {
-            model_size: sizes[config_index],
-            flops: flops[config_index],
-            accuracy,
-            cost: cost_steps as f64,
-            log: Some(log),
-        })
+        let outcome = ctx.evaluate(config_index)?;
+        let steps = outcome.log.as_ref().map_or(0, |l| l.steps_run);
+        finetune_steps.fetch_add(steps, std::sync::atomic::Ordering::Relaxed);
+        Ok(outcome)
     };
     let explore_opts = ExploreOptions {
         faults: opts.faults,
@@ -404,18 +542,7 @@ pub fn run_wootz_with(
         .field("failed", exploration.failed)
         .emit();
 
-    let best = exploration.best.map(|i| {
-        let record = &exploration.evaluated[i];
-        let outcome = record
-            .outcome()
-            .expect("best index always points at a successful record");
-        BestNetwork {
-            config_index: record.config_index(),
-            rates: inputs.subspace[record.config_index()].rates().to_vec(),
-            model_size: outcome.model_size,
-            accuracy: outcome.accuracy,
-        }
-    });
+    let best = best_network(inputs, &exploration);
     Ok(WootzRun {
         mode,
         full_accuracy,

@@ -313,6 +313,30 @@ pub fn pretrain_blocks_supervised(
     Ok(outcome)
 }
 
+/// Supervises a single group — the unit of work a distributed worker
+/// process executes. Identical semantics to one group of
+/// [`pretrain_blocks_supervised`] (group attempt, per-block degradation,
+/// fault sites, batch stream keyed by `group_index`), so a group trained
+/// remotely is bit-identical to the same group trained in-process.
+///
+/// Returns the freshly trained blocks (journal-ready, the group's first
+/// block carrying the step cost) and the blocks that failed even the
+/// per-block fallback as `(key, rendered error)` pairs.
+#[allow(clippy::too_many_arguments)]
+pub fn pretrain_group_supervised(
+    mm: &MultiplexingModel,
+    blocks: &[TuningBlock],
+    group: &[usize],
+    group_index: usize,
+    full: &Checkpoint,
+    cfg: &PretrainConfig,
+    next_batch: &(impl Fn(usize) -> Tensor + Sync),
+    faults: Option<&FaultPlan>,
+) -> (Vec<PretrainedBlock>, Vec<(String, String)>) {
+    let out = supervise_group(mm, blocks, group, group_index, full, cfg, next_batch, faults);
+    (out.blocks, out.failed)
+}
+
 /// Runs `f` with panics converted into [`CoreError::Panic`] naming `what`.
 fn run_caught<T>(what: impl FnOnce() -> String, f: impl FnOnce() -> Result<T>) -> Result<T> {
     match catch_unwind(AssertUnwindSafe(f)) {

@@ -51,6 +51,12 @@ pub mod site {
     /// Firing with [`super::FaultKind::CorruptCheckpoint`] makes assembly
     /// treat the first pre-trained block of that configuration as corrupt.
     pub const ASSEMBLE_BLOCK: &str = "assemble.block";
+    /// One claimed task inside a distributed worker process; key =
+    /// configuration index for evaluation tasks, group index for
+    /// pre-training tasks. This is where process-level kinds
+    /// ([`super::FaultKind::WorkerCrash`], [`super::FaultKind::WorkerHang`])
+    /// and wall-clock stragglers ([`super::FaultKind::SlowWorker`]) fire.
+    pub const CLUSTER_TASK: &str = "cluster.task";
 }
 
 /// Extracts a printable message from a `catch_unwind` payload.

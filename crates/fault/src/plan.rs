@@ -15,10 +15,25 @@ pub enum FaultKind {
     /// A block checkpoint is treated as corrupt/unusable at its use site.
     CorruptCheckpoint,
     /// The work completes but its cost is multiplied by `factor`
-    /// (straggler modeling).
+    /// (straggler modeling). At the distributed `cluster.task` site this
+    /// stretches the task's wall time (heartbeats stay alive), which is
+    /// what trips speculative re-execution.
     SlowWorker {
         /// Cost multiplier, e.g. `3.0` for a 3× slower worker.
         factor: f64,
+    },
+    /// The whole worker *process* dies instantly (`abort()`), mid-task:
+    /// no result, no lease renewal, no cleanup. Only meaningful at the
+    /// `cluster.task` site of the distributed runtime; the coordinator
+    /// must reclaim the task via lease expiry.
+    WorkerCrash,
+    /// The worker process wedges for `millis` before its heartbeat starts,
+    /// then completes the task late. Its lease expires meanwhile, the
+    /// coordinator reclaims the task, and the late ("zombie") result must
+    /// be rejected by fencing — this kind exists to prove exactly that.
+    WorkerHang {
+        /// How long the worker sleeps without heartbeating, in ms.
+        millis: u64,
     },
 }
 
@@ -30,6 +45,8 @@ impl FaultKind {
             FaultKind::EvalPanic => "eval_panic",
             FaultKind::CorruptCheckpoint => "corrupt_checkpoint",
             FaultKind::SlowWorker { .. } => "slow_worker",
+            FaultKind::WorkerCrash => "worker_crash",
+            FaultKind::WorkerHang { .. } => "worker_hang",
         }
     }
 }

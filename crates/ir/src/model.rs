@@ -121,15 +121,22 @@ pub struct ModelIr {
     name: String,
     input: InputDef,
     layers: Vec<LayerDef>,
+    /// The Wootz `pruning_rate:` extension — the model-declared pruning-rate
+    /// alphabet as fractions in `[0, 1)` (empty when the model declares
+    /// none and callers should fall back to the paper's `{0.3, 0.5, 0.7}`).
+    pruning_rates: Vec<f32>,
 }
 
 impl ModelIr {
-    /// Builds a model IR from parts, running full validation.
+    /// Builds a model IR from parts, running full validation. The
+    /// pruning-rate alphabet is left empty (see
+    /// [`ModelIr::with_pruning_rates`]).
     ///
     /// # Errors
     ///
-    /// Returns [`IrError`] on duplicate names/tops, undefined bottoms, or
-    /// parameter violations (zero filters, zero kernel).
+    /// Returns [`IrError`] on duplicate names/tops, undefined bottoms,
+    /// parameter violations (zero filters, zero kernel, zero input dims) or
+    /// a module ID labelling two separate layer groups.
     pub fn from_parts(
         name: impl Into<String>,
         input: InputDef,
@@ -139,9 +146,31 @@ impl ModelIr {
             name: name.into(),
             input,
             layers,
+            pruning_rates: Vec::new(),
         };
         model.validate()?;
         Ok(model)
+    }
+
+    /// Replaces the declared pruning-rate alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError`] when a rate falls outside `[0, 1)` (a rate of
+    /// exactly 1 would delete every filter of a module).
+    pub fn with_pruning_rates(mut self, rates: Vec<f32>) -> Result<Self> {
+        for &r in &rates {
+            validate_pruning_rate(f64::from(r), None)?;
+        }
+        self.pruning_rates = rates;
+        Ok(self)
+    }
+
+    /// The model-declared pruning-rate alphabet (the Wootz `pruning_rate:`
+    /// extension), as fractions in `[0, 1)`. Empty when the model declares
+    /// none.
+    pub fn pruning_rates(&self) -> &[f32] {
+        &self.pruning_rates
     }
 
     /// Parses a model from Prototxt text.
@@ -295,6 +324,9 @@ impl ModelIr {
         ] {
             root.push_scalar("input_dim", Value::Num(dim as f64));
         }
+        for &rate in &self.pruning_rates {
+            root.push_scalar("pruning_rate", Value::Num(f64::from(rate)));
+        }
         for layer in &self.layers {
             let mut l = Message::new();
             l.push_scalar("name", Value::Str(layer.name.clone()));
@@ -434,8 +466,76 @@ impl ModelIr {
                 _ => {}
             }
         }
+        let modules: Vec<Option<usize>> = self.layers.iter().map(|l| l.module).collect();
+        if let Some((idx, module)) = first_split_module(&modules) {
+            return Err(IrError::new(format!(
+                "module {module} declared twice: layer `{}` reopens it after other modules \
+                 intervened (each module ID must label one contiguous layer group)",
+                self.layers[idx].name
+            )));
+        }
         Ok(())
     }
+}
+
+/// Checks that every module ID labels one contiguous run of layers
+/// (unannotated layers may interleave freely). Returns the index of the
+/// first layer that *reopens* a module after a different module intervened,
+/// together with the offending module ID.
+///
+/// A split module is rejected because tuning-block extraction and
+/// checkpoint slicing both treat a module as one unit; two disjoint groups
+/// sharing an ID would silently merge unrelated layers into one block.
+fn first_split_module(modules: &[Option<usize>]) -> Option<(usize, usize)> {
+    let mut closed: HashSet<usize> = HashSet::new();
+    let mut current: Option<usize> = None;
+    for (i, m) in modules.iter().enumerate() {
+        let Some(id) = m else { continue };
+        if current == Some(*id) {
+            continue;
+        }
+        if closed.contains(id) {
+            return Some((i, *id));
+        }
+        if let Some(c) = current {
+            closed.insert(c);
+        }
+        current = Some(*id);
+    }
+    None
+}
+
+/// Validates a Wootz pruning rate: a fraction in `[0, 1)`.
+fn validate_pruning_rate(rate: f64, line: Option<usize>) -> Result<()> {
+    if rate.is_finite() && (0.0..1.0).contains(&rate) {
+        return Ok(());
+    }
+    let msg = format!(
+        "pruning rate {rate} is outside [0, 1) (rates are fractions of filters removed; \
+         1 would delete every filter)"
+    );
+    Err(match line {
+        Some(l) => IrError::at_line(l, msg),
+        None => IrError::new(msg),
+    })
+}
+
+/// Lowers one `input_dim:`/`dim:` scalar into a positive integer, rejecting
+/// zero, negative, fractional and non-numeric dims with the source line.
+fn lower_input_dim(value: &Value, line: Option<usize>) -> Result<usize> {
+    let err = |what: String| match line {
+        Some(l) => IrError::at_line(l, what),
+        None => IrError::new(what),
+    };
+    let n = value
+        .as_num()
+        .ok_or_else(|| err(format!("input dim needs a number, got `{value:?}`")))?;
+    if !n.is_finite() || n.fract() != 0.0 || n < 1.0 {
+        return Err(err(format!(
+            "input dim must be a positive integer, got `{n}` (zero-sized shapes are invalid)"
+        )));
+    }
+    Ok(n as usize)
 }
 
 fn lower_model(msg: &Message) -> Result<ModelIr> {
@@ -447,17 +547,15 @@ fn lower_model(msg: &Message) -> Result<ModelIr> {
     // Old-Caffe style: four repeated `input_dim:` scalars. New-Caffe style:
     // an `input_shape { dim: ... }` message. Accept either.
     let mut dims: Vec<usize> = msg
-        .scalars("input_dim")
-        .filter_map(|v| v.as_num())
-        .map(|n| n as usize)
-        .collect();
+        .scalars_at("input_dim")
+        .map(|(v, line)| lower_input_dim(v, line))
+        .collect::<Result<_>>()?;
     if dims.is_empty() {
         if let Some(shape) = msg.message("input_shape") {
             dims = shape
-                .scalars("dim")
-                .filter_map(|v| v.as_num())
-                .map(|n| n as usize)
-                .collect();
+                .scalars_at("dim")
+                .map(|(v, line)| lower_input_dim(v, line))
+                .collect::<Result<_>>()?;
         }
     }
     if dims.len() != 4 {
@@ -474,12 +572,45 @@ fn lower_model(msg: &Message) -> Result<ModelIr> {
         width: dims[3],
     };
 
+    // The Wootz `pruning_rate:` extension: the model's rate alphabet, each
+    // a fraction in [0, 1).
+    let mut pruning_rates = Vec::new();
+    for (value, line) in msg.scalars_at("pruning_rate") {
+        let rate = value.as_num().ok_or_else(|| {
+            let what = format!("`pruning_rate` needs a number, got `{value:?}`");
+            match line {
+                Some(l) => IrError::at_line(l, what),
+                None => IrError::new(what),
+            }
+        })?;
+        validate_pruning_rate(rate, line)?;
+        pruning_rates.push(rate as f32);
+    }
+
     let mut layers = Vec::new();
-    for lmsg in msg.messages("layer") {
-        layers.push(lower_layer(lmsg)?);
+    let mut layer_lines = Vec::new();
+    for (lmsg, line) in msg.messages_at("layer") {
+        layers.push(lower_layer(lmsg, line)?);
+        layer_lines.push(line);
+    }
+    // Check module contiguity here, where source lines are known; the
+    // line-less `validate` repeats the check for programmatic construction.
+    let modules: Vec<Option<usize>> = layers.iter().map(|l| l.module).collect();
+    if let Some((idx, module)) = first_split_module(&modules) {
+        let what = format!(
+            "module {module} declared twice: layer `{}` reopens it after other modules \
+             intervened (each module ID must label one contiguous layer group)",
+            layers[idx].name
+        );
+        return Err(match layer_lines[idx] {
+            Some(l) => IrError::at_line(l, what),
+            None => IrError::new(what),
+        });
     }
     resolve_in_place(&input.name, &mut layers);
-    ModelIr::from_parts(name, input, layers)
+    let mut model = ModelIr::from_parts(name, input, layers)?;
+    model.pruning_rates = pruning_rates;
+    Ok(model)
 }
 
 /// Rewrites Caffe-style *in-place* layers (top == bottom, common for ReLU
@@ -513,14 +644,21 @@ fn resolve_in_place(input_name: &str, layers: &mut [LayerDef]) {
     }
 }
 
-fn lower_layer(msg: &Message) -> Result<LayerDef> {
+fn lower_layer(msg: &Message, layer_line: Option<usize>) -> Result<LayerDef> {
+    // Anchor errors at the layer's own first field when known, else at the
+    // `layer {` line the caller saw.
+    let line = msg.start_line().or(layer_line);
+    let at = |what: String| match line {
+        Some(l) => IrError::at_line(l, what),
+        None => IrError::new(what),
+    };
     let name = msg
         .str("name")
-        .ok_or_else(|| IrError::new("layer without `name`"))?
+        .ok_or_else(|| at("layer without `name`".to_string()))?
         .to_string();
     let type_name = msg
         .str("type")
-        .ok_or_else(|| IrError::new(format!("layer `{name}` without `type`")))?;
+        .ok_or_else(|| at(format!("layer `{name}` without `type`")))?;
     let bottoms: Vec<String> = msg
         .scalars("bottom")
         .filter_map(|v| v.as_str())
@@ -528,22 +666,48 @@ fn lower_layer(msg: &Message) -> Result<LayerDef> {
         .collect();
     let top = msg
         .str("top")
-        .ok_or_else(|| IrError::new(format!("layer `{name}` without `top`")))?
+        .ok_or_else(|| at(format!("layer `{name}` without `top`")))?
         .to_string();
-    let module = msg.usize("module");
+    let mut module_decls = msg.scalars_at("module");
+    let module = match module_decls.next() {
+        None => None,
+        Some((value, mline)) => {
+            let id = value.as_num().filter(|n| n.fract() == 0.0 && *n >= 0.0).ok_or_else(|| {
+                let what = format!("layer `{name}`: `module` needs a non-negative integer");
+                match mline.or(line) {
+                    Some(l) => IrError::at_line(l, what),
+                    None => IrError::new(what),
+                }
+            })? as usize;
+            // A second, conflicting `module:` on the same layer is a
+            // duplicate declaration, not a repeated field.
+            for (other, oline) in module_decls {
+                if other.as_num() != Some(id as f64) {
+                    let what = format!(
+                        "layer `{name}` declares `module` twice with different values"
+                    );
+                    return Err(match oline.or(line) {
+                        Some(l) => IrError::at_line(l, what),
+                        None => IrError::new(what),
+                    });
+                }
+            }
+            Some(id)
+        }
+    };
 
     let kind = match type_name {
         "Convolution" => {
             let p = msg
                 .message("convolution_param")
-                .ok_or_else(|| IrError::new(format!("conv `{name}` missing convolution_param")))?;
+                .ok_or_else(|| at(format!("conv `{name}` missing convolution_param")))?;
             LayerKind::Convolution {
                 num_output: p
                     .usize("num_output")
-                    .ok_or_else(|| IrError::new(format!("conv `{name}` missing num_output")))?,
+                    .ok_or_else(|| at(format!("conv `{name}` missing num_output")))?,
                 kernel_size: p
                     .usize("kernel_size")
-                    .ok_or_else(|| IrError::new(format!("conv `{name}` missing kernel_size")))?,
+                    .ok_or_else(|| at(format!("conv `{name}` missing kernel_size")))?,
                 stride: p.usize("stride").unwrap_or(1),
                 pad: p.usize("pad").unwrap_or(0),
             }
@@ -553,14 +717,12 @@ fn lower_layer(msg: &Message) -> Result<LayerDef> {
         "Pooling" => {
             let p = msg
                 .message("pooling_param")
-                .ok_or_else(|| IrError::new(format!("pooling `{name}` missing pooling_param")))?;
+                .ok_or_else(|| at(format!("pooling `{name}` missing pooling_param")))?;
             let method = match p.scalar("pool").and_then(Value::as_ident) {
                 Some("MAX") | None => PoolMethod::Max,
                 Some("AVE") => PoolMethod::Ave,
                 Some(other) => {
-                    return Err(IrError::new(format!(
-                        "pooling `{name}`: unknown method `{other}`"
-                    )))
+                    return Err(at(format!("pooling `{name}`: unknown method `{other}`")))
                 }
             };
             let global = p
@@ -577,25 +739,19 @@ fn lower_layer(msg: &Message) -> Result<LayerDef> {
             }
         }
         "InnerProduct" => {
-            let p = msg.message("inner_product_param").ok_or_else(|| {
-                IrError::new(format!(
-                    "inner product `{name}` missing inner_product_param"
-                ))
-            })?;
+            let p = msg
+                .message("inner_product_param")
+                .ok_or_else(|| at(format!("inner product `{name}` missing inner_product_param")))?;
             LayerKind::InnerProduct {
-                num_output: p.usize("num_output").ok_or_else(|| {
-                    IrError::new(format!("inner product `{name}` missing num_output"))
-                })?,
+                num_output: p
+                    .usize("num_output")
+                    .ok_or_else(|| at(format!("inner product `{name}` missing num_output")))?,
             }
         }
         "Eltwise" => LayerKind::Eltwise,
         "Concat" => LayerKind::Concat,
         "Softmax" => LayerKind::Softmax,
-        other => {
-            return Err(IrError::new(format!(
-                "layer `{name}`: unsupported type `{other}`"
-            )))
-        }
+        other => return Err(at(format!("layer `{name}`: unsupported type `{other}`"))),
     };
     Ok(LayerDef {
         name,
@@ -747,6 +903,40 @@ layer { name: "r" type: "ReLU" bottom: "ghost" top: "r" }
         )
         .unwrap_err();
         assert!(err.to_string().contains("produced twice"));
+    }
+
+    #[test]
+    fn split_module_groups_are_rejected_even_without_positions() {
+        let input = InputDef {
+            name: "data".into(),
+            batch: 1,
+            channels: 1,
+            height: 4,
+            width: 4,
+        };
+        let relu = |name: &str, bottom: &str, module: usize| LayerDef {
+            name: name.into(),
+            kind: LayerKind::ReLU,
+            bottoms: vec![bottom.into()],
+            top: name.into(),
+            module: Some(module),
+        };
+        let err = ModelIr::from_parts(
+            "m",
+            input.clone(),
+            vec![relu("a", "data", 0), relu("b", "a", 1), relu("c", "b", 0)],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("module 0 declared twice"), "{err}");
+        // Unannotated layers inside a module's run do not split it.
+        let mut mid = relu("b", "a", 0);
+        mid.module = None;
+        assert!(ModelIr::from_parts(
+            "m",
+            input,
+            vec![relu("a", "data", 0), mid, relu("c", "b", 0)],
+        )
+        .is_ok());
     }
 
     #[test]

@@ -69,9 +69,26 @@ pub enum Field {
 
 /// An ordered list of `(key, field)` pairs. Order is preserved because layer
 /// order is meaningful in model definitions.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Each field optionally remembers the 1-based source line its key appeared
+/// on (populated by [`parse`], absent for programmatically built messages),
+/// so lowering and validation can report *where* a bad field lives. Source
+/// positions are metadata: two messages with the same fields compare equal
+/// regardless of where they were parsed from.
+#[derive(Debug, Clone, Default)]
 pub struct Message {
     fields: Vec<(String, Field)>,
+    /// 1-based source line per field; `0` means unknown. Parallel to
+    /// `fields`.
+    lines: Vec<usize>,
+}
+
+impl PartialEq for Message {
+    fn eq(&self, other: &Self) -> bool {
+        // Source positions are deliberately excluded: `parse(print(m))`
+        // must equal `m` even though printing renumbers every line.
+        self.fields == other.fields
+    }
 }
 
 impl Message {
@@ -82,12 +99,75 @@ impl Message {
 
     /// Appends a scalar field.
     pub fn push_scalar(&mut self, key: impl Into<String>, value: Value) {
+        self.push_scalar_at(key, value, 0);
+    }
+
+    /// Appends a scalar field anchored at a 1-based source line
+    /// (`0` = unknown).
+    pub fn push_scalar_at(&mut self, key: impl Into<String>, value: Value, line: usize) {
         self.fields.push((key.into(), Field::Scalar(value)));
+        self.lines.push(line);
     }
 
     /// Appends a nested message field.
     pub fn push_message(&mut self, key: impl Into<String>, msg: Message) {
+        self.push_message_at(key, msg, 0);
+    }
+
+    /// Appends a nested message field anchored at a 1-based source line
+    /// (`0` = unknown).
+    pub fn push_message_at(&mut self, key: impl Into<String>, msg: Message, line: usize) {
         self.fields.push((key.into(), Field::Message(msg)));
+        self.lines.push(line);
+    }
+
+    /// The 1-based source line of the first field with the given key, when
+    /// known.
+    pub fn key_line(&self, key: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .zip(&self.lines)
+            .find(|((k, _), _)| k == key)
+            .map(|(_, &line)| line)
+            .filter(|&l| l > 0)
+    }
+
+    /// The 1-based source line where this message starts (its first field),
+    /// when known.
+    pub fn start_line(&self) -> Option<usize> {
+        self.lines.first().copied().filter(|&l| l > 0)
+    }
+
+    /// All fields in source order together with their source line (when
+    /// known).
+    pub fn fields_at(&self) -> impl Iterator<Item = (&str, &Field, Option<usize>)> {
+        self.fields
+            .iter()
+            .zip(&self.lines)
+            .map(|((k, f), &line)| (k.as_str(), f, Some(line).filter(|&l| l > 0)))
+    }
+
+    /// All scalars with the given key, in order, with their source lines.
+    pub fn scalars_at<'a>(
+        &'a self,
+        key: &'a str,
+    ) -> impl Iterator<Item = (&'a Value, Option<usize>)> + 'a {
+        self.fields_at().filter_map(move |(k, f, line)| match f {
+            Field::Scalar(v) if k == key => Some((v, line)),
+            _ => None,
+        })
+    }
+
+    /// All nested messages with the given key, in order, with their source
+    /// lines.
+    pub fn messages_at<'a>(
+        &'a self,
+        key: &'a str,
+    ) -> impl Iterator<Item = (&'a Message, Option<usize>)> + 'a {
+        self.fields_at().filter_map(move |(k, f, line)| match f {
+            Field::Message(m) if k == key => Some((m, line)),
+            _ => None,
+        })
     }
 
     /// All fields in source order.
@@ -345,11 +425,11 @@ fn parse_message_body(lexer: &mut Lexer<'_>, top_level: bool) -> Result<Message>
                                 ))
                             }
                         };
-                        msg.push_scalar(key, value);
+                        msg.push_scalar_at(key, value, line);
                     }
                     Some((Token::LBrace, _)) => {
                         let nested = parse_message_body(lexer, false)?;
-                        msg.push_message(key, nested);
+                        msg.push_message_at(key, nested, line);
                     }
                     other => {
                         return Err(IrError::at_line(
@@ -447,6 +527,37 @@ layer { name: "r1" type: "ReLU" }
         let printed = m.print(0);
         let reparsed = parse(&printed).unwrap();
         assert_eq!(m, reparsed);
+    }
+
+    #[test]
+    fn parsed_fields_remember_their_source_lines() {
+        let m = parse("name: \"net\"\n\nlayer {\n  num: 1\n}\ninput_dim: 4").unwrap();
+        assert_eq!(m.key_line("name"), Some(1));
+        assert_eq!(m.key_line("layer"), Some(3));
+        assert_eq!(m.key_line("input_dim"), Some(6));
+        assert_eq!(m.key_line("missing"), None);
+        let layer = m.message("layer").unwrap();
+        assert_eq!(layer.key_line("num"), Some(4));
+        assert_eq!(layer.start_line(), Some(4));
+        let (value, line) = m.scalars_at("input_dim").next().unwrap();
+        assert_eq!(value.as_num(), Some(4.0));
+        assert_eq!(line, Some(6));
+        let (nested, line) = m.messages_at("layer").next().unwrap();
+        assert_eq!(nested.num("num"), Some(1.0));
+        assert_eq!(line, Some(3));
+        // Programmatic construction has no positions.
+        let mut built = Message::new();
+        built.push_scalar("k", Value::Num(1.0));
+        assert_eq!(built.key_line("k"), None);
+        assert_eq!(built.start_line(), None);
+    }
+
+    #[test]
+    fn equality_ignores_source_positions() {
+        let a = parse("name: \"x\"\nnum: 1").unwrap();
+        let b = parse("\n\n  name: \"x\"   num: 1").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a.key_line("num"), b.key_line("num"));
     }
 
     #[test]

@@ -78,28 +78,30 @@ impl SolverConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`IrError`] on syntax errors, unknown keys, or non-positive
-    /// required values.
+    /// Returns [`IrError`] — carrying the offending source line — on syntax
+    /// errors, unknown keys, mistyped values, or non-positive required
+    /// values.
     pub fn parse(text: &str) -> Result<Self> {
         let msg = prototxt::parse(text)?;
         let mut cfg = SolverConfig::default();
-        for (key, field) in msg.fields() {
+        for (key, field, line) in msg.fields_at() {
+            let at = |what: String| match line {
+                Some(l) => IrError::at_line(l, what),
+                None => IrError::new(what),
+            };
             let scalar = match field {
                 prototxt::Field::Scalar(v) => v,
                 prototxt::Field::Message(_) => {
-                    return Err(IrError::new(format!(
-                        "solver key `{key}` cannot be a message"
-                    )))
+                    return Err(at(format!("solver key `{key}` cannot be a message")))
                 }
             };
             let num = scalar.as_num();
-            let need_num =
-                || num.ok_or_else(|| IrError::new(format!("solver key `{key}` needs a number")));
-            match key.as_str() {
+            let need_num = || num.ok_or_else(|| at(format!("solver key `{key}` needs a number")));
+            match key {
                 "dataset" => {
                     cfg.dataset = scalar
                         .as_str()
-                        .ok_or_else(|| IrError::new("`dataset` needs a string"))?
+                        .ok_or_else(|| at("`dataset` needs a string".to_string()))?
                         .to_string();
                 }
                 "base_lr" => cfg.base_lr = need_num()? as f32,
@@ -114,7 +116,7 @@ impl SolverConfig {
                     cfg.lr_policy = scalar
                         .as_str()
                         .or_else(|| scalar.as_ident())
-                        .ok_or_else(|| IrError::new("`lr_policy` needs a string"))?
+                        .ok_or_else(|| at("`lr_policy` needs a string".to_string()))?
                         .to_string();
                 }
                 "lr_step" => cfg.lr_step = need_num()? as usize,
@@ -122,7 +124,7 @@ impl SolverConfig {
                 "eval_every" => cfg.eval_every = need_num()? as usize,
                 "num_workers" => cfg.num_workers = need_num()? as usize,
                 "seed" => cfg.seed = need_num()? as u64,
-                other => return Err(IrError::new(format!("unknown solver key `{other}`"))),
+                other => return Err(at(format!("unknown solver key `{other}`"))),
             }
         }
         cfg.validate()?;

@@ -1,0 +1,263 @@
+//! A pinned corpus of malformed inputs for every `wootz-ir` text format.
+//!
+//! Each entry is a deliberately broken input plus the expectations that pin
+//! parser robustness: the parse must fail, the message must mention the
+//! right problem, and — where the format tracks positions — the error must
+//! carry the offending 1-based source line so users can fix their files
+//! directly.
+
+use wootz_ir::{IrError, ModelIr, Objective, SolverConfig};
+
+/// One corpus entry: a short label, the malformed input, a substring the
+/// error message must contain, and the expected source line (when the
+/// error should be position-anchored).
+struct Case {
+    what: &'static str,
+    input: &'static str,
+    expect: &'static str,
+    line: Option<usize>,
+}
+
+fn check(parse: impl Fn(&str) -> Result<(), IrError>, cases: &[Case]) {
+    for case in cases {
+        let err = parse(case.input).expect_err(case.what);
+        let text = err.to_string();
+        assert!(
+            text.contains(case.expect),
+            "{}: error `{text}` should mention `{}`",
+            case.what,
+            case.expect
+        );
+        if let Some(line) = case.line {
+            assert_eq!(
+                err.line(),
+                Some(line),
+                "{}: error `{text}` should be anchored at line {line}",
+                case.what
+            );
+        }
+    }
+}
+
+#[test]
+fn malformed_prototxt_models_are_rejected_with_positions() {
+    // A valid prefix so the broken line is never line 1: keeps the corpus
+    // honest about *which* line the parser blames.
+    const CASES: &[Case] = &[
+        Case {
+            what: "unterminated string",
+            input: "name: \"net\"\ninput: \"oops",
+            expect: "unterminated string",
+            line: Some(2),
+        },
+        Case {
+            what: "unbalanced open brace",
+            input: "layer {\n  name: \"x\"\n",
+            expect: "unbalanced `{`",
+            line: None,
+        },
+        Case {
+            what: "unbalanced close brace",
+            input: "name: \"x\"\n}",
+            expect: "unbalanced `}`",
+            line: Some(2),
+        },
+        Case {
+            what: "bad number",
+            input: "name: \"x\"\nnum: 1.2.3",
+            expect: "bad number",
+            line: Some(2),
+        },
+        Case {
+            what: "missing value after colon",
+            input: "name: \"x\"\nkey:",
+            expect: "expected a value",
+            line: Some(2),
+        },
+        Case {
+            what: "stray token",
+            input: "name: \"x\"\n@",
+            expect: "unexpected character",
+            line: Some(2),
+        },
+        Case {
+            what: "zero input dim",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: 0\ninput_dim: 4\ninput_dim: 4\nlayer { name: \"r\" type: \"ReLU\" bottom: \"data\" top: \"r\" }",
+            expect: "positive integer",
+            line: Some(4),
+        },
+        Case {
+            what: "negative input dim",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: -3\ninput_dim: 4\ninput_dim: 4",
+            expect: "positive integer",
+            line: Some(4),
+        },
+        Case {
+            what: "fractional input dim",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: 2.5\ninput_dim: 4\ninput_dim: 4",
+            expect: "positive integer",
+            line: Some(4),
+        },
+        Case {
+            what: "zero dim in input_shape",
+            input: "name: \"m\"\ninput: \"data\"\ninput_shape {\n  dim: 1 dim: 3\n  dim: 0 dim: 8\n}",
+            expect: "positive integer",
+            line: Some(5),
+        },
+        Case {
+            what: "pruning rate of 1 removes every filter",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8\npruning_rate: 0.3\npruning_rate: 1.0",
+            expect: "outside [0, 1)",
+            line: Some(5),
+        },
+        Case {
+            what: "negative pruning rate",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8\npruning_rate: -0.2",
+            expect: "outside [0, 1)",
+            line: Some(4),
+        },
+        Case {
+            what: "non-numeric pruning rate",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8\npruning_rate: \"high\"",
+            expect: "needs a number",
+            line: Some(4),
+        },
+        Case {
+            what: "module id reused by a second group",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8\nlayer { name: \"a\" type: \"ReLU\" bottom: \"data\" top: \"a\" module: 0 }\nlayer { name: \"b\" type: \"ReLU\" bottom: \"a\" top: \"b\" module: 1 }\nlayer { name: \"c\" type: \"ReLU\" bottom: \"b\" top: \"c\" module: 0 }",
+            expect: "module 0 declared twice",
+            line: Some(6),
+        },
+        Case {
+            what: "conflicting module ids on one layer",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8\nlayer {\n  name: \"a\" type: \"ReLU\" bottom: \"data\" top: \"a\"\n  module: 0\n  module: 1\n}",
+            expect: "declares `module` twice",
+            line: Some(7),
+        },
+        Case {
+            what: "fractional module id",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8\nlayer { name: \"a\" type: \"ReLU\" bottom: \"data\" top: \"a\"\n  module: 1.5 }",
+            expect: "non-negative integer",
+            line: Some(5),
+        },
+        Case {
+            what: "conv without convolution_param",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8\nlayer {\n  name: \"c\" type: \"Convolution\" bottom: \"data\" top: \"c\"\n}",
+            expect: "missing convolution_param",
+            line: Some(5),
+        },
+        Case {
+            what: "unsupported layer type",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8\nlayer { name: \"l\" type: \"LSTM\" bottom: \"data\" top: \"l\" }",
+            expect: "unsupported type",
+            line: Some(4),
+        },
+        Case {
+            what: "layer without a name",
+            input: "name: \"m\"\ninput: \"data\"\ninput_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8\nlayer { type: \"ReLU\" bottom: \"data\" top: \"r\" }",
+            expect: "layer without `name`",
+            line: Some(4),
+        },
+    ];
+    check(|text| ModelIr::parse(text).map(|_| ()), CASES);
+}
+
+#[test]
+fn malformed_solver_configs_are_rejected_with_positions() {
+    const CASES: &[Case] = &[
+        Case {
+            what: "unknown key (typo)",
+            input: "dataset: \"cub200\"\nlearning_rate: 0.1",
+            expect: "unknown solver key `learning_rate`",
+            line: Some(2),
+        },
+        Case {
+            what: "message-valued solver key",
+            input: "dataset: \"cub200\"\nbase_lr { v: 1 }",
+            expect: "cannot be a message",
+            line: Some(2),
+        },
+        Case {
+            what: "string where a number is required",
+            input: "dataset: \"cub200\"\nmax_iter: \"many\"",
+            expect: "needs a number",
+            line: Some(2),
+        },
+        Case {
+            what: "numeric dataset",
+            input: "seed: 1\ndataset: 42",
+            expect: "needs a string",
+            line: Some(2),
+        },
+        Case {
+            what: "zero batch size",
+            input: "batch_size: 0",
+            expect: "batch_size must be positive",
+            line: None,
+        },
+        Case {
+            what: "unknown lr policy",
+            input: "lr_policy: \"exponential\"",
+            expect: "unknown lr_policy",
+            line: None,
+        },
+    ];
+    check(|text| SolverConfig::parse(text).map(|_| ()), CASES);
+}
+
+#[test]
+fn malformed_objectives_are_rejected_with_positions() {
+    const CASES: &[Case] = &[
+        Case {
+            what: "truncated objective line",
+            input: "min",
+            expect: "expected `min|max <Metric>`",
+            line: Some(1),
+        },
+        Case {
+            what: "unknown metric",
+            input: "min ModelSize\nconstraint Latency < 5",
+            expect: "unknown metric",
+            line: Some(2),
+        },
+        Case {
+            what: "unknown comparison",
+            input: "min ModelSize\nconstraint Accuracy == 1",
+            expect: "unknown comparison",
+            line: Some(2),
+        },
+        Case {
+            what: "non-numeric constraint value",
+            input: "min ModelSize\nconstraint Accuracy >= high",
+            expect: "bad constraint value",
+            line: Some(2),
+        },
+        Case {
+            what: "two objective lines",
+            input: "min ModelSize\nmax Accuracy",
+            expect: "multiple objective lines",
+            line: Some(2),
+        },
+        Case {
+            what: "no objective at all",
+            input: "# only a comment\nconstraint Accuracy >= 0.5",
+            expect: "no `min`/`max` line",
+            line: None,
+        },
+    ];
+    check(|text| Objective::parse(text).map(|_| ()), CASES);
+}
+
+#[test]
+fn valid_pruning_rate_alphabet_is_exposed() {
+    let text = "name: \"m\"\ninput: \"data\"\ninput_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8\npruning_rate: 0.3 pruning_rate: 0.5 pruning_rate: 0.7\nlayer { name: \"r\" type: \"ReLU\" bottom: \"data\" top: \"r\" }";
+    let model = ModelIr::parse(text).unwrap();
+    assert_eq!(model.pruning_rates(), &[0.3, 0.5, 0.7]);
+    // The alphabet survives a print/parse round trip.
+    let reparsed = ModelIr::parse(&model.to_prototxt()).unwrap();
+    assert_eq!(reparsed, model);
+    // Programmatic construction validates the same range.
+    assert!(model.clone().with_pruning_rates(vec![0.0, 0.99]).is_ok());
+    let err = model.with_pruning_rates(vec![1.0]).unwrap_err();
+    assert!(err.to_string().contains("outside [0, 1)"), "{err}");
+}

@@ -36,6 +36,7 @@ fn arb_model() -> impl Strategy<Value = ModelIr> {
     (layer_kinds, 1usize..4).prop_map(|(kinds, modules)| {
         let mut layers = Vec::new();
         let mut bottom = "data".to_string();
+        let count = kinds.len();
         for (i, kind) in kinds.into_iter().enumerate() {
             let name = format!("layer{i}");
             layers.push(LayerDef {
@@ -43,7 +44,9 @@ fn arb_model() -> impl Strategy<Value = ModelIr> {
                 kind,
                 bottoms: vec![bottom.clone()],
                 top: name.clone(),
-                module: Some(i % modules),
+                // Contiguous module blocks: validation rejects a module ID
+                // that labels two separate layer groups.
+                module: Some(i * modules / count),
             });
             bottom = name;
         }

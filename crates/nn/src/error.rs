@@ -18,6 +18,20 @@ pub enum NnError {
     Io(std::io::Error),
     /// Checkpoint (de)serialization failure.
     Serde(String),
+    /// Training produced a non-finite loss, gradient or weight (numerical
+    /// divergence, e.g. an exploding learning rate). The training loop
+    /// aborts at the step it happens, so a run that returns `Ok` — and any
+    /// checkpoint captured from it — never contains NaN/Inf.
+    Diverged {
+        /// SGD step (0-based) at which the non-finite value appeared.
+        step: usize,
+        /// The training loss at that step (itself `NaN`/`Inf` when the
+        /// loss is what tripped the guard).
+        loss: f32,
+        /// Name of the first variable with a non-finite gradient or value,
+        /// when that is what tripped the guard.
+        var: Option<String>,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -28,6 +42,13 @@ impl fmt::Display for NnError {
             NnError::Var(m) => write!(f, "variable error: {m}"),
             NnError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
             NnError::Serde(m) => write!(f, "checkpoint serialization error: {m}"),
+            NnError::Diverged { step, loss, var } => match var {
+                Some(name) => write!(
+                    f,
+                    "training diverged at step {step}: non-finite gradient in `{name}` (loss {loss})"
+                ),
+                None => write!(f, "training diverged at step {step}: non-finite loss {loss}"),
+            },
         }
     }
 }

@@ -10,7 +10,7 @@ use wootz_tensor::Tensor;
 use crate::exec::{backward, forward, Mode};
 use crate::graph::{Graph, NodeId};
 use crate::var::VarStore;
-use crate::Result;
+use crate::{NnError, Result};
 
 /// A learning-rate schedule over training steps. The paper uses fixed
 /// rates ("We experimented with other learning rates and dynamic decay
@@ -140,6 +140,41 @@ pub fn evaluate_accuracy(
     Ok(correct as f32 / labels.len().max(1) as f32)
 }
 
+/// Name of the first trainable variable carrying a non-finite gradient.
+fn first_non_finite_grad(vars: &VarStore) -> Option<String> {
+    vars.iter().find_map(|(name, p)| {
+        if p.trainable && p.grad.data().iter().any(|v| !v.is_finite()) {
+            Some(name.to_string())
+        } else {
+            None
+        }
+    })
+}
+
+/// Name of the first variable whose *value* went non-finite (an update
+/// overflow).
+fn first_non_finite_value(vars: &VarStore) -> Option<String> {
+    vars.iter().find_map(|(name, p)| {
+        if p.value.data().iter().any(|v| !v.is_finite()) {
+            Some(name.to_string())
+        } else {
+            None
+        }
+    })
+}
+
+/// Emits the structured `train.diverged` event (see `OBSERVABILITY.md`).
+fn emit_diverged(step: usize, loss: f32, var: Option<&str>) {
+    let mut ev = wootz_obs::event("train.diverged")
+        .field("step", step)
+        .field("loss", loss as f64);
+    if let Some(name) = var {
+        ev = ev.field("var", name);
+    }
+    ev.emit();
+    wootz_obs::counter("trainer.divergences").incr();
+}
+
 /// Trains a classifier graph with softmax cross-entropy.
 ///
 /// `next_batch(step)` supplies `(images, labels)` per step; `eval_data`
@@ -159,7 +194,10 @@ pub fn evaluate_accuracy(
 ///
 /// # Errors
 ///
-/// Propagates graph-execution errors.
+/// Propagates graph-execution errors. Returns [`NnError::Diverged`] (and
+/// emits a `train.diverged` event + bumps `trainer.divergences`) when a
+/// step produces a non-finite loss or gradient — *before* the poisoned
+/// update reaches the variables, so checkpoints never contain NaN/Inf.
 pub fn train_classifier(
     graph: &Graph,
     vars: &mut VarStore,
@@ -193,8 +231,29 @@ pub fn train_classifier(
         let (images, labels) = next_batch(step);
         let pass = forward(graph, vars, &[(input_name, &images)], Mode::Train)?;
         let out = ops::softmax_cross_entropy(pass.activation(logits_node), &labels);
+        // Numerical-health guard #1: a non-finite loss means the forward
+        // pass already blew up; stop before the gradients poison anything.
+        if !out.loss.is_finite() {
+            emit_diverged(step, out.loss, None);
+            return Err(NnError::Diverged {
+                step,
+                loss: out.loss,
+                var: None,
+            });
+        }
         vars.zero_grads();
         backward(graph, vars, &pass, &[(logits_node, out.dlogits)])?;
+        // Numerical-health guard #2: a non-finite gradient would corrupt
+        // the variables on the next update (and every checkpoint captured
+        // afterwards). Fail *before* `sgd_step` applies it.
+        if let Some(name) = first_non_finite_grad(vars) {
+            emit_diverged(step, out.loss, Some(&name));
+            return Err(NnError::Diverged {
+                step,
+                loss: out.loss,
+                var: Some(name),
+            });
+        }
         let sgd = SgdConfig {
             learning_rate: cfg
                 .schedule
@@ -202,6 +261,17 @@ pub fn train_classifier(
             ..cfg.sgd
         };
         vars.sgd_step(&sgd);
+        // Numerical-health guard #3: the update itself can overflow (a
+        // huge learning rate times a finite gradient). Catch it the moment
+        // it happens so the caller aborts instead of checkpointing Inf.
+        if let Some(name) = first_non_finite_value(vars) {
+            emit_diverged(step, out.loss, Some(&name));
+            return Err(NnError::Diverged {
+                step,
+                loss: out.loss,
+                var: Some(name),
+            });
+        }
         steps_counter.incr();
         step_time.record(step_start.elapsed().as_micros() as u64);
         log.steps_run = step + 1;
@@ -382,6 +452,58 @@ mod tests {
         )
         .unwrap();
         assert!(log.final_accuracy.unwrap() > 0.9, "{log:?}");
+    }
+
+    #[test]
+    fn exploding_learning_rate_reports_divergence_not_nan() {
+        let (graph, mut vars, logits) = toy_net();
+        let cfg = TrainConfig {
+            max_steps: 200,
+            sgd: SgdConfig {
+                // An absurd rate: the weights overflow within a few steps.
+                learning_rate: 1e20,
+                weight_decay: 0.0,
+                momentum: 0.9,
+            },
+            schedule: LrSchedule::Fixed,
+            eval_every: 0,
+        };
+        let err = train_classifier(&graph, &mut vars, "data", logits, &cfg, toy_batch, None)
+            .expect_err("an exploding LR must be reported, not silently trained through");
+        match &err {
+            NnError::Diverged { step, .. } => {
+                assert!(*step < 200, "diverged late: {err}");
+            }
+            other => panic!("expected Diverged, got {other}"),
+        }
+        assert!(err.to_string().contains("diverged"), "{err}");
+        // The caller gets `Err`, never a TrainLog — so the pipeline aborts
+        // instead of capturing a checkpoint from the poisoned state.
+    }
+
+    #[test]
+    fn completed_training_never_leaves_non_finite_weights() {
+        // The per-step guards make this an invariant of every `Ok` return,
+        // not just of well-behaved hyper-parameters.
+        let (graph, mut vars, logits) = toy_net();
+        let cfg = TrainConfig {
+            max_steps: 60,
+            sgd: SgdConfig {
+                learning_rate: 0.5,
+                weight_decay: 0.0,
+                momentum: 0.9,
+            },
+            schedule: LrSchedule::Fixed,
+            eval_every: 0,
+        };
+        if train_classifier(&graph, &mut vars, "data", logits, &cfg, toy_batch, None).is_ok() {
+            for (name, p) in vars.iter() {
+                assert!(
+                    p.value.data().iter().all(|v| v.is_finite()),
+                    "`Ok` training left non-finite values in `{name}`"
+                );
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ cargo test -q
 echo "== docs: cargo doc --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p wootz-obs -p wootz-tensor -p wootz-nn -p wootz-core -p wootz-sim \
-    -p wootz-fault
+    -p wootz-fault -p wootz-cluster
 
 echo "== smoke: fault injection + journal resume =="
 # A cold run under a deterministic fault plan journals every completed unit
@@ -55,5 +55,56 @@ warm_best=$(printf '%s\n' "$WARM" | grep '^best network:')
 [ "$cold_best" = "$warm_best" ] || {
     echo "smoke FAILED: best network changed across resume"; echo "  cold: $cold_best"; echo "  warm: $warm_best"; exit 1; }
 echo "smoke ok: fresh $cold_fresh -> $warm_fresh, best network stable"
+
+echo "== chaos smoke: distributed prune under SIGKILL + SIGSTOP =="
+# The same inputs pruned single-process and distributed must land on the
+# same best network even when one worker is killed outright and another is
+# suspended (a zombie: its lease expires, its task is reclaimed, and its
+# late result must be fenced). See DESIGN.md §9.
+printf 'dataset: "flowers102"\nbase_lr: 0.03\nmax_iter: 30\nbatch_size: 8\npretrain_iter: 8\neval_every: 10\nseed: 3\nnum_workers: 4\n' \
+    > "$SMOKE/dsolver.prototxt"
+chaos_prune() {
+    "$W" prune --model "$SMOKE/model.prototxt" --configs "$SMOKE/configs.json" \
+        --solver "$SMOKE/dsolver.prototxt" --objective "$SMOKE/objective.txt" "$@"
+}
+base_best=$(chaos_prune | grep '^best network:')
+DIST_DIR="$SMOKE/dist"
+chaos_prune --distributed 3 --run-dir "$DIST_DIR" --lease-ms 400 \
+    > "$SMOKE/dist.out" 2>&1 &
+COORD=$!
+# Wait for at least two worker processes, then murder one and suspend the
+# other mid-run.
+victims=""
+tries=0
+while [ "$tries" -lt 150 ]; do
+    victims=$(pgrep -f "worker --run-dir $DIST_DIR" 2>/dev/null || true)
+    if [ "$(printf '%s\n' "$victims" | grep -c .)" -ge 2 ]; then
+        break
+    fi
+    kill -0 "$COORD" 2>/dev/null || break
+    tries=$((tries + 1))
+    sleep 0.1
+done
+killed=$(printf '%s\n' "$victims" | sed -n 1p)
+stopped=$(printf '%s\n' "$victims" | sed -n 2p)
+if [ -n "$killed" ] && [ -n "$stopped" ]; then
+    kill -KILL "$killed" 2>/dev/null || true
+    kill -STOP "$stopped" 2>/dev/null || true
+    echo "chaos: SIGKILLed worker $killed, SIGSTOPped worker $stopped"
+else
+    echo "chaos smoke FAILED: never saw two live workers"; kill "$COORD" 2>/dev/null || true; exit 1
+fi
+wait "$COORD" || {
+    echo "chaos smoke FAILED: distributed run exited non-zero"; cat "$SMOKE/dist.out"; exit 1; }
+# The coordinator's shutdown path SIGKILLs leftovers, including the stopped
+# worker; reap any straggler all the same.
+kill -KILL "$stopped" 2>/dev/null || true
+dist_best=$(grep '^best network:' "$SMOKE/dist.out" || true)
+[ -n "$dist_best" ] || {
+    echo "chaos smoke FAILED: no best network line"; cat "$SMOKE/dist.out"; exit 1; }
+[ "$base_best" = "$dist_best" ] || {
+    echo "chaos smoke FAILED: best network changed under faults"
+    echo "  single:      $base_best"; echo "  distributed: $dist_best"; exit 1; }
+echo "chaos smoke ok: $(grep '^cluster:' "$SMOKE/dist.out" || echo 'stats line missing'), best network stable"
 
 echo "verify.sh: all gates passed"
