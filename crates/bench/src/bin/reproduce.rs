@@ -14,9 +14,14 @@
 //! reproduce cluster [--seed N]            # sim fault model vs the real distributed runtime
 //! reproduce pipeline [--quick] [--seed N] [--journal <run.ndjson>] [--resume]
 //!           [--inject-faults <plan.json>] # end-to-end micro pipeline, resumable
+//! reproduce kernels [--quick] [--threads N] # 1-vs-N-thread kernel micro-bench
 //! reproduce verify [--seed N]             # qualitative shape checks
 //! reproduce all [--quick] [--seed N]      # everything, in order
 //! ```
+//!
+//! All subcommands honour `--threads N` (equivalently the `WOOTZ_THREADS`
+//! environment variable) to size the `wootz-par` kernel thread pool; results
+//! are bitwise identical at any thread count (see `PERFORMANCE.md`).
 
 use std::process::ExitCode;
 
@@ -73,6 +78,18 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--metrics-out needs a path".to_string())?;
                 metrics_out = Some(std::path::PathBuf::from(v));
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a count".to_string())?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("--threads needs a positive integer, got `{v}`"))?;
+                wootz_par::set_threads(n);
+                // Spawned worker processes (`reproduce cluster`) inherit the
+                // same kernel-pool budget through the environment.
+                std::env::set_var("WOOTZ_THREADS", n.to_string());
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -92,9 +109,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|faults|cluster|pipeline|verify|all> \
-     [--quick] [--seed N] [--json <dir>] [--metrics-out <path>]\n\
-     pipeline extras: [--journal <run.ndjson>] [--resume] [--inject-faults <plan.json>]"
+    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|faults|cluster|pipeline|kernels|verify|all> \
+     [--quick] [--seed N] [--threads N] [--json <dir>] [--metrics-out <path>]\n\
+     pipeline extras: [--journal <run.ndjson>] [--resume] [--inject-faults <plan.json>]\n\
+     kernels: 1-vs-N-thread micro-bench; writes BENCH_kernels.json (to --json dir if given)"
         .to_string()
 }
 
@@ -225,6 +243,33 @@ fn dispatch(args: &Args) -> ExitCode {
                     eprintln!("pipeline failed: {e}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        "kernels" => {
+            let threads = wootz_par::configured_threads();
+            let reps = if args.quick { 3 } else { 9 };
+            let art = wootz_bench::kernels::kernels(threads, reps, args.quick);
+            let (text, ok) = wootz_bench::kernels::kernels_report(&art);
+            println!("{text}");
+            let json = wootz_bench::kernels::artifact_json(&art);
+            let path = match &args.json_dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir).ok();
+                    dir.join("BENCH_kernels.json")
+                }
+                None => std::path::PathBuf::from("BENCH_kernels.json"),
+            };
+            match std::fs::write(&path, json) {
+                Ok(()) => println!("kernel benchmark written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             }
         }
         "cluster" => match wootz_bench::clusterrep::cluster_report(seed) {

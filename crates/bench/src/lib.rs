@@ -13,13 +13,17 @@
 //! | Table 5 — extra speedups from the block identifier | calibrated simulation | [`simrep::table5_report`] |
 //! | Figure 7 — accuracy vs model size | calibrated simulation | [`simrep::fig7_report`] |
 //! | Figure 4 — Sequitur grammar/DAG example | exact algorithm run | [`simrep::fig4_report`] |
+//! | Kernel micro-bench — 1 vs N threads | real kernels on wootz-par | [`kernels::kernels_report`] |
 //!
 //! Run `cargo run -p wootz-bench --bin reproduce --release -- all` to print
 //! every artifact with the paper's reference numbers alongside. The
 //! `benches/` directory holds one Criterion benchmark per artifact plus
-//! kernel/algorithm micro-benchmarks.
+//! kernel/algorithm micro-benchmarks; `reproduce kernels` emits the
+//! thread-scaling table (`BENCH_kernels.json`) documented in
+//! `PERFORMANCE.md`.
 
 pub mod clusterrep;
+pub mod kernels;
 pub mod real;
 pub mod report;
 pub mod simrep;

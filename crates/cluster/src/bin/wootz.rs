@@ -52,6 +52,12 @@
 //! `<path>` on exit (NDJSON when the extension is `.ndjson`/`.jsonl`,
 //! pretty JSON otherwise) and prints a human-readable summary table to
 //! stderr. See `OBSERVABILITY.md` for the schema and naming scheme.
+//!
+//! Every command also accepts `--threads <n>`: it sizes the process-global
+//! `wootz-par` kernel pool (default: the `WOOTZ_THREADS` environment
+//! variable, else the machine's available parallelism). Distributed workers
+//! inherit the setting. Results are bit-identical for any thread count —
+//! see `PERFORMANCE.md` for the determinism contract.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -84,6 +90,21 @@ fn run() -> CliResult {
     if metrics_out.is_some() {
         wootz_obs::enable();
     }
+    // `--threads` is global too: it sizes the process-wide `wootz-par` pool
+    // (default: `WOOTZ_THREADS`, else the machine's available parallelism)
+    // and is inherited by spawned workers via `WOOTZ_THREADS`. Results are
+    // bit-identical for any value — see PERFORMANCE.md.
+    if let Some(t) = take_flag(&mut args, "--threads") {
+        let n: usize = t
+            .parse()
+            .map_err(|_| format!("--threads expects a positive integer, got `{t}`"))?;
+        if n == 0 {
+            return Err("--threads expects a positive integer, got `0`".into());
+        }
+        wootz_par::set_threads(n);
+        // Worker processes spawned by `--distributed` inherit the budget.
+        std::env::set_var("WOOTZ_THREADS", n.to_string());
+    }
     if args.is_empty() {
         return Err(usage().into());
     }
@@ -113,7 +134,7 @@ fn run() -> CliResult {
 }
 
 fn usage() -> &'static str {
-    "usage: wootz <compile|sample|identify|genmodel|prune|worker|help> [options] [--metrics-out <path>]\n\
+    "usage: wootz <compile|sample|identify|genmodel|prune|worker|help> [options] [--metrics-out <path>] [--threads <n>]\n\
      run `wootz help` for per-command options"
 }
 

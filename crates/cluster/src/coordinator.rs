@@ -221,12 +221,17 @@ impl WorkerPool {
         let log_err = log
             .try_clone()
             .map_err(|e| cluster_err(format!("cannot clone log handle: {e}")))?;
-        let child = Command::new(&self.exe)
-            .args(&self.prefix)
+        let mut cmd = Command::new(&self.exe);
+        cmd.args(&self.prefix)
             .arg("--run-dir")
             .arg(self.dir.root())
             .arg("--worker-id")
-            .arg(id)
+            .arg(id);
+        // Workers inherit the coordinator's kernel-thread budget so a
+        // distributed run at `--threads N` is reproducible end to end
+        // (results are bit-identical regardless, but wall time is not).
+        cmd.env("WOOTZ_THREADS", wootz_par::configured_threads().to_string());
+        let child = cmd
             .stdin(Stdio::null())
             .stdout(Stdio::from(log))
             .stderr(Stdio::from(log_err))

@@ -150,8 +150,8 @@ pub fn pretrain_blocks(
 }
 
 /// Pre-trains every tuning block like [`pretrain_blocks`] but runs the
-/// non-overlapping groups on parallel OS threads — the single-machine
-/// analogue of the paper's MPI multi-node pre-training ("The pre-training
+/// non-overlapping groups as parallel tasks on the `wootz-par` pool — the
+/// single-machine analogue of the paper's MPI multi-node pre-training ("The pre-training
 /// script can run on a single node or multiple nodes in parallel to
 /// concurrently train multiple groups through MPI", §6.2). Results are
 /// bit-identical to the sequential version: each group's batch stream is
@@ -179,7 +179,8 @@ pub fn pretrain_blocks_parallel(
 }
 
 /// The supervised variant of [`pretrain_blocks_parallel`]: groups still run
-/// on parallel OS threads, but each group is wrapped in a supervisor that
+/// as parallel `wootz-par` tasks, but each group is wrapped in a supervisor
+/// that
 ///
 /// 1. catches evaluator panics (`catch_unwind`) and converts them into
 ///    structured [`CoreError::Panic`] values naming the group,
@@ -227,40 +228,32 @@ pub fn pretrain_blocks_supervised(
                 .any(|&i| !opts.completed.contains_key(&blocks[i].key()))
         })
         .collect();
-    let results: Vec<Option<GroupOutcome>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = groups
-            .iter()
-            .enumerate()
-            .map(|(gi, group)| {
-                if !todo[gi] {
-                    return None;
-                }
-                Some(scope.spawn(move || {
-                    supervise_group(mm, blocks, group, gi, full, cfg, next_batch, opts.faults)
-                }))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(gi, h)| {
-                h.map(|h| {
-                    h.join().unwrap_or_else(|payload| GroupOutcome {
-                        blocks: Vec::new(),
-                        failed: groups[gi]
-                            .iter()
-                            .map(|&bi| {
-                                (blocks[bi].key(), "supervisor thread panicked".to_string())
-                            })
-                            .collect(),
-                        first_error: Some(CoreError::Panic {
-                            what: format!("pre-training thread for group {gi}"),
-                            message: panic_message(payload.as_ref()),
-                        }),
-                    })
-                })
-            })
-            .collect()
+    // One `wootz-par` task per group (the single-machine analogue of the
+    // paper's MPI multi-group pre-training). Group results come back in
+    // group order and are merged below in that order, so the outcome is
+    // bit-identical to the sequential loop for any thread count; each
+    // group's kernels then run inline on their task (no oversubscription).
+    let results: Vec<Option<GroupOutcome>> = wootz_par::parallel_map(groups.len(), |gi| {
+        if !todo[gi] {
+            return None;
+        }
+        let group = &groups[gi];
+        Some(
+            catch_unwind(AssertUnwindSafe(|| {
+                supervise_group(mm, blocks, group, gi, full, cfg, next_batch, opts.faults)
+            }))
+            .unwrap_or_else(|payload| GroupOutcome {
+                blocks: Vec::new(),
+                failed: group
+                    .iter()
+                    .map(|&bi| (blocks[bi].key(), "supervisor thread panicked".to_string()))
+                    .collect(),
+                first_error: Some(CoreError::Panic {
+                    what: format!("pre-training thread for group {gi}"),
+                    message: panic_message(payload.as_ref()),
+                }),
+            }),
+        )
     });
     let mut first_error: Option<CoreError> = None;
     for (gi, group) in groups.iter().enumerate() {

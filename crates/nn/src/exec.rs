@@ -47,10 +47,60 @@ impl ForwardPass {
     }
 }
 
+/// How a forward pass reads (and, in train mode, updates) variables.
+///
+/// [`Mode::Train`] needs `&mut VarStore` to fold the batch statistics into
+/// the batch-norm running mean/variance; [`Mode::Eval`] only ever *reads*
+/// variables, which is what lets [`forward_eval`] take `&VarStore` and the
+/// trainer shard an evaluation batch across the `wootz-par` pool (shared
+/// immutable store, disjoint per-shard activations).
+trait VarAccess {
+    /// Current value of a variable.
+    fn value(&self, name: &str) -> Result<&Tensor>;
+    /// Folds fresh batch statistics into the running mean/variance with
+    /// momentum [`BN_MOMENTUM`]. Only reachable in [`Mode::Train`].
+    fn update_bn_stats(&mut self, mean: &str, var: &str, cache: &ops::BnCache) -> Result<()>;
+}
+
+/// Mutable access used by [`Mode::Train`].
+struct TrainAccess<'a>(&'a mut VarStore);
+
+impl VarAccess for TrainAccess<'_> {
+    fn value(&self, name: &str) -> Result<&Tensor> {
+        self.0.value(name)
+    }
+
+    fn update_bn_stats(&mut self, mean: &str, var: &str, cache: &ops::BnCache) -> Result<()> {
+        let mut new_mean = self.0.value(mean)?.scale(BN_MOMENTUM);
+        new_mean.axpy(1.0 - BN_MOMENTUM, &cache.mean)?;
+        self.0.assign(mean, new_mean)?;
+        let mut new_var = self.0.value(var)?.scale(BN_MOMENTUM);
+        new_var.axpy(1.0 - BN_MOMENTUM, &cache.var)?;
+        self.0.assign(var, new_var)?;
+        Ok(())
+    }
+}
+
+/// Shared read-only access used by [`Mode::Eval`] / [`forward_eval`].
+struct EvalAccess<'a>(&'a VarStore);
+
+impl VarAccess for EvalAccess<'_> {
+    fn value(&self, name: &str) -> Result<&Tensor> {
+        self.0.value(name)
+    }
+
+    fn update_bn_stats(&mut self, _mean: &str, _var: &str, _cache: &ops::BnCache) -> Result<()> {
+        Err(NnError::Graph(
+            "batch-norm statistics update attempted in eval mode".to_string(),
+        ))
+    }
+}
+
 /// Runs the graph forward on the given named inputs.
 ///
 /// `inputs` maps input-node names to batch tensors `[N, C, H, W]`. `vars` is
-/// mutable because [`Mode::Train`] updates batch-norm running statistics.
+/// mutable because [`Mode::Train`] updates batch-norm running statistics;
+/// use [`forward_eval`] when you only have (or want to share) `&VarStore`.
 ///
 /// # Errors
 ///
@@ -59,6 +109,37 @@ impl ForwardPass {
 pub fn forward(
     graph: &Graph,
     vars: &mut VarStore,
+    inputs: &[(&str, &Tensor)],
+    mode: Mode,
+) -> Result<ForwardPass> {
+    match mode {
+        Mode::Train => forward_impl(graph, &mut TrainAccess(vars), inputs, mode),
+        Mode::Eval => forward_eval(graph, vars, inputs),
+    }
+}
+
+/// Runs the graph forward in [`Mode::Eval`] against a *shared* variable
+/// store.
+///
+/// Evaluation never mutates variables (batch-norm uses the stored running
+/// statistics), so this borrows `vars` immutably — which is what allows
+/// several evaluation shards to run concurrently on the `wootz-par` pool
+/// (see `evaluate_accuracy` in the trainer).
+///
+/// # Errors
+///
+/// As for [`forward`].
+pub fn forward_eval(
+    graph: &Graph,
+    vars: &VarStore,
+    inputs: &[(&str, &Tensor)],
+) -> Result<ForwardPass> {
+    forward_impl(graph, &mut EvalAccess(vars), inputs, Mode::Eval)
+}
+
+fn forward_impl<V: VarAccess>(
+    graph: &Graph,
+    vars: &mut V,
     inputs: &[(&str, &Tensor)],
     mode: Mode,
 ) -> Result<ForwardPass> {
@@ -110,13 +191,8 @@ pub fn forward(
                     Mode::Train => {
                         let (y, c) =
                             ops::batch_norm(x, vars.value(gamma)?, vars.value(beta)?, *eps, None);
-                        // Update running statistics.
-                        let mut new_mean = vars.value(mean)?.scale(BN_MOMENTUM);
-                        new_mean.axpy(1.0 - BN_MOMENTUM, &c.mean)?;
-                        vars.assign(mean, new_mean)?;
-                        let mut new_var = vars.value(var)?.scale(BN_MOMENTUM);
-                        new_var.axpy(1.0 - BN_MOMENTUM, &c.var)?;
-                        vars.assign(var, new_var)?;
+                        // Fold the batch statistics into the running stats.
+                        vars.update_bn_stats(mean, var, &c)?;
                         (y, c)
                     }
                     Mode::Eval => {

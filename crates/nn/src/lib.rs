@@ -45,7 +45,7 @@ mod var;
 
 pub use checkpoint::Checkpoint;
 pub use error::NnError;
-pub use exec::{backward, forward, sgd_step, zero_grads, ForwardPass, Mode};
+pub use exec::{backward, forward, forward_eval, sgd_step, zero_grads, ForwardPass, Mode};
 pub use graph::{Graph, GraphBuilder, Node, NodeId, NodeShape, Op};
 pub use trainer::{
     evaluate_accuracy, train_classifier, LrSchedule, TrainConfig, TrainLog, TrainRecord,

@@ -7,7 +7,7 @@ use wootz_tensor::ops;
 use wootz_tensor::sgd::SgdConfig;
 use wootz_tensor::Tensor;
 
-use crate::exec::{backward, forward, Mode};
+use crate::exec::{backward, forward, forward_eval, Mode};
 use crate::graph::{Graph, NodeId};
 use crate::var::VarStore;
 use crate::{NnError, Result};
@@ -116,8 +116,21 @@ impl TrainLog {
     }
 }
 
+/// Samples per evaluation shard. A fixed constant (never a function of the
+/// thread count) so shard boundaries — and therefore each sample's
+/// activations and the per-shard match counts — are identical for any
+/// `--threads` value.
+const EVAL_SHARD: usize = 8;
+
 /// Computes classification accuracy of `logits_node` over an evaluation
 /// batch.
+///
+/// The batch is split into fixed-size (`EVAL_SHARD` = 8 samples) shards that run
+/// [`forward_eval`] concurrently on the `wootz-par` pool against the shared
+/// immutable variable store (evaluation never mutates variables). Every
+/// sample sees exactly the per-sample math of a whole-batch evaluation and
+/// the integer match counts merge in shard order, so the accuracy is
+/// bit-identical to the single-threaded whole-batch result.
 ///
 /// # Errors
 ///
@@ -130,13 +143,38 @@ pub fn evaluate_accuracy(
     images: &Tensor,
     labels: &[usize],
 ) -> Result<f32> {
-    let pass = forward(graph, vars, &[(input_name, images)], Mode::Eval)?;
-    let preds = pass.activation(logits_node).argmax_rows()?;
-    let correct = preds
-        .iter()
-        .zip(labels.iter())
-        .filter(|(p, l)| p == l)
-        .count();
+    let vars = &*vars;
+    let n = images.shape().first().copied().unwrap_or(0);
+    // Like the whole-batch zip, score only samples that have both an image
+    // and a label.
+    let scored = n.min(labels.len());
+    if scored == 0 {
+        return Ok(0.0);
+    }
+    let sample_len = images.len() / n;
+    let counts = wootz_par::parallel_chunks(&labels[..scored], EVAL_SHARD, |si, shard_labels| {
+        let s0 = si * EVAL_SHARD;
+        let rows = shard_labels.len();
+        let mut shape = images.shape().to_vec();
+        shape[0] = rows;
+        let shard_x = Tensor::from_vec(
+            images.data()[s0 * sample_len..(s0 + rows) * sample_len].to_vec(),
+            &shape,
+        )?;
+        let pass = forward_eval(graph, vars, &[(input_name, &shard_x)])?;
+        let preds = pass.activation(logits_node).argmax_rows()?;
+        Ok::<usize, NnError>(
+            preds
+                .iter()
+                .zip(shard_labels.iter())
+                .filter(|(p, l)| p == l)
+                .count(),
+        )
+    });
+    let mut correct = 0usize;
+    for c in counts {
+        correct += c?;
+    }
     Ok(correct as f32 / labels.len().max(1) as f32)
 }
 

@@ -1,0 +1,97 @@
+//! Bitwise determinism of whole training steps and evaluation across
+//! `wootz-par` thread counts.
+//!
+//! Complements the per-kernel tests in `wootz-tensor`: here a full
+//! forward/backward/SGD step over a small conv net — and a batched
+//! accuracy evaluation — must produce bit-identical parameters and
+//! results whether the kernel pool has 1 thread or 4 (the determinism
+//! contract documented in `PERFORMANCE.md`).
+
+use wootz_nn::{backward, evaluate_accuracy, forward, GraphBuilder, Mode, VarStore};
+use wootz_par::Pool;
+use wootz_tensor::ops::softmax_cross_entropy;
+use wootz_tensor::sgd::SgdConfig;
+use wootz_tensor::Tensor;
+
+fn on_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    wootz_par::with_pool(&Pool::new(threads), f)
+}
+
+/// Builds the same tiny conv net twice: `GraphBuilder` initialisation is a
+/// pure function of the seed, so both stores start bit-identical.
+fn build(seed: u64) -> (wootz_nn::Graph, VarStore, wootz_nn::NodeId) {
+    let mut b = GraphBuilder::new(seed);
+    let x = b.input("data", (2, 8, 8));
+    let c1 = b.conv2d("c1", x, 4, 3, 1, 1).unwrap();
+    let bn = b.batch_norm("bn1", c1).unwrap();
+    let r = b.relu("r1", bn).unwrap();
+    let g = b.global_avg_pool("gap", r).unwrap();
+    let d = b.dense("fc", g, 5).unwrap();
+    let (graph, vars) = b.finish();
+    (graph, vars, d)
+}
+
+fn batch() -> (Tensor, Vec<usize>) {
+    let input = Tensor::from_fn(&[6, 2, 8, 8], |i| ((i * 7919) % 23) as f32 / 11.5 - 1.0);
+    let labels = vec![0usize, 3, 1, 4, 2, 0];
+    (input, labels)
+}
+
+/// One train step (forward Train → CE loss → backward → SGD) on the given
+/// pool size; returns the loss bits and every parameter's value bits.
+fn train_step_bits(threads: usize, seed: u64) -> (u32, Vec<(String, Vec<u32>)>) {
+    let (graph, mut vars, logits_id) = build(seed);
+    let (input, labels) = batch();
+    on_pool(threads, || {
+        let pass = forward(&graph, &mut vars, &[("data", &input)], Mode::Train).unwrap();
+        let out = softmax_cross_entropy(pass.activation(logits_id), &labels);
+        vars.zero_grads();
+        backward(&graph, &mut vars, &pass, &[(logits_id, out.dlogits)]).unwrap();
+        vars.sgd_step(&SgdConfig {
+            learning_rate: 0.05,
+            weight_decay: 1e-4,
+            momentum: 0.9,
+        });
+        let mut params: Vec<(String, Vec<u32>)> = vars
+            .iter()
+            .map(|(name, p)| {
+                (
+                    name.to_string(),
+                    p.value.data().iter().map(|v| v.to_bits()).collect(),
+                )
+            })
+            .collect();
+        params.sort_by(|a, b| a.0.cmp(&b.0));
+        (out.loss.to_bits(), params)
+    })
+}
+
+#[test]
+fn train_step_is_bitwise_identical_across_thread_counts() {
+    let (loss1, params1) = train_step_bits(1, 11);
+    let (loss4, params4) = train_step_bits(4, 11);
+    assert_eq!(loss1, loss4, "loss bits diverged across thread counts");
+    assert_eq!(params1.len(), params4.len());
+    for ((n1, p1), (n4, p4)) in params1.iter().zip(&params4) {
+        assert_eq!(n1, n4);
+        assert_eq!(p1, p4, "parameter `{n1}` diverged across thread counts");
+    }
+}
+
+#[test]
+fn evaluation_is_bitwise_identical_across_thread_counts() {
+    // 19 samples: not a multiple of the eval shard size, so the last shard
+    // is ragged — exactly the boundary the contract must cover.
+    let (graph, _, logits_id) = build(23);
+    let images = Tensor::from_fn(&[19, 2, 8, 8], |i| ((i * 104729) % 31) as f32 / 15.5 - 1.0);
+    let labels: Vec<usize> = (0..19).map(|i| (i * 2) % 5).collect();
+    let acc1 = on_pool(1, || {
+        let (_, mut vars, _) = build(23);
+        evaluate_accuracy(&graph, &mut vars, "data", logits_id, &images, &labels).unwrap()
+    });
+    let acc4 = on_pool(4, || {
+        let (_, mut vars, _) = build(23);
+        evaluate_accuracy(&graph, &mut vars, "data", logits_id, &images, &labels).unwrap()
+    });
+    assert_eq!(acc1.to_bits(), acc4.to_bits());
+}

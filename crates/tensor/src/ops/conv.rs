@@ -1,4 +1,11 @@
 //! 2-D convolution via im2col + matmul, with full backward.
+//!
+//! Both passes parallelize **per sample** on the `wootz-par` pool: each task
+//! lowers one sample with `im2col` and runs the (then-inline) matmul for it.
+//! Forward outputs and `dx` gradients are disjoint per-sample slices, and
+//! the `dw`/`db` reductions merge the per-sample partials **in sample
+//! order** — the exact accumulation order of the sequential loop — so
+//! results are bit-identical for any thread count (see `PERFORMANCE.md`).
 
 use crate::ops::matmul::{matmul, matmul_nt, matmul_tn};
 use crate::ops::metering;
@@ -155,15 +162,17 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: &Tensor, cfg: Conv2dCfg) -> Tensor {
     let bias = b.data();
     let mut out = vec![0.0f32; n * f * ho * wo];
     let sample = c * h * wd;
-    for ni in 0..n {
+    let xv = x.data();
+    // One task per sample: each writes only its own [F, Ho, Wo] slice, so
+    // the parallel result is bit-identical to the sequential loop.
+    wootz_par::parallel_chunks_mut(&mut out, f * ho * wo, |ni, dst| {
         let col = im2col(
-            &x.data()[ni * sample..(ni + 1) * sample],
+            &xv[ni * sample..(ni + 1) * sample],
             (c, h, wd),
             (kh, kw),
             cfg,
         );
         let y = matmul(&w_mat, &col); // [F, Ho*Wo]
-        let dst = &mut out[ni * f * ho * wo..(ni + 1) * f * ho * wo];
         for fi in 0..f {
             let row = &y.data()[fi * ho * wo..(fi + 1) * ho * wo];
             let drow = &mut dst[fi * ho * wo..(fi + 1) * ho * wo];
@@ -172,7 +181,7 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: &Tensor, cfg: Conv2dCfg) -> Tensor {
                 *d = v + bv;
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, f, ho, wo]).expect("conv2d output shape")
 }
 
@@ -205,35 +214,41 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, cfg: Conv2dCfg) -> C
     let mut dx = vec![0.0f32; x.len()];
     let sample = c * h * wd;
     let osample = f * ho * wo;
-    for ni in 0..n {
-        let col = im2col(
-            &x.data()[ni * sample..(ni + 1) * sample],
-            (c, h, wd),
-            (kh, kw),
-            cfg,
-        );
-        let dy_mat = Tensor::from_vec(
-            dy.data()[ni * osample..(ni + 1) * osample].to_vec(),
-            &[f, ho * wo],
-        )
-        .expect("dy reshape");
-        // dW += dY * col^T ; both operands laid out [rows, Ho*Wo].
-        let dw_n = matmul_nt(&dy_mat, &col);
-        dw_mat.axpy(1.0, &dw_n).expect("dw accumulate");
-        // db += row sums of dY.
-        for fi in 0..f {
-            let row = &dy_mat.data()[fi * ho * wo..(fi + 1) * ho * wo];
-            db.data_mut()[fi] += row.iter().sum::<f32>();
+    let xv = x.data();
+    let dyv = dy.data();
+    // One task per sample: `dx` slices are disjoint writes; the per-sample
+    // `dw`/`db` partials come back in sample order and are merged below in
+    // that order — the sequential loop's exact accumulation order, so the
+    // reduction is bit-identical for any thread count.
+    let partials: Vec<(Tensor, Vec<f32>)> =
+        wootz_par::parallel_chunks_mut(&mut dx, sample, |ni, dxs| {
+            let col = im2col(
+                &xv[ni * sample..(ni + 1) * sample],
+                (c, h, wd),
+                (kh, kw),
+                cfg,
+            );
+            let dy_mat = Tensor::from_vec(
+                dyv[ni * osample..(ni + 1) * osample].to_vec(),
+                &[f, ho * wo],
+            )
+            .expect("dy reshape");
+            // dW_n = dY * col^T ; both operands laid out [rows, Ho*Wo].
+            let dw_n = matmul_nt(&dy_mat, &col);
+            // db_n = row sums of dY.
+            let db_n: Vec<f32> = (0..f)
+                .map(|fi| dy_mat.data()[fi * ho * wo..(fi + 1) * ho * wo].iter().sum())
+                .collect();
+            // dcol = W^T * dY, scattered back to the input.
+            let dcol = matmul_tn(&w_mat, &dy_mat);
+            col2im(&dcol, (c, h, wd), (kh, kw), cfg, dxs);
+            (dw_n, db_n)
+        });
+    for (dw_n, db_n) in &partials {
+        dw_mat.axpy(1.0, dw_n).expect("dw accumulate");
+        for (d, &v) in db.data_mut().iter_mut().zip(db_n.iter()) {
+            *d += v;
         }
-        // dcol = W^T * dY, scattered back to the input.
-        let dcol = matmul_tn(&w_mat, &dy_mat);
-        col2im(
-            &dcol,
-            (c, h, wd),
-            (kh, kw),
-            cfg,
-            &mut dx[ni * sample..(ni + 1) * sample],
-        );
     }
     Conv2dGrads {
         dx: Tensor::from_vec(dx, x.shape()).expect("dx shape"),

@@ -15,7 +15,9 @@ pub struct SoftmaxCeOutput {
     pub dlogits: Tensor,
 }
 
-/// Numerically-stable fused softmax cross-entropy.
+/// Numerically-stable fused softmax cross-entropy, per-sample parallel on
+/// the `wootz-par` pool (disjoint `[K]` rows; loss terms summed in sample
+/// order, so the result is bit-identical for any thread count).
 ///
 /// * `logits` — `[N, K]`
 /// * `labels` — class index per sample, `len == N`
@@ -24,7 +26,6 @@ pub struct SoftmaxCeOutput {
 ///
 /// Panics when `logits` is not rank 2, label count differs from the batch
 /// size, or a label is out of range.
-#[allow(clippy::needless_range_loop)] // parallel indexing into four buffers
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> SoftmaxCeOutput {
     assert_eq!(
         logits.shape().len(),
@@ -40,21 +41,34 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> SoftmaxCeOutp
     );
     let mut probs = Tensor::zeros(&[n, k]);
     let mut dlogits = Tensor::zeros(&[n, k]);
-    let mut loss = 0.0;
-    for i in 0..n {
+    // One pool task per sample: each writes only its own [K] rows, and the
+    // per-sample loss terms come back in sample order so the summation below
+    // matches the sequential loop's accumulation order bit-for-bit.
+    let logit_data = logits.data();
+    let prob_rows = probs.data_mut();
+    let loss_terms: Vec<f32> = wootz_par::parallel_chunks_mut(prob_rows, k, |i, prow| {
         let label = labels[i];
         assert!(label < k, "label {label} out of range for {k} classes");
-        let row = &logits.data()[i * k..(i + 1) * k];
+        let row = &logit_data[i * k..(i + 1) * k];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-        let z: f32 = exps.iter().sum();
-        for j in 0..k {
-            let p = exps[j] / z;
-            probs.data_mut()[i * k + j] = p;
-            dlogits.data_mut()[i * k + j] = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        for (p, &v) in prow.iter_mut().zip(row.iter()) {
+            *p = (v - max).exp();
         }
-        loss += -(probs.data()[i * k + label].max(1e-12)).ln();
-    }
+        let z: f32 = prow.iter().sum();
+        for p in prow.iter_mut() {
+            *p /= z;
+        }
+        -(prow[label].max(1e-12)).ln()
+    });
+    let prob_data = probs.data();
+    wootz_par::parallel_chunks_mut(dlogits.data_mut(), k, |i, drow| {
+        let label = labels[i];
+        let prow = &prob_data[i * k..(i + 1) * k];
+        for (j, (d, &p)) in drow.iter_mut().zip(prow.iter()).enumerate() {
+            *d = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    });
+    let loss: f32 = loss_terms.iter().sum();
     SoftmaxCeOutput {
         loss: loss / n as f32,
         probs,

@@ -1,85 +1,176 @@
-//! A small blocked matrix multiply used by the im2col convolution path and
-//! the dense layer.
+//! Blocked matrix multiplies used by the im2col convolution path and the
+//! dense layer, row-parallel over the `wootz-par` pool.
+//!
+//! ## Parallel decomposition & determinism
+//!
+//! All three variants split the **output rows** into fixed-size blocks of
+//! `ROW_BLOCK` (= 4) rows and hand each block to one pool task via
+//! [`wootz_par::parallel_chunks_mut`]. Tasks write disjoint row ranges and
+//! never reduce across blocks, and within a row the accumulation order over
+//! the inner dimension is exactly the sequential kernel's order — so the
+//! result is **bit-identical** for any thread count, including the inline
+//! single-threaded path. Block boundaries depend only on the problem shape
+//! (`ROW_BLOCK` is a constant), never on the worker count.
+//!
+//! ## Errors
+//!
+//! Shape checking is structured: [`try_matmul`] returns a
+//! [`ShapeError`](crate::ShapeError) naming the operation and both shapes;
+//! the panicking wrappers used by the internal kernels (`matmul` and the
+//! crate-private transposed variants) surface the same message via
+//! `expect`-style panics, e.g. `matmul inner dims: a [2, 3] vs b [4, 2]`.
 
-use crate::Tensor;
+use crate::{ShapeError, Tensor};
 
-/// Computes `C = A * B` for `A: [m, k]`, `B: [k, n]`.
+/// Output rows per pool task. A constant (never derived from the thread
+/// count) so chunk boundaries — and therefore scheduling-independent results
+/// — are a function of the problem shape alone; 4 rows amortize the
+/// per-task queue/metering overhead even for the small matrices the
+/// micro-scale models produce.
+const ROW_BLOCK: usize = 4;
+
+/// Checks that `a` and `b` are rank-2 with matching inner dimensions for
+/// `op`, returning `(m, k, n)`.
+fn check_dims(op: &str, a: &Tensor, b: &Tensor, inner: impl Fn(&[usize], &[usize]) -> (usize, usize, usize, usize)) -> Result<(usize, usize, usize), ShapeError> {
+    if a.shape().len() != 2 || b.shape().len() != 2 {
+        return Err(ShapeError::new(format!(
+            "{op}: expected rank-2 operands, got a {:?} vs b {:?}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let (m, k, k2, n) = inner(a.shape(), b.shape());
+    if k != k2 {
+        return Err(ShapeError::new(format!(
+            "{op} inner dims: a {:?} vs b {:?}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    Ok((m, k, n))
+}
+
+/// Computes `C = A * B` for `A: [m, k]`, `B: [k, n]`, returning a
+/// [`ShapeError`] when the operands are not rank-2 or the inner dimensions
+/// disagree.
 ///
-/// Plain triple loop with the `k` loop innermost hoisted per row for cache
-/// friendliness; adequate for the micro-scale training this workspace runs.
+/// Plain triple loop with the `k` loop hoisted per row for cache
+/// friendliness, parallelized over `ROW_BLOCK`-row (4-row) output blocks; adequate
+/// for the micro-scale training this workspace runs.
 ///
-/// # Panics
-///
-/// Panics when the shapes are not rank-2 or the inner dimensions disagree —
-/// callers are internal kernels that guarantee shape agreement.
-pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = (a.shape()[0], a.shape()[1]);
-    let (k2, n) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+/// ```
+/// use wootz_tensor::{ops, Tensor};
+/// let a = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]).unwrap();
+/// let id = Tensor::from_vec(vec![1., 0., 0., 1.], &[2, 2]).unwrap();
+/// assert_eq!(ops::try_matmul(&a, &id).unwrap().data(), a.data());
+/// assert!(ops::try_matmul(&a, &Tensor::zeros(&[3, 2])).is_err());
+/// ```
+pub fn try_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
+    let (m, k, n) = check_dims("matmul", a, b, |sa, sb| (sa[0], sa[1], sb[0], sb[1]))?;
     let av = a.data();
     let bv = b.data();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let brow = &bv[p * n..(p + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
-                *o += aval * bval;
+    wootz_par::parallel_chunks_mut(&mut out, ROW_BLOCK * n, |ci, rows| {
+        let i0 = ci * ROW_BLOCK;
+        for (di, orow) in rows.chunks_mut(n).enumerate() {
+            let i = i0 + di;
+            let arow = &av[i * k..(i + 1) * k];
+            for (p, &aval) in arow.iter().enumerate() {
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &bv[p * n..(p + 1) * n];
+                for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aval * bval;
+                }
             }
         }
+    });
+    Ok(Tensor::from_vec(out, &[m, n]).expect("matmul output shape"))
+}
+
+/// Computes `C = A * B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics when the shapes are not rank-2 or the inner dimensions disagree
+/// (the [`try_matmul`] error, e.g. `matmul inner dims: a [2, 3] vs b
+/// [4, 2]`) — callers are internal kernels that guarantee shape agreement.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    match try_matmul(a, b) {
+        Ok(c) => c,
+        Err(e) => panic!("{e}"),
     }
-    Tensor::from_vec(out, &[m, n]).expect("matmul output shape")
 }
 
 /// Computes `C = A^T * B` for `A: [k, m]`, `B: [k, n]` without materializing
 /// the transpose.
+///
+/// Row-parallel like [`matmul`]; each output row `i` accumulates over `p` in
+/// increasing order — the same per-element order as the sequential `p`-outer
+/// loop — so results are bit-identical to the single-threaded kernel.
+///
+/// # Panics
+///
+/// Panics on rank or inner-dimension mismatch with the shapes in the
+/// message.
 pub(crate) fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    let (k, m) = (a.shape()[0], a.shape()[1]);
-    let (k2, n) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(k, k2, "matmul_tn inner dims: {k} vs {k2}");
+    let (m, k, n) = check_dims("matmul_tn", a, b, |sa, sb| (sa[1], sa[0], sb[0], sb[1]))
+        .unwrap_or_else(|e| panic!("{e}"));
     let av = a.data();
     let bv = b.data();
     let mut out = vec![0.0f32; m * n];
-    for p in 0..k {
-        let arow = &av[p * m..(p + 1) * m];
-        let brow = &bv[p * n..(p + 1) * n];
-        for (i, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
-                *o += aval * bval;
+    wootz_par::parallel_chunks_mut(&mut out, ROW_BLOCK * n, |ci, rows| {
+        let i0 = ci * ROW_BLOCK;
+        for (di, orow) in rows.chunks_mut(n).enumerate() {
+            let i = i0 + di;
+            for p in 0..k {
+                let aval = av[p * m + i];
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &bv[p * n..(p + 1) * n];
+                for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aval * bval;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[m, n]).expect("matmul_tn output shape")
 }
 
 /// Computes `C = A * B^T` for `A: [m, k]`, `B: [n, k]` without materializing
 /// the transpose.
+///
+/// Row-parallel like [`matmul`]; each `C[i, j]` is one dot product computed
+/// entirely by the task owning row `i`, so the reduction order never
+/// changes.
+///
+/// # Panics
+///
+/// Panics on rank or inner-dimension mismatch with the shapes in the
+/// message.
 pub(crate) fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = (a.shape()[0], a.shape()[1]);
-    let (n, k2) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+    let (m, k, n) = check_dims("matmul_nt", a, b, |sa, sb| (sa[0], sa[1], sb[1], sb[0]))
+        .unwrap_or_else(|e| panic!("{e}"));
     let av = a.data();
     let bv = b.data();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&x, &y) in arow.iter().zip(brow.iter()) {
-                acc += x * y;
+    wootz_par::parallel_chunks_mut(&mut out, ROW_BLOCK * n, |ci, rows| {
+        let i0 = ci * ROW_BLOCK;
+        for (di, orow) in rows.chunks_mut(n).enumerate() {
+            let i = i0 + di;
+            let arow = &av[i * k..(i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bv[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&x, &y) in arow.iter().zip(brow.iter()) {
+                    acc += x * y;
+                }
+                *o = acc;
             }
-            out[i * n + j] = acc;
         }
-    }
+    });
     Tensor::from_vec(out, &[m, n]).expect("matmul_nt output shape")
 }
 
@@ -116,5 +207,37 @@ mod tests {
     #[should_panic(expected = "inner dims")]
     fn matmul_checks_inner_dims() {
         matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn try_matmul_reports_shapes() {
+        let err = try_matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("[2, 3]") && msg.contains("[4, 2]"), "{msg}");
+        let err = try_matmul(&Tensor::zeros(&[2, 3, 1]), &Tensor::zeros(&[3, 2])).unwrap_err();
+        assert!(err.to_string().contains("rank-2"), "{err}");
+    }
+
+    #[test]
+    fn wide_matmul_spans_many_row_blocks() {
+        // More rows than one ROW_BLOCK so the parallel path actually chunks.
+        let m = 23;
+        let k = 7;
+        let n = 5;
+        let a: Vec<f32> = (0..m * k).map(|v| (v % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|v| (v % 7) as f32 * 0.5).collect();
+        let a = t(&a, &[m, k]);
+        let b = t(&b, &[k, n]);
+        let c = matmul(&a, &b);
+        // Reference: naive sequential triple loop.
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    want[i * n + j] += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+            }
+        }
+        assert_eq!(c.data(), &want[..]);
     }
 }

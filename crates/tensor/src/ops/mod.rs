@@ -8,6 +8,13 @@
 //!
 //! All kernels are finite-difference checked in `tests/grad_check.rs` of this
 //! crate.
+//!
+//! The heavyweight kernels (matmul variants, conv2d forward/backward, the
+//! per-sample softmax cross-entropy) run on the `wootz-par` pool with
+//! **deterministic** decompositions — disjoint output rows/samples, fixed
+//! chunk boundaries, ordered merges — so every result is bit-identical to
+//! the sequential kernel for any `--threads` value. See `PERFORMANCE.md` at
+//! the repository root for the full contract.
 
 mod activation;
 mod bn;
@@ -25,7 +32,7 @@ pub use conv::{conv2d, conv2d_backward, conv2d_out_dim, Conv2dCfg, Conv2dGrads};
 pub use dense::{dense, dense_backward, DenseGrads};
 pub use eltwise::{add_n, add_n_backward};
 pub use loss::{mse_loss, mse_loss_backward, softmax_cross_entropy, SoftmaxCeOutput};
-pub use matmul::matmul;
+pub use matmul::{matmul, try_matmul};
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
     max_pool2d_backward, Pool2dCfg,

@@ -1,0 +1,95 @@
+//! Bitwise determinism of the `wootz-par`-parallelised kernels across
+//! thread counts.
+//!
+//! The contract (see `PERFORMANCE.md`): every kernel's parallel
+//! decomposition fixes its chunk boundaries from the problem shape — never
+//! from the thread count — and merges partial results in the same order as
+//! the sequential loop. These tests pin that contract by running each
+//! kernel on a 1-thread pool and a 4-thread pool (via
+//! [`wootz_par::with_pool`]) and asserting exact `f32` bit equality.
+
+use wootz_par::Pool;
+use wootz_tensor::{ops, Tensor};
+
+/// Runs `f` on a private pool of the given size.
+fn on_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    wootz_par::with_pool(&Pool::new(threads), f)
+}
+
+/// Deterministic pseudo-random fill (no RNG dependency needed).
+fn fill(shape: &[usize], salt: usize) -> Tensor {
+    Tensor::from_fn(shape, |i| {
+        let h = i.wrapping_mul(2654435761).wrapping_add(salt.wrapping_mul(97));
+        ((h % 2003) as f32 / 1001.5 - 1.0) * 1.7
+    })
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn matmul_is_bitwise_identical_across_thread_counts() {
+    // Odd, non-multiple-of-ROW_BLOCK sizes to exercise ragged row blocks.
+    let a = fill(&[23, 17], 1);
+    let b = fill(&[17, 9], 2);
+    let one = on_pool(1, || ops::matmul(&a, &b));
+    let four = on_pool(4, || ops::matmul(&a, &b));
+    assert_eq!(bits(&one), bits(&four));
+}
+
+#[test]
+fn conv2d_forward_and_backward_are_bitwise_identical_across_thread_counts() {
+    let x = fill(&[5, 3, 9, 9], 3);
+    let w = fill(&[4, 3, 3, 3], 4);
+    let b = fill(&[4], 5);
+    let cfg = ops::Conv2dCfg { stride: 2, pad: 1 };
+    let (y1, g1) = on_pool(1, || {
+        let y = ops::conv2d(&x, &w, &b, cfg);
+        let dy = y.scale(0.31);
+        (y.clone(), ops::conv2d_backward(&x, &w, &dy, cfg))
+    });
+    let (y4, g4) = on_pool(4, || {
+        let y = ops::conv2d(&x, &w, &b, cfg);
+        let dy = y.scale(0.31);
+        (y.clone(), ops::conv2d_backward(&x, &w, &dy, cfg))
+    });
+    assert_eq!(bits(&y1), bits(&y4));
+    assert_eq!(bits(&g1.dx), bits(&g4.dx), "dx diverged");
+    assert_eq!(bits(&g1.dw), bits(&g4.dw), "dw diverged");
+    assert_eq!(bits(&g1.db), bits(&g4.db), "db diverged");
+}
+
+#[test]
+fn softmax_cross_entropy_is_bitwise_identical_across_thread_counts() {
+    let logits = fill(&[13, 7], 6);
+    let labels: Vec<usize> = (0..13).map(|i| (i * 3) % 7).collect();
+    let one = on_pool(1, || ops::softmax_cross_entropy(&logits, &labels));
+    let four = on_pool(4, || ops::softmax_cross_entropy(&logits, &labels));
+    assert_eq!(one.loss.to_bits(), four.loss.to_bits());
+    assert_eq!(bits(&one.probs), bits(&four.probs));
+    assert_eq!(bits(&one.dlogits), bits(&four.dlogits));
+}
+
+#[test]
+fn dense_layers_are_bitwise_identical_across_thread_counts() {
+    // dense/dense_backward route through matmul / matmul_nt / matmul_tn,
+    // covering all three parallel matmul variants in one test.
+    let x = fill(&[11, 20], 7);
+    let w = fill(&[6, 20], 8);
+    let b = fill(&[6], 9);
+    let (y1, g1) = on_pool(1, || {
+        let y = ops::dense(&x, &w, &b);
+        let dy = y.scale(-0.5);
+        (y.clone(), ops::dense_backward(&x, &w, &dy))
+    });
+    let (y4, g4) = on_pool(4, || {
+        let y = ops::dense(&x, &w, &b);
+        let dy = y.scale(-0.5);
+        (y.clone(), ops::dense_backward(&x, &w, &dy))
+    });
+    assert_eq!(bits(&y1), bits(&y4));
+    assert_eq!(bits(&g1.dx), bits(&g4.dx));
+    assert_eq!(bits(&g1.dw), bits(&g4.dw));
+    assert_eq!(bits(&g1.db), bits(&g4.db));
+}

@@ -19,8 +19,8 @@ cargo test -q
 
 echo "== docs: cargo doc --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
-    -p wootz-obs -p wootz-tensor -p wootz-nn -p wootz-core -p wootz-sim \
-    -p wootz-fault -p wootz-cluster
+    -p wootz-obs -p wootz-par -p wootz-tensor -p wootz-nn -p wootz-core \
+    -p wootz-sim -p wootz-fault -p wootz-cluster
 
 echo "== smoke: fault injection + journal resume =="
 # A cold run under a deterministic fault plan journals every completed unit
@@ -55,6 +55,35 @@ warm_best=$(printf '%s\n' "$WARM" | grep '^best network:')
 [ "$cold_best" = "$warm_best" ] || {
     echo "smoke FAILED: best network changed across resume"; echo "  cold: $cold_best"; echo "  warm: $warm_best"; exit 1; }
 echo "smoke ok: fresh $cold_fresh -> $warm_fresh, best network stable"
+
+echo "== threads smoke: wootz prune bitwise-identical at --threads 1 vs 4 =="
+# The wootz-par determinism contract (PERFORMANCE.md): the kernel pool's
+# chunk boundaries are fixed by the problem shape and merges are ordered,
+# so any thread count must produce byte-identical results JSON.
+threads_prune() {
+    "$W" prune --model "$SMOKE/model.prototxt" --configs "$SMOKE/configs.json" \
+        --solver "$SMOKE/solver.prototxt" --objective "$SMOKE/objective.txt" "$@" >/dev/null
+}
+threads_prune --threads 1 --out "$SMOKE/run_t1.json"
+threads_prune --threads 4 --out "$SMOKE/run_t4.json"
+cmp -s "$SMOKE/run_t1.json" "$SMOKE/run_t4.json" || {
+    echo "threads smoke FAILED: --threads 1 and --threads 4 outputs differ"; exit 1; }
+echo "threads smoke ok: results byte-identical across thread counts"
+
+echo "== kernels smoke: reproduce kernels --metrics-out =="
+# The kernel micro-bench exits non-zero if any kernel's outputs diverge
+# across thread counts; --metrics-out must yield a summary with the par.*
+# pool counters (OBSERVABILITY.md inventory).
+R="$PWD/target/release/reproduce"
+(cd "$SMOKE" && "$R" kernels --quick --threads 4 --metrics-out kernels.ndjson) \
+    > "$SMOKE/kernels.out" 2> "$SMOKE/kernels.err" || {
+    echo "kernels smoke FAILED: reproduce kernels exited non-zero"
+    cat "$SMOKE/kernels.out" "$SMOKE/kernels.err"; exit 1; }
+[ -s "$SMOKE/BENCH_kernels.json" ] || {
+    echo "kernels smoke FAILED: BENCH_kernels.json not written"; exit 1; }
+grep -q '"name":"par.tasks"' "$SMOKE/kernels.ndjson" || {
+    echo "kernels smoke FAILED: par.tasks counter missing from metrics"; exit 1; }
+echo "kernels smoke ok: $(grep -c '"kernel"' "$SMOKE/BENCH_kernels.json") kernels benched, par.* counters exported"
 
 echo "== chaos smoke: distributed prune under SIGKILL + SIGSTOP =="
 # The same inputs pruned single-process and distributed must land on the
