@@ -15,6 +15,7 @@
 //! reproduce pipeline [--quick] [--seed N] [--journal <run.ndjson>] [--resume]
 //!           [--inject-faults <plan.json>] # end-to-end micro pipeline, resumable
 //! reproduce kernels [--quick] [--threads N] # 1-vs-N-thread kernel micro-bench
+//! reproduce memory [--quick]              # interpreter-vs-planned memory accounting
 //! reproduce verify [--seed N]             # qualitative shape checks
 //! reproduce all [--quick] [--seed N]      # everything, in order
 //! ```
@@ -109,10 +110,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|faults|cluster|pipeline|kernels|verify|all> \
+    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|faults|cluster|pipeline|kernels|memory|verify|all> \
      [--quick] [--seed N] [--threads N] [--json <dir>] [--metrics-out <path>]\n\
      pipeline extras: [--journal <run.ndjson>] [--resume] [--inject-faults <plan.json>]\n\
-     kernels: 1-vs-N-thread micro-bench; writes BENCH_kernels.json (to --json dir if given)"
+     kernels: 1-vs-N-thread micro-bench; writes BENCH_kernels.json (to --json dir if given)\n\
+     memory: interpreter-vs-planned allocation accounting; writes BENCH_exec_mem.json"
         .to_string()
 }
 
@@ -261,6 +263,32 @@ fn dispatch(args: &Args) -> ExitCode {
             };
             match std::fs::write(&path, json) {
                 Ok(()) => println!("kernel benchmark written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "memory" => {
+            let (batch, steps) = if args.quick { (4, 3) } else { (8, 6) };
+            let art = wootz_bench::memrep::memory(batch, steps);
+            let (text, ok) = wootz_bench::memrep::memory_report(&art);
+            println!("{text}");
+            let json = wootz_bench::memrep::artifact_json(&art);
+            let path = match &args.json_dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir).ok();
+                    dir.join("BENCH_exec_mem.json")
+                }
+                None => std::path::PathBuf::from("BENCH_exec_mem.json"),
+            };
+            match std::fs::write(&path, json) {
+                Ok(()) => println!("memory benchmark written to {}", path.display()),
                 Err(e) => {
                     eprintln!("cannot write {}: {e}", path.display());
                     return ExitCode::FAILURE;

@@ -74,7 +74,7 @@ fn bench_case(
     let time_on = |pool: &Pool| -> (f64, Vec<f32>) {
         wootz_par::with_pool(pool, || {
             let reference = f(); // warm-up; also the equality witness
-            let mut samples: Vec<f64> = (0..reps)
+            let samples: Vec<f64> = (0..reps)
                 .map(|_| {
                     let t0 = Instant::now();
                     let out = f();
@@ -83,8 +83,8 @@ fn bench_case(
                     dt
                 })
                 .collect();
-            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-            (samples[samples.len() / 2], reference)
+            let med = report::median(samples).expect("at least one timed repetition");
+            (med, reference)
         })
     };
     let (single_ms, out1) = time_on(pool1);
@@ -194,17 +194,17 @@ pub fn kernels_table(art: &KernelsArtifact) -> String {
             ]
         })
         .collect();
-    let mut out = format!(
+    let intro = format!(
         "Kernel micro-benchmarks: 1 thread vs {} threads ({} reps, median; host \
          parallelism {}).\nOutputs at both thread counts must be bitwise identical \
-         (the wootz-par determinism contract; see PERFORMANCE.md).\n\n",
+         (the wootz-par determinism contract; see PERFORMANCE.md).",
         art.threads, art.reps, art.host_parallelism
     );
-    out.push_str(&report::render_table(
+    report::titled_table(
+        &intro,
         &["kernel", "workload", "1-thread ms", "N-thread ms", "speedup", "bitwise"],
         &body,
-    ));
-    out
+    )
 }
 
 /// Full `reproduce kernels` report: runs the suite and renders the table.

@@ -14,16 +14,19 @@
 //! | Figure 7 — accuracy vs model size | calibrated simulation | [`simrep::fig7_report`] |
 //! | Figure 4 — Sequitur grammar/DAG example | exact algorithm run | [`simrep::fig4_report`] |
 //! | Kernel micro-bench — 1 vs N threads | real kernels on wootz-par | [`kernels::kernels_report`] |
+//! | Memory bench — interpreter vs planned executor | real execution on the stock graph | [`memrep::memory_report`] |
 //!
 //! Run `cargo run -p wootz-bench --bin reproduce --release -- all` to print
 //! every artifact with the paper's reference numbers alongside. The
 //! `benches/` directory holds one Criterion benchmark per artifact plus
 //! kernel/algorithm micro-benchmarks; `reproduce kernels` emits the
-//! thread-scaling table (`BENCH_kernels.json`) documented in
+//! thread-scaling table (`BENCH_kernels.json`) and `reproduce memory` the
+//! allocator comparison (`BENCH_exec_mem.json`), both documented in
 //! `PERFORMANCE.md`.
 
 pub mod clusterrep;
 pub mod kernels;
+pub mod memrep;
 pub mod real;
 pub mod report;
 pub mod simrep;

@@ -1,0 +1,326 @@
+//! `reproduce memory`: per-step memory accounting of the graph
+//! interpreter versus the planned executor (`ExecPlan` + `TensorArena`) on
+//! the stock `wootz genmodel` graph (`resnet_mini`).
+//!
+//! Two claims from `DESIGN.md` §10 are measured rather than asserted:
+//!
+//! 1. **Steady-state training allocates no tensors.** After one warm-up
+//!    step the arena pool holds a buffer for every plan slot, so every
+//!    subsequent `take` is a reuse; the per-step `fresh` count must be 0.
+//!    The interpreter, by contrast, allocates every activation, BN cache
+//!    and gradient anew each step (`exec.interp.allocs`).
+//! 2. **Eval-mode liveness shrinks the peak.** An eval plan keeps only the
+//!    output nodes, recycling every interior activation at its last use,
+//!    while the interpreter's `ForwardPass` retains all of them. The peak
+//!    live bytes of a planned eval pass must undercut the interpreter's
+//!    retained bytes by at least 2× on this graph.
+//!
+//! Both executors run the same graph on the same synthetic batch; their
+//! numerical equality is covered elsewhere (the `plan_equivalence`
+//! property test in `wootz-nn`), so this report concerns itself purely
+//! with allocator behaviour. All byte counts are tensor payload bytes
+//! (4 bytes per `f32` element); kernel-interior scratch such as im2col
+//! buffers is excluded on both sides (see `PERFORMANCE.md`).
+//!
+//! The JSON artifact (`BENCH_exec_mem.json`) mirrors the table row-for-row
+//! plus the summary verdicts; a measured copy is committed under
+//! `results/`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use wootz_core::compile::{ModeToUse, MultiplexingModel};
+use wootz_nn::{backward, forward, forward_eval, CompiledNet, Mode};
+use wootz_tensor::ops::softmax_cross_entropy;
+use wootz_tensor::{init, Tensor};
+
+use crate::report;
+
+/// One training step's allocator accounting, interpreter vs planned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemStepRow {
+    /// Step index (step 0 is the warm-up step).
+    pub step: usize,
+    /// Tensors the interpreter allocated during the step (forward +
+    /// backward; `exec.interp.allocs` delta).
+    pub interp_allocs: u64,
+    /// Bytes those allocations amount to (`exec.interp.bytes` delta).
+    /// Nothing is freed before the step ends, so this is also the
+    /// interpreter's per-step peak live footprint.
+    pub interp_alloc_bytes: u64,
+    /// Bytes the interpreter's `ForwardPass` retains after the forward
+    /// pass (activations + BN caches + argmax maps).
+    pub interp_retained_bytes: u64,
+    /// Fresh (non-pooled) allocations the arena made during the step.
+    /// Must be 0 for every step after the warm-up.
+    pub planned_fresh: u64,
+    /// Peak live arena bytes over the step.
+    pub planned_peak_live_bytes: u64,
+}
+
+/// The full `BENCH_exec_mem.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryArtifact {
+    /// Model identifier (the stock `wootz genmodel` graph).
+    pub model: String,
+    /// Mini-batch size used for every step.
+    pub batch: usize,
+    /// Total training steps measured (including the warm-up step).
+    pub steps: usize,
+    /// Steps treated as warm-up (excluded from the steady-state claim).
+    pub warmup_steps: usize,
+    /// Per-step rows.
+    pub train_rows: Vec<MemStepRow>,
+    /// Sum of `planned_fresh` over all post-warm-up steps. The
+    /// steady-state claim is that this is exactly 0.
+    pub steady_state_allocs: u64,
+    /// Buffer slots in the train plan.
+    pub plan_slots: usize,
+    /// The train plan's steady-state working set at this batch size, as
+    /// predicted by `ExecPlan::steady_bytes`.
+    pub plan_steady_bytes: u64,
+    /// Interpreter retained bytes for one eval forward pass.
+    pub eval_interp_bytes: u64,
+    /// Peak live arena bytes for one planned eval forward pass (fresh
+    /// state, cold pool — the honest peak).
+    pub eval_planned_peak_bytes: u64,
+    /// `eval_interp_bytes / eval_planned_peak_bytes`.
+    pub eval_reduction: f64,
+}
+
+impl MemoryArtifact {
+    /// Whether both measured claims hold: zero steady-state allocations
+    /// and at least a 2× eval-mode peak reduction.
+    pub fn ok(&self) -> bool {
+        self.steady_state_allocs == 0 && self.eval_reduction >= 2.0
+    }
+}
+
+/// Runs the memory benchmark: `steps` training steps (the first is
+/// warm-up) plus one eval pass per executor, on the stock `wootz
+/// genmodel` graph at the given batch size.
+///
+/// # Panics
+///
+/// Panics if the stock model fails to compile or execute — that would be
+/// a bug, not a measurement.
+pub fn memory(batch: usize, steps: usize) -> MemoryArtifact {
+    let classes = 8; // `wootz genmodel` default
+    let ir = wootz_models::resnet_mini(classes);
+    let model_name = format!("{} (stock `wootz genmodel` graph)", ir.name());
+    let input_spec = ir.input().clone();
+    let mm = MultiplexingModel::compile(ir).expect("stock model compiles");
+
+    // Identical graphs and parameters for both executors (same init seed),
+    // but separate stores: train mode folds BN running statistics into the
+    // store, and the two executors must not share that state.
+    let mut interp = mm.build(&ModeToUse::Original, 7).expect("build interp");
+    let mut planned = mm.build(&ModeToUse::Original, 7).expect("build planned");
+    let logits = interp.logits.expect("original mode has logits");
+    let input_name = interp.input_name.clone();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let x = init::normal(
+        &mut rng,
+        &[batch, input_spec.channels, input_spec.height, input_spec.width],
+        0.0,
+        1.0,
+    );
+    let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+    let feed: Vec<(&str, &Tensor)> = vec![(input_name.as_str(), &x)];
+
+    let allocs = wootz_obs::counter("exec.interp.allocs");
+    let bytes = wootz_obs::counter("exec.interp.bytes");
+    let mut net = CompiledNet::new(&planned.graph, &[logits]).expect("plan compiles");
+    let warmup_steps = 1usize;
+
+    let mut train_rows = Vec::with_capacity(steps);
+    for step in 0..steps {
+        // Interpreter step: meter the process-wide interp-alloc counters
+        // around one forward + loss + backward.
+        let (a0, b0) = (allocs.get(), bytes.get());
+        let pass = forward(&interp.graph, &mut interp.vars, &feed, Mode::Train)
+            .expect("interp forward");
+        let retained = pass.retained_bytes() as u64;
+        let out = softmax_cross_entropy(pass.activation(logits), &labels);
+        interp.vars.zero_grads();
+        backward(&interp.graph, &mut interp.vars, &pass, &[(logits, out.dlogits)])
+            .expect("interp backward");
+        let (interp_allocs, interp_alloc_bytes) = (allocs.get() - a0, bytes.get() - b0);
+
+        // Planned step: reset the arena counters (keeping the pool warm)
+        // so `fresh` and the peak watermark are per-step readings.
+        net.reset_arena_stats();
+        net.forward(&mut planned.vars, &feed, Mode::Train).expect("planned forward");
+        let pout = softmax_cross_entropy(net.activation(logits).expect("kept"), &labels);
+        planned.vars.zero_grads();
+        net.backward(&mut planned.vars, &[(logits, &pout.dlogits)]).expect("planned backward");
+        let st = net.arena_stats();
+
+        train_rows.push(MemStepRow {
+            step,
+            interp_allocs,
+            interp_alloc_bytes,
+            interp_retained_bytes: retained,
+            planned_fresh: st.fresh,
+            planned_peak_live_bytes: st.peak_live_bytes as u64,
+        });
+    }
+    let steady_state_allocs = train_rows
+        .iter()
+        .skip(warmup_steps)
+        .map(|r| r.planned_fresh)
+        .sum();
+
+    // Eval: one pass per executor. The planned side uses a *fresh*
+    // CompiledNet (cold pool) so its peak is the honest cold-start peak,
+    // not a number flattered by a pre-warmed pool.
+    let eval_pass = forward_eval(&interp.graph, &interp.vars, &feed).expect("interp eval");
+    let eval_interp_bytes = eval_pass.retained_bytes() as u64;
+    let mut eval_net = CompiledNet::new(&planned.graph, &[logits]).expect("plan compiles");
+    eval_net.forward_eval(&planned.vars, &feed).expect("planned eval");
+    let eval_planned_peak_bytes = eval_net.arena_stats().peak_live_bytes as u64;
+    let eval_reduction = if eval_planned_peak_bytes > 0 {
+        eval_interp_bytes as f64 / eval_planned_peak_bytes as f64
+    } else {
+        f64::INFINITY
+    };
+
+    let plan = net.plan(Mode::Train);
+    MemoryArtifact {
+        model: model_name,
+        batch,
+        steps,
+        warmup_steps,
+        steady_state_allocs,
+        plan_slots: plan.num_slots(),
+        plan_steady_bytes: plan.steady_bytes(batch) as u64,
+        train_rows,
+        eval_interp_bytes,
+        eval_planned_peak_bytes,
+        eval_reduction,
+    }
+}
+
+/// Renders the memory table as aligned text (through the shared
+/// [`report::titled_table`] formatter).
+pub fn memory_table(art: &MemoryArtifact) -> String {
+    let body: Vec<Vec<String>> = art
+        .train_rows
+        .iter()
+        .map(|r| {
+            vec![
+                if r.step < art.warmup_steps {
+                    format!("{} (warm-up)", r.step)
+                } else {
+                    r.step.to_string()
+                },
+                r.interp_allocs.to_string(),
+                report::f(r.interp_alloc_bytes as f64 / 1024.0, 1),
+                report::f(r.interp_retained_bytes as f64 / 1024.0, 1),
+                r.planned_fresh.to_string(),
+                report::f(r.planned_peak_live_bytes as f64 / 1024.0, 1),
+            ]
+        })
+        .collect();
+    let intro = format!(
+        "Per-step memory: interpreter vs planned executor on {} (batch {}).\n\
+         Planned `fresh` must be 0 after the warm-up step; the arena then \
+         serves every take from the pool ({} slots, {:.1} KiB steady working \
+         set).",
+        art.model,
+        art.batch,
+        art.plan_slots,
+        art.plan_steady_bytes as f64 / 1024.0
+    );
+    let mut out = report::titled_table(
+        &intro,
+        &[
+            "step",
+            "interp allocs",
+            "interp KiB",
+            "interp retained KiB",
+            "planned fresh",
+            "planned peak KiB",
+        ],
+        &body,
+    );
+    out.push_str(&format!(
+        "\neval-mode peak live: interpreter {} KiB vs planned {} KiB ({} reduction)\n",
+        report::f(art.eval_interp_bytes as f64 / 1024.0, 1),
+        report::f(art.eval_planned_peak_bytes as f64 / 1024.0, 1),
+        report::speedup(art.eval_reduction),
+    ));
+    out
+}
+
+/// Full `reproduce memory` report. Returns `(text, ok)` where `ok` means
+/// both measured claims hold (see [`MemoryArtifact::ok`]).
+pub fn memory_report(art: &MemoryArtifact) -> (String, bool) {
+    let ok = art.ok();
+    let mut text = memory_table(art);
+    if art.steady_state_allocs == 0 {
+        text.push_str("steady-state training allocates no tensors after warm-up\n");
+    } else {
+        text.push_str(&format!(
+            "STEADY-STATE VIOLATION: {} fresh allocations after warm-up\n",
+            art.steady_state_allocs
+        ));
+    }
+    if art.eval_reduction >= 2.0 {
+        text.push_str("eval-mode peak live bytes reduced by >=2x\n");
+    } else {
+        text.push_str(&format!(
+            "EVAL PEAK VIOLATION: only {} reduction (expected >=2x)\n",
+            report::speedup(art.eval_reduction)
+        ));
+    }
+    (text, ok)
+}
+
+/// Serializes the artifact as pretty JSON (the `BENCH_exec_mem.json`
+/// body).
+pub fn artifact_json(art: &MemoryArtifact) -> String {
+    serde_json::to_string_pretty(art).expect("serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bench_holds_both_claims() {
+        let art = memory(4, 3);
+        assert_eq!(art.train_rows.len(), 3);
+        assert_eq!(
+            art.steady_state_allocs, 0,
+            "planned executor allocated in steady state: {:?}",
+            art.train_rows
+        );
+        assert!(
+            art.eval_reduction >= 2.0,
+            "eval peak reduction only {}x (interp {} vs planned {})",
+            art.eval_reduction,
+            art.eval_interp_bytes,
+            art.eval_planned_peak_bytes
+        );
+        // The interpreter allocates every step; the metered counters must
+        // actually see that.
+        for row in &art.train_rows {
+            assert!(row.interp_allocs > 0 && row.interp_alloc_bytes > 0);
+            assert!(row.interp_retained_bytes > 0);
+            assert!(row.planned_peak_live_bytes > 0);
+        }
+        let (text, ok) = memory_report(&art);
+        assert!(ok, "{text}");
+        assert!(text.contains("eval-mode peak live"));
+    }
+
+    #[test]
+    fn artifact_json_round_trips() {
+        let art = memory(2, 2);
+        let json = artifact_json(&art);
+        let back: MemoryArtifact = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back, art);
+    }
+}

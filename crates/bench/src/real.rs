@@ -17,7 +17,7 @@ use wootz_ir::{ModelIr, SolverConfig};
 use wootz_nn::{Checkpoint, TrainConfig, TrainLog};
 use wootz_tensor::sgd::SgdConfig;
 
-use crate::report;
+use crate::report::{self, median};
 
 /// Budget knobs for the micro experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -313,15 +313,6 @@ pub struct Table2Cell {
     pub final_plus: f64,
 }
 
-/// Median of a sample (upper median for even sizes). Returns `None` for an
-/// empty sample — instead of the NaN this used to produce, which would leak
-/// straight into rendered report rows.
-fn median(mut values: Vec<f64>) -> Option<f64> {
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let mid = values.len() / 2;
-    values.get(mid).copied()
-}
-
 /// Runs the composability-hypothesis experiment for one cell.
 pub fn table2_cell(model_name: &str, ir: ModelIr, dataset: &str, opts: &MicroOpts) -> Table2Cell {
     let n_modules = ir.conv_module_ids().len();
@@ -603,16 +594,6 @@ mod tests {
             cell.init_plus,
             cell.init
         );
-    }
-
-    #[test]
-    fn median_handles_odd_even_and_empty_samples() {
-        assert_eq!(median(vec![3.0, 1.0, 2.0]), Some(2.0));
-        // Upper median for even sizes.
-        assert_eq!(median(vec![4.0, 1.0, 3.0, 2.0]), Some(3.0));
-        // An empty sample is None, never NaN: report code cannot print a
-        // NaN row by accident.
-        assert_eq!(median(vec![]), None);
     }
 
     #[test]

@@ -1,4 +1,14 @@
-//! Plain-text table rendering for the reproduction reports.
+//! Plain-text table rendering and shared statistics helpers for the
+//! reproduction reports.
+//!
+//! Every report in this crate renders through [`render_table`]; the two
+//! benchmark artifact writers (`reproduce kernels` and `reproduce memory`)
+//! additionally share [`titled_table`] so that an intro paragraph plus an
+//! aligned table is formatted in exactly one place. [`median`] is the
+//! single median implementation used by both the accuracy experiments
+//! (`real.rs`) and the benchmark timing/memory rows — it returns
+//! `Option<f64>` so an empty sample renders as `-` instead of leaking a
+//! `NaN` into a report row.
 
 /// Renders an aligned text table with a header row and a separator.
 ///
@@ -57,6 +67,26 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// The shared benchmark-report formatter: an intro paragraph, a blank
+/// line, then the aligned table. Both artifact report writers
+/// (`kernels.rs`, `memrep.rs`) render through this single entry point.
+pub fn titled_table(intro: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(intro.trim_end());
+    out.push_str("\n\n");
+    out.push_str(&render_table(headers, rows));
+    out
+}
+
+/// Median of a sample (upper median for even sizes). Returns `None` for an
+/// empty sample — instead of the NaN this used to produce, which would
+/// leak straight into rendered report rows.
+pub fn median(mut values: Vec<f64>) -> Option<f64> {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = values.len() / 2;
+    values.get(mid).copied()
+}
+
 /// Formats a float with the given precision.
 pub fn f(x: f64, prec: usize) -> String {
     format!("{x:.prec$}")
@@ -110,5 +140,19 @@ mod tests {
     fn empty_rows_render_header_only() {
         let t = render_table(&["a", "b"], &[]);
         assert_eq!(t.lines().count(), 2);
+    }
+
+    #[test]
+    fn titled_table_separates_intro_from_table() {
+        let t = titled_table("Intro line.\n", &["a"], &[vec!["1".into()]]);
+        assert!(t.starts_with("Intro line.\n\na\n"));
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_empty_samples() {
+        assert_eq!(median(vec![]), None);
+        assert_eq!(median(vec![3.0]), Some(3.0));
+        assert_eq!(median(vec![1.0, 9.0]), Some(9.0)); // upper median
+        assert_eq!(median(vec![9.0, 1.0, 5.0]), Some(5.0));
     }
 }

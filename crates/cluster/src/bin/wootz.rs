@@ -58,6 +58,11 @@
 //! variable, else the machine's available parallelism). Distributed workers
 //! inherit the setting. Results are bit-identical for any thread count —
 //! see `PERFORMANCE.md` for the determinism contract.
+//!
+//! Every command also accepts `--exec-plan on|off` (default `on`): `on`
+//! compiles each graph to an `ExecPlan` and trains against a reusable
+//! tensor arena (zero steady-state allocations); `off` selects the
+//! reference interpreter. The two are bit-identical — see `DESIGN.md` §10.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -105,6 +110,20 @@ fn run() -> CliResult {
         // Worker processes spawned by `--distributed` inherit the budget.
         std::env::set_var("WOOTZ_THREADS", n.to_string());
     }
+    // `--exec-plan on|off` is global: it selects the planned executor
+    // (compile-once ExecPlan + arena reuse; the default) or the reference
+    // interpreter. Both are bit-identical — `off` exists for debugging and
+    // for the memory benchmark's baseline. Workers inherit via
+    // `WOOTZ_EXEC_PLAN`.
+    if let Some(v) = take_flag(&mut args, "--exec-plan") {
+        let on = match v.as_str() {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("--exec-plan expects on|off, got `{other}`").into()),
+        };
+        wootz_nn::set_exec_plan_enabled(on);
+        std::env::set_var("WOOTZ_EXEC_PLAN", if on { "on" } else { "off" });
+    }
     if args.is_empty() {
         return Err(usage().into());
     }
@@ -134,7 +153,7 @@ fn run() -> CliResult {
 }
 
 fn usage() -> &'static str {
-    "usage: wootz <compile|sample|identify|genmodel|prune|worker|help> [options] [--metrics-out <path>] [--threads <n>]\n\
+    "usage: wootz <compile|sample|identify|genmodel|prune|worker|help> [options] [--metrics-out <path>] [--threads <n>] [--exec-plan on|off]\n\
      run `wootz help` for per-command options"
 }
 

@@ -13,8 +13,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::{Deserialize, Serialize};
 use wootz_fault::{panic_message, site, FaultError, FaultPlan};
-use wootz_nn::{backward, forward, Checkpoint, Mode};
-use wootz_tensor::ops::{mse_loss, mse_loss_backward};
+use wootz_nn::{backward, exec_plan_enabled, forward, Checkpoint, CompiledNet, Mode, NodeId};
+use wootz_tensor::ops::{mse_loss, mse_loss_backward, mse_loss_backward_into};
 use wootz_tensor::sgd::SgdConfig;
 use wootz_tensor::Tensor;
 
@@ -537,27 +537,72 @@ fn pretrain_one_group(
         }
 
         // Joint training: one forward pass serves every block in the group.
+        // With planned execution (the default) the graph is compiled once
+        // per group — the Teacher–Student loss ports are the plan's kept
+        // set — and the arena plus per-block seed buffers are reused across
+        // every step, so steady-state steps allocate no tensors.
+        let mut compiled: Option<(CompiledNet, Vec<Tensor>)> = if exec_plan_enabled() {
+            let outs: Vec<NodeId> = built
+                .block_ports
+                .iter()
+                .flat_map(|p| [p.student_output, p.teacher_output])
+                .collect();
+            Some((CompiledNet::new(&built.graph, &outs)?, Vec::new()))
+        } else {
+            None
+        };
         let mut first_losses: Vec<Option<f32>> = vec![None; group_blocks.len()];
         let mut last_losses: Vec<f32> = vec![0.0; group_blocks.len()];
         for step in 0..cfg.steps {
             let images = next_batch(group_index * cfg.steps + step);
-            let pass = forward(
-                &built.graph,
-                &mut built.vars,
-                &[(built.input_name.as_str(), &images)],
-                Mode::Train,
-            )?;
-            let mut seeds = Vec::with_capacity(built.block_ports.len());
-            for (bi, ports) in built.block_ports.iter().enumerate() {
-                let student = pass.activation(ports.student_output);
-                let teacher = pass.activation(ports.teacher_output);
-                let loss = mse_loss(student, teacher);
-                first_losses[bi].get_or_insert(loss);
-                last_losses[bi] = loss;
-                seeds.push((ports.student_output, mse_loss_backward(student, teacher)));
+            if let Some((net, seed_bufs)) = compiled.as_mut() {
+                net.forward(
+                    &mut built.vars,
+                    &[(built.input_name.as_str(), &images)],
+                    Mode::Train,
+                )?;
+                if seed_bufs.len() != built.block_ports.len() {
+                    seed_bufs.clear();
+                    for ports in &built.block_ports {
+                        seed_bufs
+                            .push(Tensor::zeros(net.activation(ports.student_output)?.shape()));
+                    }
+                }
+                for (bi, ports) in built.block_ports.iter().enumerate() {
+                    let student = net.activation(ports.student_output)?;
+                    let teacher = net.activation(ports.teacher_output)?;
+                    let loss = mse_loss(student, teacher);
+                    first_losses[bi].get_or_insert(loss);
+                    last_losses[bi] = loss;
+                    mse_loss_backward_into(student, teacher, &mut seed_bufs[bi]);
+                }
+                built.vars.zero_grads();
+                let seeds: Vec<(NodeId, &Tensor)> = built
+                    .block_ports
+                    .iter()
+                    .zip(seed_bufs.iter())
+                    .map(|(p, t)| (p.student_output, t))
+                    .collect();
+                net.backward(&mut built.vars, &seeds)?;
+            } else {
+                let pass = forward(
+                    &built.graph,
+                    &mut built.vars,
+                    &[(built.input_name.as_str(), &images)],
+                    Mode::Train,
+                )?;
+                let mut seeds = Vec::with_capacity(built.block_ports.len());
+                for (bi, ports) in built.block_ports.iter().enumerate() {
+                    let student = pass.activation(ports.student_output);
+                    let teacher = pass.activation(ports.teacher_output);
+                    let loss = mse_loss(student, teacher);
+                    first_losses[bi].get_or_insert(loss);
+                    last_losses[bi] = loss;
+                    seeds.push((ports.student_output, mse_loss_backward(student, teacher)));
+                }
+                built.vars.zero_grads();
+                backward(&built.graph, &mut built.vars, &pass, &seeds)?;
             }
-            built.vars.zero_grads();
-            backward(&built.graph, &mut built.vars, &pass, &seeds)?;
             built.vars.sgd_step(&cfg.sgd);
         }
         outcome.total_steps += cfg.steps;

@@ -19,10 +19,13 @@ pub enum Mode {
 
 /// Momentum for the batch-norm running-statistics update, matching TF-Slim's
 /// default behaviour closely enough for micro-scale experiments.
-const BN_MOMENTUM: f32 = 0.9;
+pub(crate) const BN_MOMENTUM: f32 = 0.9;
 
 /// Per-node cached forward state consumed by the backward pass.
-#[derive(Debug, Clone, Default)]
+///
+/// Deliberately *not* `Clone`: a pass is tied to one batch and is meant to be
+/// borrowed, not duplicated (cloning it would copy every retained activation).
+#[derive(Debug, Default)]
 struct NodeCache {
     bn: Option<ops::BnCache>,
     argmax: Option<Vec<usize>>,
@@ -30,7 +33,11 @@ struct NodeCache {
 
 /// The result of a forward pass: every node's activation plus the caches
 /// needed to run a backward pass over the same batch.
-#[derive(Debug, Clone)]
+///
+/// Deliberately *not* `Clone` — see `NodeCache` above. Call sites borrow
+/// the pass; the planned executor (`crate::plan`) avoids materializing one
+/// at all.
+#[derive(Debug)]
 pub struct ForwardPass {
     activations: Vec<Tensor>,
     caches: Vec<NodeCache>,
@@ -45,6 +52,47 @@ impl ForwardPass {
     pub fn activation(&self, id: NodeId) -> &Tensor {
         &self.activations[id]
     }
+
+    /// Bytes retained by this pass until it is dropped: every activation
+    /// plus the batch-norm caches and max-pool argmax indices. This is what
+    /// the interpreter holds live between forward and backward — the number
+    /// the planned executor's arena peak is compared against in
+    /// `wootz reproduce memory`.
+    pub fn retained_bytes(&self) -> usize {
+        let acts: usize = self.activations.iter().map(|t| 4 * t.len()).sum();
+        let caches: usize = self
+            .caches
+            .iter()
+            .map(|c| {
+                let bn = c
+                    .bn
+                    .as_ref()
+                    .map(|b| 4 * (b.mean.len() + b.var.len() + b.x_hat.len()))
+                    .unwrap_or(0);
+                let arg = c
+                    .argmax
+                    .as_ref()
+                    .map(|a| std::mem::size_of::<usize>() * a.len())
+                    .unwrap_or(0);
+                bn + arg
+            })
+            .sum();
+        acts + caches
+    }
+}
+
+/// Bumps the interpreter allocation counters: one tensor of `elems` f32
+/// scalars was freshly allocated by the reference (non-planned) executor.
+/// The planned executor's analogue is the arena's `fresh` counter.
+fn note_interp_alloc(elems: usize) {
+    use std::sync::OnceLock;
+    use wootz_obs::Counter;
+    static ALLOCS: OnceLock<Counter> = OnceLock::new();
+    static BYTES: OnceLock<Counter> = OnceLock::new();
+    ALLOCS.get_or_init(|| wootz_obs::counter("exec.interp.allocs")).incr();
+    BYTES
+        .get_or_init(|| wootz_obs::counter("exec.interp.bytes"))
+        .add(4 * elems as u64);
 }
 
 /// How a forward pass reads (and, in train mode, updates) variables.
@@ -54,42 +102,71 @@ impl ForwardPass {
 /// variables, which is what lets [`forward_eval`] take `&VarStore` and the
 /// trainer shard an evaluation batch across the `wootz-par` pool (shared
 /// immutable store, disjoint per-shard activations).
-trait VarAccess {
+pub(crate) trait VarAccess {
     /// Current value of a variable.
     fn value(&self, name: &str) -> Result<&Tensor>;
     /// Folds fresh batch statistics into the running mean/variance with
     /// momentum [`BN_MOMENTUM`]. Only reachable in [`Mode::Train`].
-    fn update_bn_stats(&mut self, mean: &str, var: &str, cache: &ops::BnCache) -> Result<()>;
+    fn update_bn_stats(
+        &mut self,
+        mean: &str,
+        var: &str,
+        batch_mean: &Tensor,
+        batch_var: &Tensor,
+    ) -> Result<()>;
 }
 
 /// Mutable access used by [`Mode::Train`].
-struct TrainAccess<'a>(&'a mut VarStore);
+pub(crate) struct TrainAccess<'a>(pub(crate) &'a mut VarStore);
 
 impl VarAccess for TrainAccess<'_> {
     fn value(&self, name: &str) -> Result<&Tensor> {
         self.0.value(name)
     }
 
-    fn update_bn_stats(&mut self, mean: &str, var: &str, cache: &ops::BnCache) -> Result<()> {
-        let mut new_mean = self.0.value(mean)?.scale(BN_MOMENTUM);
-        new_mean.axpy(1.0 - BN_MOMENTUM, &cache.mean)?;
-        self.0.assign(mean, new_mean)?;
-        let mut new_var = self.0.value(var)?.scale(BN_MOMENTUM);
-        new_var.axpy(1.0 - BN_MOMENTUM, &cache.var)?;
-        self.0.assign(var, new_var)?;
+    fn update_bn_stats(
+        &mut self,
+        mean: &str,
+        var: &str,
+        batch_mean: &Tensor,
+        batch_var: &Tensor,
+    ) -> Result<()> {
+        // In-place momentum fold: `m ← 0.9·m + 0.1·batch`, computed exactly
+        // as `m *= 0.9; m += 0.1·batch` — the same two float ops per element
+        // as the historical scale + axpy + assign, without the temporaries.
+        for (name, batch) in [(mean, batch_mean), (var, batch_var)] {
+            let p = self.0.param_mut(name)?;
+            if p.value.shape() != batch.shape() {
+                return Err(NnError::Graph(format!(
+                    "bn stats `{name}`: batch shape {:?} != stored {:?}",
+                    batch.shape(),
+                    p.value.shape()
+                )));
+            }
+            for (m, &b) in p.value.data_mut().iter_mut().zip(batch.data().iter()) {
+                *m *= BN_MOMENTUM;
+                *m += (1.0 - BN_MOMENTUM) * b;
+            }
+        }
         Ok(())
     }
 }
 
 /// Shared read-only access used by [`Mode::Eval`] / [`forward_eval`].
-struct EvalAccess<'a>(&'a VarStore);
+pub(crate) struct EvalAccess<'a>(pub(crate) &'a VarStore);
 
 impl VarAccess for EvalAccess<'_> {
     fn value(&self, name: &str) -> Result<&Tensor> {
         self.0.value(name)
     }
 
-    fn update_bn_stats(&mut self, _mean: &str, _var: &str, _cache: &ops::BnCache) -> Result<()> {
+    fn update_bn_stats(
+        &mut self,
+        _mean: &str,
+        _var: &str,
+        _batch_mean: &Tensor,
+        _batch_var: &Tensor,
+    ) -> Result<()> {
         Err(NnError::Graph(
             "batch-norm statistics update attempted in eval mode".to_string(),
         ))
@@ -192,7 +269,7 @@ fn forward_impl<V: VarAccess>(
                         let (y, c) =
                             ops::batch_norm(x, vars.value(gamma)?, vars.value(beta)?, *eps, None);
                         // Fold the batch statistics into the running stats.
-                        vars.update_bn_stats(mean, var, &c)?;
+                        vars.update_bn_stats(mean, var, &c.mean, &c.var)?;
                         (y, c)
                     }
                     Mode::Eval => {
@@ -239,6 +316,14 @@ fn forward_impl<V: VarAccess>(
             }
             Op::StopGradient => activations[node.inputs[0]].clone(),
         };
+        // Reference-executor allocation accounting: one fresh tensor per
+        // node output, plus the batch-norm cache tensors when present.
+        note_interp_alloc(out.len());
+        if let Some(bn) = &cache.bn {
+            note_interp_alloc(bn.mean.len());
+            note_interp_alloc(bn.var.len());
+            note_interp_alloc(bn.x_hat.len());
+        }
         activations.push(out);
         caches.push(cache);
     }
@@ -284,11 +369,17 @@ pub fn backward(
         }
         match &mut grads[*id] {
             Some(acc) => acc.axpy(1.0, g)?,
-            slot => *slot = Some(g.clone()),
+            slot => {
+                note_interp_alloc(g.len());
+                *slot = Some(g.clone());
+            }
         }
     }
 
     let accumulate = |grads: &mut Vec<Option<Tensor>>, id: NodeId, g: Tensor| -> Result<()> {
+        // `g` was freshly allocated by the producing op (or is a clone made
+        // at the call site); count it against the reference executor.
+        note_interp_alloc(g.len());
         match &mut grads[id] {
             Some(acc) => acc.axpy(1.0, &g)?,
             slot => *slot = Some(g),
@@ -304,6 +395,8 @@ pub fn backward(
             Op::Conv2d { weight, bias, cfg } => {
                 let x = &pass.activations[node.inputs[0]];
                 let g = ops::conv2d_backward(x, vars.value(weight)?, &dy, *cfg);
+                note_interp_alloc(g.dw.len());
+                note_interp_alloc(g.db.len());
                 vars.accumulate_grad(weight, &g.dw)?;
                 vars.accumulate_grad(bias, &g.db)?;
                 accumulate(&mut grads, node.inputs[0], g.dx)?;
@@ -314,6 +407,8 @@ pub fn backward(
                     .as_ref()
                     .ok_or_else(|| NnError::Graph(format!("bn `{}` missing cache", node.name)))?;
                 let (dx, dgamma, dbeta) = ops::batch_norm_backward(&dy, vars.value(gamma)?, cache);
+                note_interp_alloc(dgamma.len());
+                note_interp_alloc(dbeta.len());
                 vars.accumulate_grad(gamma, &dgamma)?;
                 vars.accumulate_grad(beta, &dbeta)?;
                 accumulate(&mut grads, node.inputs[0], dx)?;
@@ -356,6 +451,8 @@ pub fn backward(
             Op::Dense { weight, bias } => {
                 let x = &pass.activations[node.inputs[0]];
                 let g = ops::dense_backward(x, vars.value(weight)?, &dy);
+                note_interp_alloc(g.dw.len());
+                note_interp_alloc(g.db.len());
                 vars.accumulate_grad(weight, &g.dw)?;
                 vars.accumulate_grad(bias, &g.db)?;
                 accumulate(&mut grads, node.inputs[0], g.dx)?;

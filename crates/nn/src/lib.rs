@@ -40,6 +40,7 @@ pub mod dot;
 mod error;
 mod exec;
 mod graph;
+pub mod plan;
 mod trainer;
 mod var;
 
@@ -47,6 +48,10 @@ pub use checkpoint::Checkpoint;
 pub use error::NnError;
 pub use exec::{backward, forward, forward_eval, sgd_step, zero_grads, ForwardPass, Mode};
 pub use graph::{Graph, GraphBuilder, Node, NodeId, NodeShape, Op};
+pub use plan::{
+    exec_plan_enabled, planned_backward, planned_forward_eval, set_exec_plan_enabled, CompiledNet,
+    ExecPlan, PlanState, SlotSpec,
+};
 pub use trainer::{
     evaluate_accuracy, train_classifier, LrSchedule, TrainConfig, TrainLog, TrainRecord,
 };

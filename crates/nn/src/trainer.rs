@@ -9,6 +9,7 @@ use wootz_tensor::Tensor;
 
 use crate::exec::{backward, forward, forward_eval, Mode};
 use crate::graph::{Graph, NodeId};
+use crate::plan::{exec_plan_enabled, planned_forward_eval, CompiledNet, ExecPlan, PlanState};
 use crate::var::VarStore;
 use crate::{NnError, Result};
 
@@ -151,6 +152,14 @@ pub fn evaluate_accuracy(
     if scored == 0 {
         return Ok(0.0);
     }
+    // One eval plan shared by every shard; each shard owns its PlanState
+    // (disjoint buffers), exactly as each shard owned its ForwardPass.
+    let eval_plan: Option<ExecPlan> = if exec_plan_enabled() {
+        Some(ExecPlan::for_eval(graph, &[logits_node])?)
+    } else {
+        None
+    };
+    let eval_plan = eval_plan.as_ref();
     let sample_len = images.len() / n;
     let counts = wootz_par::parallel_chunks(&labels[..scored], EVAL_SHARD, |si, shard_labels| {
         let s0 = si * EVAL_SHARD;
@@ -161,8 +170,17 @@ pub fn evaluate_accuracy(
             images.data()[s0 * sample_len..(s0 + rows) * sample_len].to_vec(),
             &shape,
         )?;
-        let pass = forward_eval(graph, vars, &[(input_name, &shard_x)])?;
-        let preds = pass.activation(logits_node).argmax_rows()?;
+        let preds = match eval_plan {
+            Some(plan) => {
+                let mut state = PlanState::new(graph);
+                planned_forward_eval(graph, plan, &mut state, vars, &[(input_name, &shard_x)])?;
+                state.activation(plan, logits_node)?.argmax_rows()?
+            }
+            None => {
+                let pass = forward_eval(graph, vars, &[(input_name, &shard_x)])?;
+                pass.activation(logits_node).argmax_rows()?
+            }
+        };
         Ok::<usize, NnError>(
             preds
                 .iter()
@@ -248,6 +266,19 @@ pub fn train_classifier(
     let _run = wootz_obs::span("trainer.run").with("max_steps", cfg.max_steps);
     let steps_counter = wootz_obs::counter("trainer.steps");
     let step_time = wootz_obs::histogram("trainer.step_time_us");
+    // Planned execution (the default): compile the graph once and reuse the
+    // plan + arena across every step — steady-state steps allocate no
+    // tensors. `--exec-plan off` (or WOOTZ_EXEC_PLAN=off) selects the
+    // reference interpreter instead; both paths are bit-identical.
+    let mut net: Option<CompiledNet> = if exec_plan_enabled() {
+        Some(CompiledNet::new(graph, &[logits_node])?)
+    } else {
+        None
+    };
+    // Persistent loss buffers for the planned path, rebuilt only when the
+    // batch shape changes.
+    let mut probs = Tensor::zeros(&[0, 0]);
+    let mut dlogits = Tensor::zeros(&[0, 0]);
     let mut log = TrainLog::default();
     if let Some((images, labels)) = eval_data {
         log.initial_accuracy = Some(evaluate_accuracy(
@@ -267,28 +298,52 @@ pub fn train_classifier(
     for step in 0..cfg.max_steps {
         let step_start = std::time::Instant::now();
         let (images, labels) = next_batch(step);
-        let pass = forward(graph, vars, &[(input_name, &images)], Mode::Train)?;
-        let out = ops::softmax_cross_entropy(pass.activation(logits_node), &labels);
-        // Numerical-health guard #1: a non-finite loss means the forward
-        // pass already blew up; stop before the gradients poison anything.
-        if !out.loss.is_finite() {
-            emit_diverged(step, out.loss, None);
-            return Err(NnError::Diverged {
-                step,
-                loss: out.loss,
-                var: None,
-            });
-        }
-        vars.zero_grads();
-        backward(graph, vars, &pass, &[(logits_node, out.dlogits)])?;
+        let loss = if let Some(net) = net.as_mut() {
+            net.forward(vars, &[(input_name, &images)], Mode::Train)?;
+            let logits = net.activation(logits_node)?;
+            if probs.shape() != logits.shape() {
+                probs = Tensor::zeros(logits.shape());
+                dlogits = Tensor::zeros(logits.shape());
+            }
+            let loss = ops::softmax_cross_entropy_into(logits, &labels, &mut probs, &mut dlogits);
+            // Numerical-health guard #1: a non-finite loss means the
+            // forward pass already blew up; stop before the gradients
+            // poison anything.
+            if !loss.is_finite() {
+                emit_diverged(step, loss, None);
+                return Err(NnError::Diverged {
+                    step,
+                    loss,
+                    var: None,
+                });
+            }
+            vars.zero_grads();
+            net.backward(vars, &[(logits_node, &dlogits)])?;
+            loss
+        } else {
+            let pass = forward(graph, vars, &[(input_name, &images)], Mode::Train)?;
+            let out = ops::softmax_cross_entropy(pass.activation(logits_node), &labels);
+            // Numerical-health guard #1 (see above).
+            if !out.loss.is_finite() {
+                emit_diverged(step, out.loss, None);
+                return Err(NnError::Diverged {
+                    step,
+                    loss: out.loss,
+                    var: None,
+                });
+            }
+            vars.zero_grads();
+            backward(graph, vars, &pass, &[(logits_node, out.dlogits)])?;
+            out.loss
+        };
         // Numerical-health guard #2: a non-finite gradient would corrupt
         // the variables on the next update (and every checkpoint captured
         // afterwards). Fail *before* `sgd_step` applies it.
         if let Some(name) = first_non_finite_grad(vars) {
-            emit_diverged(step, out.loss, Some(&name));
+            emit_diverged(step, loss, Some(&name));
             return Err(NnError::Diverged {
                 step,
-                loss: out.loss,
+                loss,
                 var: Some(name),
             });
         }
@@ -303,10 +358,10 @@ pub fn train_classifier(
         // huge learning rate times a finite gradient). Catch it the moment
         // it happens so the caller aborts instead of checkpointing Inf.
         if let Some(name) = first_non_finite_value(vars) {
-            emit_diverged(step, out.loss, Some(&name));
+            emit_diverged(step, loss, Some(&name));
             return Err(NnError::Diverged {
                 step,
-                loss: out.loss,
+                loss,
                 var: Some(name),
             });
         }
@@ -328,14 +383,14 @@ pub fn train_classifier(
             };
             let mut ev = wootz_obs::event("trainer.eval")
                 .field("step", step + 1)
-                .field("loss", out.loss as f64);
+                .field("loss", loss as f64);
             if let Some(a) = accuracy {
                 ev = ev.field("accuracy", a as f64);
             }
             ev.emit();
             log.records.push(TrainRecord {
                 step: step + 1,
-                loss: out.loss,
+                loss,
                 accuracy,
             });
         }

@@ -176,9 +176,12 @@ impl VarStore {
                     ..*cfg
                 }
             };
-            // Split borrows: state vs value.
-            let grad = p.grad.clone();
-            p.state.step(&eff, &mut p.value, &grad);
+            // Destructure for disjoint borrows of value, grad and state —
+            // no per-step gradient clone.
+            let Param {
+                value, grad, state, ..
+            } = p;
+            state.step(&eff, value, grad);
         }
     }
 

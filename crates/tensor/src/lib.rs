@@ -28,12 +28,14 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod init;
 pub mod ops;
 pub mod sgd;
 mod shape;
 mod tensor;
 
+pub use arena::{ArenaStats, TensorArena};
 pub use shape::ShapeError;
 pub use tensor::Tensor;
 

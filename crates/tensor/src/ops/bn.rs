@@ -45,8 +45,7 @@ pub fn batch_norm(
     let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
     assert_eq!(gamma.shape(), &[c], "batch_norm gamma shape");
     assert_eq!(beta.shape(), &[c], "batch_norm beta shape");
-    let count = (n * h * w) as f32;
-    let plane = h * w;
+    let _ = (n, h, w);
     // Roughly: mean + variance passes (4 ops/elt) and the normalize-affine
     // pass (4 ops/elt) over N*C*H*W elements.
     metering::batch_norm_calls().incr();
@@ -61,46 +60,14 @@ pub fn batch_norm(
         None => {
             let mut mean = Tensor::zeros(&[c]);
             let mut var = Tensor::zeros(&[c]);
-            for ci in 0..c {
-                let mut acc = 0.0;
-                for ni in 0..n {
-                    let base = (ni * c + ci) * plane;
-                    acc += x.data()[base..base + plane].iter().sum::<f32>();
-                }
-                mean.data_mut()[ci] = acc / count;
-            }
-            for ci in 0..c {
-                let m = mean.data()[ci];
-                let mut acc = 0.0;
-                for ni in 0..n {
-                    let base = (ni * c + ci) * plane;
-                    acc += x.data()[base..base + plane]
-                        .iter()
-                        .map(|&v| (v - m) * (v - m))
-                        .sum::<f32>();
-                }
-                var.data_mut()[ci] = acc / count;
-            }
+            batch_stats_into(x, &mut mean, &mut var);
             (mean, var)
         }
     };
 
     let mut x_hat = Tensor::zeros(shape);
     let mut y = Tensor::zeros(shape);
-    for ni in 0..n {
-        for ci in 0..c {
-            let m = mean.data()[ci];
-            let inv_std = 1.0 / (var.data()[ci] + eps).sqrt();
-            let g = gamma.data()[ci];
-            let b = beta.data()[ci];
-            let base = (ni * c + ci) * plane;
-            for p in 0..plane {
-                let xh = (x.data()[base + p] - m) * inv_std;
-                x_hat.data_mut()[base + p] = xh;
-                y.data_mut()[base + p] = g * xh + b;
-            }
-        }
-    }
+    batch_norm_apply_into(x, gamma, beta, eps, &mean, &var, &mut y, Some(&mut x_hat));
     (
         y,
         BnCache {
@@ -110,6 +77,105 @@ pub fn batch_norm(
             eps,
         },
     )
+}
+
+/// Computes per-channel batch mean and (biased) variance of an `NCHW`
+/// tensor into `mean`/`var` (`[C]`, full overwrite).
+///
+/// This is the exact statistics pass of [`batch_norm`] in training mode —
+/// the allocating wrapper calls it, so planned and interpreted executions
+/// share one float-op sequence.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn batch_stats_into(x: &Tensor, mean: &mut Tensor, var: &mut Tensor) {
+    let shape = x.shape();
+    assert_eq!(
+        shape.len(),
+        4,
+        "batch_stats expects rank-4 input, got {shape:?}"
+    );
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    assert_eq!(mean.shape(), &[c], "batch_stats mean shape");
+    assert_eq!(var.shape(), &[c], "batch_stats var shape");
+    let count = (n * h * w) as f32;
+    let plane = h * w;
+    for ci in 0..c {
+        let mut acc = 0.0;
+        for ni in 0..n {
+            let base = (ni * c + ci) * plane;
+            acc += x.data()[base..base + plane].iter().sum::<f32>();
+        }
+        mean.data_mut()[ci] = acc / count;
+    }
+    for ci in 0..c {
+        let m = mean.data()[ci];
+        let mut acc = 0.0;
+        for ni in 0..n {
+            let base = (ni * c + ci) * plane;
+            acc += x.data()[base..base + plane]
+                .iter()
+                .map(|&v| (v - m) * (v - m))
+                .sum::<f32>();
+        }
+        var.data_mut()[ci] = acc / count;
+    }
+}
+
+/// Normalize-and-affine pass of [`batch_norm`]: writes `γ·x̂ + β` into `out`
+/// (full overwrite) where `x̂ = (x − μ)/√(σ² + ε)` uses the given per-channel
+/// `mean`/`var`. When `x_hat` is `Some`, the normalized activations are also
+/// materialized (training mode needs them for the backward pass); `None`
+/// skips that buffer entirely — the eval-mode planned executor's main memory
+/// win. The per-element float expression is identical either way.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_norm_apply_into(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    mean: &Tensor,
+    var: &Tensor,
+    out: &mut Tensor,
+    mut x_hat: Option<&mut Tensor>,
+) {
+    let shape = x.shape();
+    assert_eq!(
+        shape.len(),
+        4,
+        "batch_norm_apply expects rank-4 input, got {shape:?}"
+    );
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    assert_eq!(gamma.shape(), &[c], "batch_norm gamma shape");
+    assert_eq!(beta.shape(), &[c], "batch_norm beta shape");
+    assert_eq!(mean.shape(), &[c], "batch_norm mean shape");
+    assert_eq!(var.shape(), &[c], "batch_norm var shape");
+    assert_eq!(out.shape(), shape, "batch_norm_apply out shape");
+    if let Some(ref xh) = x_hat {
+        assert_eq!(xh.shape(), shape, "batch_norm_apply x_hat shape");
+    }
+    let plane = h * w;
+    for ni in 0..n {
+        for ci in 0..c {
+            let m = mean.data()[ci];
+            let inv_std = 1.0 / (var.data()[ci] + eps).sqrt();
+            let g = gamma.data()[ci];
+            let b = beta.data()[ci];
+            let base = (ni * c + ci) * plane;
+            for p in 0..plane {
+                let xh = (x.data()[base + p] - m) * inv_std;
+                if let Some(ref mut xht) = x_hat {
+                    xht.data_mut()[base + p] = xh;
+                }
+                out.data_mut()[base + p] = g * xh + b;
+            }
+        }
+    }
 }
 
 /// Batch-norm backward (training mode, batch statistics).
@@ -124,15 +190,53 @@ pub fn batch_norm_backward(
     cache: &BnCache,
 ) -> (Tensor, Tensor, Tensor) {
     let shape = dy.shape();
-    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
-    let plane = h * w;
-    let m = (n * h * w) as f32;
+    let c = shape[1];
     let mut dx = Tensor::zeros(shape);
     let mut dgamma = Tensor::zeros(&[c]);
     let mut dbeta = Tensor::zeros(&[c]);
+    batch_norm_backward_into(
+        dy,
+        gamma,
+        &cache.x_hat,
+        &cache.var,
+        cache.eps,
+        &mut dx,
+        &mut dgamma,
+        &mut dbeta,
+    );
+    (dx, dgamma, dbeta)
+}
+
+/// Core of [`batch_norm_backward`], taking the cache pieces (`x_hat`, `var`,
+/// `eps`) individually so the planned executor can keep them in arena
+/// buffers, and writing `dx`/`dgamma`/`dbeta` by full overwrite.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn batch_norm_backward_into(
+    dy: &Tensor,
+    gamma: &Tensor,
+    x_hat: &Tensor,
+    var: &Tensor,
+    eps: f32,
+    dx: &mut Tensor,
+    dgamma: &mut Tensor,
+    dbeta: &mut Tensor,
+) {
+    let shape = dy.shape();
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    assert_eq!(x_hat.shape(), shape, "batch_norm_backward x_hat shape");
+    assert_eq!(var.shape(), &[c], "batch_norm_backward var shape");
+    assert_eq!(dx.shape(), shape, "batch_norm_backward dx shape");
+    assert_eq!(dgamma.shape(), &[c], "batch_norm_backward dgamma shape");
+    assert_eq!(dbeta.shape(), &[c], "batch_norm_backward dbeta shape");
+    let plane = h * w;
+    let m = (n * h * w) as f32;
 
     for ci in 0..c {
-        let inv_std = 1.0 / (cache.var.data()[ci] + cache.eps).sqrt();
+        let inv_std = 1.0 / (var.data()[ci] + eps).sqrt();
         let g = gamma.data()[ci];
         let mut sum_dxhat = 0.0;
         let mut sum_dxhat_xhat = 0.0;
@@ -142,7 +246,7 @@ pub fn batch_norm_backward(
             let base = (ni * c + ci) * plane;
             for p in 0..plane {
                 let gy = dy.data()[base + p];
-                let xh = cache.x_hat.data()[base + p];
+                let xh = x_hat.data()[base + p];
                 let dxh = gy * g;
                 sum_dxhat += dxh;
                 sum_dxhat_xhat += dxh * xh;
@@ -156,13 +260,12 @@ pub fn batch_norm_backward(
             let base = (ni * c + ci) * plane;
             for p in 0..plane {
                 let gy = dy.data()[base + p];
-                let xh = cache.x_hat.data()[base + p];
+                let xh = x_hat.data()[base + p];
                 let dxh = gy * g;
                 dx.data_mut()[base + p] = inv_std / m * (m * dxh - sum_dxhat - xh * sum_dxhat_xhat);
             }
         }
     }
-    (dx, dgamma, dbeta)
 }
 
 #[cfg(test)]

@@ -141,6 +141,24 @@ fn col2im(
 /// padded input, wrong ranks). Model graphs are validated before execution,
 /// so a panic here indicates an internal bug.
 pub fn conv2d(x: &Tensor, w: &Tensor, b: &Tensor, cfg: Conv2dCfg) -> Tensor {
+    let (_, _, h, wd) = unpack4(x.shape(), "conv2d input");
+    let (f, _, kh, kw) = unpack4(w.shape(), "conv2d weight");
+    let n = x.shape()[0];
+    let ho = conv2d_out_dim(h, kh, cfg.stride, cfg.pad);
+    let wo = conv2d_out_dim(wd, kw, cfg.stride, cfg.pad);
+    let mut out = Tensor::zeros(&[n, f, ho, wo]);
+    conv2d_into(x, w, b, cfg, &mut out);
+    out
+}
+
+/// Arena-friendly [`conv2d`]: writes the `[N, F, Ho, Wo]` output into `out`
+/// (full overwrite). The allocating wrapper runs this exact body, so planned
+/// and interpreted executions are bit-identical by construction.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies, as in [`conv2d`].
+pub fn conv2d_into(x: &Tensor, w: &Tensor, b: &Tensor, cfg: Conv2dCfg, out: &mut Tensor) {
     let (n, c, h, wd) = unpack4(x.shape(), "conv2d input");
     let (f, cw, kh, kw) = unpack4(w.shape(), "conv2d weight");
     assert_eq!(c, cw, "conv2d: input has {c} channels, weight expects {cw}");
@@ -152,6 +170,7 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: &Tensor, cfg: Conv2dCfg) -> Tensor {
     );
     let ho = conv2d_out_dim(h, kh, cfg.stride, cfg.pad);
     let wo = conv2d_out_dim(wd, kw, cfg.stride, cfg.pad);
+    assert_eq!(out.shape(), &[n, f, ho, wo], "conv2d_into: output shape");
     // One matmul of [F, C*Kh*Kw] x [C*Kh*Kw, Ho*Wo] per sample + bias adds.
     metering::conv2d_calls().incr();
     metering::conv2d_flops().add(
@@ -160,12 +179,11 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: &Tensor, cfg: Conv2dCfg) -> Tensor {
     metering::conv2d_bytes().add(4 * (x.len() + w.len() + b.len() + n * f * ho * wo) as u64);
     let w_mat = w.reshape(&[f, c * kh * kw]).expect("weight reshape");
     let bias = b.data();
-    let mut out = vec![0.0f32; n * f * ho * wo];
     let sample = c * h * wd;
     let xv = x.data();
     // One task per sample: each writes only its own [F, Ho, Wo] slice, so
     // the parallel result is bit-identical to the sequential loop.
-    wootz_par::parallel_chunks_mut(&mut out, f * ho * wo, |ni, dst| {
+    wootz_par::parallel_chunks_mut(out.data_mut(), f * ho * wo, |ni, dst| {
         let col = im2col(
             &xv[ni * sample..(ni + 1) * sample],
             (c, h, wd),
@@ -182,7 +200,6 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: &Tensor, cfg: Conv2dCfg) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(out, &[n, f, ho, wo]).expect("conv2d output shape")
 }
 
 /// Backward pass of [`conv2d`].
@@ -194,6 +211,33 @@ pub fn conv2d(x: &Tensor, w: &Tensor, b: &Tensor, cfg: Conv2dCfg) -> Tensor {
 ///
 /// Panics on shape inconsistencies, as in [`conv2d`].
 pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, cfg: Conv2dCfg) -> Conv2dGrads {
+    let mut dx = Tensor::zeros(x.shape());
+    let mut dw = Tensor::zeros(w.shape());
+    let mut db = Tensor::zeros(&[w.shape()[0]]);
+    conv2d_backward_into(x, w, dy, cfg, &mut dx, &mut dw, &mut db);
+    Conv2dGrads { dx, dw, db }
+}
+
+/// Arena-friendly [`conv2d_backward`]: writes the three gradients into
+/// caller-provided tensors, all of which **must be all-zero** on entry —
+/// `dx` because overlapping windows accumulate, `dw`/`db` because the
+/// per-sample partials are summed in place. The accumulation order is the
+/// sample order (sequential loop order), so the result is bit-identical to
+/// [`conv2d_backward`] for any thread count.
+///
+/// # Panics
+///
+/// Panics on shape inconsistencies, as in [`conv2d`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_into(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    cfg: Conv2dCfg,
+    dx: &mut Tensor,
+    dw: &mut Tensor,
+    db: &mut Tensor,
+) {
     let (n, c, h, wd) = unpack4(x.shape(), "conv2d_backward input");
     let (f, _cw, kh, kw) = unpack4(w.shape(), "conv2d_backward weight");
     let (dn, df, ho, wo) = unpack4(dy.shape(), "conv2d_backward dy");
@@ -202,6 +246,9 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, cfg: Conv2dCfg) -> C
         (n, f),
         "conv2d_backward: dy batch/filters mismatch"
     );
+    assert_eq!(dx.shape(), x.shape(), "conv2d_backward_into dx shape");
+    assert_eq!(dw.shape(), w.shape(), "conv2d_backward_into dw shape");
+    assert_eq!(db.shape(), &[f], "conv2d_backward_into db shape");
     // Two matmuls per sample (dW and dcol) of the same shape as the forward
     // pass, plus the db row sums.
     metering::conv2d_backward_calls().incr();
@@ -209,9 +256,6 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, cfg: Conv2dCfg) -> C
         (n as u64) * (2 * metering::matmul_flops(f, c * kh * kw, ho * wo) + (f * ho * wo) as u64),
     );
     let w_mat = w.reshape(&[f, c * kh * kw]).expect("weight reshape");
-    let mut dw_mat = Tensor::zeros(&[f, c * kh * kw]);
-    let mut db = Tensor::zeros(&[f]);
-    let mut dx = vec![0.0f32; x.len()];
     let sample = c * h * wd;
     let osample = f * ho * wo;
     let xv = x.data();
@@ -221,7 +265,7 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, cfg: Conv2dCfg) -> C
     // that order — the sequential loop's exact accumulation order, so the
     // reduction is bit-identical for any thread count.
     let partials: Vec<(Tensor, Vec<f32>)> =
-        wootz_par::parallel_chunks_mut(&mut dx, sample, |ni, dxs| {
+        wootz_par::parallel_chunks_mut(dx.data_mut(), sample, |ni, dxs| {
             let col = im2col(
                 &xv[ni * sample..(ni + 1) * sample],
                 (c, h, wd),
@@ -244,16 +288,16 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, dy: &Tensor, cfg: Conv2dCfg) -> C
             col2im(&dcol, (c, h, wd), (kh, kw), cfg, dxs);
             (dw_n, db_n)
         });
+    // `dw` is `[F, C, Kh, Kw]` but row-major data is identical to the
+    // `[F, C*Kh*Kw]` partials, so the flat elementwise sum below is exactly
+    // the old `axpy`-into-matrix-then-reshape accumulation.
     for (dw_n, db_n) in &partials {
-        dw_mat.axpy(1.0, dw_n).expect("dw accumulate");
+        for (d, &v) in dw.data_mut().iter_mut().zip(dw_n.data().iter()) {
+            *d += v;
+        }
         for (d, &v) in db.data_mut().iter_mut().zip(db_n.iter()) {
             *d += v;
         }
-    }
-    Conv2dGrads {
-        dx: Tensor::from_vec(dx, x.shape()).expect("dx shape"),
-        dw: dw_mat.reshape(w.shape()).expect("dw shape"),
-        db,
     }
 }
 

@@ -1,6 +1,6 @@
 //! Fully-connected (inner-product) layer.
 
-use crate::ops::matmul::{matmul_nt, matmul_tn};
+use crate::ops::matmul::{matmul_into, matmul_nt, matmul_nt_into, matmul_tn, matmul_tn_into};
 use crate::ops::metering;
 use crate::Tensor;
 
@@ -58,6 +58,44 @@ pub fn dense(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
     y
 }
 
+/// Arena-friendly [`dense`]: writes `x · Wᵀ + b` into `out`, a `[N, Out]`
+/// tensor (full overwrite). Bit-identical to [`dense`] — both run the same
+/// `matmul_nt` core followed by the same bias adds.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn dense_into(x: &Tensor, w: &Tensor, b: &Tensor, out: &mut Tensor) {
+    assert_eq!(
+        x.shape().len(),
+        2,
+        "dense input must be [N, In], got {:?}",
+        x.shape()
+    );
+    assert_eq!(
+        w.shape().len(),
+        2,
+        "dense weight must be [Out, In], got {:?}",
+        w.shape()
+    );
+    let (n, d_in) = (x.shape()[0], x.shape()[1]);
+    let (d_out, d_in2) = (w.shape()[0], w.shape()[1]);
+    assert_eq!(
+        d_in, d_in2,
+        "dense: input width {d_in} != weight width {d_in2}"
+    );
+    assert_eq!(b.shape(), &[d_out], "dense bias shape");
+    metering::dense_calls().incr();
+    metering::dense_flops().add(metering::matmul_flops(n, d_in, d_out) + (n * d_out) as u64);
+    matmul_nt_into(x, w, out);
+    for i in 0..n {
+        let row = &mut out.data_mut()[i * d_out..(i + 1) * d_out];
+        for (v, &bv) in row.iter_mut().zip(b.data().iter()) {
+            *v += bv;
+        }
+    }
+}
+
 /// Backward of [`dense`].
 pub fn dense_backward(x: &Tensor, w: &Tensor, dy: &Tensor) -> DenseGrads {
     let n = x.shape()[0];
@@ -80,6 +118,43 @@ pub fn dense_backward(x: &Tensor, w: &Tensor, dy: &Tensor) -> DenseGrads {
         }
     }
     DenseGrads { dx, dw, db }
+}
+
+/// Arena-friendly [`dense_backward`]: writes the three gradients into
+/// caller-provided tensors. `dx` (`[N, In]`) and `dw` (`[Out, In]`) **must be
+/// all-zero** on entry (the matmul cores accumulate); `db` (`[Out]`) must be
+/// all-zero too (column sums accumulate). Bit-identical to
+/// [`dense_backward`].
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn dense_backward_into(
+    x: &Tensor,
+    w: &Tensor,
+    dy: &Tensor,
+    dx: &mut Tensor,
+    dw: &mut Tensor,
+    db: &mut Tensor,
+) {
+    let n = x.shape()[0];
+    let d_out = w.shape()[0];
+    assert_eq!(dy.shape(), &[n, d_out], "dense_backward dy shape");
+    let d_in = x.shape()[1];
+    metering::dense_backward_flops()
+        .add(2 * metering::matmul_flops(n, d_in, d_out) + (n * d_out) as u64);
+    // dx = dY · W        [N, In]
+    matmul_into(dy, w, dx);
+    // dW = dYᵀ · X       [Out, In]
+    matmul_tn_into(dy, x, dw);
+    // db = column sums of dY.
+    assert_eq!(db.shape(), &[d_out], "dense_backward_into db shape");
+    for i in 0..n {
+        let row = &dy.data()[i * d_out..(i + 1) * d_out];
+        for (acc, &g) in db.data_mut().iter_mut().zip(row.iter()) {
+            *acc += g;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,24 @@ pub fn add_n(inputs: &[&Tensor]) -> Result<Tensor, ShapeError> {
     Ok(out)
 }
 
+/// Arena-friendly [`add_n`]: sums the inputs into `out` by copying the first
+/// and `axpy`-ing the rest — the exact accumulation of [`add_n`], so results
+/// are bit-identical. `out` is fully overwritten.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] for an empty input list or mismatched shapes.
+pub fn add_n_into(inputs: &[&Tensor], out: &mut Tensor) -> Result<(), ShapeError> {
+    let first = inputs
+        .first()
+        .ok_or_else(|| ShapeError::new("add_n: no inputs"))?;
+    out.copy_data_from(first)?;
+    for t in &inputs[1..] {
+        out.axpy(1.0, t)?;
+    }
+    Ok(())
+}
+
 /// Backward of [`add_n`]: the upstream gradient flows unchanged to every
 /// input, so this returns `n` clones of `dy`.
 pub fn add_n_backward(dy: &Tensor, n: usize) -> Vec<Tensor> {

@@ -33,14 +33,49 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> SoftmaxCeOutp
         "softmax_cross_entropy expects [N, K] logits"
     );
     let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut probs = Tensor::zeros(&[n, k]);
+    let mut dlogits = Tensor::zeros(&[n, k]);
+    let loss = softmax_cross_entropy_into(logits, labels, &mut probs, &mut dlogits);
+    SoftmaxCeOutput {
+        loss,
+        probs,
+        dlogits,
+    }
+}
+
+/// Arena-friendly [`softmax_cross_entropy`]: writes the probabilities and
+/// logit gradients into caller-provided `[N, K]` tensors (full overwrite)
+/// and returns the mean loss. The allocating wrapper runs this body, so
+/// planned and interpreted executions are bit-identical.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`softmax_cross_entropy`] plus
+/// output-shape mismatches.
+pub fn softmax_cross_entropy_into(
+    logits: &Tensor,
+    labels: &[usize],
+    probs: &mut Tensor,
+    dlogits: &mut Tensor,
+) -> f32 {
+    assert_eq!(
+        logits.shape().len(),
+        2,
+        "softmax_cross_entropy expects [N, K] logits"
+    );
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
     assert_eq!(
         labels.len(),
         n,
         "softmax_cross_entropy: {n} samples, {} labels",
         labels.len()
     );
-    let mut probs = Tensor::zeros(&[n, k]);
-    let mut dlogits = Tensor::zeros(&[n, k]);
+    assert_eq!(probs.shape(), &[n, k], "softmax_cross_entropy probs shape");
+    assert_eq!(
+        dlogits.shape(),
+        &[n, k],
+        "softmax_cross_entropy dlogits shape"
+    );
     // One pool task per sample: each writes only its own [K] rows, and the
     // per-sample loss terms come back in sample order so the summation below
     // matches the sequential loop's accumulation order bit-for-bit.
@@ -69,11 +104,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> SoftmaxCeOutp
         }
     });
     let loss: f32 = loss_terms.iter().sum();
-    SoftmaxCeOutput {
-        loss: loss / n as f32,
-        probs,
-        dlogits,
-    }
+    loss / n as f32
 }
 
 /// Mean-squared-error loss `mean((a − b)²)` between two same-shaped tensors.
@@ -108,6 +139,26 @@ pub fn mse_loss_backward(a: &Tensor, b: &Tensor) -> Tensor {
     let scale = 2.0 / a.len().max(1) as f32;
     a.zip(b, |x, y| scale * (x - y))
         .expect("shapes checked above")
+}
+
+/// Arena-friendly [`mse_loss_backward`]: writes `2·(a − b)/len` into `out`
+/// (full overwrite). Same per-element expression as the allocating wrapper.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn mse_loss_backward_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.shape(), b.shape(), "mse_loss_backward shapes differ");
+    assert_eq!(a.shape(), out.shape(), "mse_loss_backward out shape");
+    let scale = 2.0 / a.len().max(1) as f32;
+    for ((o, &x), &y) in out
+        .data_mut()
+        .iter_mut()
+        .zip(a.data().iter())
+        .zip(b.data().iter())
+    {
+        *o = scale * (x - y);
+    }
 }
 
 #[cfg(test)]

@@ -67,10 +67,18 @@ fn check_dims(op: &str, a: &Tensor, b: &Tensor, inner: impl Fn(&[usize], &[usize
 /// ```
 pub fn try_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
     let (m, k, n) = check_dims("matmul", a, b, |sa, sb| (sa[0], sa[1], sb[0], sb[1]))?;
-    let av = a.data();
-    let bv = b.data();
     let mut out = vec![0.0f32; m * n];
-    wootz_par::parallel_chunks_mut(&mut out, ROW_BLOCK * n, |ci, rows| {
+    matmul_slice(a.data(), b.data(), m, k, n, &mut out);
+    Ok(Tensor::from_vec(out, &[m, n]).expect("matmul output shape"))
+}
+
+/// Core of [`matmul`]: accumulates `A * B` into `out`, which **must** be
+/// all-zero on entry (the kernel uses `+=`). Shared by the allocating
+/// wrapper and the arena-backed [`matmul_into`] so both paths execute the
+/// exact same float-op sequence.
+pub(crate) fn matmul_slice(av: &[f32], bv: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    wootz_par::parallel_chunks_mut(out, ROW_BLOCK * n, |ci, rows| {
         let i0 = ci * ROW_BLOCK;
         for (di, orow) in rows.chunks_mut(n).enumerate() {
             let i = i0 + di;
@@ -86,7 +94,20 @@ pub fn try_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, ShapeError> {
             }
         }
     });
-    Ok(Tensor::from_vec(out, &[m, n]).expect("matmul output shape"))
+}
+
+/// Arena-friendly [`matmul`]: accumulates `A * B` into `out`, a `[m, n]`
+/// tensor that must be all-zero on entry (arena takes are). Bit-identical to
+/// [`matmul`] by construction — both run [`matmul_slice`].
+///
+/// # Panics
+///
+/// Panics on rank, inner-dimension, or output-shape mismatch.
+pub(crate) fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k, n) = check_dims("matmul", a, b, |sa, sb| (sa[0], sa[1], sb[0], sb[1]))
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(out.shape(), &[m, n], "matmul_into: output shape");
+    matmul_slice(a.data(), b.data(), m, k, n, out.data_mut());
 }
 
 /// Computes `C = A * B` for `A: [m, k]`, `B: [k, n]`.
@@ -117,10 +138,22 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 pub(crate) fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k, n) = check_dims("matmul_tn", a, b, |sa, sb| (sa[1], sa[0], sb[0], sb[1]))
         .unwrap_or_else(|e| panic!("{e}"));
-    let av = a.data();
-    let bv = b.data();
     let mut out = vec![0.0f32; m * n];
-    wootz_par::parallel_chunks_mut(&mut out, ROW_BLOCK * n, |ci, rows| {
+    matmul_tn_slice(a.data(), b.data(), m, k, n, &mut out);
+    Tensor::from_vec(out, &[m, n]).expect("matmul_tn output shape")
+}
+
+/// Core of [`matmul_tn`]: accumulates `A^T * B` into an all-zero `out`.
+pub(crate) fn matmul_tn_slice(
+    av: &[f32],
+    bv: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n);
+    wootz_par::parallel_chunks_mut(out, ROW_BLOCK * n, |ci, rows| {
         let i0 = ci * ROW_BLOCK;
         for (di, orow) in rows.chunks_mut(n).enumerate() {
             let i = i0 + di;
@@ -136,7 +169,19 @@ pub(crate) fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(out, &[m, n]).expect("matmul_tn output shape")
+}
+
+/// Arena-friendly [`matmul_tn`]: accumulates `A^T * B` into `out`, a
+/// `[m, n]` tensor that must be all-zero on entry.
+///
+/// # Panics
+///
+/// Panics on rank, inner-dimension, or output-shape mismatch.
+pub(crate) fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k, n) = check_dims("matmul_tn", a, b, |sa, sb| (sa[1], sa[0], sb[0], sb[1]))
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(out.shape(), &[m, n], "matmul_tn_into: output shape");
+    matmul_tn_slice(a.data(), b.data(), m, k, n, out.data_mut());
 }
 
 /// Computes `C = A * B^T` for `A: [m, k]`, `B: [n, k]` without materializing
@@ -153,10 +198,23 @@ pub(crate) fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 pub(crate) fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k, n) = check_dims("matmul_nt", a, b, |sa, sb| (sa[0], sa[1], sb[1], sb[0]))
         .unwrap_or_else(|e| panic!("{e}"));
-    let av = a.data();
-    let bv = b.data();
     let mut out = vec![0.0f32; m * n];
-    wootz_par::parallel_chunks_mut(&mut out, ROW_BLOCK * n, |ci, rows| {
+    matmul_nt_slice(a.data(), b.data(), m, k, n, &mut out);
+    Tensor::from_vec(out, &[m, n]).expect("matmul_nt output shape")
+}
+
+/// Core of [`matmul_nt`]: writes `A * B^T` into `out` (full overwrite — the
+/// prior contents of `out` are irrelevant).
+pub(crate) fn matmul_nt_slice(
+    av: &[f32],
+    bv: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n);
+    wootz_par::parallel_chunks_mut(out, ROW_BLOCK * n, |ci, rows| {
         let i0 = ci * ROW_BLOCK;
         for (di, orow) in rows.chunks_mut(n).enumerate() {
             let i = i0 + di;
@@ -171,7 +229,19 @@ pub(crate) fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(out, &[m, n]).expect("matmul_nt output shape")
+}
+
+/// Arena-friendly [`matmul_nt`]: writes `A * B^T` into `out`, a `[m, n]`
+/// tensor (full overwrite).
+///
+/// # Panics
+///
+/// Panics on rank, inner-dimension, or output-shape mismatch.
+pub(crate) fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k, n) = check_dims("matmul_nt", a, b, |sa, sb| (sa[0], sa[1], sb[1], sb[0]))
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(out.shape(), &[m, n], "matmul_nt_into: output shape");
+    matmul_nt_slice(a.data(), b.data(), m, k, n, out.data_mut());
 }
 
 #[cfg(test)]

@@ -26,14 +26,24 @@ mod matmul;
 pub(crate) mod metering;
 mod pool;
 
-pub use activation::{relu, relu_backward};
-pub use bn::{batch_norm, batch_norm_backward, BnCache};
-pub use conv::{conv2d, conv2d_backward, conv2d_out_dim, Conv2dCfg, Conv2dGrads};
-pub use dense::{dense, dense_backward, DenseGrads};
-pub use eltwise::{add_n, add_n_backward};
-pub use loss::{mse_loss, mse_loss_backward, softmax_cross_entropy, SoftmaxCeOutput};
+pub use activation::{relu, relu_backward, relu_backward_into, relu_into};
+pub use bn::{
+    batch_norm, batch_norm_apply_into, batch_norm_backward, batch_norm_backward_into,
+    batch_stats_into, BnCache,
+};
+pub use conv::{
+    conv2d, conv2d_backward, conv2d_backward_into, conv2d_into, conv2d_out_dim, Conv2dCfg,
+    Conv2dGrads,
+};
+pub use dense::{dense, dense_backward, dense_backward_into, dense_into, DenseGrads};
+pub use eltwise::{add_n, add_n_backward, add_n_into};
+pub use loss::{
+    mse_loss, mse_loss_backward, mse_loss_backward_into, softmax_cross_entropy,
+    softmax_cross_entropy_into, SoftmaxCeOutput,
+};
 pub use matmul::{matmul, try_matmul};
 pub use pool::{
-    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
-    max_pool2d_backward, Pool2dCfg,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_backward_into, avg_pool2d_into, global_avg_pool,
+    global_avg_pool_backward, global_avg_pool_backward_into, global_avg_pool_into, max_pool2d,
+    max_pool2d_backward, max_pool2d_backward_into, max_pool2d_into, Pool2dCfg,
 };

@@ -26,9 +26,30 @@ pub fn max_pool2d(x: &Tensor, cfg: Pool2dCfg) -> (Tensor, Vec<usize>) {
     let (n, c, h, w) = unpack4(x.shape());
     let ho = conv2d_out_dim(h, cfg.kernel, cfg.stride, cfg.pad);
     let wo = conv2d_out_dim(w, cfg.kernel, cfg.stride, cfg.pad);
-    let mut out = vec![0.0f32; n * c * ho * wo];
-    let mut arg = vec![0usize; n * c * ho * wo];
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    let mut arg = Vec::new();
+    max_pool2d_into(x, cfg, &mut out, &mut arg);
+    (out, arg)
+}
+
+/// Arena-friendly [`max_pool2d`]: writes the pooled tensor into `out`
+/// (`[N, C, Ho, Wo]`, full overwrite) and the per-element argmax indices
+/// into `arg` (cleared and refilled — the caller can reuse one `Vec` across
+/// steps). Bit-identical to [`max_pool2d`], which runs this body.
+///
+/// # Panics
+///
+/// Panics when `x` is not rank 4, the window does not fit, or `out` has the
+/// wrong shape.
+pub fn max_pool2d_into(x: &Tensor, cfg: Pool2dCfg, out: &mut Tensor, arg: &mut Vec<usize>) {
+    let (n, c, h, w) = unpack4(x.shape());
+    let ho = conv2d_out_dim(h, cfg.kernel, cfg.stride, cfg.pad);
+    let wo = conv2d_out_dim(w, cfg.kernel, cfg.stride, cfg.pad);
+    assert_eq!(out.shape(), &[n, c, ho, wo], "max_pool2d_into out shape");
+    arg.clear();
+    arg.resize(n * c * ho * wo, 0);
     let xv = x.data();
+    let ov = out.data_mut();
     for ni in 0..n {
         for ci in 0..c {
             let base = (ni * c + ci) * h * w;
@@ -54,26 +75,28 @@ pub fn max_pool2d(x: &Tensor, cfg: Pool2dCfg) -> (Tensor, Vec<usize>) {
                         }
                     }
                     let o = ((ni * c + ci) * ho + oi) * wo + oj;
-                    out[o] = best;
+                    ov[o] = best;
                     arg[o] = best_idx;
                 }
             }
         }
     }
-    (
-        Tensor::from_vec(out, &[n, c, ho, wo]).expect("max_pool2d shape"),
-        arg,
-    )
 }
 
 /// Backward of [`max_pool2d`]: routes each output gradient to the input
 /// position that won the max.
 pub fn max_pool2d_backward(x_shape: &[usize], argmax: &[usize], dy: &Tensor) -> Tensor {
     let mut dx = Tensor::zeros(x_shape);
+    max_pool2d_backward_into(argmax, dy, &mut dx);
+    dx
+}
+
+/// Arena-friendly [`max_pool2d_backward`]: accumulates routed gradients into
+/// `dx`, which **must be all-zero** on entry (windows can overlap).
+pub fn max_pool2d_backward_into(argmax: &[usize], dy: &Tensor, dx: &mut Tensor) {
     for (&idx, &g) in argmax.iter().zip(dy.data().iter()) {
         dx.data_mut()[idx] += g;
     }
-    dx
 }
 
 /// Average pooling forward. The divisor is the full window size (`kernel²`)
@@ -86,9 +109,25 @@ pub fn avg_pool2d(x: &Tensor, cfg: Pool2dCfg) -> Tensor {
     let (n, c, h, w) = unpack4(x.shape());
     let ho = conv2d_out_dim(h, cfg.kernel, cfg.stride, cfg.pad);
     let wo = conv2d_out_dim(w, cfg.kernel, cfg.stride, cfg.pad);
-    let mut out = vec![0.0f32; n * c * ho * wo];
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    avg_pool2d_into(x, cfg, &mut out);
+    out
+}
+
+/// Arena-friendly [`avg_pool2d`]: writes the pooled tensor into `out`
+/// (`[N, C, Ho, Wo]`, full overwrite).
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches.
+pub fn avg_pool2d_into(x: &Tensor, cfg: Pool2dCfg, out: &mut Tensor) {
+    let (n, c, h, w) = unpack4(x.shape());
+    let ho = conv2d_out_dim(h, cfg.kernel, cfg.stride, cfg.pad);
+    let wo = conv2d_out_dim(w, cfg.kernel, cfg.stride, cfg.pad);
+    assert_eq!(out.shape(), &[n, c, ho, wo], "avg_pool2d_into out shape");
     let div = (cfg.kernel * cfg.kernel) as f32;
     let xv = x.data();
+    let ov = out.data_mut();
     for ni in 0..n {
         for ci in 0..c {
             let base = (ni * c + ci) * h * w;
@@ -108,20 +147,27 @@ pub fn avg_pool2d(x: &Tensor, cfg: Pool2dCfg) -> Tensor {
                             acc += xv[base + ii as usize * w + jj as usize];
                         }
                     }
-                    out[((ni * c + ci) * ho + oi) * wo + oj] = acc / div;
+                    ov[((ni * c + ci) * ho + oi) * wo + oj] = acc / div;
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[n, c, ho, wo]).expect("avg_pool2d shape")
 }
 
 /// Backward of [`avg_pool2d`]: spreads each output gradient uniformly over
 /// its window (skipping padded positions, which received zeros).
 pub fn avg_pool2d_backward(x_shape: &[usize], dy: &Tensor, cfg: Pool2dCfg) -> Tensor {
-    let (n, c, h, w) = unpack4(x_shape);
-    let (_, _, ho, wo) = unpack4(dy.shape());
     let mut dx = Tensor::zeros(x_shape);
+    avg_pool2d_backward_into(dy, cfg, &mut dx);
+    dx
+}
+
+/// Arena-friendly [`avg_pool2d_backward`]: accumulates spread gradients into
+/// `dx`, which **must be all-zero** on entry (windows can overlap).
+pub fn avg_pool2d_backward_into(dy: &Tensor, cfg: Pool2dCfg, dx: &mut Tensor) {
+    let shape = dx.shape().to_vec();
+    let (n, c, h, w) = unpack4(&shape);
+    let (_, _, ho, wo) = unpack4(dy.shape());
     let div = (cfg.kernel * cfg.kernel) as f32;
     let dyv = dy.data();
     for ni in 0..n {
@@ -147,7 +193,6 @@ pub fn avg_pool2d_backward(x_shape: &[usize], dy: &Tensor, cfg: Pool2dCfg) -> Te
             }
         }
     }
-    dx
 }
 
 /// Global average pooling: `[N, C, H, W] -> [N, C]`.
@@ -156,23 +201,43 @@ pub fn avg_pool2d_backward(x_shape: &[usize], dy: &Tensor, cfg: Pool2dCfg) -> Te
 ///
 /// Panics when `x` is not rank 4.
 pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    let (n, c, _, _) = unpack4(x.shape());
+    let mut out = Tensor::zeros(&[n, c]);
+    global_avg_pool_into(x, &mut out);
+    out
+}
+
+/// Arena-friendly [`global_avg_pool`]: writes the `[N, C]` means into `out`
+/// (full overwrite).
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches.
+pub fn global_avg_pool_into(x: &Tensor, out: &mut Tensor) {
     let (n, c, h, w) = unpack4(x.shape());
+    assert_eq!(out.shape(), &[n, c], "global_avg_pool_into out shape");
     let area = (h * w) as f32;
     let xv = x.data();
-    let mut out = vec![0.0f32; n * c];
-    for (i, o) in out.iter_mut().enumerate() {
+    for (i, o) in out.data_mut().iter_mut().enumerate() {
         let plane = &xv[i * h * w..(i + 1) * h * w];
         *o = plane.iter().sum::<f32>() / area;
     }
-    Tensor::from_vec(out, &[n, c]).expect("global_avg_pool shape")
 }
 
 /// Backward of [`global_avg_pool`].
 pub fn global_avg_pool_backward(x_shape: &[usize], dy: &Tensor) -> Tensor {
-    let (n, c, h, w) = unpack4(x_shape);
+    let mut dx = Tensor::zeros(x_shape);
+    global_avg_pool_backward_into(dy, &mut dx);
+    dx
+}
+
+/// Arena-friendly [`global_avg_pool_backward`]: writes the spread gradient
+/// into `dx` (full overwrite of every plane).
+pub fn global_avg_pool_backward_into(dy: &Tensor, dx: &mut Tensor) {
+    let shape = dx.shape().to_vec();
+    let (n, c, h, w) = unpack4(&shape);
     assert_eq!(dy.shape(), &[n, c], "global_avg_pool_backward dy shape");
     let area = (h * w) as f32;
-    let mut dx = Tensor::zeros(x_shape);
     for (i, &g) in dy.data().iter().enumerate() {
         let plane = &mut dx.data_mut()[i * h * w..(i + 1) * h * w];
         let v = g / area;
@@ -180,7 +245,6 @@ pub fn global_avg_pool_backward(x_shape: &[usize], dy: &Tensor) -> Tensor {
             *p = v;
         }
     }
-    dx
 }
 
 fn unpack4(shape: &[usize]) -> (usize, usize, usize, usize) {

@@ -124,6 +124,26 @@ impl Tensor {
         self.data
     }
 
+    /// Overwrites this tensor's buffer with `other`'s, ignoring shapes but
+    /// requiring equal element counts — the arena-backed executor uses this
+    /// to materialize `Flatten` (same bytes, different shape) and input
+    /// copies without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the element counts differ.
+    pub fn copy_data_from(&mut self, other: &Tensor) -> Result<(), ShapeError> {
+        if self.data.len() != other.data.len() {
+            return Err(ShapeError::mismatch(
+                "copy_data_from element count",
+                self.data.len(),
+                other.data.len(),
+            ));
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
     /// Reads the element at a multi-dimensional index.
     ///
     /// # Panics

@@ -17,10 +17,11 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
-echo "== docs: cargo doc --no-deps (warnings are errors) =="
+echo "== docs: cargo doc --no-deps (warnings are errors, whole workspace) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p wootz-obs -p wootz-par -p wootz-tensor -p wootz-nn -p wootz-core \
-    -p wootz-sim -p wootz-fault -p wootz-cluster
+    -p wootz-sim -p wootz-fault -p wootz-cluster \
+    -p wootz-ir -p wootz-sequitur -p wootz-data -p wootz-models -p wootz-bench
 
 echo "== smoke: fault injection + journal resume =="
 # A cold run under a deterministic fault plan journals every completed unit
@@ -69,6 +70,30 @@ threads_prune --threads 4 --out "$SMOKE/run_t4.json"
 cmp -s "$SMOKE/run_t1.json" "$SMOKE/run_t4.json" || {
     echo "threads smoke FAILED: --threads 1 and --threads 4 outputs differ"; exit 1; }
 echo "threads smoke ok: results byte-identical across thread counts"
+
+echo "== exec-plan smoke: wootz prune bitwise-identical --exec-plan on vs off =="
+# The planned executor (DESIGN.md §10) runs the same float-op sequence as
+# the interpreter against arena-backed buffers; prune results must be
+# byte-identical whichever executor runs the training loops.
+threads_prune --exec-plan on --out "$SMOKE/run_plan.json"
+threads_prune --exec-plan off --out "$SMOKE/run_interp.json"
+cmp -s "$SMOKE/run_plan.json" "$SMOKE/run_interp.json" || {
+    echo "exec-plan smoke FAILED: --exec-plan on and off outputs differ"; exit 1; }
+cmp -s "$SMOKE/run_plan.json" "$SMOKE/run_t1.json" || {
+    echo "exec-plan smoke FAILED: planned output differs from the threads-smoke baseline"; exit 1; }
+echo "exec-plan smoke ok: results byte-identical across executors"
+
+echo "== memory smoke: reproduce memory =="
+# Exits non-zero unless steady-state training makes zero tensor
+# allocations after warm-up AND the eval-mode peak drops >=2x vs the
+# interpreter (PERFORMANCE.md).
+R="$PWD/target/release/reproduce"
+(cd "$SMOKE" && "$R" memory --quick) > "$SMOKE/memory.out" 2>&1 || {
+    echo "memory smoke FAILED: reproduce memory exited non-zero"
+    cat "$SMOKE/memory.out"; exit 1; }
+[ -s "$SMOKE/BENCH_exec_mem.json" ] || {
+    echo "memory smoke FAILED: BENCH_exec_mem.json not written"; exit 1; }
+echo "memory smoke ok: $(grep 'eval-mode peak live' "$SMOKE/memory.out" | head -1)"
 
 echo "== kernels smoke: reproduce kernels --metrics-out =="
 # The kernel micro-bench exits non-zero if any kernel's outputs diverge
