@@ -25,7 +25,7 @@
 //!             [--journal <run.ndjson>] [--resume]
 //!             [--inject-faults <plan.json>]
 //!             [--retry-attempts N] [--on-fail skip|abort]
-//!             [--distributed N --run-dir <dir> [--lease-ms MS]]
+//!             [--distributed N --run-dir <dir> [--lease-ms MS] [--listen ADDR]]
 //!     Run the full pruning pipeline on the micro dataset named in the
 //!     solver's `dataset:` field. With `--journal`, every completed unit
 //!     of work is appended to an NDJSON journal; `--resume` replays it and
@@ -36,11 +36,16 @@
 //!     executes pre-training and evaluation on N worker OS processes fed
 //!     through a crash-safe task queue under `--run-dir` (results stay
 //!     bit-identical to the single-process run; see DESIGN.md §9).
+//!     `--listen ADDR` additionally binds a TCP coordinator socket speaking
+//!     the `wootz-wire` framed protocol (see PROTOCOL.md); spawned workers
+//!     connect over loopback and remote machines can join with
+//!     `wootz worker --connect`.
 //!
-//! wootz worker --run-dir <dir> --worker-id <id>
-//!     Join a distributed run as a worker process. `wootz prune
-//!     --distributed` spawns these itself; extra workers started by hand
-//!     against the same run directory simply join the queue.
+//! wootz worker (--run-dir <dir> | --connect <addr>) --worker-id <id>
+//!     Join a distributed run as a worker process — either against a shared
+//!     run directory (filesystem transport) or against a coordinator's
+//!     `--listen` socket (TCP transport). `wootz prune --distributed`
+//!     spawns these itself; extra workers started by hand simply join.
 //! ```
 //!
 //! Configuration files are JSON arrays of per-module rate vectors, e.g.
@@ -67,7 +72,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wootz_cluster::{run_distributed, self_worker_cmd, worker_main, ClusterOptions};
+use wootz_cluster::{run_distributed, self_worker_cmd, worker_main, worker_net_main, ClusterOptions};
 use wootz_core::blocks::{identify_tuning_blocks, partition_into_groups};
 use wootz_core::pipeline::{run_wootz_with, RunMode, RunOptions, WootzInputs, WootzRun};
 use wootz_fault::{FaultPlan, OnExhausted, RetryPolicy};
@@ -374,10 +379,11 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
         Some(s) => Some(s.parse().map_err(|e| format!("bad --lease-ms: {e}"))?),
         None => None,
     };
+    let listen = take_flag(&mut args, "--listen");
     reject_leftovers(&args)?;
 
-    if distributed.is_none() && (run_dir.is_some() || lease_ms.is_some()) {
-        return Err("--run-dir/--lease-ms only apply with --distributed N".into());
+    if distributed.is_none() && (run_dir.is_some() || lease_ms.is_some() || listen.is_some()) {
+        return Err("--run-dir/--lease-ms/--listen only apply with --distributed N".into());
     }
 
     if resume && journal.is_none() {
@@ -449,6 +455,7 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
             if let Some(ms) = lease_ms {
                 copts.lease_ms = ms.max(1);
             }
+            copts.listen = listen;
             let (run, stats) = run_distributed(&inputs, &dataset, mode, &copts)?;
             println!("{}", stats.summary());
             run
@@ -485,11 +492,17 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
 }
 
 fn cmd_worker(mut args: Vec<String>) -> CliResult {
-    let run_dir: PathBuf = take_flag(&mut args, "--run-dir")
-        .ok_or("worker needs --run-dir <dir>")?
-        .into();
+    let run_dir: Option<PathBuf> = take_flag(&mut args, "--run-dir").map(Into::into);
+    let connect = take_flag(&mut args, "--connect");
     let worker_id = take_flag(&mut args, "--worker-id").ok_or("worker needs --worker-id <id>")?;
     reject_leftovers(&args)?;
-    worker_main(&run_dir, &worker_id)?;
+    match (run_dir, connect) {
+        (Some(dir), None) => worker_main(&dir, &worker_id)?,
+        (None, Some(addr)) => worker_net_main(&addr, &worker_id)?,
+        (Some(_), Some(_)) => {
+            return Err("worker takes --run-dir <dir> OR --connect <addr>, not both".into())
+        }
+        (None, None) => return Err("worker needs --run-dir <dir> or --connect <addr>".into()),
+    }
     Ok(())
 }

@@ -51,6 +51,7 @@ use wootz_data::Dataset;
 use wootz_fault::{FaultPlan, RetryPolicy};
 use wootz_nn::Checkpoint;
 
+use crate::net::NetHub;
 use crate::protocol::{
     atomic_write_json, cluster_err, read_json, Manifest, ResultPayload, TaskKind, TaskResult,
     TaskSpec,
@@ -101,6 +102,14 @@ pub struct ClusterOptions<'a> {
     pub journal: Option<PathBuf>,
     /// Replay an existing journal instead of redoing the work.
     pub resume: bool,
+    /// TCP listen address (e.g. `127.0.0.1:0`). When set, workers speak
+    /// the `wootz-wire` framed protocol over sockets and the run
+    /// directory becomes a coordinator-private durability journal; when
+    /// `None`, the filesystem queue is the transport (as before).
+    pub listen: Option<String>,
+    /// Extra environment variables for spawned worker processes (tests
+    /// use this to scope chaos hooks to a single run).
+    pub worker_env: Vec<(String, String)>,
 }
 
 impl<'a> ClusterOptions<'a> {
@@ -125,6 +134,8 @@ impl<'a> ClusterOptions<'a> {
             retry: RetryPolicy::default(),
             journal: None,
             resume: false,
+            listen: None,
+            worker_env: Vec::new(),
         }
     }
 }
@@ -150,6 +161,11 @@ pub struct ClusterStats {
     pub tasks_abandoned: usize,
     /// Accepted results per worker id (utilization).
     pub per_worker_tasks: BTreeMap<String, usize>,
+    /// Worker TCP sessions re-opened after a disconnect (network mode).
+    pub net_reconnects: usize,
+    /// Lease-file probes skipped because the in-memory heartbeat
+    /// bookkeeping was still fresh (see the drive loop's step 3).
+    pub lease_scans_avoided: usize,
 }
 
 impl ClusterStats {
@@ -158,7 +174,8 @@ impl ClusterStats {
         format!(
             "cluster: {} workers, {} tasks completed, {} leases reclaimed, \
              {} speculative launched ({} won), {} zombie results rejected, \
-             {} workers respawned, {} tasks abandoned",
+             {} workers respawned, {} tasks abandoned, {} net reconnects, \
+             {} lease scans avoided",
             self.workers,
             self.tasks_completed,
             self.leases_reclaimed,
@@ -166,7 +183,9 @@ impl ClusterStats {
             self.speculative_wins,
             self.zombie_results_rejected,
             self.workers_respawned,
-            self.tasks_abandoned
+            self.tasks_abandoned,
+            self.net_reconnects,
+            self.lease_scans_avoided
         )
     }
 }
@@ -186,15 +205,24 @@ struct WorkerPool {
     dir: RunDir,
     exe: PathBuf,
     prefix: Vec<String>,
+    /// TCP address workers connect to; `None` = filesystem transport.
+    connect: Option<String>,
+    env: Vec<(String, String)>,
     slots: Vec<Slot>,
 }
 
 impl WorkerPool {
-    fn spawn(dir: RunDir, opts: &ClusterOptions<'_>) -> Result<WorkerPool> {
+    fn spawn(
+        dir: RunDir,
+        opts: &ClusterOptions<'_>,
+        connect: Option<String>,
+    ) -> Result<WorkerPool> {
         let mut pool = WorkerPool {
             dir,
             exe: opts.worker_cmd.0.clone(),
             prefix: opts.worker_cmd.1.clone(),
+            connect,
+            env: opts.worker_env.clone(),
             slots: Vec::new(),
         };
         for index in 0..opts.workers {
@@ -222,15 +250,20 @@ impl WorkerPool {
             .try_clone()
             .map_err(|e| cluster_err(format!("cannot clone log handle: {e}")))?;
         let mut cmd = Command::new(&self.exe);
-        cmd.args(&self.prefix)
-            .arg("--run-dir")
-            .arg(self.dir.root())
-            .arg("--worker-id")
-            .arg(id);
+        cmd.args(&self.prefix);
+        match &self.connect {
+            // Network transport: the worker needs nothing but the address.
+            Some(addr) => cmd.arg("--connect").arg(addr),
+            None => cmd.arg("--run-dir").arg(self.dir.root()),
+        };
+        cmd.arg("--worker-id").arg(id);
         // Workers inherit the coordinator's kernel-thread budget so a
         // distributed run at `--threads N` is reproducible end to end
         // (results are bit-identical regardless, but wall time is not).
         cmd.env("WOOTZ_THREADS", wootz_par::configured_threads().to_string());
+        for (key, value) in &self.env {
+            cmd.env(key, value);
+        }
         let child = cmd
             .stdin(Stdio::null())
             .stdout(Stdio::from(log))
@@ -323,6 +356,12 @@ fn worker_id(index: usize, gen: u32) -> String {
 struct Attempt {
     task: TaskSpec,
     claim_seen: Option<Instant>,
+    /// Last liveness signal: the claim time, refreshed by transport
+    /// heartbeat bookkeeping (network mode pushes heartbeat frames here;
+    /// filesystem mode refreshes it from a lazy lease-file probe). The
+    /// lease clock runs against this, which is what lets the hot poll
+    /// loop skip filesystem scans while the signal is fresh.
+    last_signal: Option<Instant>,
     speculative: bool,
 }
 
@@ -344,6 +383,9 @@ struct Coordinator<'a> {
     epoch: u64,
     opts: &'a ClusterOptions<'a>,
     pool: WorkerPool,
+    /// The TCP front-end, when `opts.listen` selected the network
+    /// transport. `None` = filesystem-queue transport.
+    hub: Option<NetHub>,
     stats: ClusterStats,
     next_seq: u64,
     /// Result files already examined (accepted or rejected).
@@ -386,6 +428,7 @@ impl Coordinator<'_> {
                     live: vec![Attempt {
                         task,
                         claim_seen: None,
+                        last_signal: None,
                         speculative: false,
                     }],
                 },
@@ -410,41 +453,78 @@ impl Coordinator<'_> {
             // 2. Note newly appeared claims (the claim time starts the
             // lease clock even before the first heartbeat lands — which is
             // exactly how a hung worker that never heartbeats is caught).
+            // Network mode skips the directory scan: the hub's grant
+            // signal (consumed in step 3) is the claim notification.
             let now = Instant::now();
-            let claimed: BTreeSet<(u64, u32)> = self
-                .dir
-                .claimed()?
-                .iter()
-                .filter_map(|n| crate::protocol::parse_task_file_name(n))
-                .collect();
-            for unit in units.values_mut() {
-                for att in &mut unit.live {
-                    if att.claim_seen.is_none()
-                        && claimed.contains(&(att.task.seq, att.task.attempt))
-                    {
-                        att.claim_seen = Some(now);
+            if self.hub.is_none() {
+                let claimed: BTreeSet<(u64, u32)> = self
+                    .dir
+                    .claimed()?
+                    .iter()
+                    .filter_map(|n| crate::protocol::parse_task_file_name(n))
+                    .collect();
+                for unit in units.values_mut() {
+                    for att in &mut unit.live {
+                        if att.claim_seen.is_none()
+                            && claimed.contains(&(att.task.seq, att.task.attempt))
+                        {
+                            att.claim_seen = Some(now);
+                            att.last_signal = Some(now);
+                        }
                     }
                 }
             }
 
-            // 3. Reclaim expired leases: fence the attempt now (its late
-            // result will be rejected) and enqueue a fresh attempt.
+            // 3. Reclaim expired leases — lazily. The lease clock runs
+            // against each attempt's in-memory `last_signal`: network
+            // heartbeat frames refresh it for free, and the filesystem
+            // lease file is probed only once the signal has aged past the
+            // lease period (the worker may have been heartbeating the
+            // file all along). The hot poll loop therefore stops
+            // re-scanning the run directory every tick; each skipped
+            // probe is counted as `cluster.lease_scans_avoided`.
+            if let Some(hub) = &self.hub {
+                let signals = hub.take_signals();
+                if !signals.is_empty() {
+                    for unit in units.values_mut() {
+                        for att in &mut unit.live {
+                            if let Some(&t) = signals.get(&(att.task.seq, att.task.attempt)) {
+                                att.claim_seen.get_or_insert(t);
+                                att.last_signal = Some(att.last_signal.map_or(t, |s| s.max(t)));
+                            }
+                        }
+                    }
+                }
+            }
             let mut reclaims: Vec<(u64, u32)> = Vec::new();
-            for (&seq, unit) in units.iter() {
+            for (&seq, unit) in units.iter_mut() {
                 if done.contains_key(&seq) {
                     continue;
                 }
-                for att in &unit.live {
+                for att in &mut unit.live {
                     let Some(seen) = att.claim_seen else { continue };
-                    let claim_age = now.saturating_duration_since(seen);
-                    let lease_age = self
-                        .dir
-                        .lease_heartbeat(&att.task.file_name())
-                        .and_then(|t| SystemTime::now().duration_since(t).ok());
-                    let age = lease_age.map_or(claim_age, |l| l.min(claim_age));
-                    if age.as_millis() as u64 > self.opts.lease_ms {
-                        reclaims.push((seq, att.task.attempt));
+                    let signal = att.last_signal.unwrap_or(seen);
+                    let age = now.saturating_duration_since(signal);
+                    if age.as_millis() as u64 <= self.opts.lease_ms {
+                        self.stats.lease_scans_avoided += 1;
+                        wootz_obs::counter("cluster.lease_scans_avoided").incr();
+                        continue;
                     }
+                    if self.hub.is_none() {
+                        // Filesystem mode: pay for one lease-file probe
+                        // now that the in-memory signal looks stale.
+                        let lease_age = self
+                            .dir
+                            .lease_heartbeat(&att.task.file_name())
+                            .and_then(|t| SystemTime::now().duration_since(t).ok());
+                        if let Some(lease_age) = lease_age {
+                            if lease_age.as_millis() as u64 <= self.opts.lease_ms {
+                                att.last_signal = now.checked_sub(lease_age).or(Some(now));
+                                continue;
+                            }
+                        }
+                    }
+                    reclaims.push((seq, att.task.attempt));
                 }
             }
             for (seq, attempt) in reclaims {
@@ -474,6 +554,7 @@ impl Coordinator<'_> {
                     unit.live.push(Attempt {
                         task,
                         claim_seen: None,
+                        last_signal: None,
                         speculative: false,
                     });
                 } else if unit.live.is_empty() {
@@ -529,6 +610,7 @@ impl Coordinator<'_> {
                     unit.live.push(Attempt {
                         task,
                         claim_seen: None,
+                        last_signal: None,
                         speculative: true,
                     });
                 }
@@ -813,6 +895,11 @@ impl Coordinator<'_> {
     /// then kills whatever is left.
     fn finish(mut self) -> Result<ClusterStats> {
         self.dir.request_shutdown()?;
+        if let Some(hub) = &self.hub {
+            // Sockets stay open through the grace period so in-flight
+            // TaskDone frames still land in the durability journal.
+            hub.broadcast_shutdown();
+        }
         let deadline = Instant::now() + Duration::from_millis(self.opts.shutdown_grace_ms);
         loop {
             self.reap_late_results()?;
@@ -822,6 +909,10 @@ impl Coordinator<'_> {
                 break;
             }
             std::thread::sleep(Duration::from_millis(50));
+        }
+        if let Some(mut hub) = self.hub.take() {
+            self.stats.net_reconnects = hub.reconnects();
+            hub.close();
         }
         self.pool.kill_all();
         self.reap_late_results()?;
@@ -939,12 +1030,27 @@ pub fn run_distributed(
         .field("workers", opts.workers)
         .emit();
 
-    let pool = WorkerPool::spawn(dir.clone(), opts)?;
+    // Network transport: bind the hub before any worker starts, so the
+    // first connection attempt succeeds. Workers are spawned with
+    // `--connect` to the *resolved* address (a `:0` listen port is real
+    // by now).
+    let hub = match &opts.listen {
+        Some(addr) => Some(NetHub::bind(
+            addr,
+            dir.clone(),
+            manifest.clone(),
+            full_ckpt.clone(),
+        )?),
+        None => None,
+    };
+    let connect = hub.as_ref().map(|h| h.local_addr().to_string());
+    let pool = WorkerPool::spawn(dir.clone(), opts, connect)?;
     let mut coord = Coordinator {
         dir: dir.clone(),
         epoch,
         opts,
         pool,
+        hub,
         stats: ClusterStats {
             workers: opts.workers,
             ..ClusterStats::default()

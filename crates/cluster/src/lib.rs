@@ -12,8 +12,14 @@
 //!
 //! # Architecture
 //!
-//! Everything rides on a **crash-safe filesystem task queue** (no sockets —
-//! the vendored dependency set is offline and networking-free):
+//! Two transports share one durability substrate. In the default
+//! **filesystem mode** workers poll a crash-safe task queue under the run
+//! directory. In **network mode** (`--listen` / `--connect`) the
+//! coordinator binds a TCP socket and speaks the [`wootz_wire`] framed
+//! protocol (see `PROTOCOL.md`); the run directory is demoted to a
+//! durability journal — every grant is claimed and every result is
+//! journaled to disk *before* the coordinator acts on it, so crash
+//! recovery, fencing, and bit-identity are transport-independent:
 //!
 //! ```text
 //! run-dir/
@@ -48,18 +54,31 @@
 //!   manifest + checkpoints, so any attempt on any process produces the
 //!   same bytes, and the fold order is fixed by the round runner.
 //!
+//! In network mode the same invariants hold over sockets: workers register
+//! with [`Message::Hello`], lease grants and heartbeats travel as framed
+//! messages (the lease file machinery is bypassed, its timing contract is
+//! not), and a worker that loses its connection mid-frame reconnects and
+//! resends its undelivered result — deduplicated on disk by the
+//! `(seq, attempt)` result filename. See [`net`] for the socket runtime
+//! and `DESIGN.md` §11 for the failure matrix.
+//!
 //! Process-level faults (worker crash / hang / straggler) are injected
 //! deterministically through [`wootz_fault`] at `site::CLUSTER_TASK`, which
 //! is how the integration tests exercise reclamation, fencing, and
-//! speculative re-execution without flaky timing dependence.
+//! speculative re-execution without flaky timing dependence. Socket-level
+//! chaos (mid-frame disconnects) is driven by the `WOOTZ_CHAOS_NET_DROP`
+//! environment hook documented in [`worker`].
 
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod messages;
+pub mod net;
 pub mod protocol;
 pub mod queue;
 pub mod worker;
 
 pub use coordinator::{run_distributed, self_worker_cmd, ClusterOptions, ClusterStats};
+pub use messages::Message;
 pub use queue::RunDir;
-pub use worker::worker_main;
+pub use worker::{worker_main, worker_net_main};

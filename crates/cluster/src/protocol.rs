@@ -15,6 +15,7 @@
 //! to it). The vendored `serde_json` round-trips `f32` values bit-exactly,
 //! which is what makes remote results byte-identical to local ones.
 
+use std::io::{Read, Write};
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
@@ -26,6 +27,9 @@ use wootz_core::prune::PruneConfig;
 use wootz_core::{CoreError, Result};
 use wootz_fault::{FaultPlan, RetryPolicy};
 use wootz_ir::{ModelIr, Objective, SolverConfig};
+use wootz_wire::{
+    write_bytes, write_len, WireDeserialize, WireError, WireReader, WireResult, WireSerialize,
+};
 
 /// Manifest file name inside the run directory.
 pub const MANIFEST: &str = "manifest.json";
@@ -270,6 +274,257 @@ pub fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T> {
 /// prefix, so distributed-runtime failures are recognizable end to end.
 pub fn cluster_err(detail: impl Into<String>) -> CoreError {
     CoreError::Pipeline(format!("cluster: {}", detail.into()))
+}
+
+// --- wire encodings ---------------------------------------------------------
+//
+// The network transport (`crate::net`) moves the same values the
+// filesystem queue stores, framed by `wootz-wire`. Control-plane scalars
+// (ids, sequence numbers, tags) get hand-written fixed-layout encodings;
+// deeply nested model state (`Manifest`, `Checkpoint`, `EvalOutcome`,
+// `PretrainedBlock`) rides as a length-prefixed JSON *document* — the
+// exact bytes `serde_json` would put on disk — so a result that crossed
+// TCP is byte-identical to one that crossed the run directory, and the
+// durability journal can reuse the blob verbatim. Documents are bounded
+// like any other blob: their declared length is checked against the frame
+// budget before allocation. See PROTOCOL.md §5 for the byte-level rules.
+
+/// Encoded size of a JSON document field (length prefix + bytes).
+///
+/// Serialization of these plain-derive types cannot fail; if it ever did,
+/// [`write_doc`] reports it as a structured error and the size here is
+/// simply a capacity hint.
+pub(crate) fn doc_size<T: Serialize>(value: &T) -> usize {
+    4 + serde_json::to_vec(value).map(|v| v.len()).unwrap_or(0)
+}
+
+/// Writes a value as a length-prefixed JSON document field.
+pub(crate) fn write_doc<W: Write + ?Sized, T: Serialize>(
+    w: &mut W,
+    context: &'static str,
+    value: &T,
+) -> WireResult<()> {
+    let bytes = serde_json::to_vec(value).map_err(|e| WireError::InvalidValue {
+        context,
+        detail: format!("cannot serialize document: {e}"),
+    })?;
+    write_bytes(w, context, &bytes)
+}
+
+/// Reads a length-prefixed JSON document field under the reader's budget.
+pub(crate) fn read_doc<R: Read, T: for<'de> Deserialize<'de>>(
+    r: &mut WireReader<R>,
+    context: &'static str,
+) -> WireResult<T> {
+    let bytes = r.bytes(context)?;
+    let text = std::str::from_utf8(&bytes).map_err(|_| WireError::InvalidUtf8 { context })?;
+    serde_json::from_str(text).map_err(|e| WireError::InvalidValue {
+        context,
+        detail: format!("cannot parse document: {e}"),
+    })
+}
+
+/// Reads a wire `u64` into a host `usize`, rejecting values the host
+/// cannot represent.
+pub(crate) fn read_usize<R: Read>(r: &mut WireReader<R>, context: &'static str) -> WireResult<usize> {
+    let v = r.u64(context)?;
+    usize::try_from(v).map_err(|_| WireError::InvalidValue {
+        context,
+        detail: format!("{v} does not fit a usize on this host"),
+    })
+}
+
+impl WireSerialize for TaskKind {
+    fn wire_size(&self) -> usize {
+        match self {
+            TaskKind::Eval { .. } => 1 + 8,
+            TaskKind::Pretrain { group, .. } => 1 + 8 + 4 + 8 * group.len(),
+        }
+    }
+
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        match self {
+            TaskKind::Eval { config_index } => {
+                w.write_all(&[0])?;
+                (*config_index as u64).wire_write(w)
+            }
+            TaskKind::Pretrain { group_index, group } => {
+                w.write_all(&[1])?;
+                (*group_index as u64).wire_write(w)?;
+                write_len(w, "TaskKind::Pretrain group", group.len())?;
+                for &block in group {
+                    (block as u64).wire_write(w)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl WireDeserialize for TaskKind {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        match r.u8("TaskKind tag")? {
+            0 => Ok(TaskKind::Eval {
+                config_index: read_usize(r, "TaskKind::Eval config_index")?,
+            }),
+            1 => {
+                let group_index = read_usize(r, "TaskKind::Pretrain group_index")?;
+                let count = r.seq_len("TaskKind::Pretrain group", 8)?;
+                let mut group = Vec::with_capacity(count);
+                for _ in 0..count {
+                    group.push(read_usize(r, "TaskKind::Pretrain group element")?);
+                }
+                Ok(TaskKind::Pretrain { group_index, group })
+            }
+            other => Err(WireError::InvalidValue {
+                context: "TaskKind tag",
+                detail: format!("unknown variant tag {other}"),
+            }),
+        }
+    }
+}
+
+impl WireSerialize for TaskSpec {
+    fn wire_size(&self) -> usize {
+        8 + 4 + 8 + self.kind.wire_size() + 8
+    }
+
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        self.seq.wire_write(w)?;
+        self.attempt.wire_write(w)?;
+        self.epoch.wire_write(w)?;
+        self.kind.wire_write(w)?;
+        (self.expected_steps as u64).wire_write(w)
+    }
+}
+
+impl WireDeserialize for TaskSpec {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        Ok(TaskSpec {
+            seq: r.u64("TaskSpec seq")?,
+            attempt: r.u32("TaskSpec attempt")?,
+            epoch: r.u64("TaskSpec epoch")?,
+            kind: TaskKind::wire_read(r)?,
+            expected_steps: read_usize(r, "TaskSpec expected_steps")?,
+        })
+    }
+}
+
+impl WireSerialize for WireEval {
+    fn wire_size(&self) -> usize {
+        8 + 1
+            + self.outcome.as_ref().map_or(0, doc_size)
+            + self.error.wire_size()
+            + 4
+            + 8
+    }
+
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        (self.config_index as u64).wire_write(w)?;
+        match &self.outcome {
+            None => w.write_all(&[0])?,
+            Some(outcome) => {
+                w.write_all(&[1])?;
+                write_doc(w, "WireEval outcome", outcome)?;
+            }
+        }
+        self.error.wire_write(w)?;
+        self.attempts.wire_write(w)?;
+        self.backoff.wire_write(w)
+    }
+}
+
+impl WireDeserialize for WireEval {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        let config_index = read_usize(r, "WireEval config_index")?;
+        let outcome = if r.bool("WireEval outcome tag")? {
+            Some(read_doc::<_, EvalOutcome>(r, "WireEval outcome")?)
+        } else {
+            None
+        };
+        Ok(WireEval {
+            config_index,
+            outcome,
+            error: Option::<String>::wire_read(r)?,
+            attempts: r.u32("WireEval attempts")?,
+            backoff: r.f64("WireEval backoff")?,
+        })
+    }
+}
+
+impl WireSerialize for ResultPayload {
+    fn wire_size(&self) -> usize {
+        match self {
+            ResultPayload::Eval(eval) => 1 + eval.wire_size(),
+            ResultPayload::Pretrain {
+                blocks, failed, ..
+            } => 1 + 8 + doc_size(blocks) + failed.wire_size(),
+        }
+    }
+
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        match self {
+            ResultPayload::Eval(eval) => {
+                w.write_all(&[0])?;
+                eval.wire_write(w)
+            }
+            ResultPayload::Pretrain {
+                group_index,
+                blocks,
+                failed,
+            } => {
+                w.write_all(&[1])?;
+                (*group_index as u64).wire_write(w)?;
+                write_doc(w, "ResultPayload blocks", blocks)?;
+                failed.wire_write(w)
+            }
+        }
+    }
+}
+
+impl WireDeserialize for ResultPayload {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        match r.u8("ResultPayload tag")? {
+            0 => Ok(ResultPayload::Eval(WireEval::wire_read(r)?)),
+            1 => Ok(ResultPayload::Pretrain {
+                group_index: read_usize(r, "ResultPayload group_index")?,
+                blocks: read_doc::<_, Vec<PretrainedBlock>>(r, "ResultPayload blocks")?,
+                failed: Vec::<(String, String)>::wire_read(r)?,
+            }),
+            other => Err(WireError::InvalidValue {
+                context: "ResultPayload tag",
+                detail: format!("unknown variant tag {other}"),
+            }),
+        }
+    }
+}
+
+impl WireSerialize for TaskResult {
+    fn wire_size(&self) -> usize {
+        8 + 4 + 8 + self.worker.wire_size() + 8 + self.payload.wire_size()
+    }
+
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        self.seq.wire_write(w)?;
+        self.attempt.wire_write(w)?;
+        self.epoch.wire_write(w)?;
+        self.worker.wire_write(w)?;
+        self.wall_ms.wire_write(w)?;
+        self.payload.wire_write(w)
+    }
+}
+
+impl WireDeserialize for TaskResult {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        Ok(TaskResult {
+            seq: r.u64("TaskResult seq")?,
+            attempt: r.u32("TaskResult attempt")?,
+            epoch: r.u64("TaskResult epoch")?,
+            worker: r.string("TaskResult worker")?,
+            wall_ms: r.u64("TaskResult wall_ms")?,
+            payload: ResultPayload::wire_read(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

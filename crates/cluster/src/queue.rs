@@ -214,9 +214,15 @@ impl RunDir {
     /// Removes the claim and lease files of a finished task (worker-side
     /// cleanup; best-effort, the next epoch wipes leftovers anyway).
     pub fn release(&self, task: &TaskSpec) {
-        let name = task.file_name();
-        let _ = std::fs::remove_file(self.claims().join(&name));
-        let _ = std::fs::remove_file(self.leases().join(&name));
+        self.release_by_name(&task.file_name());
+    }
+
+    /// [`RunDir::release`] by queue file name — the coordinator-side
+    /// cleanup path for network workers, which never touch the run
+    /// directory themselves.
+    pub fn release_by_name(&self, name: &str) {
+        let _ = std::fs::remove_file(self.claims().join(name));
+        let _ = std::fs::remove_file(self.leases().join(name));
     }
 
     /// Publishes a task result (atomic write into `results/`).

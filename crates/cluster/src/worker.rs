@@ -1,16 +1,30 @@
 //! The worker process: claim → lease/heartbeat → execute → publish.
 //!
-//! A worker is started as `wootz worker --run-dir <dir> --worker-id <id>`
-//! (the coordinator spawns and respawns them, but a worker started by hand
-//! joins the same queue — workers are fungible). It reconstructs the exact
-//! evaluation environment of the single-process pipeline from the run
-//! directory alone: manifest → model/subspace/solver/objective, the
-//! checksummed full-model checkpoint, the block-checkpoint directory, and
-//! the same deterministic micro dataset. Because every unit of work
+//! A worker joins the run one of two ways, and the two are fungible at
+//! the task level because both reconstruct the identical evaluation
+//! environment and execute the identical pure functions:
+//!
+//! * **Filesystem** — `wootz worker --run-dir <dir> --worker-id <id>`
+//!   ([`worker_main`]): polls the shared queue directories, heartbeats by
+//!   touching lease files.
+//! * **Network** — `wootz worker --connect <addr> --worker-id <id>`
+//!   ([`worker_net_main`]): speaks the `wootz-wire` framed protocol over
+//!   TCP (PROTOCOL.md). The manifest, checkpoints and tasks all arrive
+//!   in frames; no shared storage is needed. On any connection failure
+//!   the worker reconnects, re-handshakes with its known epoch, and
+//!   re-sends an undelivered result — the coordinator deduplicates by
+//!   `(seq, attempt)` and fences by epoch, so delivery is effectively
+//!   exactly-once per accepted attempt.
+//!
+//! Both entry points share one execution environment (`WorkerEnv`,
+//! private to this module): manifest → model / subspace /
+//! solver / objective, the full-model checkpoint, the deterministic micro
+//! dataset, and the per-task execution (evaluation or block
+//! pre-training). Because every unit of work
 //! ([`wootz_core::pipeline::EvalContext::evaluate`],
-//! [`wootz_core::pretrain::pretrain_group_supervised`]) is a pure function
-//! of its inputs, a task executes bit-identically no matter which process
-//! — or which attempt — runs it.
+//! [`wootz_core::pretrain::pretrain_group_supervised`]) is a pure
+//! function of its inputs, a task executes bit-identically no matter
+//! which process, transport — or attempt — runs it.
 //!
 //! Workers inherit `WOOTZ_EXEC_PLAN` (and `WOOTZ_THREADS`) from the
 //! coordinator's environment: with planned execution on (the default) each
@@ -25,15 +39,23 @@
 //! * `WorkerCrash` aborts the process mid-task (no result, no lease, no
 //!   cleanup) — the coordinator must reclaim via lease expiry and respawn.
 //! * `WorkerHang { millis }` wedges the worker *before* its first lease
-//!   write, so no heartbeat ever lands; the task is reclaimed meanwhile and
-//!   the late ("zombie") result must be rejected by fencing.
+//!   write (or heartbeat frame), so no heartbeat ever lands; the task is
+//!   reclaimed meanwhile and the late ("zombie") result must be rejected
+//!   by fencing.
 //! * `SlowWorker { factor }` stretches the task's wall time (heartbeats
 //!   stay alive) without touching the result — the straggler that trips
 //!   speculative re-execution while preserving result bit-identity.
+//!
+//! One additional, network-only chaos hook lives outside the fault plan
+//! (it is about *socket* failure, not worker failure):
+//! `WOOTZ_CHAOS_NET_DROP="<worker-id>:<n>"` makes that worker write only
+//! the first half of its `n`-th `TaskDone` frame and hard-close the
+//! socket — a deterministic mid-frame disconnect. The worker then
+//! reconnects and re-sends; the run's results must be unaffected.
 
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,16 +66,152 @@ use wootz_core::pipeline::{
 };
 use wootz_core::pretrain::pretrain_group_supervised;
 use wootz_core::Result;
-use wootz_data::micro_dataset;
+use wootz_data::{micro_dataset, Dataset};
 use wootz_fault::{site, FaultKind, FaultPlan};
 use wootz_nn::Checkpoint;
 
-use crate::protocol::{cluster_err, read_json, Manifest, ResultPayload, TaskKind, TaskResult, WireEval};
+use crate::messages::Message;
+use crate::net::NetClient;
+use crate::protocol::{
+    cluster_err, read_json, Manifest, ResultPayload, TaskKind, TaskResult, TaskSpec, WireEval,
+};
 use crate::queue::RunDir;
 
-/// The entry point of a worker process. Polls the queue until the
-/// coordinator writes the shutdown marker, executing one claimed task at a
-/// time. Returns when shut down cleanly.
+/// Everything a worker needs to execute tasks, reconstructed from the
+/// manifest and the full-model checkpoint exactly as the single-process
+/// pipeline builds it — shared by the filesystem and network transports.
+struct WorkerEnv {
+    manifest: Manifest,
+    inputs: WootzInputs,
+    dataset: Dataset,
+    mm: MultiplexingModel,
+    full_ckpt: Checkpoint,
+    block_set: Option<wootz_core::blocks::BlockSet>,
+    sizes: Vec<usize>,
+    flops: Vec<u64>,
+    /// Pre-trained block checkpoints, fetched lazily on the first
+    /// evaluation task (they do not exist before pre-training completes).
+    block_ckpts: Option<BTreeMap<String, Checkpoint>>,
+}
+
+impl WorkerEnv {
+    fn new(manifest: Manifest, full_ckpt: Checkpoint) -> Result<WorkerEnv> {
+        let inputs = WootzInputs {
+            model: manifest.model.clone(),
+            subspace: manifest.subspace.clone(),
+            solver: manifest.solver.clone(),
+            objective: manifest.objective.clone(),
+        };
+        let dataset = micro_dataset(&inputs.solver.dataset, inputs.solver.seed);
+        let mm = MultiplexingModel::compile(inputs.model.clone())?;
+        let block_set = blocks_for_mode(&inputs, manifest.mode)?;
+        let (sizes, flops) = subspace_stats(&inputs)?;
+        Ok(WorkerEnv {
+            manifest,
+            inputs,
+            dataset,
+            mm,
+            full_ckpt,
+            block_set,
+            sizes,
+            flops,
+            block_ckpts: None,
+        })
+    }
+
+    /// Fires the process-level fault hook for `task`. `WorkerCrash`
+    /// aborts the process; `WorkerHang` sleeps *before* the caller's
+    /// first lease write or heartbeat, so the lease is reclaimed
+    /// meanwhile; `SlowWorker` returns the straggle factor.
+    fn fault_hook(&self, task: &TaskSpec) -> Option<f64> {
+        let faults = self.manifest.faults.as_ref();
+        match FaultPlan::fire_opt(faults, site::CLUSTER_TASK, task.fault_key(), task.attempt) {
+            Some(FaultKind::WorkerCrash) => {
+                // Die instantly, mid-task: no result, no cleanup. This is
+                // what a SIGKILLed or OOM-killed worker looks like.
+                std::process::abort();
+            }
+            Some(FaultKind::WorkerHang { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                None
+            }
+            Some(FaultKind::SlowWorker { factor }) => Some(factor.max(1.0)),
+            // EvalError / EvalPanic / CorruptCheckpoint belong to the
+            // in-process sites, which the supervised executors consult
+            // themselves.
+            _ => None,
+        }
+    }
+
+    /// Executes one task to its result payload. `fetch_blocks` supplies
+    /// the pre-trained block checkpoints on first need (from the run
+    /// directory or over the wire, depending on the transport).
+    fn execute(
+        &mut self,
+        task: &TaskSpec,
+        fetch_blocks: &mut dyn FnMut() -> Result<BTreeMap<String, Checkpoint>>,
+    ) -> Result<ResultPayload> {
+        let faults = self.manifest.faults.as_ref();
+        match &task.kind {
+            TaskKind::Eval { config_index } => {
+                if self.block_set.is_some() && self.block_ckpts.is_none() {
+                    self.block_ckpts = Some(fetch_blocks()?);
+                }
+                let ctx = EvalContext::new(
+                    &self.inputs,
+                    &self.dataset,
+                    &self.mm,
+                    &self.full_ckpt,
+                    self.block_set.as_ref(),
+                    self.block_ckpts.as_ref(),
+                    &self.sizes,
+                    &self.flops,
+                    faults,
+                );
+                let sup = supervise_eval(
+                    &|i| ctx.evaluate(i),
+                    *config_index,
+                    &self.manifest.retry,
+                    faults,
+                );
+                Ok(ResultPayload::Eval(WireEval::from_supervised(
+                    *config_index,
+                    sup,
+                )))
+            }
+            TaskKind::Pretrain { group_index, group } => {
+                let set = self.block_set.as_ref().ok_or_else(|| {
+                    cluster_err(format!(
+                        "pre-training task {} in a mode without tuning blocks",
+                        task.seq
+                    ))
+                })?;
+                let cfg = block_pretrain_config(&self.inputs.solver);
+                let batch_size = self.inputs.solver.batch_size;
+                let dataset = &self.dataset;
+                let (blocks, failed) = pretrain_group_supervised(
+                    &self.mm,
+                    &set.blocks,
+                    group,
+                    *group_index,
+                    &self.full_ckpt,
+                    &cfg,
+                    &|step| dataset.train_batch(step, batch_size).0,
+                    faults,
+                );
+                Ok(ResultPayload::Pretrain {
+                    group_index: *group_index,
+                    blocks,
+                    failed,
+                })
+            }
+        }
+    }
+}
+
+/// The entry point of a filesystem-transport worker process. Polls the
+/// queue until the coordinator writes the shutdown marker, executing one
+/// claimed task at a time. Returns when shut down cleanly.
 ///
 /// # Errors
 ///
@@ -72,25 +230,11 @@ pub fn worker_main(run_dir: &Path, worker_id: &str) -> Result<()> {
         .field("epoch", manifest.epoch as usize)
         .emit();
 
-    // Reconstruct the evaluation environment exactly as the single-process
-    // pipeline builds it.
-    let inputs = WootzInputs {
-        model: manifest.model.clone(),
-        subspace: manifest.subspace.clone(),
-        solver: manifest.solver.clone(),
-        objective: manifest.objective.clone(),
-    };
-    let dataset = micro_dataset(&inputs.solver.dataset, inputs.solver.seed);
-    let mm = MultiplexingModel::compile(inputs.model.clone())?;
     let full_ckpt = Checkpoint::load(dir.full_ckpt())?;
-    let block_set = blocks_for_mode(&inputs, manifest.mode)?;
-    let (sizes, flops) = subspace_stats(&inputs)?;
-    let faults = manifest.faults.as_ref();
-    // Block checkpoints appear only once the pre-training phase finished;
-    // loaded lazily on the first evaluation task.
-    let mut block_ckpts: Option<BTreeMap<String, Checkpoint>> = None;
+    let lease_ms = manifest.lease_ms;
+    let mut env = WorkerEnv::new(manifest, full_ckpt)?;
 
-    let poll = Duration::from_millis((manifest.lease_ms / 8).clamp(5, 200));
+    let poll = Duration::from_millis((lease_ms / 8).clamp(5, 200));
     loop {
         if dir.shutdown_requested() {
             wootz_obs::event("cluster.worker_shutdown")
@@ -108,26 +252,9 @@ pub fn worker_main(run_dir: &Path, worker_id: &str) -> Result<()> {
             .with("worker", worker_id);
 
         // Process-level fault injection, keyed exactly like the in-process
-        // sites (config index / group index), per attempt.
-        let mut slow_factor: Option<f64> = None;
-        match FaultPlan::fire_opt(faults, site::CLUSTER_TASK, task.fault_key(), task.attempt) {
-            Some(FaultKind::WorkerCrash) => {
-                // Die instantly, mid-task: no result, no cleanup. This is
-                // what a SIGKILLed or OOM-killed worker looks like.
-                std::process::abort();
-            }
-            Some(FaultKind::WorkerHang { millis }) => {
-                // Wedge before the first lease write: the coordinator sees
-                // a claim without a heartbeat, reclaims, and this worker
-                // later completes as a zombie.
-                std::thread::sleep(Duration::from_millis(millis));
-            }
-            Some(FaultKind::SlowWorker { factor }) => slow_factor = Some(factor.max(1.0)),
-            // EvalError / EvalPanic / CorruptCheckpoint belong to the
-            // in-process sites, which the supervised executors below
-            // consult themselves.
-            _ => {}
-        }
+        // sites (config index / group index), per attempt. A hang fires
+        // here, before the first lease write, so no heartbeat ever lands.
+        let slow_factor = env.fault_hook(&task);
 
         // Lease + heartbeat: refresh at a quarter of the lease period.
         dir.write_lease(&task, worker_id)?;
@@ -137,7 +264,7 @@ pub fn worker_main(run_dir: &Path, worker_id: &str) -> Result<()> {
             let dir = dir.clone();
             let task = task.clone();
             let worker = worker_id.to_string();
-            let period = Duration::from_millis((manifest.lease_ms / 4).max(1));
+            let period = Duration::from_millis((lease_ms / 4).max(1));
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     std::thread::sleep(period);
@@ -150,56 +277,8 @@ pub fn worker_main(run_dir: &Path, worker_id: &str) -> Result<()> {
         };
 
         let started = Instant::now();
-        let payload = match &task.kind {
-            TaskKind::Eval { config_index } => {
-                if block_set.is_some() && block_ckpts.is_none() {
-                    block_ckpts = Some(load_block_checkpoints(&dir)?);
-                }
-                let ctx = EvalContext::new(
-                    &inputs,
-                    &dataset,
-                    &mm,
-                    &full_ckpt,
-                    block_set.as_ref(),
-                    block_ckpts.as_ref(),
-                    &sizes,
-                    &flops,
-                    faults,
-                );
-                let sup = supervise_eval(
-                    &|i| ctx.evaluate(i),
-                    *config_index,
-                    &manifest.retry,
-                    faults,
-                );
-                ResultPayload::Eval(WireEval::from_supervised(*config_index, sup))
-            }
-            TaskKind::Pretrain { group_index, group } => {
-                let set = block_set.as_ref().ok_or_else(|| {
-                    cluster_err(format!(
-                        "pre-training task {} in a mode without tuning blocks",
-                        task.seq
-                    ))
-                })?;
-                let cfg = block_pretrain_config(&inputs.solver);
-                let batch_size = inputs.solver.batch_size;
-                let (blocks, failed) = pretrain_group_supervised(
-                    &mm,
-                    &set.blocks,
-                    group,
-                    *group_index,
-                    &full_ckpt,
-                    &cfg,
-                    &|step| dataset.train_batch(step, batch_size).0,
-                    faults,
-                );
-                ResultPayload::Pretrain {
-                    group_index: *group_index,
-                    blocks,
-                    failed,
-                }
-            }
-        };
+        let mut fetch = || load_block_checkpoints(&dir);
+        let payload = env.execute(&task, &mut fetch)?;
 
         if let Some(factor) = slow_factor {
             // Straggle with a live heartbeat: the lease stays fresh, so
@@ -234,4 +313,255 @@ fn load_block_checkpoints(dir: &RunDir) -> Result<BTreeMap<String, Checkpoint>> 
         out.insert(key, ckpt);
     }
     Ok(out)
+}
+
+/// Deterministic socket-chaos hook: drop the connection mid-frame while
+/// sending the `n`-th `TaskDone`. Armed via
+/// `WOOTZ_CHAOS_NET_DROP="<worker-id>:<n>"`; fires exactly once.
+struct ChaosNetDrop {
+    remaining: Option<u32>,
+}
+
+impl ChaosNetDrop {
+    fn from_env(worker_id: &str) -> ChaosNetDrop {
+        let remaining = std::env::var("WOOTZ_CHAOS_NET_DROP")
+            .ok()
+            .and_then(|spec| {
+                let (who, n) = spec.split_once(':')?;
+                (who == worker_id).then(|| n.parse().ok())?
+            })
+            .filter(|&n| n > 0);
+        ChaosNetDrop { remaining }
+    }
+
+    /// Counts one `TaskDone` send; true when this is the one to sabotage.
+    fn fire(&mut self) -> bool {
+        match &mut self.remaining {
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    self.remaining = None;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+}
+
+/// How often the network worker retries a failed connect, and how many
+/// times before giving up (the coordinator binds its listener before
+/// spawning any worker, so in practice the first attempt succeeds).
+const CONNECT_RETRY: Duration = Duration::from_millis(200);
+const CONNECT_ATTEMPTS: usize = 50;
+
+/// The entry point of a network-transport worker process: connects to
+/// the coordinator, handshakes (`Hello`/`Welcome`), then loops
+/// requesting, executing and delivering tasks over the framed protocol.
+/// Returns when the coordinator sends [`Message::Shutdown`] or closes
+/// during drain.
+///
+/// # Errors
+///
+/// Returns an error when the coordinator is unreachable after retries,
+/// or when the received manifest cannot be reconstructed into a working
+/// evaluation environment. Connection failures mid-run are *not* errors
+/// — the worker reconnects (re-sending an undelivered result) and keeps
+/// going.
+pub fn worker_net_main(addr: &str, worker_id: &str) -> Result<()> {
+    let _span = wootz_obs::span("cluster.net_worker").with("worker", worker_id);
+    let mut epoch = 0u64;
+    let mut env: Option<WorkerEnv> = None;
+    let mut chaos = ChaosNetDrop::from_env(worker_id);
+    let nonce = AtomicU64::new(1);
+    // A result whose delivery failed mid-frame: re-sent first thing after
+    // the next successful handshake.
+    let mut undelivered: Option<TaskResult> = None;
+    let mut connect_failures = 0usize;
+
+    'session: loop {
+        let client = match NetClient::connect(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                connect_failures += 1;
+                if connect_failures >= CONNECT_ATTEMPTS {
+                    return Err(e);
+                }
+                std::thread::sleep(CONNECT_RETRY);
+                continue 'session;
+            }
+        };
+        connect_failures = 0;
+
+        // Handshake: announce who we are and the epoch we last worked
+        // under (0 = none); the coordinator's Welcome pins the session.
+        if client
+            .send(&Message::Hello {
+                worker: worker_id.to_string(),
+                epoch,
+            })
+            .is_err()
+        {
+            continue 'session;
+        }
+        match client.recv() {
+            Ok(Message::Welcome {
+                epoch: e,
+                manifest,
+                full_ckpt,
+            }) => {
+                if env.is_none() || e != epoch {
+                    // First session, or the coordinator restarted with a
+                    // new epoch: rebuild the environment from its manifest.
+                    env = Some(WorkerEnv::new(manifest, full_ckpt)?);
+                }
+                epoch = e;
+            }
+            Ok(Message::Shutdown) => return Ok(()),
+            Ok(_) | Err(_) => continue 'session,
+        }
+        let env = env.as_mut().expect("environment built on Welcome");
+        wootz_obs::event("cluster.worker_started")
+            .field("worker", worker_id)
+            .field("epoch", epoch as usize)
+            .emit();
+
+        // Deliver a result the previous session failed to get through.
+        if let Some(result) = undelivered.take() {
+            if client.send(&Message::TaskDone { result: result.clone() }).is_err() {
+                undelivered = Some(result);
+                continue 'session;
+            }
+        }
+
+        loop {
+            if client
+                .send(&Message::TaskRequest {
+                    worker: worker_id.to_string(),
+                })
+                .is_err()
+            {
+                continue 'session;
+            }
+            let task = match client.recv() {
+                Ok(Message::TaskGrant { task }) => task,
+                Ok(Message::NoTask { backoff_ms }) => {
+                    std::thread::sleep(Duration::from_millis(backoff_ms.clamp(1, 1000)));
+                    continue;
+                }
+                Ok(Message::Shutdown) => {
+                    wootz_obs::event("cluster.worker_shutdown")
+                        .field("worker", worker_id)
+                        .emit();
+                    return Ok(());
+                }
+                Ok(_) => continue,
+                Err(_) => continue 'session,
+            };
+            let _task_span = wootz_obs::span("cluster.task")
+                .with("seq", task.seq as usize)
+                .with("attempt", task.attempt as usize)
+                .with("worker", worker_id);
+
+            // Fault hook before the first heartbeat frame — a hang means
+            // the coordinator sees a grant with no heartbeat and reclaims.
+            let slow_factor = env.fault_hook(&task);
+
+            // Heartbeat frames at a quarter of the lease period, from a
+            // sibling thread sharing the frame writer. Nonces key the RTT
+            // histogram; send failures are tolerated (the task loop
+            // notices the dead connection at delivery time).
+            let stop = Arc::new(AtomicBool::new(false));
+            let heartbeat = {
+                let stop = Arc::clone(&stop);
+                let writer = client.writer();
+                let rtt = client.rtt_map();
+                let worker = worker_id.to_string();
+                let (seq, attempt) = (task.seq, task.attempt);
+                let period = Duration::from_millis((env.manifest.lease_ms / 4).max(1));
+                let nonce_base = nonce.fetch_add(1 << 20, Ordering::Relaxed);
+                std::thread::spawn(move || {
+                    let mut n = nonce_base;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(period);
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        n += 1;
+                        rtt.lock().expect("client rtt lock").insert(n, Instant::now());
+                        let msg = Message::Heartbeat {
+                            worker: worker.clone(),
+                            seq,
+                            attempt,
+                            nonce: n,
+                        };
+                        let mut stream = writer.lock().expect("wire writer lock");
+                        if msg.write_to(&mut *stream).is_err() {
+                            break;
+                        }
+                    }
+                })
+            };
+
+            let started = Instant::now();
+            let mut fetch = || fetch_blocks_over_wire(&client, worker_id);
+            let payload = env.execute(&task, &mut fetch)?;
+
+            if let Some(factor) = slow_factor {
+                let extra = started.elapsed().mul_f64(factor - 1.0);
+                std::thread::sleep(extra);
+            }
+
+            let result = TaskResult {
+                seq: task.seq,
+                attempt: task.attempt,
+                epoch: task.epoch,
+                worker: worker_id.to_string(),
+                wall_ms: started.elapsed().as_millis() as u64,
+                payload,
+            };
+            stop.store(true, Ordering::Relaxed);
+            let _ = heartbeat.join();
+            wootz_obs::counter("cluster.worker_tasks").incr();
+
+            let done = Message::TaskDone {
+                result: result.clone(),
+            };
+            if chaos.fire() {
+                // Injected mid-frame disconnect: half the frame, then a
+                // hard close. The reconnect path below must deliver the
+                // result anyway.
+                let _ = client.send_half_frame_and_die(&done);
+                undelivered = Some(result);
+                continue 'session;
+            }
+            if client.send(&done).is_err() {
+                undelivered = Some(result);
+                continue 'session;
+            }
+        }
+    }
+}
+
+/// Fetches the pre-trained block index over the wire (the network
+/// worker's counterpart of [`load_block_checkpoints`]).
+fn fetch_blocks_over_wire(
+    client: &NetClient,
+    worker_id: &str,
+) -> Result<BTreeMap<String, Checkpoint>> {
+    client
+        .send(&Message::BlocksRequest)
+        .map_err(|e| cluster_err(format!("worker {worker_id}: blocks request failed: {e}")))?;
+    match client.recv() {
+        Ok(Message::Blocks { index }) => Ok(index.into_iter().collect()),
+        Ok(other) => Err(cluster_err(format!(
+            "worker {worker_id}: expected Blocks, got {}",
+            other.name()
+        ))),
+        Err(e) => Err(cluster_err(format!(
+            "worker {worker_id}: blocks fetch failed: {e}"
+        ))),
+    }
 }

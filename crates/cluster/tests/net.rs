@@ -1,0 +1,225 @@
+//! Integration tests of the TCP transport: framed-message round-trips for
+//! the task-bearing protocol types, a full loopback run asserted
+//! bit-identical to the single-process pipeline, and socket chaos — a
+//! worker killing its own connection halfway through a result frame.
+
+use std::path::PathBuf;
+
+use wootz_cluster::protocol::{ResultPayload, TaskKind, TaskResult, TaskSpec, WireEval};
+use wootz_cluster::{run_distributed, ClusterOptions, Message};
+use wootz_core::explore::EvalOutcome;
+use wootz_core::pipeline::{run_wootz_with, RunMode, RunOptions, WootzInputs, WootzRun};
+use wootz_data::{micro_dataset, Dataset};
+use wootz_fault::RetryPolicy;
+use wootz_ir::{Objective, SolverConfig};
+use wootz_wire::Limits;
+
+fn worker_cmd() -> (PathBuf, Vec<String>) {
+    (
+        PathBuf::from(env!("CARGO_BIN_EXE_wootz")),
+        vec!["worker".to_string()],
+    )
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wootz_net_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn inputs() -> WootzInputs {
+    let model = wootz_models::resnet_mini(8);
+    let subspace = ["[[30,30,30,30],[50,70,70,70],[70,70,70,70],[50,50,50,50]]"]
+        .iter()
+        .flat_map(|json| {
+            let raw: Vec<Vec<u8>> = serde_json::from_str(json).unwrap();
+            raw.into_iter()
+                .map(|r| wootz_core::prune::PruneConfig::new(r).unwrap())
+        })
+        .collect();
+    let solver = SolverConfig::parse(
+        "dataset: \"flowers102\"\nbase_lr: 0.03\nmax_iter: 8\nbatch_size: 4\n\
+         pretrain_iter: 4\neval_every: 4\nseed: 11\nnum_workers: 2\n",
+    )
+    .unwrap();
+    let objective = Objective::parse("min ModelSize\nconstraint Accuracy >= 0.1\n").unwrap();
+    WootzInputs {
+        model,
+        subspace,
+        solver,
+        objective,
+    }
+}
+
+fn baseline(inputs: &WootzInputs, dataset: &Dataset, mode: RunMode) -> WootzRun {
+    let opts = RunOptions {
+        faults: None,
+        retry: RetryPolicy::abort_fast(),
+        journal: None,
+        resume: false,
+    };
+    run_wootz_with(inputs, dataset, mode, None, &opts).unwrap()
+}
+
+fn run_json(run: &WootzRun) -> String {
+    serde_json::to_string(run).unwrap()
+}
+
+/// Writes each message into one byte stream, reads them all back, and
+/// asserts each decode re-encodes to the exact original frame bytes —
+/// the codec contract for every task-bearing message the transport
+/// exchanges (decode ∘ encode is the identity on bytes).
+fn round_trip_messages(messages: &[Message]) {
+    let mut stream = Vec::new();
+    for m in messages {
+        m.write_to(&mut stream).unwrap();
+    }
+    let mut cursor = std::io::Cursor::new(stream.as_slice());
+    let mut offset = 0usize;
+    for expected in messages {
+        let (got, consumed) = Message::read_from(&mut cursor, &Limits::DEFAULT).unwrap();
+        assert!(consumed >= wootz_wire::HEADER_LEN);
+        assert_eq!(got.msg_type(), expected.msg_type());
+        let mut reencoded = Vec::new();
+        got.write_to(&mut reencoded).unwrap();
+        assert_eq!(reencoded, &stream[offset..offset + consumed]);
+        offset += consumed;
+    }
+    assert_eq!(offset, stream.len());
+}
+
+#[test]
+fn task_messages_round_trip_bit_exactly() {
+    let eval_task = TaskSpec {
+        seq: 7,
+        attempt: 2,
+        epoch: 3,
+        kind: TaskKind::Eval { config_index: 11 },
+        expected_steps: 8,
+    };
+    let pretrain_task = TaskSpec {
+        seq: 0,
+        attempt: 1,
+        epoch: 1,
+        kind: TaskKind::Pretrain {
+            group_index: 4,
+            group: vec![0, 3, 9],
+        },
+        expected_steps: 4,
+    };
+    // An outcome whose floats exercise the IEEE-754 bit-pattern encoding:
+    // 0.1 + 0.2 is not representable exactly, so any lossy re-encode of
+    // `accuracy` would break the equality assertion below.
+    let done_ok = TaskResult {
+        seq: 7,
+        attempt: 2,
+        epoch: 3,
+        worker: "w0".to_string(),
+        wall_ms: 1234,
+        payload: ResultPayload::Eval(WireEval {
+            config_index: 11,
+            outcome: Some(EvalOutcome {
+                model_size: 4096,
+                flops: 1 << 40,
+                accuracy: 0.1 + 0.2,
+                cost: 2.5,
+                log: None,
+            }),
+            error: None,
+            attempts: 1,
+            backoff: 0.0,
+        }),
+    };
+    let done_err = TaskResult {
+        seq: 8,
+        attempt: 1,
+        epoch: 3,
+        worker: "w1".to_string(),
+        wall_ms: 9,
+        payload: ResultPayload::Eval(WireEval {
+            config_index: 2,
+            outcome: None,
+            error: Some("supervisor: all attempts failed".to_string()),
+            attempts: 3,
+            backoff: 1.5,
+        }),
+    };
+    let done_pretrain = TaskResult {
+        seq: 1,
+        attempt: 1,
+        epoch: 1,
+        worker: "w0".to_string(),
+        wall_ms: 55,
+        payload: ResultPayload::Pretrain {
+            group_index: 4,
+            blocks: vec![],
+            failed: vec![("conv2".to_string(), "boom".to_string())],
+        },
+    };
+    round_trip_messages(&[
+        Message::TaskGrant { task: eval_task },
+        Message::TaskGrant {
+            task: pretrain_task,
+        },
+        Message::TaskDone { result: done_ok },
+        Message::TaskDone { result: done_err },
+        Message::TaskDone {
+            result: done_pretrain,
+        },
+    ]);
+}
+
+#[test]
+fn tcp_run_is_bit_identical_to_single_process() {
+    let inputs = inputs();
+    let dataset = micro_dataset(&inputs.solver.dataset, inputs.solver.seed);
+    let single = baseline(&inputs, &dataset, RunMode::Composability);
+
+    let dir = tempdir("identity");
+    let mut opts = ClusterOptions::new(dir.join("run"), 2, worker_cmd());
+    opts.retry = RetryPolicy::abort_fast();
+    opts.listen = Some("127.0.0.1:0".to_string());
+    let (dist, stats) = run_distributed(&inputs, &dataset, RunMode::Composability, &opts).unwrap();
+
+    assert_eq!(run_json(&single), run_json(&dist));
+    assert!(stats.tasks_completed > 0);
+    // A healthy TCP run: every worker connected exactly once, no lease
+    // ever expired, no result was fenced.
+    assert_eq!(stats.net_reconnects, 0, "{}", stats.summary());
+    assert_eq!(stats.leases_reclaimed, 0, "{}", stats.summary());
+    assert_eq!(stats.zombie_results_rejected, 0, "{}", stats.summary());
+    // Heartbeats arrive over the socket, so the coordinator never needed a
+    // filesystem lease probe once a signal was in hand.
+    assert!(stats.lease_scans_avoided > 0, "{}", stats.summary());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mid_frame_disconnect_reconnects_and_result_unchanged() {
+    let inputs = inputs();
+    let dataset = micro_dataset(&inputs.solver.dataset, inputs.solver.seed);
+    let single = baseline(&inputs, &dataset, RunMode::Composability);
+
+    // Worker w0's first TaskDone frame is cut in half and its socket
+    // hard-closed (the *process* survives): the hub must discard the
+    // truncated frame, the worker must reconnect under the same epoch and
+    // resend the undelivered result, and the run must stay byte-equal.
+    let dir = tempdir("midframe");
+    let mut opts = ClusterOptions::new(dir.join("run"), 2, worker_cmd());
+    opts.retry = RetryPolicy::abort_fast();
+    opts.listen = Some("127.0.0.1:0".to_string());
+    opts.worker_env = vec![("WOOTZ_CHAOS_NET_DROP".to_string(), "w0:1".to_string())];
+    let (dist, stats) = run_distributed(&inputs, &dataset, RunMode::Composability, &opts).unwrap();
+
+    assert_eq!(run_json(&single), run_json(&dist));
+    assert!(
+        stats.net_reconnects >= 1,
+        "expected a zombie reconnect: {}",
+        stats.summary()
+    );
+    // The resent result deduplicates on its (seq, attempt) journal file:
+    // nothing is double-counted, nothing abandoned.
+    assert_eq!(stats.tasks_abandoned, 0, "{}", stats.summary());
+    std::fs::remove_dir_all(&dir).ok();
+}

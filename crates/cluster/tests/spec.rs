@@ -1,0 +1,89 @@
+//! Pins `PROTOCOL.md` against the implementation: the message-catalog
+//! table in §4 (between the `<!-- catalog:begin -->` / `<!-- catalog:end -->`
+//! markers) must list exactly the codes and names of `Message::CATALOG`,
+//! in order. Editing one without the other fails this test.
+
+use wootz_cluster::Message;
+
+const SPEC: &str = include_str!("../../../PROTOCOL.md");
+
+/// Extracts `(code, name)` rows from the marked catalog table. Rows look
+/// like `| 4 | `TaskGrant` | C→W | ... |`; the header and separator rows
+/// have no leading integer and are skipped.
+fn spec_catalog() -> Vec<(u16, String)> {
+    let start = SPEC
+        .find("<!-- catalog:begin -->")
+        .expect("PROTOCOL.md lost its catalog:begin marker");
+    let end = SPEC
+        .find("<!-- catalog:end -->")
+        .expect("PROTOCOL.md lost its catalog:end marker");
+    assert!(start < end, "catalog markers out of order");
+
+    let mut rows = Vec::new();
+    for line in SPEC[start..end].lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('|') else {
+            continue;
+        };
+        let mut cells = rest.split('|').map(str::trim);
+        let Some(code_cell) = cells.next() else {
+            continue;
+        };
+        let Ok(code) = code_cell.parse::<u16>() else {
+            continue; // header or separator row
+        };
+        let name_cell = cells.next().unwrap_or_default();
+        let name = name_cell
+            .strip_prefix('`')
+            .and_then(|s| s.strip_suffix('`'))
+            .unwrap_or_else(|| panic!("catalog row for code {code} lacks a `backticked` name"));
+        rows.push((code, name.to_string()));
+    }
+    rows
+}
+
+#[test]
+fn protocol_md_catalog_matches_message_catalog() {
+    let spec = spec_catalog();
+    assert_eq!(
+        spec.len(),
+        Message::CATALOG.len(),
+        "PROTOCOL.md catalog has {} rows, Message::CATALOG has {}",
+        spec.len(),
+        Message::CATALOG.len()
+    );
+    for ((spec_code, spec_name), &(code, name)) in spec.iter().zip(Message::CATALOG) {
+        assert_eq!(
+            (*spec_code, spec_name.as_str()),
+            (code, name),
+            "PROTOCOL.md row ({spec_code}, {spec_name}) != Message::CATALOG ({code}, {name})"
+        );
+    }
+}
+
+#[test]
+fn spec_documents_every_wire_error() {
+    // §6 lists every structured decode error by name; spot-check that the
+    // table names each `WireError` variant so the error-code section
+    // cannot silently fall behind the enum.
+    for variant in [
+        "Closed",
+        "Io",
+        "Truncated",
+        "BadMagic",
+        "UnsupportedVersion",
+        "UnknownMsgType",
+        "OversizedFrame",
+        "OversizedCollection",
+        "Exhausted",
+        "ChecksumMismatch",
+        "TrailingBytes",
+        "InvalidUtf8",
+        "InvalidValue",
+    ] {
+        assert!(
+            SPEC.contains(&format!("| `{variant}` |")),
+            "PROTOCOL.md §6 is missing a row for WireError::{variant}"
+        );
+    }
+}

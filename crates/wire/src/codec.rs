@@ -1,0 +1,478 @@
+//! The serialization traits, the bounded reader, and the primitive
+//! implementations.
+//!
+//! # Encoding rules
+//!
+//! * All integers are **big-endian** (network byte order), fixed width.
+//! * `f32`/`f64` are their IEEE-754 bit patterns as `u32`/`u64` — floats
+//!   round-trip *bit-exactly*, NaN payloads included, which is what the
+//!   cluster's bit-identity contract requires.
+//! * `bool` is one byte, `0` or `1`; anything else is
+//!   [`WireError::InvalidValue`].
+//! * `String` and byte blobs are a `u32` length followed by the raw
+//!   bytes (strings must be valid UTF-8).
+//! * `Vec<T>`, `BTreeMap<K, V>` are a `u32` element count followed by
+//!   the elements in order (map entries as key then value, in key
+//!   order).
+//! * `Option<T>` is a presence byte (`0`/`1`) followed by the value.
+//! * Tuples are their fields in order, no header.
+//!
+//! # Bounded decoding
+//!
+//! Every deserialization runs inside a [`WireReader`], which carries a
+//! byte *budget* (the frame's declared payload length) and [`Limits`].
+//! Declared lengths and element counts are validated against the budget
+//! **before any allocation**: a frame that claims a 4 GiB string inside
+//! a 200-byte payload fails with [`WireError::Exhausted`] without
+//! allocating 4 GiB, and a count above [`Limits::max_items`] fails with
+//! [`WireError::OversizedCollection`]. A truncated stream surfaces as
+//! [`WireError::Truncated`], never as a panic or a partial value.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+use crate::error::{WireError, WireResult};
+
+/// Decode-side resource bounds. A reader refuses to allocate or iterate
+/// past these, no matter what the incoming bytes declare.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum accepted frame payload length in bytes. Checked against
+    /// the envelope's declared length before the payload is read.
+    pub max_frame: u64,
+    /// Maximum element count of any single collection.
+    pub max_items: u64,
+}
+
+impl Limits {
+    /// The library defaults: 64 MiB frames, 1 M elements per collection
+    /// — far above anything the cluster protocol sends, far below what
+    /// would hurt a host.
+    pub const DEFAULT: Limits = Limits {
+        max_frame: 64 * 1024 * 1024,
+        max_items: 1_000_000,
+    };
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits::DEFAULT
+    }
+}
+
+/// A bounded reader: wraps any [`Read`] with a byte budget and
+/// [`Limits`]. All `wootz-wire` deserialization goes through this type;
+/// it is what makes "no allocation past the bound" a structural
+/// guarantee rather than per-impl diligence.
+#[derive(Debug)]
+pub struct WireReader<R: Read> {
+    inner: R,
+    limits: Limits,
+    remaining: u64,
+}
+
+impl<R: Read> WireReader<R> {
+    /// Wraps `inner` with `budget` readable bytes under `limits`.
+    pub fn new(inner: R, budget: u64, limits: Limits) -> Self {
+        WireReader {
+            inner,
+            limits,
+            remaining: budget,
+        }
+    }
+
+    /// Bytes still available under the budget.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// The limits this reader enforces.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Checks that `needed` bytes fit the budget (without consuming).
+    fn ensure(&self, context: &'static str, needed: u64) -> WireResult<()> {
+        if needed > self.remaining {
+            return Err(WireError::Exhausted {
+                context,
+                needed,
+                remaining: self.remaining,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads exactly `buf.len()` bytes, charging the budget.
+    pub fn read_exact(&mut self, context: &'static str, buf: &mut [u8]) -> WireResult<()> {
+        self.ensure(context, buf.len() as u64)?;
+        self.inner.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                WireError::Truncated {
+                    context,
+                    expected: buf.len() as u64,
+                    got: 0,
+                }
+            } else {
+                WireError::Io(e)
+            }
+        })?;
+        self.remaining -= buf.len() as u64;
+        Ok(())
+    }
+
+    /// Reads one `u8`.
+    pub fn u8(&mut self, context: &'static str) -> WireResult<u8> {
+        let mut b = [0u8; 1];
+        self.read_exact(context, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads one big-endian `u16`.
+    pub fn u16(&mut self, context: &'static str) -> WireResult<u16> {
+        let mut b = [0u8; 2];
+        self.read_exact(context, &mut b)?;
+        Ok(u16::from_be_bytes(b))
+    }
+
+    /// Reads one big-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> WireResult<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(context, &mut b)?;
+        Ok(u32::from_be_bytes(b))
+    }
+
+    /// Reads one big-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> WireResult<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(context, &mut b)?;
+        Ok(u64::from_be_bytes(b))
+    }
+
+    /// Reads one `f32` as its IEEE-754 bit pattern (bit-exact).
+    pub fn f32(&mut self, context: &'static str) -> WireResult<f32> {
+        Ok(f32::from_bits(self.u32(context)?))
+    }
+
+    /// Reads one `f64` as its IEEE-754 bit pattern (bit-exact).
+    pub fn f64(&mut self, context: &'static str) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads one `bool` (strictly `0` or `1`).
+    pub fn bool(&mut self, context: &'static str) -> WireResult<bool> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::InvalidValue {
+                context,
+                detail: format!("bool byte must be 0 or 1, got {other}"),
+            }),
+        }
+    }
+
+    /// Reads a length-prefixed byte blob. The declared length is checked
+    /// against the remaining budget *before* the buffer is allocated.
+    pub fn bytes(&mut self, context: &'static str) -> WireResult<Vec<u8>> {
+        let len = self.u32(context)? as u64;
+        self.ensure(context, len)?;
+        let mut buf = vec![0u8; len as usize];
+        self.read_exact(context, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self, context: &'static str) -> WireResult<String> {
+        let bytes = self.bytes(context)?;
+        String::from_utf8(bytes).map_err(|_| WireError::InvalidUtf8 { context })
+    }
+
+    /// Reads and validates a collection's element count: it must not
+    /// exceed [`Limits::max_items`], and — since every element occupies
+    /// at least `min_elem_size` bytes — `count × min_elem_size` must fit
+    /// the remaining budget. Call this before looping over elements.
+    pub fn seq_len(&mut self, context: &'static str, min_elem_size: u64) -> WireResult<usize> {
+        let count = self.u32(context)? as u64;
+        if count > self.limits.max_items {
+            return Err(WireError::OversizedCollection {
+                declared: count,
+                limit: self.limits.max_items,
+            });
+        }
+        self.ensure(context, count.saturating_mul(min_elem_size.max(1)))?;
+        Ok(count as usize)
+    }
+
+    /// Asserts the budget is fully consumed — the trailing-bytes check
+    /// run after a frame payload or a stand-alone buffer is decoded.
+    pub fn expect_consumed(&self) -> WireResult<()> {
+        if self.remaining > 0 {
+            return Err(WireError::TrailingBytes {
+                remaining: self.remaining,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serialization into any [`Write`]: the encoding is fully determined by
+/// the value (no framing; [`crate::write_frame`] adds the envelope).
+pub trait WireSerialize {
+    /// Exact number of bytes [`WireSerialize::wire_write`] will produce.
+    fn wire_size(&self) -> usize;
+
+    /// Writes the value's wire encoding to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] on writer failure (and
+    /// [`WireError::InvalidValue`] for values that cannot be encoded,
+    /// e.g. a collection longer than `u32::MAX`).
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()>;
+
+    /// Serializes into a fresh buffer sized by [`WireSerialize::wire_size`].
+    fn wire_to_vec(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_size());
+        self.wire_write(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
+}
+
+/// Deserialization from a bounded [`WireReader`].
+pub trait WireDeserialize: Sized {
+    /// Reads one value from `r`, charging its budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`WireError`] on malformed, truncated or
+    /// oversized input; implementations never panic on hostile bytes.
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self>;
+
+    /// Decodes a value from a stand-alone buffer, enforcing `limits`
+    /// and rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`WireDeserialize::wire_read`] returns, plus
+    /// [`WireError::TrailingBytes`] when the buffer is longer than the
+    /// value.
+    fn wire_from_bytes(bytes: &[u8], limits: &Limits) -> WireResult<Self> {
+        let mut r = WireReader::new(bytes, bytes.len() as u64, limits.clone());
+        let value = Self::wire_read(&mut r)?;
+        r.expect_consumed()?;
+        Ok(value)
+    }
+}
+
+/// Writes a `u32` length prefix, erroring (instead of truncating) past
+/// `u32::MAX` elements/bytes.
+pub fn write_len<W: Write + ?Sized>(
+    w: &mut W,
+    context: &'static str,
+    len: usize,
+) -> WireResult<()> {
+    let len = u32::try_from(len).map_err(|_| WireError::InvalidValue {
+        context,
+        detail: format!("length {len} exceeds u32::MAX"),
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    Ok(())
+}
+
+/// Writes a length-prefixed byte blob (the encode-side of
+/// [`WireReader::bytes`]).
+pub fn write_bytes<W: Write + ?Sized>(
+    w: &mut W,
+    context: &'static str,
+    bytes: &[u8],
+) -> WireResult<()> {
+    write_len(w, context, bytes.len())?;
+    w.write_all(bytes)?;
+    Ok(())
+}
+
+macro_rules! impl_wire_int {
+    ($ty:ty, $read:ident) => {
+        impl WireSerialize for $ty {
+            fn wire_size(&self) -> usize {
+                std::mem::size_of::<$ty>()
+            }
+            fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+                w.write_all(&self.to_be_bytes())?;
+                Ok(())
+            }
+        }
+        impl WireDeserialize for $ty {
+            fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+                r.$read(stringify!($ty))
+            }
+        }
+    };
+}
+
+impl_wire_int!(u8, u8);
+impl_wire_int!(u16, u16);
+impl_wire_int!(u32, u32);
+impl_wire_int!(u64, u64);
+
+impl WireSerialize for bool {
+    fn wire_size(&self) -> usize {
+        1
+    }
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        w.write_all(&[u8::from(*self)])?;
+        Ok(())
+    }
+}
+
+impl WireDeserialize for bool {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        r.bool("bool")
+    }
+}
+
+impl WireSerialize for f32 {
+    fn wire_size(&self) -> usize {
+        4
+    }
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        w.write_all(&self.to_bits().to_be_bytes())?;
+        Ok(())
+    }
+}
+
+impl WireDeserialize for f32 {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        r.f32("f32")
+    }
+}
+
+impl WireSerialize for f64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        w.write_all(&self.to_bits().to_be_bytes())?;
+        Ok(())
+    }
+}
+
+impl WireDeserialize for f64 {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        r.f64("f64")
+    }
+}
+
+impl WireSerialize for String {
+    fn wire_size(&self) -> usize {
+        4 + self.len()
+    }
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        write_bytes(w, "String", self.as_bytes())
+    }
+}
+
+impl WireDeserialize for String {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        r.string("String")
+    }
+}
+
+impl<T: WireSerialize> WireSerialize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(WireSerialize::wire_size).sum::<usize>()
+    }
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        write_len(w, "Vec", self.len())?;
+        for item in self {
+            item.wire_write(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: WireDeserialize> WireDeserialize for Vec<T> {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        let count = r.seq_len("Vec", 1)?;
+        // Capacity is capped by the budget check inside `seq_len`: at one
+        // byte per element minimum, `count` never exceeds the frame size.
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(T::wire_read(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: WireSerialize> WireSerialize for Option<T> {
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSerialize::wire_size)
+    }
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        match self {
+            None => w.write_all(&[0])?,
+            Some(v) => {
+                w.write_all(&[1])?;
+                v.wire_write(w)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T: WireDeserialize> WireDeserialize for Option<T> {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        if r.bool("Option tag")? {
+            Ok(Some(T::wire_read(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<A: WireSerialize, B: WireSerialize> WireSerialize for (A, B) {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        self.0.wire_write(w)?;
+        self.1.wire_write(w)
+    }
+}
+
+impl<A: WireDeserialize, B: WireDeserialize> WireDeserialize for (A, B) {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        Ok((A::wire_read(r)?, B::wire_read(r)?))
+    }
+}
+
+impl<K: WireSerialize, V: WireSerialize> WireSerialize for BTreeMap<K, V> {
+    fn wire_size(&self) -> usize {
+        4 + self
+            .iter()
+            .map(|(k, v)| k.wire_size() + v.wire_size())
+            .sum::<usize>()
+    }
+    fn wire_write<W: Write + ?Sized>(&self, w: &mut W) -> WireResult<()> {
+        write_len(w, "BTreeMap", self.len())?;
+        for (k, v) in self {
+            k.wire_write(w)?;
+            v.wire_write(w)?;
+        }
+        Ok(())
+    }
+}
+
+impl<K: WireDeserialize + Ord, V: WireDeserialize> WireDeserialize for BTreeMap<K, V> {
+    fn wire_read<R: Read>(r: &mut WireReader<R>) -> WireResult<Self> {
+        let count = r.seq_len("BTreeMap", 2)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..count {
+            let k = K::wire_read(r)?;
+            let v = V::wire_read(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}

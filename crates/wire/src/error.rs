@@ -1,0 +1,175 @@
+//! Structured wire-format errors.
+//!
+//! Every way a frame or payload can be malformed gets its own variant
+//! carrying the numbers a log line needs (declared vs. limit, expected
+//! vs. found). A decoder must never panic and never allocate past its
+//! bound on hostile input — the variants here are the contract's visible
+//! half; the [`crate::WireReader`] budget is the enforcing half.
+
+use std::fmt;
+
+/// Shorthand for `Result<T, WireError>`.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Everything that can go wrong serializing or deserializing wire data.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The peer closed the connection cleanly *between* frames (a read
+    /// returned end-of-stream before the first header byte). This is the
+    /// one "error" that is part of normal shutdown.
+    Closed,
+    /// Underlying I/O failure (reset connection, broken pipe, ...).
+    Io(std::io::Error),
+    /// The stream ended in the middle of a structure — a mid-frame
+    /// disconnect, or a truncated artifact on disk.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+        /// Bytes the structure declared or required.
+        expected: u64,
+        /// Bytes actually available.
+        got: u64,
+    },
+    /// The frame did not start with the protocol magic `b"WOTZ"`.
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The envelope carries a version this implementation does not speak.
+    UnsupportedVersion {
+        /// Version found in the envelope.
+        found: u16,
+        /// Highest version this implementation supports.
+        supported: u16,
+    },
+    /// The envelope's msg-type code is not in the receiver's catalog.
+    UnknownMsgType {
+        /// The unrecognized code.
+        found: u16,
+    },
+    /// The frame declared a payload length above the reader's limit. The
+    /// check fires *before* any payload allocation.
+    OversizedFrame {
+        /// Declared payload length.
+        declared: u64,
+        /// The reader's `Limits::max_frame`.
+        limit: u64,
+    },
+    /// A collection declared more elements than `Limits::max_items`.
+    OversizedCollection {
+        /// Declared element count.
+        declared: u64,
+        /// The reader's `Limits::max_items`.
+        limit: u64,
+    },
+    /// A declared length or count exceeds the bytes remaining in the
+    /// frame — the payload is lying about its own size. The check fires
+    /// before any allocation.
+    Exhausted {
+        /// What was being read.
+        context: &'static str,
+        /// Bytes the declaration requires.
+        needed: u64,
+        /// Bytes left in the frame budget.
+        remaining: u64,
+    },
+    /// The payload bytes do not hash to the checksum in the envelope.
+    ChecksumMismatch {
+        /// Checksum carried by the envelope.
+        expected: u32,
+        /// Checksum computed over the received payload.
+        found: u32,
+    },
+    /// The payload decoded successfully but left unread bytes behind —
+    /// either garbage or a newer sender appending fields this version
+    /// does not know.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        remaining: u64,
+    },
+    /// A string field was not valid UTF-8.
+    InvalidUtf8 {
+        /// The field being read.
+        context: &'static str,
+    },
+    /// A field decoded to a value outside its domain (bad bool byte,
+    /// unknown enum tag, unparseable embedded document, ...).
+    InvalidValue {
+        /// The field or type being read.
+        context: &'static str,
+        /// Human-readable specifics.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Truncated {
+                context,
+                expected,
+                got,
+            } => write!(
+                f,
+                "truncated {context}: expected {expected} bytes, got {got}"
+            ),
+            WireError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:02x?} (want `WOTZ`)")
+            }
+            WireError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported protocol version {found} (this side speaks <= {supported})"
+            ),
+            WireError::UnknownMsgType { found } => {
+                write!(f, "unknown message type code {found}")
+            }
+            WireError::OversizedFrame { declared, limit } => write!(
+                f,
+                "frame declares {declared} payload bytes, limit is {limit}"
+            ),
+            WireError::OversizedCollection { declared, limit } => write!(
+                f,
+                "collection declares {declared} elements, limit is {limit}"
+            ),
+            WireError::Exhausted {
+                context,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "{context} declares {needed} bytes but only {remaining} remain in the frame"
+            ),
+            WireError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "payload checksum mismatch: envelope says {expected:#010x}, payload hashes to {found:#010x}"
+            ),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after payload")
+            }
+            WireError::InvalidUtf8 { context } => {
+                write!(f, "{context} is not valid UTF-8")
+            }
+            WireError::InvalidValue { context, detail } => {
+                write!(f, "invalid {context}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}

@@ -20,7 +20,7 @@ cargo test -q
 echo "== docs: cargo doc --no-deps (warnings are errors, whole workspace) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p wootz-obs -p wootz-par -p wootz-tensor -p wootz-nn -p wootz-core \
-    -p wootz-sim -p wootz-fault -p wootz-cluster \
+    -p wootz-sim -p wootz-fault -p wootz-wire -p wootz-cluster \
     -p wootz-ir -p wootz-sequitur -p wootz-data -p wootz-models -p wootz-bench
 
 echo "== smoke: fault injection + journal resume =="
@@ -160,5 +160,26 @@ dist_best=$(grep '^best network:' "$SMOKE/dist.out" || true)
     echo "chaos smoke FAILED: best network changed under faults"
     echo "  single:      $base_best"; echo "  distributed: $dist_best"; exit 1; }
 echo "chaos smoke ok: $(grep '^cluster:' "$SMOKE/dist.out" || echo 'stats line missing'), best network stable"
+
+echo "== socket chaos smoke: TCP transport with a mid-frame disconnect =="
+# The same inputs over the wootz-wire TCP transport (PROTOCOL.md): the
+# coordinator listens on loopback, workers connect, and worker w0's first
+# TaskDone frame is cut in half with the socket hard-closed — the
+# connection dies, not the process. The worker must reconnect and resend;
+# the run must stay byte-equal to the single-process best network and the
+# stats line must record the reconnect (DESIGN.md §11).
+NET_DIR="$SMOKE/net"
+WOOTZ_CHAOS_NET_DROP="w0:1" chaos_prune --distributed 2 --run-dir "$NET_DIR" \
+    --listen 127.0.0.1:0 > "$SMOKE/net.out" 2>&1 || {
+    echo "socket chaos smoke FAILED: TCP run exited non-zero"; cat "$SMOKE/net.out"; exit 1; }
+net_best=$(grep '^best network:' "$SMOKE/net.out" || true)
+[ -n "$net_best" ] || {
+    echo "socket chaos smoke FAILED: no best network line"; cat "$SMOKE/net.out"; exit 1; }
+[ "$base_best" = "$net_best" ] || {
+    echo "socket chaos smoke FAILED: best network changed over TCP"
+    echo "  single: $base_best"; echo "  tcp:    $net_best"; exit 1; }
+grep '^cluster:' "$SMOKE/net.out" | grep -q '[1-9][0-9]* net reconnects' || {
+    echo "socket chaos smoke FAILED: no reconnect recorded"; cat "$SMOKE/net.out"; exit 1; }
+echo "socket chaos smoke ok: $(grep '^cluster:' "$SMOKE/net.out"), best network stable"
 
 echo "verify.sh: all gates passed"
