@@ -12,6 +12,7 @@
 //! reproduce fig7 [--seed N]               # accuracy vs size scatter (simulation)
 //! reproduce faults [--seed N]             # speedup under node failures/stragglers (simulation)
 //! reproduce cluster [--seed N]            # sim fault model vs the real distributed runtime
+//! reproduce crashes [--quick] [--seed N]  # kill-point crash matrix: die mid-write, resume, compare
 //! reproduce pipeline [--quick] [--seed N] [--journal <run.ndjson>] [--resume]
 //!           [--inject-faults <plan.json>] # end-to-end micro pipeline, resumable
 //! reproduce kernels [--quick] [--threads N] # 1-vs-N-thread kernel micro-bench
@@ -110,7 +111,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|faults|cluster|pipeline|kernels|memory|verify|all> \
+    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|faults|cluster|crashes|pipeline|kernels|memory|verify|all> \
      [--quick] [--seed N] [--threads N] [--json <dir>] [--metrics-out <path>]\n\
      pipeline extras: [--journal <run.ndjson>] [--resume] [--inject-faults <plan.json>]\n\
      kernels: 1-vs-N-thread micro-bench; writes BENCH_kernels.json (to --json dir if given)\n\
@@ -148,9 +149,49 @@ fn cluster_worker_main() -> ExitCode {
     }
 }
 
+/// Hidden crash-matrix entry point: `reproduce crash-child
+/// <pipeline|distributed> --dir D --out F [--seed N]` runs one scenario
+/// fresh — this is the process `reproduce crashes` arms
+/// `WOOTZ_CHAOS_KILL_AT` against and expects to die mid-write.
+fn crash_child_main() -> ExitCode {
+    let mut args = std::env::args().skip(2);
+    let Some(scenario) = args.next() else {
+        eprintln!("crash-child needs a scenario");
+        return ExitCode::FAILURE;
+    };
+    let mut dir = None;
+    let mut out = None;
+    let mut seed = 7u64;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--dir" => dir = args.next().map(std::path::PathBuf::from),
+            "--out" => out = args.next().map(std::path::PathBuf::from),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            other => {
+                eprintln!("crash-child: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(dir), Some(out)) = (dir, out) else {
+        eprintln!("crash-child needs --dir <dir> --out <path>");
+        return ExitCode::FAILURE;
+    };
+    match wootz_bench::crashrep::crash_child_main(&scenario, &dir, &out, seed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("crash-child: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some(wootz_bench::clusterrep::WORKER_SUBCOMMAND) {
         return cluster_worker_main();
+    }
+    if std::env::args().nth(1).as_deref() == Some(wootz_bench::crashrep::CRASH_CHILD_SUBCOMMAND) {
+        return crash_child_main();
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -300,6 +341,16 @@ fn dispatch(args: &Args) -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        "crashes" => match wootz_bench::crashrep::crashes_report(seed, args.quick) {
+            Ok(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(text) => {
+                eprintln!("{text}");
+                ExitCode::FAILURE
+            }
+        },
         "cluster" => match wootz_bench::clusterrep::cluster_report(seed) {
             Ok(text) => {
                 println!("{text}");

@@ -15,6 +15,7 @@
 //! | Figure 4 — Sequitur grammar/DAG example | exact algorithm run | [`simrep::fig4_report`] |
 //! | Kernel micro-bench — 1 vs N threads | real kernels on wootz-par | [`kernels::kernels_report`] |
 //! | Memory bench — interpreter vs planned executor | real execution on the stock graph | [`memrep::memory_report`] |
+//! | Crash matrix — kill-point durability | real runs killed mid-write | [`crashrep::crashes_report`] |
 //!
 //! Run `cargo run -p wootz-bench --bin reproduce --release -- all` to print
 //! every artifact with the paper's reference numbers alongside. The
@@ -25,6 +26,7 @@
 //! `PERFORMANCE.md`.
 
 pub mod clusterrep;
+pub mod crashrep;
 pub mod kernels;
 pub mod memrep;
 pub mod real;

@@ -492,6 +492,11 @@ pub fn pipeline_report(
         )),
         None => out.push_str("no configuration met the objective\n"),
     }
+    // Artifact damage survived (torn tails truncated, journals
+    // quarantined) is part of the run's story — surface it.
+    if let Some(summary) = wootz_core::recovery::degradation_summary() {
+        eprintln!("{summary}");
+    }
     Ok(out)
 }
 

@@ -75,6 +75,7 @@ use std::process::ExitCode;
 use wootz_cluster::{run_distributed, self_worker_cmd, worker_main, worker_net_main, ClusterOptions};
 use wootz_core::blocks::{identify_tuning_blocks, partition_into_groups};
 use wootz_core::pipeline::{run_wootz_with, RunMode, RunOptions, WootzInputs, WootzRun};
+use wootz_fault::chaos;
 use wootz_fault::{FaultPlan, OnExhausted, RetryPolicy};
 use wootz_core::prune::{sample_segment_subspace, sample_subspace, PruneConfig, PAPER_RATES};
 use wootz_core::stats::model_stats;
@@ -140,6 +141,7 @@ fn run() -> CliResult {
         "genmodel" => cmd_genmodel(args),
         "prune" => cmd_prune(args),
         "worker" => cmd_worker(args),
+        "chaos" => cmd_chaos(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -158,7 +160,7 @@ fn run() -> CliResult {
 }
 
 fn usage() -> &'static str {
-    "usage: wootz <compile|sample|identify|genmodel|prune|worker|help> [options] [--metrics-out <path>] [--threads <n>] [--exec-plan on|off]\n\
+    "usage: wootz <compile|sample|identify|genmodel|prune|worker|chaos|help> [options] [--metrics-out <path>] [--threads <n>] [--exec-plan on|off]\n\
      run `wootz help` for per-command options"
 }
 
@@ -482,6 +484,10 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
         ),
         None => println!("no configuration met the objective"),
     }
+    // One line, only when something was damaged and survived.
+    if let Some(summary) = wootz_core::recovery::degradation_summary() {
+        eprintln!("{summary}");
+    }
     if let Some(path) = out {
         let json = serde_json::to_string_pretty(&run)?;
         std::fs::write(&path, json)
@@ -504,5 +510,31 @@ fn cmd_worker(mut args: Vec<String>) -> CliResult {
         }
         (None, None) => return Err("worker needs --run-dir <dir> or --connect <addr>".into()),
     }
+    Ok(())
+}
+
+fn cmd_chaos(mut args: Vec<String>) -> CliResult {
+    let sub = if args.is_empty() {
+        "list".to_string()
+    } else {
+        args.remove(0)
+    };
+    if sub != "list" {
+        return Err(format!("unknown chaos subcommand `{sub}` (try `wootz chaos list`)").into());
+    }
+    reject_leftovers(&args)?;
+    println!("deterministic kill points (arm one with {}=<site>:<n>;", chaos::ENV_KILL_AT);
+    println!("the process aborts mid-write at the n-th crossing of that site):");
+    println!();
+    let width = chaos::KILL_SITES
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(0);
+    for site in chaos::KILL_SITES {
+        println!("  {:width$}  {}", site.name, site.boundary);
+    }
+    println!();
+    println!("`reproduce crashes` exercises every site and asserts resume bit-identity.");
     Ok(())
 }

@@ -227,7 +227,7 @@ impl WorkerPool {
         };
         for index in 0..opts.workers {
             let id = worker_id(index, 0);
-            let child = pool.spawn_process(&id)?;
+            let child = pool.spawn_process(&id, false)?;
             pool.slots.push(Slot {
                 index,
                 gen: 0,
@@ -239,7 +239,7 @@ impl WorkerPool {
         Ok(pool)
     }
 
-    fn spawn_process(&self, id: &str) -> Result<Child> {
+    fn spawn_process(&self, id: &str, respawn: bool) -> Result<Child> {
         let log_path = self.dir.logs().join(format!("{id}.log"));
         let log = std::fs::OpenOptions::new()
             .create(true)
@@ -263,6 +263,12 @@ impl WorkerPool {
         cmd.env("WOOTZ_THREADS", wootz_par::configured_threads().to_string());
         for (key, value) in &self.env {
             cmd.env(key, value);
+        }
+        if respawn {
+            // The chaos kill countdown is per-process: a replacement for a
+            // worker the harness just killed must not inherit the armed
+            // site, or every generation dies at the same boundary forever.
+            cmd.env_remove(wootz_fault::chaos::ENV_KILL_AT);
         }
         let child = cmd
             .stdin(Stdio::null())
@@ -297,7 +303,7 @@ impl WorkerPool {
                     .field("dead", self.slots[i].id.clone())
                     .field("worker", id.clone())
                     .emit();
-                let child = self.spawn_process(&id)?;
+                let child = self.spawn_process(&id, true)?;
                 self.slots[i] = Slot {
                     index: self.slots[i].index,
                     gen,

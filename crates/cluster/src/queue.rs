@@ -231,8 +231,22 @@ impl RunDir {
     ///
     /// Returns an error on I/O failure.
     pub fn publish_result(&self, result: &crate::protocol::TaskResult) -> Result<()> {
+        use wootz_fault::chaos::{self, kill_site};
         let name = protocol::task_file_name(result.seq, result.attempt);
-        atomic_write_json(&self.results().join(name), result)
+        let path = self.results().join(&name);
+        if chaos::kill_point(kill_site::RUNDIR_PUBLISH) {
+            // Die the way a mid-publish kill does: half the JSON in the
+            // temp file, never renamed — consumers must only ever see the
+            // result appear atomically or not at all, and the coordinator
+            // recovers by lease expiry + respawn.
+            let json = serde_json::to_vec(result).unwrap_or_default();
+            let tmp = path.with_file_name(format!(".{name}.tmp-{}", std::process::id()));
+            if let Ok(mut file) = std::fs::File::create(&tmp) {
+                chaos::torn_write_and_die(kill_site::RUNDIR_PUBLISH, &mut file, &json);
+            }
+            chaos::die(kill_site::RUNDIR_PUBLISH);
+        }
+        atomic_write_json(&path, result)
     }
 
     /// Names of the currently published results, sorted.

@@ -351,11 +351,29 @@ impl ChaosNetDrop {
     }
 }
 
-/// How often the network worker retries a failed connect, and how many
-/// times before giving up (the coordinator binds its listener before
-/// spawning any worker, so in practice the first attempt succeeds).
-const CONNECT_RETRY: Duration = Duration::from_millis(200);
+/// Reconnect policy: exponential backoff with deterministic jitter. The
+/// first retry waits [`CONNECT_BASE_MS`], doubling up to
+/// [`CONNECT_CAP_MS`]; each sleep adds a jitter of up to half the step,
+/// derived from `(worker id, attempt)` — so a restarted worker replays
+/// the exact same schedule (determinism) while distinct workers never
+/// hammer a recovering coordinator in phase (no thundering herd). The
+/// worker gives up after [`CONNECT_ATTEMPTS`] consecutive failures; in
+/// practice the first attempt succeeds because the coordinator binds its
+/// listener before spawning any worker. Every sleep is recorded in the
+/// `net.backoff_ms` histogram.
+const CONNECT_BASE_MS: u64 = 25;
+const CONNECT_CAP_MS: u64 = 1_000;
 const CONNECT_ATTEMPTS: usize = 50;
+
+/// The `failure`-th (1-based) reconnect delay for `worker_id`, in
+/// milliseconds. A pure function of its arguments: the whole backoff
+/// schedule of a worker is reproducible from its id alone.
+fn connect_backoff_ms(worker_id: &str, failure: usize) -> u64 {
+    let exp = failure.saturating_sub(1).min(16) as u32;
+    let step = (CONNECT_BASE_MS << exp).min(CONNECT_CAP_MS);
+    let seed = wootz_fault::fnv1a64(format!("{worker_id}#{failure}").as_bytes());
+    step + seed % (step / 2 + 1)
+}
 
 /// The entry point of a network-transport worker process: connects to
 /// the coordinator, handshakes (`Hello`/`Welcome`), then loops
@@ -389,7 +407,9 @@ pub fn worker_net_main(addr: &str, worker_id: &str) -> Result<()> {
                 if connect_failures >= CONNECT_ATTEMPTS {
                     return Err(e);
                 }
-                std::thread::sleep(CONNECT_RETRY);
+                let backoff = connect_backoff_ms(worker_id, connect_failures);
+                wootz_obs::histogram("net.backoff_ms").record(backoff);
+                std::thread::sleep(Duration::from_millis(backoff));
                 continue 'session;
             }
         };
@@ -448,7 +468,11 @@ pub fn worker_net_main(addr: &str, worker_id: &str) -> Result<()> {
             let task = match client.recv() {
                 Ok(Message::TaskGrant { task }) => task,
                 Ok(Message::NoTask { backoff_ms }) => {
-                    std::thread::sleep(Duration::from_millis(backoff_ms.clamp(1, 1000)));
+                    // The polling cadence is the coordinator's call — it
+                    // derives the value from its lease interval and caps
+                    // it on its side (PROTOCOL.md §3). The worker only
+                    // guards against a zero sleep spinning the socket.
+                    std::thread::sleep(Duration::from_millis(backoff_ms.max(1)));
                     continue;
                 }
                 Ok(Message::Shutdown) => {
@@ -563,5 +587,50 @@ fn fetch_blocks_over_wire(
         Err(e) => Err(cluster_err(format!(
             "worker {worker_id}: blocks fetch failed: {e}"
         ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_backoff_is_deterministic_bounded_and_grows() {
+        let schedule: Vec<u64> = (1..=CONNECT_ATTEMPTS)
+            .map(|n| connect_backoff_ms("w0", n))
+            .collect();
+        assert_eq!(
+            schedule,
+            (1..=CONNECT_ATTEMPTS)
+                .map(|n| connect_backoff_ms("w0", n))
+                .collect::<Vec<_>>(),
+            "a restarted worker replays its exact schedule"
+        );
+        for (i, &ms) in schedule.iter().enumerate() {
+            let step = (CONNECT_BASE_MS << (i.min(16) as u32)).min(CONNECT_CAP_MS);
+            assert!(ms >= step, "attempt {}: {ms} below base step {step}", i + 1);
+            assert!(
+                ms <= step + step / 2,
+                "attempt {}: {ms} beyond jittered cap {}",
+                i + 1,
+                step + step / 2
+            );
+        }
+        assert!(schedule[0] < 64, "first retry is fast");
+        assert!(
+            schedule[CONNECT_ATTEMPTS - 1] >= CONNECT_CAP_MS,
+            "late retries reach the cap"
+        );
+    }
+
+    #[test]
+    fn connect_backoff_jitter_separates_workers() {
+        // At the cap, different workers should not all sleep the same
+        // amount (that is the stampede jitter exists to break).
+        let at_cap: Vec<u64> = (0..8)
+            .map(|w| connect_backoff_ms(&format!("w{w}"), 20))
+            .collect();
+        let distinct: std::collections::BTreeSet<u64> = at_cap.iter().copied().collect();
+        assert!(distinct.len() > 1, "all workers stampede in phase: {at_cap:?}");
     }
 }

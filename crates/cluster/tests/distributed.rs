@@ -180,15 +180,20 @@ fn hung_worker_is_fenced_and_its_zombie_result_rejected() {
     );
 
     // Fencing admitted exactly one result per unit of work: the journal
-    // holds exactly one Eval record per explored configuration.
-    let text = std::fs::read_to_string(&journal).unwrap();
+    // holds exactly one Eval record per explored configuration. The
+    // journal is binary wire records now; eval payloads are JSON inside
+    // a checksummed envelope.
+    let bytes = std::fs::read(&journal).unwrap();
+    let scan = wootz_wire::scan_records(&bytes, &wootz_wire::Limits::ARTIFACT);
+    assert!(scan.tail.is_clean(), "journal ends cleanly: {:?}", scan.tail);
     let mut eval_counts: std::collections::BTreeMap<u64, usize> = Default::default();
-    for line in text.lines() {
-        let v: serde_json::Value = serde_json::from_str(line).unwrap();
-        let record = &v["Eval"];
-        if record.is_null() {
+    for record in &scan.records {
+        if record.frame.msg_type != wootz_wire::record_type::JOURNAL_EVAL {
             continue;
         }
+        let text = std::str::from_utf8(&record.frame.payload).unwrap();
+        let v: serde_json::Value = serde_json::from_str(text).unwrap();
+        let record = &v["Eval"];
         let idx = record["Done"]["config_index"]
             .as_u64()
             .or_else(|| record["Failed"]["config_index"].as_u64())

@@ -1,22 +1,35 @@
-//! Append-only NDJSON run journal — crash-resumable exploration.
+//! Append-only run journal — crash-resumable exploration on checksummed
+//! binary records.
 //!
-//! A journal is one JSON object per line. The first line is always a
-//! [`JournalHeader`] that pins the run's identity (subspace hash,
-//! objective, seed, mode); every later line is a [`JournalEntry`] recording
-//! a completed unit of work: the trained full model, one pre-trained
-//! tuning block, or one configuration evaluation.
+//! A journal is a sequence of `wootz-wire` records (`PROTOCOL.md` §8):
+//! the first is always a [`JournalHeader`] record pinning the run's
+//! identity (subspace hash, objective, seed, mode); every later record
+//! is a [`JournalEntry`] for a completed unit of work — the trained full
+//! model, one pre-trained tuning block, or one configuration evaluation.
+//! Every record carries the envelope CRC, so each entry verifies
+//! independently. Journals written by older builds are one JSON object
+//! per line (NDJSON); the reader auto-detects the format *per entry*
+//! (binary records start with `b'W'`, JSON lines with `b'{'`), so an old
+//! journal resumes seamlessly and its continuation is appended in the
+//! new format — one file, two eras, one scan.
 //!
-//! Each entry is flushed as soon as it is appended, so a killed run loses
-//! at most the line being written. On resume, a torn final line is
-//! detected, reported, and truncated away; corruption anywhere *else* in
-//! the file is a hard [`CoreError::Journal`] error — silent data loss is
-//! never tolerated mid-file.
+//! Each entry is flushed as soon as it is appended, so a killed run
+//! loses at most the record being written. On resume the scanner
+//! classifies any damage:
+//!
+//! * a **torn tail** (crash mid-append) is reported, truncated away and
+//!   tallied — the intact prefix replays as usual;
+//! * **mid-file corruption** (bit rot, an overwritten region, a bad
+//!   CRC) quarantines the whole file to `quarantine/` with a structured
+//!   report, then rebuilds the journal from the intact prefix so the
+//!   run still resumes — degraded, loud, but never aborted and never
+//!   silently lossy (see [`crate::recovery`]).
 //!
 //! A journal has **exactly one writer**. Opening it for writing takes a
 //! sidecar lock file (`<path>.lock`, created with `O_EXCL`, containing the
 //! writer's pid); a second writer — another process or another handle in
 //! the same process — fails with a `journal is locked` error instead of
-//! silently interleaving lines. A lock whose pid is no longer alive (the
+//! silently interleaving records. A lock whose pid is no longer alive (the
 //! writer was SIGKILLed) is stale and is taken over, so a killed
 //! coordinator can always be resumed.
 
@@ -26,15 +39,23 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
+use wootz_fault::chaos::{self, kill_site};
 use wootz_fault::fnv1a64;
 use wootz_nn::Checkpoint;
+use wootz_wire::{
+    read_frame, record_type, write_frame, Frame, Limits, WireError, WireReader, WireSerialize,
+    HEADER_LEN, MAGIC,
+};
 
 use crate::explore::EvalRecord;
 use crate::pretrain::PretrainedBlock;
 use crate::prune::PruneConfig;
+use crate::recovery::{self, ArtifactDamage};
 use crate::{CoreError, Result};
 
-/// Current journal format version.
+/// Current journal format version. Still 1: the binary record envelope
+/// is detected from the bytes themselves, not from this number, so old
+/// NDJSON journals and new record journals share a header version.
 pub const JOURNAL_VERSION: u32 = 1;
 
 /// The identity of a run. A journal may only resume a run whose header
@@ -55,10 +76,10 @@ pub struct JournalHeader {
     pub mode: String,
 }
 
-/// One journal line after the header.
+/// One journal entry after the header.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum JournalEntry {
-    /// The header line (only valid as the first line).
+    /// The header entry (only valid as the first entry).
     Header(JournalHeader),
     /// The trained full model and its test accuracy.
     FullModel {
@@ -95,8 +116,11 @@ pub struct Replay {
     pub blocks: BTreeMap<String, PretrainedBlock>,
     /// Completed evaluations by config index.
     pub evals: BTreeMap<usize, EvalRecord>,
-    /// Whether a torn final line was dropped during replay.
+    /// Whether a torn final record was dropped during replay.
     pub truncated_tail: bool,
+    /// Whether mid-file corruption forced the journal into quarantine
+    /// and a rebuild from the intact prefix (see [`crate::recovery`]).
+    pub quarantined: bool,
 }
 
 impl Replay {
@@ -199,7 +223,8 @@ pub struct Journal {
 }
 
 impl Journal {
-    /// Creates (truncating) a journal at `path` and writes the header line.
+    /// Creates (truncating) a journal at `path` and writes the header
+    /// record.
     ///
     /// # Errors
     ///
@@ -215,7 +240,10 @@ impl Journal {
             path,
             _lock: lock,
         };
-        journal.append(&JournalEntry::Header(header.clone()))?;
+        journal.append_at(
+            &JournalEntry::Header(header.clone()),
+            kill_site::JOURNAL_HEADER,
+        )?;
         wootz_obs::event("journal.created")
             .field("path", journal.path.display().to_string())
             .emit();
@@ -223,31 +251,64 @@ impl Journal {
     }
 
     /// Opens an existing journal for resuming: verifies its header against
-    /// `expect`, replays every intact entry, truncates a torn final line,
-    /// and returns the journal positioned for appending.
+    /// `expect`, replays every intact entry, truncates a torn final record,
+    /// quarantines and rebuilds a mid-file-corrupt journal, and returns
+    /// the journal positioned for appending.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Journal`] when the file is unreadable, the
-    /// header mismatches, a non-final line is corrupt, or another live
-    /// process holds the journal's writer lock.
+    /// header mismatches, or another live process holds the journal's
+    /// writer lock. Corruption is *not* an error here: the damaged file
+    /// moves to `quarantine/` (with a report) and the run resumes from
+    /// the intact prefix, flagged in [`Replay::quarantined`].
     pub fn resume(path: impl AsRef<Path>, expect: &JournalHeader) -> Result<(Journal, Replay)> {
         let path = path.as_ref().to_path_buf();
         let lock = JournalLock::acquire(&path)?;
-        let (header, replay, keep_bytes) = read_entries(&path)?;
-        check_header(&path, &header, expect)?;
+        let scan = scan_journal(&path)?;
+        // A header that *parsed* but belongs to a different run is a
+        // hard error even when later bytes are damaged: rebuilding would
+        // overwrite someone else's journal.
+        if let Some(found) = &scan.header {
+            check_header(&path, found, expect)?;
+        }
+        let mut replay = replay_from(scan.entries.iter());
+        replay.truncated_tail = scan.truncated_tail;
+        let mut rebuilt = false;
+        if let Some(damage) = &scan.damage {
+            // Graceful degradation: move the damaged file aside, rebuild
+            // from the intact prefix, resume. `check_header` above
+            // guarantees `expect` equals the scanned header when one
+            // survived; when the header itself was the casualty the
+            // rebuild starts from `expect`.
+            let kept = scan.entries.len() + usize::from(scan.header.is_some());
+            recovery::quarantine_artifact(&path, damage, kept, scan.keep_bytes)?;
+            rebuild_journal(&path, expect, &scan.entries)?;
+            replay.quarantined = true;
+            rebuilt = true;
+        } else if scan.header.is_none() {
+            // Nothing intact survives: the creating write itself was the
+            // casualty (a kill mid-header leaves a torn or empty file).
+            // This resume is semantically the create — start the journal
+            // over under the held lock.
+            rebuild_journal(&path, expect, &[])?;
+            rebuilt = true;
+        }
         let file = OpenOptions::new()
             .append(true)
             .open(&path)
             .map_err(|e| journal_err(&path, format!("cannot reopen for append: {e}")))?;
         if replay.truncated_tail {
-            // Drop the torn bytes so the next append starts a clean line.
-            file.set_len(keep_bytes)
-                .map_err(|e| journal_err(&path, format!("cannot truncate torn tail: {e}")))?;
+            recovery::note_truncated_tail();
             wootz_obs::event("journal.truncated_tail")
                 .field("path", path.display().to_string())
-                .field("kept_bytes", keep_bytes as usize)
+                .field("kept_bytes", scan.keep_bytes as usize)
                 .emit();
+        }
+        if replay.truncated_tail && !rebuilt {
+            // Drop the torn bytes so the next append starts a clean record.
+            file.set_len(scan.keep_bytes)
+                .map_err(|e| journal_err(&path, format!("cannot truncate torn tail: {e}")))?;
         }
         wootz_obs::event("journal.resumed")
             .field("path", path.display().to_string())
@@ -265,17 +326,25 @@ impl Journal {
         ))
     }
 
-    /// Appends one entry as a single NDJSON line and flushes it to the OS.
+    /// Appends one entry as a single checksummed record and flushes it to
+    /// the OS.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Journal`] on I/O or serialization failure.
     pub fn append(&mut self, entry: &JournalEntry) -> Result<()> {
-        let line = serde_json::to_string(entry)
-            .map_err(|e| journal_err(&self.path, format!("cannot serialize entry: {e}")))?;
+        self.append_at(entry, kill_site::JOURNAL_APPEND)
+    }
+
+    /// The append path with its kill point named: `Journal::create` runs
+    /// it as `journal.header`, every later entry as `journal.append`.
+    fn append_at(&mut self, entry: &JournalEntry, site: &'static str) -> Result<()> {
+        let record = encode_entry_record(&self.path, entry)?;
+        if chaos::kill_point(site) {
+            chaos::torn_write_and_die(site, &mut self.file, &record);
+        }
         self.file
-            .write_all(line.as_bytes())
-            .and_then(|()| self.file.write_all(b"\n"))
+            .write_all(&record)
             .and_then(|()| self.file.flush())
             .map_err(|e| journal_err(&self.path, format!("append failed: {e}")))?;
         wootz_obs::counter("journal.appends").incr();
@@ -290,12 +359,32 @@ impl Journal {
 
 /// Reads a journal without opening it for writing — header plus replay.
 ///
+/// Unlike [`Journal::resume`], a read-only consumer cannot rebuild, so
+/// mid-file corruption is a hard error here (the resume path is the one
+/// licensed to quarantine).
+///
 /// # Errors
 ///
 /// Returns [`CoreError::Journal`] on unreadable files, a missing or
 /// malformed header, or mid-file corruption.
 pub fn read_journal(path: impl AsRef<Path>) -> Result<(JournalHeader, Replay)> {
-    let (header, replay, _) = read_entries(path.as_ref())?;
+    let path = path.as_ref();
+    let scan = scan_journal(path)?;
+    if let Some(damage) = &scan.damage {
+        return Err(journal_err(
+            path,
+            format!(
+                "corrupt entry at byte {}: {}",
+                damage.offset, damage.error
+            ),
+        ));
+    }
+    let header = scan
+        .header
+        .clone()
+        .ok_or_else(|| journal_err(path, "journal is empty".to_string()))?;
+    let mut replay = replay_from(scan.entries.iter());
+    replay.truncated_tail = scan.truncated_tail;
     Ok((header, replay))
 }
 
@@ -350,97 +439,274 @@ fn check_header(path: &Path, found: &JournalHeader, expect: &JournalHeader) -> R
     Ok(())
 }
 
-/// Parses the whole journal. Returns the header, the replay, and the byte
-/// length of the intact prefix (for torn-tail truncation).
-fn read_entries(path: &Path) -> Result<(JournalHeader, Replay, u64)> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| journal_err(path, format!("cannot read: {e}")))?;
-    let mut replay = Replay::default();
-    let mut header: Option<JournalHeader> = None;
-    let mut offset: u64 = 0; // bytes of intact, newline-terminated lines
-    let mut cursor = 0usize;
-    let mut line_no = 0usize;
-    let bytes = text.as_bytes();
-    while cursor < bytes.len() {
-        let nl = text[cursor..].find('\n').map(|i| cursor + i);
-        let (line, terminated, next) = match nl {
-            Some(i) => (&text[cursor..i], true, i + 1),
-            None => (&text[cursor..], false, bytes.len()),
-        };
-        line_no += 1;
-        if line.trim().is_empty() {
-            cursor = next;
-            if terminated {
-                offset = next as u64;
-            }
-            continue;
+/// Encodes one entry as a complete record (envelope + payload), per
+/// `PROTOCOL.md` §8: header/full-model/block payloads are flat wire
+/// encodings; evaluations ride as the canonical JSON document so the
+/// replay is byte-for-byte the same object the NDJSON era stored.
+fn encode_entry_record(path: &Path, entry: &JournalEntry) -> Result<Vec<u8>> {
+    let encode_err =
+        |e: WireError| journal_err(path, format!("cannot encode entry: {e}"));
+    let (record_type, payload) = match entry {
+        JournalEntry::Header(h) => {
+            let mut p = Vec::new();
+            h.version.wire_write(&mut p).map_err(encode_err)?;
+            h.subspace_hash.wire_write(&mut p).map_err(encode_err)?;
+            h.seed.wire_write(&mut p).map_err(encode_err)?;
+            h.objective.wire_write(&mut p).map_err(encode_err)?;
+            h.mode.wire_write(&mut p).map_err(encode_err)?;
+            (record_type::JOURNAL_HEADER, p)
         }
-        match serde_json::from_str::<JournalEntry>(line) {
-            Ok(entry) => {
-                if line_no == 1 {
-                    match entry {
-                        JournalEntry::Header(h) => header = Some(h),
-                        _ => {
-                            return Err(journal_err(
-                                path,
-                                "first line is not a journal header".to_string(),
-                            ))
-                        }
+        JournalEntry::FullModel {
+            accuracy,
+            checkpoint,
+        } => {
+            let mut p = Vec::new();
+            accuracy.wire_write(&mut p).map_err(encode_err)?;
+            checkpoint.wire_encode(&mut p);
+            (record_type::JOURNAL_FULL_MODEL, p)
+        }
+        JournalEntry::Block(block) => {
+            let mut p = Vec::new();
+            block.key.wire_write(&mut p).map_err(encode_err)?;
+            block.first_loss.wire_write(&mut p).map_err(encode_err)?;
+            block.last_loss.wire_write(&mut p).map_err(encode_err)?;
+            (block.steps as u64).wire_write(&mut p).map_err(encode_err)?;
+            block.checkpoint.wire_encode(&mut p);
+            (record_type::JOURNAL_BLOCK, p)
+        }
+        JournalEntry::Eval(_) => {
+            let json = serde_json::to_string(entry)
+                .map_err(|e| journal_err(path, format!("cannot serialize entry: {e}")))?;
+            (record_type::JOURNAL_EVAL, json.into_bytes())
+        }
+    };
+    let mut record = Vec::with_capacity(HEADER_LEN + payload.len());
+    write_frame(&mut record, record_type, &payload).map_err(encode_err)?;
+    Ok(record)
+}
+
+/// Decodes one verified record back into an entry. Errors are strings:
+/// a CRC-valid record that does not parse means a writer bug or targeted
+/// tampering, and the scanner treats it as corruption.
+fn decode_entry_record(frame: &Frame) -> std::result::Result<JournalEntry, String> {
+    let payload = &frame.payload;
+    if frame.msg_type == record_type::JOURNAL_EVAL {
+        let text =
+            std::str::from_utf8(payload).map_err(|e| format!("eval record is not UTF-8: {e}"))?;
+        let entry: JournalEntry =
+            serde_json::from_str(text).map_err(|e| format!("eval record does not parse: {e}"))?;
+        return match entry {
+            JournalEntry::Eval(_) => Ok(entry),
+            _ => Err("eval record holds a non-eval entry".to_string()),
+        };
+    }
+    let mut r = WireReader::new(&payload[..], payload.len() as u64, Limits::ARTIFACT);
+    let entry = match frame.msg_type {
+        record_type::JOURNAL_HEADER => JournalEntry::Header(JournalHeader {
+            version: r.u32("journal version").map_err(|e| e.to_string())?,
+            subspace_hash: r.u64("subspace hash").map_err(|e| e.to_string())?,
+            seed: r.u64("seed").map_err(|e| e.to_string())?,
+            objective: r.string("objective").map_err(|e| e.to_string())?,
+            mode: r.string("mode").map_err(|e| e.to_string())?,
+        }),
+        record_type::JOURNAL_FULL_MODEL => JournalEntry::FullModel {
+            accuracy: r.f64("accuracy").map_err(|e| e.to_string())?,
+            checkpoint: Checkpoint::wire_decode(&mut r).map_err(|e| e.to_string())?,
+        },
+        record_type::JOURNAL_BLOCK => JournalEntry::Block(PretrainedBlock {
+            key: r.string("block key").map_err(|e| e.to_string())?,
+            first_loss: r.f32("first loss").map_err(|e| e.to_string())?,
+            last_loss: r.f32("last loss").map_err(|e| e.to_string())?,
+            steps: r.u64("steps").map_err(|e| e.to_string())? as usize,
+            checkpoint: Checkpoint::wire_decode(&mut r).map_err(|e| e.to_string())?,
+        }),
+        other => return Err(format!("unknown journal record type {other:#06x}")),
+    };
+    r.expect_consumed().map_err(|e| e.to_string())?;
+    Ok(entry)
+}
+
+/// The result of scanning a journal file front to back.
+#[derive(Debug, Default)]
+struct JournalScan {
+    /// The header, when the first entry survived.
+    header: Option<JournalHeader>,
+    /// Intact non-header entries, in file order.
+    entries: Vec<JournalEntry>,
+    /// Byte length of the intact prefix (safe truncation point).
+    keep_bytes: u64,
+    /// The file ends in a torn record/line (crash mid-append).
+    truncated_tail: bool,
+    /// Mid-file corruption: everything from `damage.offset` on is
+    /// untrustworthy.
+    damage: Option<ArtifactDamage>,
+}
+
+/// Parses the whole journal, auto-detecting the era of each entry:
+/// `b'W'` starts a checksummed binary record, anything else is read as
+/// one legacy NDJSON line. Damage is *classified*, not errored — only
+/// unreadable files and structural misuse (a parseable first entry that
+/// is not a header, a second header) fail.
+fn scan_journal(path: &Path) -> Result<JournalScan> {
+    let bytes =
+        std::fs::read(path).map_err(|e| journal_err(path, format!("cannot read: {e}")))?;
+    let mut scan = JournalScan::default();
+    let mut offset = 0usize;
+    let mut entry_no = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        let (entry, consumed) = if rest[0] == MAGIC[0] {
+            let mut cursor = rest;
+            match read_frame(&mut cursor, &Limits::ARTIFACT) {
+                Ok(frame) => match decode_entry_record(&frame) {
+                    Ok(entry) => (Some(entry), rest.len() - cursor.len()),
+                    Err(error) => {
+                        scan.damage = Some(ArtifactDamage {
+                            offset: offset as u64,
+                            error,
+                            crc_expected: None,
+                            crc_found: None,
+                        });
+                        break;
                     }
-                } else {
-                    match entry {
-                        JournalEntry::Header(_) => {
-                            return Err(journal_err(
-                                path,
-                                format!("line {line_no}: unexpected second header"),
-                            ))
-                        }
-                        JournalEntry::FullModel {
-                            accuracy,
-                            checkpoint,
-                        } => replay.full = Some((checkpoint, accuracy)),
-                        JournalEntry::Block(block) => {
-                            replay.blocks.insert(block.key.clone(), block);
-                        }
-                        JournalEntry::Eval(record) => {
-                            replay.evals.insert(record.config_index(), record);
-                        }
-                    }
+                },
+                Err(WireError::Truncated { .. }) | Err(WireError::Closed) => {
+                    scan.truncated_tail = true;
+                    break;
                 }
-                cursor = next;
-                if terminated {
-                    offset = next as u64;
-                } else {
-                    // Intact JSON but no trailing newline (flush happened,
-                    // newline write was cut). Keep the entry, but treat the
-                    // tail as needing a newline: safest is to truncate to
-                    // the previous line end and drop this entry... except
-                    // the entry is valid. Keep it and record its end; the
-                    // resume path re-terminates by appending from here.
-                    offset = next as u64;
+                Err(e) => {
+                    let (crc_expected, crc_found) = match &e {
+                        WireError::ChecksumMismatch { expected, found } => {
+                            (Some(*expected), Some(*found))
+                        }
+                        _ => (None, None),
+                    };
+                    scan.damage = Some(ArtifactDamage {
+                        offset: offset as u64,
+                        error: e.to_string(),
+                        crc_expected,
+                        crc_found,
+                    });
+                    break;
                 }
             }
-            Err(e) => {
-                if terminated || line_no == 1 {
-                    return Err(journal_err(
-                        path,
-                        format!("corrupt entry at line {line_no}: {e}"),
-                    ));
+        } else {
+            // Legacy NDJSON line (or the torn/corrupt remains of one).
+            let nl = rest.iter().position(|&b| b == b'\n');
+            let (line_bytes, terminated, consumed) = match nl {
+                Some(i) => (&rest[..i], true, i + 1),
+                None => (rest, false, rest.len()),
+            };
+            let parsed = std::str::from_utf8(line_bytes)
+                .map_err(|e| e.to_string())
+                .and_then(|line| {
+                    if line.trim().is_empty() {
+                        Ok(None)
+                    } else {
+                        serde_json::from_str::<JournalEntry>(line)
+                            .map(Some)
+                            .map_err(|e| e.to_string())
+                    }
+                });
+            match parsed {
+                Ok(None) => {
+                    // Blank line: skip without counting an entry.
+                    offset += consumed;
+                    if terminated {
+                        scan.keep_bytes = offset as u64;
+                    }
+                    continue;
                 }
-                // Torn final line: tolerated, dropped.
-                replay.truncated_tail = true;
-                cursor = next;
+                Ok(Some(entry)) => (Some(entry), consumed),
+                Err(error) if terminated => {
+                    scan.damage = Some(ArtifactDamage {
+                        offset: offset as u64,
+                        error,
+                        crc_expected: None,
+                        crc_found: None,
+                    });
+                    break;
+                }
+                Err(_) => {
+                    // Unterminated and unparseable: a torn final line.
+                    scan.truncated_tail = true;
+                    break;
+                }
+            }
+        };
+        let entry = entry.expect("loop breaks instead of yielding None");
+        match (entry_no, entry) {
+            (0, JournalEntry::Header(h)) => scan.header = Some(h),
+            (0, _) => {
+                return Err(journal_err(
+                    path,
+                    "first entry is not a journal header".to_string(),
+                ))
+            }
+            (_, JournalEntry::Header(_)) => {
+                return Err(journal_err(
+                    path,
+                    format!("entry {}: unexpected second header", entry_no + 1),
+                ))
+            }
+            (_, entry) => scan.entries.push(entry),
+        }
+        entry_no += 1;
+        offset += consumed;
+        scan.keep_bytes = offset as u64;
+    }
+    Ok(scan)
+}
+
+/// Folds intact entries into the keyed replay the phase supervisors use.
+fn replay_from<'a>(entries: impl Iterator<Item = &'a JournalEntry>) -> Replay {
+    let mut replay = Replay::default();
+    for entry in entries {
+        match entry {
+            JournalEntry::Header(_) => {}
+            JournalEntry::FullModel {
+                accuracy,
+                checkpoint,
+            } => replay.full = Some((checkpoint.clone(), *accuracy)),
+            JournalEntry::Block(block) => {
+                replay.blocks.insert(block.key.clone(), block.clone());
+            }
+            JournalEntry::Eval(record) => {
+                replay.evals.insert(record.config_index(), record.clone());
             }
         }
     }
-    let header = header.ok_or_else(|| journal_err(path, "journal is empty".to_string()))?;
-    Ok((header, replay, offset))
+    replay
+}
+
+/// Rewrites `path` as a fresh binary journal: header record plus the
+/// salvaged entries, fsynced before the rebuild is trusted.
+fn rebuild_journal(path: &Path, header: &JournalHeader, entries: &[JournalEntry]) -> Result<()> {
+    let mut file = File::create(path)
+        .map_err(|e| journal_err(path, format!("cannot rebuild after quarantine: {e}")))?;
+    let mut write = |entry: &JournalEntry| -> Result<()> {
+        let record = encode_entry_record(path, entry)?;
+        file.write_all(&record)
+            .map_err(|e| journal_err(path, format!("rebuild write failed: {e}")))
+    };
+    write(&JournalEntry::Header(header.clone()))?;
+    for entry in entries {
+        write(entry)?;
+    }
+    file.sync_all()
+        .map_err(|e| journal_err(path, format!("rebuild fsync failed: {e}")))?;
+    wootz_obs::event("journal.rebuilt")
+        .field("path", path.display().to_string())
+        .field("entries", entries.len())
+        .emit();
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::explore::{EvalOutcome, EvalRecord};
+    use wootz_wire::scan_records;
 
     fn header() -> JournalHeader {
         JournalHeader {
@@ -472,6 +738,15 @@ mod tests {
         dir.join(name)
     }
 
+    /// A journal written entirely by the pre-record (NDJSON) era.
+    fn write_legacy_journal(path: &Path, entries: &[JournalEntry]) {
+        let mut text = serde_json::to_string(&JournalEntry::Header(header())).unwrap() + "\n";
+        for e in entries {
+            text += &(serde_json::to_string(e).unwrap() + "\n");
+        }
+        std::fs::write(path, text).unwrap();
+    }
+
     #[test]
     fn write_then_resume_round_trips() {
         let path = tmp("roundtrip.ndjson");
@@ -492,7 +767,35 @@ mod tests {
         assert_eq!(replay.evals[&3].config_index(), 3);
         assert_eq!(replay.blocks["b0"].steps, 10);
         assert!(!replay.truncated_tail);
+        assert!(!replay.quarantined);
         drop(j2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_is_binary_records_with_clean_tail() {
+        let path = tmp("binary.ndjson");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&eval(0)).unwrap();
+        j.append(&JournalEntry::FullModel {
+            accuracy: 0.75,
+            checkpoint: Checkpoint::new(),
+        })
+        .unwrap();
+        drop(j);
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(&MAGIC));
+        let scan = scan_records(&bytes, &Limits::ARTIFACT);
+        assert!(scan.tail.is_clean());
+        let types: Vec<u16> = scan.records.iter().map(|r| r.frame.msg_type).collect();
+        assert_eq!(
+            types,
+            vec![
+                record_type::JOURNAL_HEADER,
+                record_type::JOURNAL_EVAL,
+                record_type::JOURNAL_FULL_MODEL,
+            ]
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -503,7 +806,7 @@ mod tests {
         j.append(&eval(0)).unwrap();
         j.append(&eval(1)).unwrap();
         drop(j);
-        // Simulate a kill mid-append: append half a line, no newline.
+        // Simulate a kill mid-append: append half a (legacy) line.
         let good_len = std::fs::metadata(&path).unwrap().len();
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(b"{\"Eval\":{\"Done\":{\"config_index\":2,").unwrap();
@@ -522,18 +825,131 @@ mod tests {
     }
 
     #[test]
-    fn mid_file_corruption_is_a_hard_error() {
-        let path = tmp("midfile.ndjson");
+    fn torn_binary_record_is_dropped_and_truncated() {
+        let path = tmp("torn_record.ndjson");
         let mut j = Journal::create(&path, &header()).unwrap();
         j.append(&eval(0)).unwrap();
         j.append(&eval(1)).unwrap();
         drop(j);
+        // Cut the final record short, as a kill mid-append would.
+        let full = std::fs::read(&path).unwrap();
+        let scan = scan_records(&full, &Limits::ARTIFACT);
+        let last_start = scan.records.last().unwrap().offset;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(last_start + 9).unwrap();
+        drop(f);
+        let (mut j2, replay) = Journal::resume(&path, &header()).unwrap();
+        assert!(replay.truncated_tail);
+        assert!(!replay.quarantined);
+        assert_eq!(replay.evals.len(), 1, "torn eval 1 dropped");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), last_start);
+        j2.append(&eval(1)).unwrap();
+        drop(j2);
+        let (_, replay) = read_journal(&path).unwrap();
+        assert_eq!(replay.evals.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_quarantines_and_resumes() {
+        let dir = std::env::temp_dir().join("wootz_journal_quarantine");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("midfile.ndjson");
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&eval(0)).unwrap();
+        j.append(&eval(1)).unwrap();
+        drop(j);
+        // Flip one payload byte inside the *second* eval record: the
+        // prefix (header + eval 0) stays intact.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let scan = scan_records(&bytes, &Limits::ARTIFACT);
+        let victim = scan.records[2].offset as usize + HEADER_LEN + 4;
+        bytes[victim] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (mut j2, replay) = Journal::resume(&path, &header())
+            .expect("mid-file corruption must degrade, not abort");
+        assert!(replay.quarantined, "quarantine flagged");
+        assert!(!replay.truncated_tail);
+        assert_eq!(replay.evals.len(), 1, "only the intact prefix replays");
+        assert!(replay.evals.contains_key(&0));
+        // The damaged original and its report are preserved as evidence.
+        let qdir = dir.join(recovery::QUARANTINE_DIR);
+        assert_eq!(std::fs::read(qdir.join("midfile.ndjson")).unwrap(), bytes);
+        let report =
+            std::fs::read_to_string(qdir.join("midfile.ndjson.report.json")).unwrap();
+        assert!(report.contains("crc"), "{report}");
+        // The rebuilt journal keeps working: append, drop, re-read.
+        j2.append(&eval(1)).unwrap();
+        j2.append(&eval(2)).unwrap();
+        drop(j2);
+        let (_, replay) = read_journal(&path).unwrap();
+        assert_eq!(replay.evals.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_legacy_line_quarantines_too() {
+        let dir = std::env::temp_dir().join("wootz_journal_quarantine_legacy");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.ndjson");
+        write_legacy_journal(&path, &[eval(0), eval(1)]);
         let text = std::fs::read_to_string(&path).unwrap();
         let mut lines: Vec<&str> = text.lines().collect();
         lines[1] = "{ definitely not json";
         std::fs::write(&path, lines.join("\n") + "\n").unwrap();
-        let err = Journal::resume(&path, &header()).unwrap_err().to_string();
-        assert!(err.contains("corrupt entry at line 2"), "{err}");
+        let (j2, replay) = Journal::resume(&path, &header()).unwrap();
+        assert!(replay.quarantined);
+        assert_eq!(replay.evals.len(), 0, "damage right after the header");
+        drop(j2);
+        assert!(dir.join(recovery::QUARANTINE_DIR).join("legacy.ndjson").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_ndjson_journal_resumes_and_continues_in_binary() {
+        let path = tmp("mixed.ndjson");
+        write_legacy_journal(&path, &[eval(0)]);
+        let (mut j, replay) = Journal::resume(&path, &header()).unwrap();
+        assert_eq!(replay.evals.len(), 1);
+        assert!(!replay.truncated_tail && !replay.quarantined);
+        j.append(&eval(1)).unwrap();
+        j.append(&eval(2)).unwrap();
+        drop(j);
+        // One file, two eras: JSON prefix, binary continuation.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[0], b'{');
+        assert!(bytes.windows(4).any(|w| w == MAGIC), "binary records appended");
+        let (h, replay) = read_journal(&path).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(replay.evals.len(), 3);
+        // And the mixed file resumes again.
+        let (j3, replay) = Journal::resume(&path, &header()).unwrap();
+        assert_eq!(replay.evals.len(), 3);
+        drop(j3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_or_empty_header_resumes_as_create() {
+        let path = tmp("torn_header.ndjson");
+        // An empty file: the writer died between create and header write.
+        std::fs::write(&path, b"").unwrap();
+        let (j, replay) = Journal::resume(&path, &header()).unwrap();
+        assert!(replay.is_empty() && !replay.truncated_tail);
+        drop(j);
+        // A torn header record: the writer died mid-header-write.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(9).unwrap();
+        drop(f);
+        let (mut j, replay) = Journal::resume(&path, &header()).unwrap();
+        assert!(replay.truncated_tail && replay.is_empty());
+        j.append(&eval(0)).unwrap();
+        drop(j);
+        let (_, replay) = read_journal(&path).unwrap();
+        assert_eq!(replay.evals.len(), 1);
         std::fs::remove_file(&path).ok();
     }
 

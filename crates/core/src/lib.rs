@@ -31,8 +31,11 @@
 //! * [`explore`] — objective-ordered exploration of the promising subspace
 //!   across one or more workers, supervised against failures (retry,
 //!   skip-with-record, panic capture, deterministic fault injection);
-//! * [`journal`] — the append-only NDJSON run journal that makes long
-//!   exploration runs crash-resumable;
+//! * [`journal`] — the append-only run journal (checksummed binary wire
+//!   records, legacy NDJSON still readable) that makes long exploration
+//!   runs crash-resumable;
+//! * [`recovery`] — quarantine + degradation reporting for damaged
+//!   artifacts (the journal scanner's "corrupt" verdict lands here);
 //! * [`pipeline`] — the end-to-end driver tying everything together
 //!   (Figure 2).
 
@@ -50,6 +53,7 @@ pub mod optimal;
 pub mod pipeline;
 pub mod pretrain;
 pub mod prune;
+pub mod recovery;
 pub mod stats;
 
 pub use error::CoreError;

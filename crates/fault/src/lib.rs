@@ -21,10 +21,15 @@
 //! * [`panic_message`] — extracts a human-readable message from a caught
 //!   panic payload, used by every `catch_unwind` supervisor in the
 //!   workspace.
+//! * [`chaos`] — deterministic *kill points*: named durability
+//!   boundaries (journal append, checkpoint rename, result publish)
+//!   where `WOOTZ_CHAOS_KILL_AT=<site>:<n>` makes the process stage a
+//!   torn write and abort, so crash recovery is testable byte-for-byte.
 //!
 //! When no plan is installed every check is an `Option::None` test — the
 //! layer costs nothing on un-faulted runs.
 
+pub mod chaos;
 mod error;
 mod hash;
 mod plan;

@@ -1,0 +1,250 @@
+//! On-disk records: the frame envelope reused as a durable artifact
+//! format.
+//!
+//! A *record* is exactly one frame ([`crate::write_frame`]) written to a
+//! file instead of a socket: `magic | version | record-type | len | crc |
+//! payload`. Appending records to a file yields an artifact that is
+//! self-delimiting (no sidecar index), self-identifying (the magic
+//! doubles as a format-detection byte — binary artifacts start with
+//! `b'W'`, the legacy JSON ones with `b'{'`), and verifiable byte-by-byte
+//! (every payload is covered by the envelope CRC).
+//!
+//! The interesting part of a durable format is not the happy path but
+//! what a reader can say about a damaged file. [`scan_records`] walks an
+//! artifact from the front and stops at the first byte it cannot vouch
+//! for, classifying the remainder:
+//!
+//! * [`RecordTail::Clean`] — the file ends exactly on a record boundary.
+//! * [`RecordTail::Torn`] — the file ends *inside* a record (header or
+//!   payload cut short). This is the signature of a crash mid-append:
+//!   the intact prefix is trustworthy and the tear may simply be
+//!   truncated away.
+//! * [`RecordTail::Corrupt`] — the bytes at the damage offset are the
+//!   wrong *content*, not the wrong *length*: bad magic, an impossible
+//!   declared length, or a payload whose CRC disagrees with its header.
+//!   Bytes after this point cannot be trusted (resynchronization could
+//!   mask an overwritten region), so callers quarantine the file and
+//!   rebuild from the intact prefix.
+//!
+//! Record-type codes live in [`record_type`] and share the 16-bit code
+//! space with the network message catalog (`wootz-cluster::protocol`);
+//! disk records use the `0x4A__`/`0x43__` blocks so a stray artifact fed
+//! to the TCP transport (or vice versa) fails loudly as an unknown type.
+//! `PROTOCOL.md` §8 ("On-disk records") is the normative spec.
+
+use crate::codec::Limits;
+use crate::error::WireError;
+use crate::frame::{read_frame, Frame};
+
+/// Record-type codes for durable artifacts. The payload encodings are
+/// owned by the crates that write them (`wootz-core::journal`,
+/// `wootz-nn::checkpoint`); this catalog only reserves the codes so every
+/// on-disk record type is enumerable in one place.
+pub mod record_type {
+    /// Run-journal header: run identity (version, subspace hash,
+    /// objective, seed, mode). Always the first record of a journal.
+    pub const JOURNAL_HEADER: u16 = 0x4A01;
+    /// Run-journal entry: the trained full model (accuracy + weights).
+    pub const JOURNAL_FULL_MODEL: u16 = 0x4A02;
+    /// Run-journal entry: one pre-trained tuning block.
+    pub const JOURNAL_BLOCK: u16 = 0x4A03;
+    /// Run-journal entry: one configuration evaluation, carried as the
+    /// canonical JSON document (same serializer as the run dir).
+    pub const JOURNAL_EVAL: u16 = 0x4A04;
+    /// A stand-alone checkpoint file: content hash + named tensors.
+    pub const CHECKPOINT: u16 = 0x4301;
+}
+
+impl Limits {
+    /// Decode bounds for on-disk artifacts: checkpoints inline whole
+    /// models, so records are allowed far larger payloads than network
+    /// frames (1 GiB / 16 M elements) while still refusing to allocate
+    /// on a hostile declared length.
+    pub const ARTIFACT: Limits = Limits {
+        max_frame: 1024 * 1024 * 1024,
+        max_items: 16 * 1024 * 1024,
+    };
+}
+
+/// How an artifact ends, as judged by [`scan_records`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordTail {
+    /// The last byte of the file is the last byte of a record.
+    Clean,
+    /// The file ends mid-record (crash during append). `offset` is where
+    /// the torn record starts — everything before it is intact.
+    Torn {
+        /// Byte offset of the first torn byte (= intact prefix length).
+        offset: u64,
+    },
+    /// The record at `offset` is damaged in place (bit rot, overwrite,
+    /// interleaved writer). Nothing at or after `offset` can be trusted.
+    Corrupt {
+        /// Byte offset of the damaged record (= intact prefix length).
+        offset: u64,
+        /// Human-readable decode error at the damage point.
+        error: String,
+        /// The CRC the envelope declared, when the damage is a checksum
+        /// mismatch.
+        crc_expected: Option<u32>,
+        /// The CRC computed over the payload actually on disk.
+        crc_found: Option<u32>,
+    },
+}
+
+impl RecordTail {
+    /// Whether the artifact scanned damage-free.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, RecordTail::Clean)
+    }
+}
+
+/// One record recovered by [`scan_records`], with its file offset (useful
+/// for reporting and for truncation decisions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordAt {
+    /// Byte offset of the record's header in the artifact.
+    pub offset: u64,
+    /// The verified record (checksum already checked).
+    pub frame: Frame,
+}
+
+/// The result of scanning an artifact: every intact record from the
+/// front, plus a classification of how the file ends.
+#[derive(Debug)]
+pub struct RecordScan {
+    /// Intact records, in file order.
+    pub records: Vec<RecordAt>,
+    /// How the byte stream ends.
+    pub tail: RecordTail,
+    /// Length of the intact prefix in bytes — the safe truncation point
+    /// for a [`RecordTail::Torn`] artifact.
+    pub intact_bytes: u64,
+}
+
+/// Scans `bytes` as a sequence of records, stopping at the first byte
+/// that cannot be verified. Never fails: damage is *classified* (into
+/// [`RecordScan::tail`]) rather than returned as an error, because the
+/// caller's next move — truncate, quarantine, or proceed — depends on
+/// the class, not on an error string.
+pub fn scan_records(bytes: &[u8], limits: &Limits) -> RecordScan {
+    let mut records = Vec::new();
+    let mut offset = 0u64;
+    loop {
+        let rest = &bytes[offset as usize..];
+        let mut cursor = rest;
+        match read_frame(&mut cursor, limits) {
+            Ok(frame) => {
+                let consumed = (rest.len() - cursor.len()) as u64;
+                records.push(RecordAt { offset, frame });
+                offset += consumed;
+            }
+            Err(WireError::Closed) => {
+                return RecordScan {
+                    records,
+                    tail: RecordTail::Clean,
+                    intact_bytes: offset,
+                }
+            }
+            Err(WireError::Truncated { .. }) => {
+                return RecordScan {
+                    records,
+                    tail: RecordTail::Torn { offset },
+                    intact_bytes: offset,
+                }
+            }
+            Err(e) => {
+                let (crc_expected, crc_found) = match &e {
+                    WireError::ChecksumMismatch { expected, found } => {
+                        (Some(*expected), Some(*found))
+                    }
+                    _ => (None, None),
+                };
+                return RecordScan {
+                    records,
+                    tail: RecordTail::Corrupt {
+                        offset,
+                        error: e.to_string(),
+                        crc_expected,
+                        crc_found,
+                    },
+                    intact_bytes: offset,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::write_frame;
+
+    fn two_records() -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, record_type::JOURNAL_HEADER, b"head").unwrap();
+        write_frame(&mut buf, record_type::JOURNAL_EVAL, b"eval payload").unwrap();
+        buf
+    }
+
+    #[test]
+    fn clean_scan_returns_all_records() {
+        let buf = two_records();
+        let scan = scan_records(&buf, &Limits::ARTIFACT);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.tail, RecordTail::Clean);
+        assert_eq!(scan.intact_bytes, buf.len() as u64);
+        assert_eq!(scan.records[1].frame.payload, b"eval payload");
+    }
+
+    #[test]
+    fn torn_tail_is_classified_with_intact_prefix() {
+        let buf = two_records();
+        let first_len = {
+            let mut one = Vec::new();
+            write_frame(&mut one, record_type::JOURNAL_HEADER, b"head").unwrap();
+            one.len()
+        };
+        let cut = &buf[..buf.len() - 5];
+        let scan = scan_records(cut, &Limits::ARTIFACT);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(
+            scan.tail,
+            RecordTail::Torn {
+                offset: first_len as u64
+            }
+        );
+        assert_eq!(scan.intact_bytes, first_len as u64);
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_corrupt_with_crcs() {
+        let mut buf = two_records();
+        let n = buf.len();
+        buf[n - 3] ^= 0x40; // inside the second record's payload
+        let scan = scan_records(&buf, &Limits::ARTIFACT);
+        assert_eq!(scan.records.len(), 1);
+        match scan.tail {
+            RecordTail::Corrupt {
+                crc_expected: Some(e),
+                crc_found: Some(f),
+                ..
+            } => assert_ne!(e, f),
+            other => panic!("expected checksum corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_file_magic_damage_is_corrupt_not_torn() {
+        let mut buf = two_records();
+        let first_len = scan_records(&two_records(), &Limits::ARTIFACT).records[1].offset;
+        buf[first_len as usize] = b'X'; // wreck the second header's magic
+        let scan = scan_records(&buf, &Limits::ARTIFACT);
+        assert_eq!(scan.records.len(), 1);
+        assert!(
+            matches!(scan.tail, RecordTail::Corrupt { offset, .. } if offset == first_len),
+            "{:?}",
+            scan.tail
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Pinned corpus for the on-disk record layer, mirroring the frame
+//! corpus in `tests/codec.rs`: a scanner fed damaged artifacts must
+//! classify every damage class correctly and never panic, never
+//! over-allocate, and never trust a byte past the damage point.
+
+use wootz_wire::{
+    record_type, scan_records, write_frame, Frame, Limits, RecordTail, HEADER_LEN,
+};
+
+fn artifact(payloads: &[(u16, &[u8])]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for (ty, payload) in payloads {
+        write_frame(&mut buf, *ty, payload).unwrap();
+    }
+    buf
+}
+
+#[test]
+fn round_trip_preserves_types_offsets_and_payloads() {
+    let buf = artifact(&[
+        (record_type::JOURNAL_HEADER, b"identity"),
+        (record_type::JOURNAL_BLOCK, b"block bytes"),
+        (record_type::JOURNAL_EVAL, b""),
+        (record_type::CHECKPOINT, &[0xde, 0xad, 0xbe, 0xef]),
+    ]);
+    let scan = scan_records(&buf, &Limits::ARTIFACT);
+    assert!(scan.tail.is_clean());
+    assert_eq!(scan.intact_bytes, buf.len() as u64);
+    let types: Vec<u16> = scan.records.iter().map(|r| r.frame.msg_type).collect();
+    assert_eq!(
+        types,
+        vec![
+            record_type::JOURNAL_HEADER,
+            record_type::JOURNAL_BLOCK,
+            record_type::JOURNAL_EVAL,
+            record_type::CHECKPOINT,
+        ]
+    );
+    // Offsets chain: each record starts where the previous one ended.
+    let mut expect = 0u64;
+    for r in &scan.records {
+        assert_eq!(r.offset, expect);
+        expect += (HEADER_LEN + r.frame.payload.len()) as u64;
+    }
+    assert_eq!(scan.records[3].frame.payload, &[0xde, 0xad, 0xbe, 0xef]);
+}
+
+/// A crash can cut the file at *any* byte. Every cut inside the second
+/// record must scan as Torn with the first record intact; every cut
+/// inside the first must scan as Torn with nothing recovered; a cut on
+/// the boundary is Clean.
+#[test]
+fn truncation_at_every_byte_boundary_is_torn_never_corrupt() {
+    let buf = artifact(&[
+        (record_type::JOURNAL_HEADER, b"first"),
+        (record_type::JOURNAL_EVAL, b"second record payload"),
+    ]);
+    let first_len = HEADER_LEN + b"first".len();
+    for cut in 0..buf.len() {
+        let scan = scan_records(&buf[..cut], &Limits::ARTIFACT);
+        if cut == 0 {
+            assert!(scan.tail.is_clean(), "empty file is clean, cut={cut}");
+            assert!(scan.records.is_empty());
+        } else if cut < first_len {
+            assert_eq!(
+                scan.tail,
+                RecordTail::Torn { offset: 0 },
+                "cut={cut} inside record 0"
+            );
+            assert!(scan.records.is_empty(), "cut={cut}");
+        } else if cut == first_len {
+            assert!(scan.tail.is_clean(), "cut={cut} on the boundary");
+            assert_eq!(scan.records.len(), 1);
+        } else {
+            assert_eq!(
+                scan.tail,
+                RecordTail::Torn {
+                    offset: first_len as u64
+                },
+                "cut={cut} inside record 1"
+            );
+            assert_eq!(scan.records.len(), 1, "cut={cut}");
+            assert_eq!(scan.intact_bytes, first_len as u64);
+        }
+    }
+}
+
+#[test]
+fn flipped_crc_is_corrupt_with_both_checksums_reported() {
+    let mut buf = artifact(&[(record_type::CHECKPOINT, b"precious weights")]);
+    buf[12] ^= 0x01; // first byte of the header's CRC field
+    let scan = scan_records(&buf, &Limits::ARTIFACT);
+    assert!(scan.records.is_empty());
+    match scan.tail {
+        RecordTail::Corrupt {
+            offset,
+            crc_expected: Some(expected),
+            crc_found: Some(found),
+            ..
+        } => {
+            assert_eq!(offset, 0);
+            assert_ne!(expected, found);
+        }
+        other => panic!("expected Corrupt with CRCs, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_payload_bit_is_corrupt_at_the_damaged_record() {
+    let mut buf = artifact(&[
+        (record_type::JOURNAL_HEADER, b"first"),
+        (record_type::JOURNAL_EVAL, b"second"),
+        (record_type::JOURNAL_EVAL, b"third"),
+    ]);
+    let second_off = HEADER_LEN + b"first".len();
+    buf[second_off + HEADER_LEN] ^= 0x80; // first payload byte of record 1
+    let scan = scan_records(&buf, &Limits::ARTIFACT);
+    assert_eq!(scan.records.len(), 1, "only the record before the damage");
+    assert!(
+        matches!(scan.tail, RecordTail::Corrupt { offset, .. } if offset == second_off as u64),
+        "{:?}",
+        scan.tail
+    );
+}
+
+/// A declared length beyond `Limits::max_frame` must be rejected before
+/// any allocation and classified as corruption (the header content is
+/// wrong), not as a tear.
+#[test]
+fn oversized_declared_length_is_corrupt_and_allocation_free() {
+    let tight = Limits {
+        max_frame: 64,
+        max_items: 16,
+    };
+    let mut buf = artifact(&[(record_type::JOURNAL_EVAL, b"ok")]);
+    let second = {
+        let mut b = Vec::new();
+        write_frame(&mut b, record_type::JOURNAL_EVAL, b"xx").unwrap();
+        // Declare a 2 GiB payload; supply 2 bytes.
+        b[8..12].copy_from_slice(&0x8000_0000u32.to_be_bytes());
+        b
+    };
+    let second_off = buf.len();
+    buf.extend_from_slice(&second);
+    let scan = scan_records(&buf, &tight);
+    assert_eq!(scan.records.len(), 1);
+    match &scan.tail {
+        RecordTail::Corrupt { offset, error, .. } => {
+            assert_eq!(*offset, second_off as u64);
+            assert!(error.contains("declares"), "{error}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_prefix_is_corrupt_at_offset_zero() {
+    let scan = scan_records(b"{\"json\": \"journal line\"}\n", &Limits::ARTIFACT);
+    assert!(scan.records.is_empty());
+    assert!(
+        matches!(&scan.tail, RecordTail::Corrupt { offset: 0, error, .. }
+            if error.contains("magic")),
+        "{:?}",
+        scan.tail
+    );
+}
+
+#[test]
+fn record_type_codes_do_not_collide() {
+    let codes = [
+        record_type::JOURNAL_HEADER,
+        record_type::JOURNAL_FULL_MODEL,
+        record_type::JOURNAL_BLOCK,
+        record_type::JOURNAL_EVAL,
+        record_type::CHECKPOINT,
+    ];
+    for (i, a) in codes.iter().enumerate() {
+        for b in &codes[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+    // Disk records stay out of the network catalog's low code space.
+    assert!(codes.iter().all(|&c| c > 0x4000));
+    let _ = Frame {
+        msg_type: record_type::CHECKPOINT,
+        payload: Vec::new(),
+    };
+}

@@ -110,6 +110,19 @@ grep -q '"name":"par.tasks"' "$SMOKE/kernels.ndjson" || {
     echo "kernels smoke FAILED: par.tasks counter missing from metrics"; exit 1; }
 echo "kernels smoke ok: $(grep -c '"kernel"' "$SMOKE/BENCH_kernels.json") kernels benched, par.* counters exported"
 
+echo "== crash-matrix smoke: reproduce crashes --quick =="
+# For every registered kill point (wootz chaos list) plus a mid-file
+# corruption row: kill a run mid-write, resume it, and require the final
+# best network bit-identical to an uninterrupted baseline (DESIGN.md §12).
+R="$PWD/target/release/reproduce"
+(cd "$SMOKE" && "$R" crashes --quick) > "$SMOKE/crashes.out" 2>&1 || {
+    echo "crash-matrix smoke FAILED: reproduce crashes exited non-zero"
+    cat "$SMOKE/crashes.out"; exit 1; }
+grep -q 'recovered bit-identically' "$SMOKE/crashes.out" || {
+    echo "crash-matrix smoke FAILED: bit-identical line missing"
+    cat "$SMOKE/crashes.out"; exit 1; }
+echo "crash-matrix smoke ok: $(grep 'recovered bit-identically' "$SMOKE/crashes.out" | tail -1)"
+
 echo "== chaos smoke: distributed prune under SIGKILL + SIGSTOP =="
 # The same inputs pruned single-process and distributed must land on the
 # same best network even when one worker is killed outright and another is
