@@ -11,7 +11,7 @@
 //! asserts resume degrades through quarantine (see
 //! `wootz_core::recovery`) instead of aborting.
 //!
-//! Two scenario shapes cover the five sites:
+//! Three scenario shapes cover the eight sites:
 //!
 //! * **pipeline** — the single-process micro pipeline with a journal
 //!   (`journal.header`, `journal.append`, and the corrupt-journal
@@ -19,7 +19,12 @@
 //! * **distributed** — the filesystem-transport multi-process runtime
 //!   (`ckpt.write`, `ckpt.rename` fire in the coordinator before any
 //!   worker exists; `rundir.publish` fires in a worker and is recovered
-//!   *within* the run, no resume involved).
+//!   *within* the run, no resume involved);
+//! * **tcp** — the network-transport runtime (`coord.grant`,
+//!   `coord.reap`, `coord.assemble` fire in the *coordinator* mid-run
+//!   while its workers are alive; the coordinator is restarted with
+//!   `--resume` on the same port and must re-adopt the orphaned workers
+//!   over TCP).
 //!
 //! The matrix is exhaustive by construction: it enumerates
 //! `KILL_SITES`, so registering a new kill point fails this report until
@@ -58,6 +63,11 @@ pub enum Scenario {
     /// Filesystem-transport distributed run (Baseline mode: evaluation
     /// tasks only, two worker processes).
     Distributed,
+    /// Network-transport distributed run (Composability mode) listening
+    /// on the given fixed port. The port is pinned so a restarted
+    /// coordinator binds the *same* address the orphaned workers are
+    /// still redialing.
+    DistributedTcp(u16),
 }
 
 impl Scenario {
@@ -65,14 +75,27 @@ impl Scenario {
         match s {
             "pipeline" => Some(Scenario::Pipeline),
             "distributed" => Some(Scenario::Distributed),
-            _ => None,
+            _ => s
+                .strip_prefix("tcp:")
+                .and_then(|p| p.parse().ok())
+                .map(Scenario::DistributedTcp),
         }
     }
 
-    fn arg(self) -> &'static str {
+    fn arg(self) -> String {
+        match self {
+            Scenario::Pipeline => "pipeline".to_string(),
+            Scenario::Distributed => "distributed".to_string(),
+            Scenario::DistributedTcp(port) => format!("tcp:{port}"),
+        }
+    }
+
+    /// Stable name for the report table (no port noise).
+    fn label(self) -> &'static str {
         match self {
             Scenario::Pipeline => "pipeline",
             Scenario::Distributed => "distributed",
+            Scenario::DistributedTcp(_) => "distributed-tcp",
         }
     }
 }
@@ -87,6 +110,9 @@ pub struct ChildOutcome {
     /// Worker respawns the distributed runtime performed (0 for the
     /// pipeline scenario).
     pub respawned: usize,
+    /// Live workers from a previous coordinator's epoch re-adopted over
+    /// TCP (0 outside the network scenario's restart pass).
+    pub readopted: usize,
 }
 
 /// The bit-identity fingerprint of a run: everything that must survive a
@@ -174,9 +200,10 @@ pub fn run_scenario(
             Ok(ChildOutcome {
                 fingerprint: fingerprint(&run),
                 respawned: 0,
+                readopted: 0,
             })
         }
-        Scenario::Distributed => {
+        Scenario::Distributed | Scenario::DistributedTcp(_) => {
             let exe =
                 std::env::current_exe().map_err(|e| format!("cannot locate reproduce: {e}"))?;
             let mut opts = ClusterOptions::new(
@@ -188,11 +215,25 @@ pub fn run_scenario(
             opts.lease_ms = 400;
             opts.journal = Some(journal);
             opts.resume = resume;
-            let (run, stats) = run_distributed(&inputs, &dataset, RunMode::Baseline, &opts)
+            let mode = match scenario {
+                Scenario::DistributedTcp(port) => {
+                    opts.listen = Some(format!("127.0.0.1:{port}"));
+                    // Orphans from a killed coordinator must outlive the
+                    // gap until the restart re-binds the port.
+                    opts.orphan_grace_ms = Some(30_000);
+                    // Composability mode so block pre-training, assembly
+                    // and the block-index write all exist — that is where
+                    // `coord.assemble` fires.
+                    RunMode::Composability
+                }
+                _ => RunMode::Baseline,
+            };
+            let (run, stats) = run_distributed(&inputs, &dataset, mode, &opts)
                 .map_err(|e| format!("distributed run failed: {e}"))?;
             Ok(ChildOutcome {
                 fingerprint: fingerprint(&run),
                 respawned: stats.workers_respawned,
+                readopted: stats.workers_readopted,
             })
         }
     }
@@ -239,14 +280,14 @@ fn spawn_crash_child(
     let out = dir.join("outcome.json");
     let output = Command::new(exe)
         .args([
-            CRASH_CHILD_SUBCOMMAND,
+            CRASH_CHILD_SUBCOMMAND.to_string(),
             scenario.arg(),
-            "--dir",
-            &dir.display().to_string(),
-            "--out",
-            &out.display().to_string(),
-            "--seed",
-            &seed.to_string(),
+            "--dir".to_string(),
+            dir.display().to_string(),
+            "--out".to_string(),
+            out.display().to_string(),
+            "--seed".to_string(),
+            seed.to_string(),
         ])
         .env(ENV_KILL_AT, kill_at)
         .output()
@@ -328,6 +369,56 @@ fn kill_and_self_heal(
         crash: format!("worker aborted, {} respawned", outcome.respawned),
         recovery: "in-run reclaim".to_string(),
         identical: outcome.fingerprint == baseline,
+    })
+}
+
+/// Kill the *coordinator* at `site` mid-TCP-run while its workers are
+/// alive, then restart the coordinator with `--resume` on the **same**
+/// port. The crash child dies via `abort()`, which skips `Drop` — its
+/// worker pool is never torn down, so the workers survive as orphans
+/// redialing the dead address (bounded backoff, 30 s grace budget). The
+/// restarted coordinator must re-adopt at least one of them (a `Hello`
+/// carrying the stale epoch) and still converge to the baseline bytes.
+fn kill_and_restart_coordinator(
+    site: &'static str,
+    base: &Path,
+    baseline: &str,
+    seed: u64,
+) -> Result<SiteResult, String> {
+    let dir = scenario_dir(base, site)?;
+    // Reserve a concrete port by binding :0 and reading it back; the
+    // listener is dropped before the child starts. The port must be
+    // fixed up front because the restart has to bind the exact address
+    // the orphaned workers keep dialing.
+    let port = std::net::TcpListener::bind("127.0.0.1:0")
+        .and_then(|l| l.local_addr())
+        .map_err(|e| format!("cannot reserve a port: {e}"))?
+        .port();
+    let scenario = Scenario::DistributedTcp(port);
+    let (success, _, stderr) = spawn_crash_child(scenario, &dir, &format!("{site}:1"), seed)?;
+    if success {
+        return Err(format!(
+            "kill point `{site}` never fired: the crash child ran to completion"
+        ));
+    }
+    if !stderr.contains("wootz-chaos") {
+        return Err(format!(
+            "`{site}` child died without firing its kill point: {}",
+            stderr.lines().last().unwrap_or("(no stderr)")
+        ));
+    }
+    let recovered = run_scenario(scenario, &dir, seed, true)?;
+    if recovered.readopted == 0 {
+        return Err(format!(
+            "coordinator restart after `{site}` re-adopted no orphaned worker"
+        ));
+    }
+    Ok(SiteResult {
+        site,
+        scenario,
+        crash: "coordinator aborted mid-write".to_string(),
+        recovery: format!("--resume, same port ({} re-adopted)", recovered.readopted),
+        identical: recovered.fingerprint == baseline,
     })
 }
 
@@ -417,6 +508,12 @@ pub fn crashes_report(seed: u64, _quick: bool) -> Result<String, String> {
             kill_site::RUNDIR_PUBLISH => {
                 kill_and_self_heal(site.name, &base, &dist_base.fingerprint, seed)?
             }
+            // Coordinator-side TCP sites run in Composability mode, so
+            // the single-process pipeline baseline is the bit-identity
+            // reference (same mode, same seed, same micro instance).
+            kill_site::COORD_GRANT | kill_site::COORD_REAP | kill_site::COORD_ASSEMBLE => {
+                kill_and_restart_coordinator(site.name, &base, &pipeline_base.fingerprint, seed)?
+            }
             other => return Err(format!("kill site `{other}` has no crash-matrix scenario")),
         };
         rows.push(result);
@@ -428,7 +525,7 @@ pub fn crashes_report(seed: u64, _quick: bool) -> Result<String, String> {
         .map(|r| {
             vec![
                 r.site.to_string(),
-                r.scenario.arg().to_string(),
+                r.scenario.label().to_string(),
                 r.crash.clone(),
                 r.recovery.clone(),
                 if r.identical { "yes" } else { "NO" }.to_string(),

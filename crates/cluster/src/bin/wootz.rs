@@ -25,7 +25,8 @@
 //!             [--journal <run.ndjson>] [--resume]
 //!             [--inject-faults <plan.json>]
 //!             [--retry-attempts N] [--on-fail skip|abort]
-//!             [--distributed N --run-dir <dir> [--lease-ms MS] [--listen ADDR]]
+//!             [--distributed N --run-dir <dir> [--lease-ms MS] [--listen ADDR]
+//!              [--orphan-grace-ms MS]]
 //!     Run the full pruning pipeline on the micro dataset named in the
 //!     solver's `dataset:` field. With `--journal`, every completed unit
 //!     of work is appended to an NDJSON journal; `--resume` replays it and
@@ -39,13 +40,21 @@
 //!     `--listen ADDR` additionally binds a TCP coordinator socket speaking
 //!     the `wootz-wire` framed protocol (see PROTOCOL.md); spawned workers
 //!     connect over loopback and remote machines can join with
-//!     `wootz worker --connect`.
+//!     `wootz worker --connect`. A killed TCP coordinator restarts with
+//!     `--resume --listen <same addr>`: the epoch bumps, live workers are
+//!     re-adopted on their next redial, and the result is bit-identical to
+//!     an uninterrupted run. `--orphan-grace-ms` sets the workers' orphan
+//!     grace budget (how long they redial a gone coordinator).
 //!
 //! wootz worker (--run-dir <dir> | --connect <addr>) --worker-id <id>
+//!              [--orphan-grace-ms MS]
 //!     Join a distributed run as a worker process — either against a shared
 //!     run directory (filesystem transport) or against a coordinator's
 //!     `--listen` socket (TCP transport). `wootz prune --distributed`
 //!     spawns these itself; extra workers started by hand simply join.
+//!     A TCP worker whose orphan grace budget expires without reaching a
+//!     coordinator exits with code 86 ("coordinator gone") so supervisors
+//!     can distinguish it from a clean shutdown or a crash.
 //! ```
 //!
 //! Configuration files are JSON arrays of per-module rate vectors, e.g.
@@ -72,7 +81,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wootz_cluster::{run_distributed, self_worker_cmd, worker_main, worker_net_main, ClusterOptions};
+use wootz_cluster::{
+    run_distributed, self_worker_cmd, worker_main, worker_net_main, ClusterOptions, WorkerExit,
+};
 use wootz_core::blocks::{identify_tuning_blocks, partition_into_groups};
 use wootz_core::pipeline::{run_wootz_with, RunMode, RunOptions, WootzInputs, WootzRun};
 use wootz_fault::chaos;
@@ -82,9 +93,15 @@ use wootz_core::stats::model_stats;
 use wootz_data::micro_dataset;
 use wootz_ir::{ModelIr, Objective, SolverConfig};
 
+/// Exit code of a TCP worker whose orphan grace budget expired without
+/// ever reaching a coordinator again — distinct from success (clean
+/// shutdown) and from 1 (error), so supervisors can tell "the run ended"
+/// from "the coordinator never came back".
+const ORPHAN_EXIT_CODE: u8 = 86;
+
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("wootz: {e}");
             ExitCode::FAILURE
@@ -94,7 +111,7 @@ fn main() -> ExitCode {
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
-fn run() -> CliResult {
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--metrics-out` is global: it may appear anywhere on the command line.
     let metrics_out: Option<PathBuf> = take_flag(&mut args, "--metrics-out").map(Into::into);
@@ -134,17 +151,20 @@ fn run() -> CliResult {
         return Err(usage().into());
     }
     let command = args.remove(0);
-    let result = match command.as_str() {
-        "compile" => cmd_compile(args),
-        "sample" => cmd_sample(args),
-        "identify" => cmd_identify(args),
-        "genmodel" => cmd_genmodel(args),
-        "prune" => cmd_prune(args),
+    // `worker` reports its outcome as a process exit code (an orphaned
+    // worker is not an error, but it is not success either); every other
+    // command is plain success/failure.
+    let result: Result<ExitCode, Box<dyn std::error::Error>> = match command.as_str() {
+        "compile" => cmd_compile(args).map(|()| ExitCode::SUCCESS),
+        "sample" => cmd_sample(args).map(|()| ExitCode::SUCCESS),
+        "identify" => cmd_identify(args).map(|()| ExitCode::SUCCESS),
+        "genmodel" => cmd_genmodel(args).map(|()| ExitCode::SUCCESS),
+        "prune" => cmd_prune(args).map(|()| ExitCode::SUCCESS),
         "worker" => cmd_worker(args),
-        "chaos" => cmd_chaos(args),
+        "chaos" => cmd_chaos(args).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
     };
@@ -382,10 +402,19 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
         None => None,
     };
     let listen = take_flag(&mut args, "--listen");
+    let orphan_grace_ms: Option<u64> = match take_flag(&mut args, "--orphan-grace-ms") {
+        Some(s) => Some(s.parse().map_err(|e| format!("bad --orphan-grace-ms: {e}"))?),
+        None => None,
+    };
     reject_leftovers(&args)?;
 
-    if distributed.is_none() && (run_dir.is_some() || lease_ms.is_some() || listen.is_some()) {
-        return Err("--run-dir/--lease-ms/--listen only apply with --distributed N".into());
+    if distributed.is_none()
+        && (run_dir.is_some() || lease_ms.is_some() || listen.is_some() || orphan_grace_ms.is_some())
+    {
+        return Err(
+            "--run-dir/--lease-ms/--listen/--orphan-grace-ms only apply with --distributed N"
+                .into(),
+        );
     }
 
     if resume && journal.is_none() {
@@ -458,6 +487,7 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
                 copts.lease_ms = ms.max(1);
             }
             copts.listen = listen;
+            copts.orphan_grace_ms = orphan_grace_ms;
             let (run, stats) = run_distributed(&inputs, &dataset, mode, &copts)?;
             println!("{}", stats.summary());
             run
@@ -497,20 +527,35 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
     Ok(())
 }
 
-fn cmd_worker(mut args: Vec<String>) -> CliResult {
+fn cmd_worker(mut args: Vec<String>) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let run_dir: Option<PathBuf> = take_flag(&mut args, "--run-dir").map(Into::into);
     let connect = take_flag(&mut args, "--connect");
     let worker_id = take_flag(&mut args, "--worker-id").ok_or("worker needs --worker-id <id>")?;
+    let orphan_grace_ms: Option<u64> = match take_flag(&mut args, "--orphan-grace-ms") {
+        Some(s) => Some(s.parse().map_err(|e| format!("bad --orphan-grace-ms: {e}"))?),
+        None => None,
+    };
     reject_leftovers(&args)?;
     match (run_dir, connect) {
-        (Some(dir), None) => worker_main(&dir, &worker_id)?,
-        (None, Some(addr)) => worker_net_main(&addr, &worker_id)?,
-        (Some(_), Some(_)) => {
-            return Err("worker takes --run-dir <dir> OR --connect <addr>, not both".into())
+        (Some(dir), None) => {
+            worker_main(&dir, &worker_id)?;
+            Ok(ExitCode::SUCCESS)
         }
-        (None, None) => return Err("worker needs --run-dir <dir> or --connect <addr>".into()),
+        (None, Some(addr)) => match worker_net_main(&addr, &worker_id, orphan_grace_ms)? {
+            WorkerExit::Shutdown => Ok(ExitCode::SUCCESS),
+            WorkerExit::CoordinatorGone => {
+                eprintln!(
+                    "wootz worker {worker_id}: coordinator at `{addr}` gone past the orphan \
+                     grace budget; exiting with code {ORPHAN_EXIT_CODE}"
+                );
+                Ok(ExitCode::from(ORPHAN_EXIT_CODE))
+            }
+        },
+        (Some(_), Some(_)) => {
+            Err("worker takes --run-dir <dir> OR --connect <addr>, not both".into())
+        }
+        (None, None) => Err("worker needs --run-dir <dir> or --connect <addr>".into()),
     }
-    Ok(())
 }
 
 fn cmd_chaos(mut args: Vec<String>) -> CliResult {

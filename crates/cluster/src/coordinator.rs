@@ -107,6 +107,12 @@ pub struct ClusterOptions<'a> {
     /// directory becomes a coordinator-private durability journal; when
     /// `None`, the filesystem queue is the transport (as before).
     pub listen: Option<String>,
+    /// Orphan grace budget (ms) exported to spawned network workers via
+    /// [`crate::worker::ENV_ORPHAN_GRACE_MS`]: how long a worker redials
+    /// a gone coordinator before exiting with the "coordinator gone"
+    /// code. `None` leaves the workers' own resolution (inherited
+    /// environment, then the built-in default) in charge.
+    pub orphan_grace_ms: Option<u64>,
     /// Extra environment variables for spawned worker processes (tests
     /// use this to scope chaos hooks to a single run).
     pub worker_env: Vec<(String, String)>,
@@ -135,6 +141,7 @@ impl<'a> ClusterOptions<'a> {
             journal: None,
             resume: false,
             listen: None,
+            orphan_grace_ms: None,
             worker_env: Vec::new(),
         }
     }
@@ -166,6 +173,10 @@ pub struct ClusterStats {
     /// Lease-file probes skipped because the in-memory heartbeat
     /// bookkeeping was still fresh (see the drive loop's step 3).
     pub lease_scans_avoided: usize,
+    /// Live workers from a previous coordinator's epoch re-adopted by
+    /// this run: reconnects whose `Hello` carried a stale epoch
+    /// (network mode, after a coordinator restart).
+    pub workers_readopted: usize,
 }
 
 impl ClusterStats {
@@ -175,7 +186,7 @@ impl ClusterStats {
             "cluster: {} workers, {} tasks completed, {} leases reclaimed, \
              {} speculative launched ({} won), {} zombie results rejected, \
              {} workers respawned, {} tasks abandoned, {} net reconnects, \
-             {} lease scans avoided",
+             {} lease scans avoided, {} workers re-adopted",
             self.workers,
             self.tasks_completed,
             self.leases_reclaimed,
@@ -185,7 +196,8 @@ impl ClusterStats {
             self.workers_respawned,
             self.tasks_abandoned,
             self.net_reconnects,
-            self.lease_scans_avoided
+            self.lease_scans_avoided,
+            self.workers_readopted
         )
     }
 }
@@ -207,6 +219,9 @@ struct WorkerPool {
     prefix: Vec<String>,
     /// TCP address workers connect to; `None` = filesystem transport.
     connect: Option<String>,
+    /// Orphan grace budget forwarded to network workers (see
+    /// [`ClusterOptions::orphan_grace_ms`]).
+    orphan_grace_ms: Option<u64>,
     env: Vec<(String, String)>,
     slots: Vec<Slot>,
 }
@@ -222,6 +237,7 @@ impl WorkerPool {
             exe: opts.worker_cmd.0.clone(),
             prefix: opts.worker_cmd.1.clone(),
             connect,
+            orphan_grace_ms: opts.orphan_grace_ms,
             env: opts.worker_env.clone(),
             slots: Vec::new(),
         };
@@ -261,6 +277,12 @@ impl WorkerPool {
         // distributed run at `--threads N` is reproducible end to end
         // (results are bit-identical regardless, but wall time is not).
         cmd.env("WOOTZ_THREADS", wootz_par::configured_threads().to_string());
+        // Orphan grace rides the environment so hand-started workers and
+        // pool-spawned ones resolve the same budget; `worker_env` below
+        // can still override it per test.
+        if let Some(ms) = self.orphan_grace_ms {
+            cmd.env(crate::worker::ENV_ORPHAN_GRACE_MS, ms.to_string());
+        }
         for (key, value) in &self.env {
             cmd.env(key, value);
         }
@@ -452,6 +474,13 @@ impl Coordinator<'_> {
                     continue;
                 }
                 let result = self.dir.read_result(&name)?;
+                // Chaos: die with the result durable in `results/` but not
+                // yet folded into run state — the reap window. The
+                // restarted epoch wipes `results/` and re-runs the unit
+                // from the journal; bit-identity must survive.
+                if wootz_fault::chaos::kill_point(wootz_fault::chaos::kill_site::COORD_REAP) {
+                    wootz_fault::chaos::die(wootz_fault::chaos::kill_site::COORD_REAP);
+                }
                 self.processed_results.insert(name);
                 progressed |= self.accept_or_fence(result, &mut units, &mut done);
             }
@@ -918,6 +947,7 @@ impl Coordinator<'_> {
         }
         if let Some(mut hub) = self.hub.take() {
             self.stats.net_reconnects = hub.reconnects();
+            self.stats.workers_readopted = hub.readopted();
             hub.close();
         }
         self.pool.kill_all();
@@ -1000,6 +1030,16 @@ pub fn run_distributed(
         Ok(m) => m.epoch + 1,
         Err(_) => 1,
     };
+    if epoch > 1 {
+        // A manifest from a previous coordinator exists: this run is a
+        // restart over live state (possibly with orphaned workers still
+        // redialing the listen address).
+        wootz_obs::counter("cluster.coordinator_restarts").incr();
+        wootz_obs::event("cluster.coordinator_restart")
+            .field("epoch", epoch as usize)
+            .field("resume", opts.resume)
+            .emit();
+    }
     dir.init_epoch()?;
 
     // The trained full model: replayed from the journal or trained locally
@@ -1083,6 +1123,23 @@ pub fn run_distributed(
             let file = format!("b{i:04}.ckpt");
             ckpt.save(dir.blocks().join(&file))?;
             index.insert(key.clone(), file);
+        }
+        // Chaos: die with every block checkpoint saved but the index
+        // half-written to its temp file — the assembly-publish window.
+        // Consumers must only ever see the index appear atomically; the
+        // restarted epoch re-runs pre-training from the journal and
+        // republishes.
+        {
+            use wootz_fault::chaos::{self, kill_site};
+            if chaos::kill_point(kill_site::COORD_ASSEMBLE) {
+                let json = serde_json::to_vec(&index).unwrap_or_default();
+                let path = dir.blocks_index();
+                let tmp = path.with_file_name(format!(".index.tmp-{}", std::process::id()));
+                if let Ok(mut file) = std::fs::File::create(&tmp) {
+                    chaos::torn_write_and_die(kill_site::COORD_ASSEMBLE, &mut file, &json);
+                }
+                chaos::die(kill_site::COORD_ASSEMBLE);
+            }
         }
         atomic_write_json(&dir.blocks_index(), &index)?;
     }

@@ -81,4 +81,6 @@ pub mod worker;
 pub use coordinator::{run_distributed, self_worker_cmd, ClusterOptions, ClusterStats};
 pub use messages::Message;
 pub use queue::RunDir;
-pub use worker::{worker_main, worker_net_main};
+pub use worker::{
+    worker_main, worker_net_main, WorkerExit, DEFAULT_ORPHAN_GRACE_MS, ENV_ORPHAN_GRACE_MS,
+};

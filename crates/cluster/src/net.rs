@@ -42,7 +42,7 @@ use std::io::Write;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -64,10 +64,29 @@ const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 /// Accept-loop poll period of the non-blocking listener.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
+/// How long [`NetHub::bind`] retries an `AddrInUse` bind before giving
+/// up — a restarted coordinator rebinding its old port can race the
+/// kernel releasing the dead process's socket.
+const BIND_RETRY: Duration = Duration::from_secs(5);
+const BIND_RETRY_POLL: Duration = Duration::from_millis(100);
+
+/// Locks a mutex, recovering from poison: one panicking connection
+/// handler must not cascade-kill the hub (or the worker's heartbeat
+/// thread), so a poisoned lock is taken over as-is and counted on
+/// `net.lock_poisoned`. Every guarded structure here stays consistent
+/// under a panic at any interior point — mutations are single inserts,
+/// pushes or whole-frame writes — so taking the data is safe.
+pub(crate) fn lock_recover<'a, T>(lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    lock.lock().unwrap_or_else(|poisoned| {
+        wootz_obs::counter("net.lock_poisoned").incr();
+        poisoned.into_inner()
+    })
+}
+
 /// Writes one message as a frame, under the shared writer lock, counting
 /// `wire.frames` / `wire.frames_bytes`.
 fn send_message(writer: &Mutex<TcpStream>, msg: &Message) -> WireResult<usize> {
-    let mut stream = writer.lock().expect("wire writer lock");
+    let mut stream = lock_recover(writer);
     let n = msg.write_to(&mut *stream)?;
     stream.flush()?;
     wootz_obs::counter("wire.frames").incr();
@@ -107,6 +126,9 @@ struct HubState {
     /// Worker ids that have said Hello at least once (reconnect detection).
     known_workers: Mutex<HashMap<String, usize>>,
     reconnects: AtomicUsize,
+    /// Reconnects whose `Hello` carried a *previous* epoch: live workers
+    /// orphaned by a coordinator crash, re-adopted by this restart.
+    readopted: AtomicUsize,
     /// Cached pre-trained block index, loaded from the run directory on
     /// the first [`Message::BlocksRequest`].
     blocks: Mutex<Option<Arc<Vec<(String, Checkpoint)>>>>,
@@ -123,7 +145,7 @@ struct HubState {
 
 impl HubState {
     fn blocks_index(&self) -> Result<Arc<Vec<(String, Checkpoint)>>> {
-        let mut cache = self.blocks.lock().expect("hub blocks lock");
+        let mut cache = lock_recover(&self.blocks);
         if let Some(blocks) = cache.as_ref() {
             return Ok(Arc::clone(blocks));
         }
@@ -143,10 +165,7 @@ impl HubState {
     }
 
     fn record_signal(&self, seq: u64, attempt: u32) {
-        self.signals
-            .lock()
-            .expect("hub signals lock")
-            .insert((seq, attempt), Instant::now());
+        lock_recover(&self.signals).insert((seq, attempt), Instant::now());
     }
 }
 
@@ -172,8 +191,21 @@ impl NetHub {
         manifest: Manifest,
         full_ckpt: Checkpoint,
     ) -> Result<NetHub> {
-        let listener = TcpListener::bind(addr)
-            .map_err(|e| cluster_err(format!("cannot listen on `{addr}`: {e}")))?;
+        // Retry `AddrInUse` briefly: a restarted coordinator rebinding the
+        // port its killed predecessor held can race the kernel's socket
+        // teardown. Any other error is immediately fatal.
+        let deadline = Instant::now() + BIND_RETRY;
+        let listener = loop {
+            match TcpListener::bind(addr) {
+                Ok(listener) => break listener,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::AddrInUse && Instant::now() < deadline =>
+                {
+                    std::thread::sleep(BIND_RETRY_POLL);
+                }
+                Err(e) => return Err(cluster_err(format!("cannot listen on `{addr}`: {e}"))),
+            }
+        };
         listener
             .set_nonblocking(true)
             .map_err(|e| cluster_err(format!("cannot configure listener: {e}")))?;
@@ -191,6 +223,7 @@ impl NetHub {
             signals: Mutex::new(HashMap::new()),
             known_workers: Mutex::new(HashMap::new()),
             reconnects: AtomicUsize::new(0),
+            readopted: AtomicUsize::new(0),
             blocks: Mutex::new(None),
             draining: AtomicBool::new(false),
             closing: AtomicBool::new(false),
@@ -206,7 +239,7 @@ impl NetHub {
                     Ok((stream, _)) => {
                         let state = Arc::clone(&accept_state);
                         let handle = std::thread::spawn(move || handle_connection(state, stream));
-                        accept_handlers.lock().expect("hub handlers lock").push(handle);
+                        lock_recover(&accept_handlers).push(handle);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
@@ -234,7 +267,7 @@ impl NetHub {
     /// Drains and clears the heartbeat/grant signal map: the
     /// coordinator's per-tick refresh of its in-memory lease bookkeeping.
     pub fn take_signals(&self) -> HashMap<(u64, u32), Instant> {
-        std::mem::take(&mut *self.state.signals.lock().expect("hub signals lock"))
+        std::mem::take(&mut *lock_recover(&self.state.signals))
     }
 
     /// Worker sessions re-opened after a previous Hello (or claiming a
@@ -243,12 +276,18 @@ impl NetHub {
         self.state.reconnects.load(Ordering::Relaxed)
     }
 
+    /// Live workers re-adopted after a coordinator restart: reconnects
+    /// whose `Hello` carried an earlier fencing epoch.
+    pub fn readopted(&self) -> usize {
+        self.state.readopted.load(Ordering::Relaxed)
+    }
+
     /// Enters drain mode and broadcasts [`Message::Shutdown`] to every
     /// live connection. Sockets stay open so in-flight results can still
     /// be delivered during the grace period.
     pub fn broadcast_shutdown(&self) {
         self.state.draining.store(true, Ordering::Relaxed);
-        let conns = self.state.conns.lock().expect("hub conns lock").clone();
+        let conns = lock_recover(&self.state.conns).clone();
         for writer in conns {
             let _ = send_message(&writer, &Message::Shutdown);
         }
@@ -259,15 +298,15 @@ impl NetHub {
     pub fn close(&mut self) {
         self.state.draining.store(true, Ordering::Relaxed);
         self.state.closing.store(true, Ordering::Relaxed);
-        for writer in self.state.conns.lock().expect("hub conns lock").drain(..) {
-            if let Ok(stream) = writer.lock() {
-                let _ = stream.shutdown(Shutdown::Both);
-            }
+        for writer in lock_recover(&self.state.conns).drain(..) {
+            // Poison-recovered too: a handler that panicked mid-frame must
+            // not leave its socket open (that would hang a blocked read).
+            let _ = lock_recover(&writer).shutdown(Shutdown::Both);
         }
         if let Some(listener) = self.listener.take() {
             let _ = listener.join();
         }
-        for handle in self.handlers.lock().expect("hub handlers lock").drain(..) {
+        for handle in lock_recover(&self.handlers).drain(..) {
             let _ = handle.join();
         }
     }
@@ -288,11 +327,7 @@ fn handle_connection(state: Arc<HubState>, stream: TcpStream) {
         Err(_) => return,
     };
     let writer = Arc::new(Mutex::new(stream));
-    state
-        .conns
-        .lock()
-        .expect("hub conns lock")
-        .push(Arc::clone(&writer));
+    lock_recover(&state.conns).push(Arc::clone(&writer));
     loop {
         let msg = match recv_message(&mut reader, &state.limits) {
             Ok(msg) => msg,
@@ -309,15 +344,23 @@ fn handle_connection(state: Arc<HubState>, stream: TcpStream) {
         };
         let reply = match msg {
             Message::Hello { worker, epoch } => {
-                let mut known = state.known_workers.lock().expect("hub workers lock");
+                let mut known = lock_recover(&state.known_workers);
                 let sessions = known.entry(worker.clone()).or_insert(0);
                 *sessions += 1;
-                if *sessions > 1 || (epoch != 0 && epoch != state.epoch) {
+                let stale_epoch = epoch != 0 && epoch != state.epoch;
+                if *sessions > 1 || stale_epoch {
                     state.reconnects.fetch_add(1, Ordering::Relaxed);
                     wootz_obs::counter("net.reconnects").incr();
+                    if stale_epoch {
+                        // A live worker from a previous coordinator's epoch:
+                        // this restart re-adopts it (the Welcome below
+                        // re-bases it onto the current epoch's manifest).
+                        state.readopted.fetch_add(1, Ordering::Relaxed);
+                        wootz_obs::counter("net.workers_readopted").incr();
+                    }
                     wootz_obs::event("net.worker_reconnected")
                         .field("worker", worker.clone())
-                        .field("stale_epoch", (epoch != state.epoch) as usize)
+                        .field("stale_epoch", stale_epoch as usize)
                         .emit();
                 } else {
                     wootz_obs::event("net.worker_connected")
@@ -341,7 +384,26 @@ fn handle_connection(state: Arc<HubState>, stream: TcpStream) {
                     match state.dir.try_claim(&worker) {
                         Ok(Some(task)) => {
                             state.record_signal(task.seq, task.attempt);
-                            Some(Message::TaskGrant { task })
+                            let grant = Message::TaskGrant { task };
+                            // Chaos: the claim rename is already durable but
+                            // the grant frame reaches the worker torn — the
+                            // crash window between "coordinator committed"
+                            // and "worker informed". The restarted epoch
+                            // wipes claims/ and re-enqueues the task; the
+                            // worker sees a truncated frame and reconnects.
+                            if wootz_fault::chaos::kill_point(
+                                wootz_fault::chaos::kill_site::COORD_GRANT,
+                            ) {
+                                let mut frame = Vec::new();
+                                let _ = grant.write_to(&mut frame);
+                                let mut stream = lock_recover(&writer);
+                                let _ = stream.write_all(&frame[..frame.len() / 2]);
+                                let _ = stream.flush();
+                                wootz_fault::chaos::die(
+                                    wootz_fault::chaos::kill_site::COORD_GRANT,
+                                );
+                            }
+                            Some(grant)
                         }
                         Ok(None) => Some(Message::NoTask {
                             backoff_ms: state.backoff_ms,
@@ -451,11 +513,7 @@ impl NetClient {
             loop {
                 match recv_message(&mut reader_stream, &limits) {
                     Ok(Message::HeartbeatAck { nonce }) => {
-                        if let Some(sent) = reader_rtt
-                            .lock()
-                            .expect("client rtt lock")
-                            .remove(&nonce)
-                        {
+                        if let Some(sent) = lock_recover(&reader_rtt).remove(&nonce) {
                             wootz_obs::histogram("net.heartbeat_rtt_us")
                                 .record(sent.elapsed().as_micros() as u64);
                         }
@@ -527,7 +585,7 @@ impl NetClient {
         let mut frame = Vec::new();
         msg.write_to(&mut frame)?;
         let half = frame.len() / 2;
-        let mut stream = self.writer.lock().expect("wire writer lock");
+        let mut stream = lock_recover(&self.writer);
         let _ = stream.write_all(&frame[..half]);
         let _ = stream.flush();
         let _ = stream.shutdown(Shutdown::Both);

@@ -71,7 +71,7 @@ use wootz_fault::{site, FaultKind, FaultPlan};
 use wootz_nn::Checkpoint;
 
 use crate::messages::Message;
-use crate::net::NetClient;
+use crate::net::{lock_recover, NetClient};
 use crate::protocol::{
     cluster_err, read_json, Manifest, ResultPayload, TaskKind, TaskResult, TaskSpec, WireEval,
 };
@@ -357,13 +357,40 @@ impl ChaosNetDrop {
 /// derived from `(worker id, attempt)` — so a restarted worker replays
 /// the exact same schedule (determinism) while distinct workers never
 /// hammer a recovering coordinator in phase (no thundering herd). The
-/// worker gives up after [`CONNECT_ATTEMPTS`] consecutive failures; in
-/// practice the first attempt succeeds because the coordinator binds its
-/// listener before spawning any worker. Every sleep is recorded in the
-/// `net.backoff_ms` histogram.
+/// worker gives up only when its **orphan grace budget** is exhausted
+/// (see [`worker_net_main`]); `CONNECT_ATTEMPTS` is the schedule length
+/// the backoff tests pin. In practice the first attempt succeeds because
+/// the coordinator binds its listener before spawning any worker. Every
+/// sleep is recorded in the `net.backoff_ms` histogram.
 const CONNECT_BASE_MS: u64 = 25;
 const CONNECT_CAP_MS: u64 = 1_000;
+#[cfg(test)]
 const CONNECT_ATTEMPTS: usize = 50;
+
+/// Environment variable carrying the orphan grace budget (milliseconds)
+/// to spawned workers: how long a worker keeps redialing a gone
+/// coordinator before exiting as an orphan. The `--orphan-grace-ms` flag
+/// overrides it; [`DEFAULT_ORPHAN_GRACE_MS`] applies when neither is set.
+pub const ENV_ORPHAN_GRACE_MS: &str = "WOOTZ_ORPHAN_GRACE_MS";
+
+/// Default orphan grace budget: long enough for a coordinator restart
+/// (human- or supervisor-driven), short enough that a dead run does not
+/// leak worker processes for hours.
+pub const DEFAULT_ORPHAN_GRACE_MS: u64 = 60_000;
+
+/// How a network worker's session loop ended. The CLI maps
+/// [`WorkerExit::CoordinatorGone`] to its own exit code so supervisors
+/// can tell "run finished" from "coordinator never came back".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The coordinator sent [`Message::Shutdown`]: clean end of run.
+    Shutdown,
+    /// The orphan grace budget expired without reaching a coordinator.
+    /// Any completed-but-undelivered result is dropped here — its bytes
+    /// are reproducible (tasks are pure), and the coordinator's own
+    /// `results/` journal survives for the next epoch.
+    CoordinatorGone,
+}
 
 /// The `failure`-th (1-based) reconnect delay for `worker_id`, in
 /// milliseconds. A pure function of its arguments: the whole backoff
@@ -378,35 +405,71 @@ fn connect_backoff_ms(worker_id: &str, failure: usize) -> u64 {
 /// The entry point of a network-transport worker process: connects to
 /// the coordinator, handshakes (`Hello`/`Welcome`), then loops
 /// requesting, executing and delivering tasks over the framed protocol.
-/// Returns when the coordinator sends [`Message::Shutdown`] or closes
-/// during drain.
+/// Returns [`WorkerExit::Shutdown`] when the coordinator sends
+/// [`Message::Shutdown`] or closes during drain.
+///
+/// # Orphan policy
+///
+/// When the coordinator becomes unreachable the worker does not discard
+/// state: it keeps its environment, **holds any completed-but-undelivered
+/// result in memory**, and redials on the deterministic backoff schedule.
+/// The redial loop is bounded by an overall *orphan grace budget*
+/// (`grace_ms`, falling back to [`ENV_ORPHAN_GRACE_MS`] then
+/// [`DEFAULT_ORPHAN_GRACE_MS`]) measured from the first failed dial; a
+/// coordinator restarting within the budget re-adopts the worker (the
+/// `Welcome` re-bases it onto the new epoch, the held result is re-sent
+/// and fenced). Past the budget the worker returns
+/// [`WorkerExit::CoordinatorGone`] — a distinct outcome the CLI surfaces
+/// as its own exit code. Time spent orphaned is recorded in the
+/// `net.orphaned_ms` histogram.
 ///
 /// # Errors
 ///
-/// Returns an error when the coordinator is unreachable after retries,
-/// or when the received manifest cannot be reconstructed into a working
-/// evaluation environment. Connection failures mid-run are *not* errors
-/// — the worker reconnects (re-sending an undelivered result) and keeps
-/// going.
-pub fn worker_net_main(addr: &str, worker_id: &str) -> Result<()> {
+/// Returns an error when the received manifest cannot be reconstructed
+/// into a working evaluation environment. Connection failures are *not*
+/// errors — they burn orphan grace instead.
+pub fn worker_net_main(
+    addr: &str,
+    worker_id: &str,
+    grace_ms: Option<u64>,
+) -> Result<WorkerExit> {
     let _span = wootz_obs::span("cluster.net_worker").with("worker", worker_id);
+    let grace = Duration::from_millis(grace_ms.unwrap_or_else(|| {
+        std::env::var(ENV_ORPHAN_GRACE_MS)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_ORPHAN_GRACE_MS)
+    }));
     let mut epoch = 0u64;
     let mut env: Option<WorkerEnv> = None;
     let mut chaos = ChaosNetDrop::from_env(worker_id);
     let nonce = AtomicU64::new(1);
     // A result whose delivery failed mid-frame: re-sent first thing after
-    // the next successful handshake.
+    // the next successful handshake (held across the whole orphan grace).
     let mut undelivered: Option<TaskResult> = None;
     let mut connect_failures = 0usize;
+    // When the coordinator first became unreachable; cleared by a
+    // successful Welcome.
+    let mut orphaned_at: Option<Instant> = None;
 
     'session: loop {
+        if let Some(since) = orphaned_at {
+            if since.elapsed() >= grace {
+                let orphaned_ms = since.elapsed().as_millis() as u64;
+                wootz_obs::histogram("net.orphaned_ms").record(orphaned_ms);
+                wootz_obs::event("net.orphan_gave_up")
+                    .field("worker", worker_id)
+                    .field("orphaned_ms", orphaned_ms as usize)
+                    .field("held_result", undelivered.is_some())
+                    .emit();
+                return Ok(WorkerExit::CoordinatorGone);
+            }
+        }
         let client = match NetClient::connect(addr) {
             Ok(c) => c,
-            Err(e) => {
+            Err(_) => {
                 connect_failures += 1;
-                if connect_failures >= CONNECT_ATTEMPTS {
-                    return Err(e);
-                }
+                orphaned_at.get_or_insert_with(Instant::now);
                 let backoff = connect_backoff_ms(worker_id, connect_failures);
                 wootz_obs::histogram("net.backoff_ms").record(backoff);
                 std::thread::sleep(Duration::from_millis(backoff));
@@ -424,6 +487,7 @@ pub fn worker_net_main(addr: &str, worker_id: &str) -> Result<()> {
             })
             .is_err()
         {
+            orphaned_at.get_or_insert_with(Instant::now);
             continue 'session;
         }
         match client.recv() {
@@ -438,9 +502,24 @@ pub fn worker_net_main(addr: &str, worker_id: &str) -> Result<()> {
                     env = Some(WorkerEnv::new(manifest, full_ckpt)?);
                 }
                 epoch = e;
+                if let Some(since) = orphaned_at.take() {
+                    // Re-adopted within the grace budget.
+                    let orphaned_ms = since.elapsed().as_millis() as u64;
+                    wootz_obs::histogram("net.orphaned_ms").record(orphaned_ms);
+                    wootz_obs::event("net.orphan_readopted")
+                        .field("worker", worker_id)
+                        .field("orphaned_ms", orphaned_ms as usize)
+                        .field("epoch", epoch as usize)
+                        .emit();
+                }
             }
-            Ok(Message::Shutdown) => return Ok(()),
-            Ok(_) | Err(_) => continue 'session,
+            Ok(Message::Shutdown) => return Ok(WorkerExit::Shutdown),
+            Ok(_) | Err(_) => {
+                // A coordinator that accepts but cannot complete the
+                // handshake (e.g. wedged mid-restart) burns grace too.
+                orphaned_at.get_or_insert_with(Instant::now);
+                continue 'session;
+            }
         }
         let env = env.as_mut().expect("environment built on Welcome");
         wootz_obs::event("cluster.worker_started")
@@ -479,7 +558,7 @@ pub fn worker_net_main(addr: &str, worker_id: &str) -> Result<()> {
                     wootz_obs::event("cluster.worker_shutdown")
                         .field("worker", worker_id)
                         .emit();
-                    return Ok(());
+                    return Ok(WorkerExit::Shutdown);
                 }
                 Ok(_) => continue,
                 Err(_) => continue 'session,
@@ -514,14 +593,14 @@ pub fn worker_net_main(addr: &str, worker_id: &str) -> Result<()> {
                             break;
                         }
                         n += 1;
-                        rtt.lock().expect("client rtt lock").insert(n, Instant::now());
+                        lock_recover(&rtt).insert(n, Instant::now());
                         let msg = Message::Heartbeat {
                             worker: worker.clone(),
                             seq,
                             attempt,
                             nonce: n,
                         };
-                        let mut stream = writer.lock().expect("wire writer lock");
+                        let mut stream = lock_recover(&writer);
                         if msg.write_to(&mut *stream).is_err() {
                             break;
                         }

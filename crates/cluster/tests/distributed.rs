@@ -245,6 +245,88 @@ fn straggler_trips_speculative_reexecution_and_result_unchanged() {
 }
 
 #[test]
+fn poison_task_is_abandoned_and_run_completes() {
+    let inputs = inputs();
+    let dataset = dataset_for(&inputs);
+
+    // Every attempt of unit-of-work key 1 (pre-training group 1 *and*
+    // config 1) crashes its worker: `times: Some(99)` keeps the trigger
+    // armed past any retry, so no attempt can ever succeed. The
+    // coordinator must abandon the unit after `max_task_attempts`, not
+    // spin forever — and the run must still complete: the abandoned
+    // pre-training group degrades to inherited weights at assembly (the
+    // block-fallback contract) and the abandoned evaluation surfaces as
+    // a first-class failed exploration record under the skip policy.
+    let plan = FaultPlan {
+        seed: 1,
+        triggers: vec![Trigger {
+            site: wootz_fault::site::CLUSTER_TASK.to_string(),
+            key: Some(1),
+            kind: FaultKind::WorkerCrash,
+            times: Some(99),
+        }],
+        rates: vec![],
+    };
+    let dir = tempdir("poison");
+    let mut opts = ClusterOptions::new(dir.join("run"), 2, worker_cmd());
+    opts.retry = RetryPolicy::skip_after(1);
+    opts.faults = Some(&plan);
+    opts.lease_ms = 300;
+    opts.max_task_attempts = 2;
+    let (dist, stats) = run_distributed(&inputs, &dataset, RunMode::Composability, &opts).unwrap();
+
+    // Both poisoned units (the pre-training group and the evaluation)
+    // were abandoned after their attempt budget, and every crash cost a
+    // worker process that had to be respawned.
+    assert!(
+        stats.tasks_abandoned >= 1,
+        "expected an abandonment: {}",
+        stats.summary()
+    );
+    assert!(
+        stats.workers_respawned >= 1,
+        "expected a respawn: {}",
+        stats.summary()
+    );
+    assert!(
+        stats.summary().contains("tasks abandoned"),
+        "summary must surface abandonment: {}",
+        stats.summary()
+    );
+
+    // The abandoned evaluation is a recorded failure, not a hole.
+    assert!(
+        dist.exploration.failed >= 1,
+        "expected a failed exploration record, got {:?}",
+        dist.exploration
+    );
+    // The poisoned configuration (key 1) is the failed record; its
+    // round-mate config 2 still evaluated to completion and the run
+    // still chose a best network from the survivors.
+    let failed: Vec<usize> = dist
+        .exploration
+        .evaluated
+        .iter()
+        .filter(|e| e.is_failed())
+        .map(|e| e.config_index())
+        .collect();
+    assert_eq!(failed, vec![1], "exactly config 1 fails: {failed:?}");
+    let done: Vec<usize> = dist
+        .exploration
+        .evaluated
+        .iter()
+        .filter(|e| !e.is_failed())
+        .map(|e| e.config_index())
+        .collect();
+    assert!(done.contains(&2), "config 2 missing from {done:?}");
+    assert!(
+        dist.best.is_some(),
+        "abandonment must not cost the run its best network"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn resumed_coordinator_re_evaluates_nothing() {
     let inputs = inputs();
     let dataset = dataset_for(&inputs);

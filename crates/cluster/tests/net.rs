@@ -195,6 +195,162 @@ fn tcp_run_is_bit_identical_to_single_process() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A scripted coordinator: accepts one worker session on `listener`,
+/// performs the `Hello`/`Welcome` handshake asserting the worker's
+/// announced epoch, and returns the open stream for the caller to drive.
+fn accept_session(
+    listener: &std::net::TcpListener,
+    expect_epoch: u64,
+    welcome: &Message,
+) -> std::net::TcpStream {
+    let (mut conn, _) = listener.accept().unwrap();
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .unwrap();
+    let (hello, _) = Message::read_from(&mut conn, &Limits::DEFAULT).unwrap();
+    match hello {
+        Message::Hello { worker, epoch } => {
+            assert_eq!(worker, "w0");
+            assert_eq!(epoch, expect_epoch, "worker announced the wrong epoch");
+        }
+        other => panic!("expected Hello, got {}", other.name()),
+    }
+    welcome.write_to(&mut conn).unwrap();
+    conn
+}
+
+/// The undelivered-result contract across a **coordinator restart**: a
+/// worker whose `TaskDone` never made it out of epoch N keeps redialing,
+/// re-handshakes against the restarted coordinator's epoch N+1 (its
+/// `Hello` still carries the stale epoch — that is how the restart
+/// counts re-adoptions), re-delivers the held result exactly once, and
+/// then recomputes the same unit under the new epoch bit-identically.
+/// The coordinator side is scripted over a raw socket so every frame of
+/// the conversation is asserted.
+#[test]
+fn stale_epoch_reconnect_across_coordinator_restart_redelivers_once() {
+    use wootz_cluster::protocol::Manifest;
+    use wootz_core::compile::MultiplexingModel;
+    use wootz_core::pipeline::train_full_model;
+
+    let inputs = inputs();
+    let dataset = micro_dataset(&inputs.solver.dataset, inputs.solver.seed);
+    let mm = MultiplexingModel::compile(inputs.model.clone()).unwrap();
+    let (full_ckpt, _, _) = train_full_model(&mm, &dataset, &inputs.solver).unwrap();
+    // Baseline mode: no tuning blocks, so the scripted session never has
+    // to answer a BlocksRequest. A huge lease keeps the heartbeat cadence
+    // (lease/4) far beyond the test's lifetime: no Heartbeat frames
+    // interleave with the scripted exchange.
+    let manifest = |epoch: u64| Manifest {
+        epoch,
+        model: inputs.model.clone(),
+        subspace: inputs.subspace.clone(),
+        solver: inputs.solver.clone(),
+        objective: inputs.objective.clone(),
+        mode: RunMode::Baseline,
+        faults: None,
+        retry: RetryPolicy::abort_fast(),
+        lease_ms: 60_000,
+    };
+    let task = |attempt: u32, epoch: u64| TaskSpec {
+        seq: 1,
+        attempt,
+        epoch,
+        kind: TaskKind::Eval { config_index: 2 },
+        expected_steps: 8,
+    };
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    // The real worker binary, with its first TaskDone frame sabotaged
+    // (half-written, socket hard-closed): the result is computed but
+    // provably never delivered in epoch 1.
+    let mut worker = std::process::Command::new(env!("CARGO_BIN_EXE_wootz"))
+        .args([
+            "worker",
+            "--connect",
+            &addr.to_string(),
+            "--worker-id",
+            "w0",
+            "--orphan-grace-ms",
+            "30000",
+        ])
+        .env("WOOTZ_CHAOS_NET_DROP", "w0:1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Epoch 1: first contact (worker announces epoch 0), one grant.
+    let welcome1 = Message::Welcome {
+        epoch: 1,
+        manifest: manifest(1),
+        full_ckpt: full_ckpt.clone(),
+    };
+    let mut conn = accept_session(&listener, 0, &welcome1);
+    let (req, _) = Message::read_from(&mut conn, &Limits::DEFAULT).unwrap();
+    assert!(matches!(req, Message::TaskRequest { .. }), "{}", req.name());
+    Message::TaskGrant { task: task(1, 1) }
+        .write_to(&mut conn)
+        .unwrap();
+    // The worker executes, then half-writes TaskDone and kills its own
+    // socket: this read must fail mid-frame, never yield a message.
+    assert!(
+        Message::read_from(&mut conn, &Limits::DEFAULT).is_err(),
+        "the sabotaged TaskDone frame decoded cleanly"
+    );
+    // Coordinator "crashes": connection and listener both go away while
+    // the worker holds its undelivered result and redials on backoff.
+    drop(conn);
+    drop(listener);
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // Coordinator "restarts" on the same port with a bumped epoch. The
+    // worker's Hello must still announce epoch 1 — the stale epoch is
+    // exactly what the re-adoption accounting keys on.
+    let listener = std::net::TcpListener::bind(addr).unwrap();
+    let welcome2 = Message::Welcome {
+        epoch: 2,
+        manifest: manifest(2),
+        full_ckpt: full_ckpt.clone(),
+    };
+    let mut conn = accept_session(&listener, 1, &welcome2);
+
+    // First frame after the re-handshake: the held epoch-1 result,
+    // re-delivered exactly once.
+    let (msg, _) = Message::read_from(&mut conn, &Limits::DEFAULT).unwrap();
+    let held = match msg {
+        Message::TaskDone { result } => result,
+        other => panic!("expected the re-delivered TaskDone, got {}", other.name()),
+    };
+    assert_eq!((held.seq, held.attempt, held.epoch), (1, 1, 1));
+
+    // Exactly once: the very next frame is a fresh TaskRequest, not a
+    // duplicate delivery. Grant the same unit again under epoch 2 — the
+    // recomputed result must be byte-identical to the held one (tasks
+    // are pure functions; only the attempt/epoch envelope may differ).
+    let (req, _) = Message::read_from(&mut conn, &Limits::DEFAULT).unwrap();
+    assert!(matches!(req, Message::TaskRequest { .. }), "{}", req.name());
+    Message::TaskGrant { task: task(2, 2) }
+        .write_to(&mut conn)
+        .unwrap();
+    let (msg, _) = Message::read_from(&mut conn, &Limits::DEFAULT).unwrap();
+    let redone = match msg {
+        Message::TaskDone { result } => result,
+        other => panic!("expected the epoch-2 TaskDone, got {}", other.name()),
+    };
+    assert_eq!((redone.seq, redone.attempt, redone.epoch), (1, 2, 2));
+    assert_eq!(
+        serde_json::to_string(&redone.payload).unwrap(),
+        serde_json::to_string(&held.payload).unwrap(),
+        "re-execution under the new epoch diverged from the held result"
+    );
+
+    // Clean shutdown: the worker exits 0 (not the orphan exit code).
+    Message::Shutdown.write_to(&mut conn).unwrap();
+    let status = worker.wait().unwrap();
+    assert!(status.success(), "worker exit: {status:?}");
+}
+
 #[test]
 fn mid_frame_disconnect_reconnects_and_result_unchanged() {
     let inputs = inputs();

@@ -52,6 +52,17 @@ pub mod kill_site {
     /// Publishing a task result into the run dir's `results/`
     /// (`RunDir::publish_result`, mid-temp-file).
     pub const RUNDIR_PUBLISH: &str = "rundir.publish";
+    /// Coordinator granting a task over TCP: the claim file is already
+    /// renamed, the `TaskGrant` frame half-written to the socket
+    /// (`NetHub`'s connection handler).
+    pub const COORD_GRANT: &str = "coord.grant";
+    /// Coordinator reaping a result: the journaled result file is read
+    /// back, abort before `accept_or_fence` folds it into run state
+    /// (`Coordinator::drive`).
+    pub const COORD_REAP: &str = "coord.reap";
+    /// Coordinator assembling the block index: temp file half-written,
+    /// abort before the atomic publish (`run_distributed`).
+    pub const COORD_ASSEMBLE: &str = "coord.assemble";
 }
 
 /// Every kill point registered in the workspace, with the boundary it
@@ -77,6 +88,18 @@ pub const KILL_SITES: &[KillSite] = &[
     KillSite {
         name: kill_site::RUNDIR_PUBLISH,
         boundary: "run-dir result publish: temp file half-written, abort before rename",
+    },
+    KillSite {
+        name: kill_site::COORD_GRANT,
+        boundary: "coordinator grant: task claimed on disk, TaskGrant frame half-written, then abort",
+    },
+    KillSite {
+        name: kill_site::COORD_REAP,
+        boundary: "coordinator reap: result durable in results/, abort before it folds into run state",
+    },
+    KillSite {
+        name: kill_site::COORD_ASSEMBLE,
+        boundary: "coordinator assemble: block-index temp file half-written, abort before rename",
     },
 ];
 
@@ -166,7 +189,7 @@ mod tests {
                 assert_ne!(a.name, b.name);
             }
         }
-        assert_eq!(KILL_SITES.len(), 5, "update `reproduce crashes` when adding a site");
+        assert_eq!(KILL_SITES.len(), 8, "update `reproduce crashes` when adding a site");
     }
 
     // The firing behavior is exercised end-to-end by the crash matrix

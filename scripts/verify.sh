@@ -195,4 +195,61 @@ grep '^cluster:' "$SMOKE/net.out" | grep -q '[1-9][0-9]* net reconnects' || {
     echo "socket chaos smoke FAILED: no reconnect recorded"; cat "$SMOKE/net.out"; exit 1; }
 echo "socket chaos smoke ok: $(grep '^cluster:' "$SMOKE/net.out"), best network stable"
 
+echo "== coordinator-kill smoke: SIGKILL the coordinator mid-TCP-run, restart --resume =="
+# The in-run failover contract (DESIGN.md §9, PROTOCOL.md §7): kill the
+# *coordinator* outright while its TCP workers are alive, restart it with
+# --resume on the same port, and require (a) at least one orphaned worker
+# re-adopted over TCP and (b) the final best network byte-equal to the
+# single-process baseline. The chaos registry must also expose the
+# coordinator-side kill sites this contract is proven against.
+for site in coord.grant coord.reap coord.assemble; do
+    "$W" chaos list | grep -q "$site" || {
+        echo "coordinator-kill smoke FAILED: \`wootz chaos list\` missing $site"; exit 1; }
+done
+KILL_DIR="$SMOKE/coordkill"
+PORT=$((17000 + $$ % 2000))
+coordkill_prune() {
+    chaos_prune --distributed 2 --run-dir "$KILL_DIR" --lease-ms 400 \
+        --listen "127.0.0.1:$PORT" --orphan-grace-ms 30000 \
+        --journal "$SMOKE/coordkill.ndjson" "$@"
+}
+coordkill_prune > "$SMOKE/coordkill1.out" 2>&1 &
+COORD=$!
+# Wait until both TCP workers are connected, then murder the coordinator.
+tries=0
+while [ "$tries" -lt 150 ]; do
+    live=$(pgrep -f "worker --connect 127.0.0.1:$PORT" 2>/dev/null | grep -c . || true)
+    [ "$live" -ge 2 ] && break
+    kill -0 "$COORD" 2>/dev/null || break
+    tries=$((tries + 1))
+    sleep 0.1
+done
+[ "${live:-0}" -ge 2 ] || {
+    echo "coordinator-kill smoke FAILED: never saw two TCP workers"
+    kill "$COORD" 2>/dev/null || true; cat "$SMOKE/coordkill1.out"; exit 1; }
+sleep 0.3
+# $COORD is the backgrounded subshell; the wootz binary is its child and is
+# the process that holds the listen socket and the journal lock — kill that.
+COORD_PID=$(pgrep -f "prune .*--listen 127.0.0.1:$PORT" | head -n 1)
+[ -n "$COORD_PID" ] || {
+    echo "coordinator-kill smoke FAILED: coordinator process not found"
+    kill "$COORD" 2>/dev/null || true; cat "$SMOKE/coordkill1.out"; exit 1; }
+kill -KILL "$COORD_PID" 2>/dev/null || true
+wait "$COORD" 2>/dev/null || true
+echo "coordinator-kill: SIGKILLed coordinator $COORD_PID with workers alive"
+# Restart on the same port: orphaned workers are mid-backoff redialing it.
+coordkill_prune --resume > "$SMOKE/coordkill2.out" 2>&1 || {
+    echo "coordinator-kill smoke FAILED: restarted coordinator exited non-zero"
+    cat "$SMOKE/coordkill2.out"; exit 1; }
+kill_best=$(grep '^best network:' "$SMOKE/coordkill2.out" || true)
+[ -n "$kill_best" ] || {
+    echo "coordinator-kill smoke FAILED: no best network line"; cat "$SMOKE/coordkill2.out"; exit 1; }
+[ "$base_best" = "$kill_best" ] || {
+    echo "coordinator-kill smoke FAILED: best network changed across the coordinator kill"
+    echo "  single:    $base_best"; echo "  restarted: $kill_best"; exit 1; }
+grep '^cluster:' "$SMOKE/coordkill2.out" | grep -q '[1-9][0-9]* workers re-adopted' || {
+    echo "coordinator-kill smoke FAILED: no orphaned worker was re-adopted"
+    cat "$SMOKE/coordkill2.out"; exit 1; }
+echo "coordinator-kill smoke ok: $(grep '^cluster:' "$SMOKE/coordkill2.out"), best network stable"
+
 echo "verify.sh: all gates passed"
