@@ -17,6 +17,7 @@
 //!           [--inject-faults <plan.json>] # end-to-end micro pipeline, resumable
 //! reproduce kernels [--quick] [--threads N] # 1-vs-N-thread kernel micro-bench
 //! reproduce memory [--quick]              # interpreter-vs-planned memory accounting
+//! reproduce cache [--quick] [--seed N]    # cold-vs-warm block-store comparison
 //! reproduce verify [--seed N]             # qualitative shape checks
 //! reproduce all [--quick] [--seed N]      # everything, in order
 //! ```
@@ -111,11 +112,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|faults|cluster|crashes|pipeline|kernels|memory|verify|all> \
+    "usage: reproduce <table1|table2|table3|table4|table5|fig4|fig6|fig7|faults|cluster|crashes|pipeline|kernels|memory|cache|verify|all> \
      [--quick] [--seed N] [--threads N] [--json <dir>] [--metrics-out <path>]\n\
      pipeline extras: [--journal <run.ndjson>] [--resume] [--inject-faults <plan.json>]\n\
      kernels: 1-vs-N-thread micro-bench; writes BENCH_kernels.json (to --json dir if given)\n\
-     memory: interpreter-vs-planned allocation accounting; writes BENCH_exec_mem.json"
+     memory: interpreter-vs-planned allocation accounting; writes BENCH_exec_mem.json\n\
+     cache: cold-vs-warm runs sharing a block store; writes BENCH_cache.json"
         .to_string()
 }
 
@@ -353,6 +355,37 @@ fn dispatch(args: &Args) -> ExitCode {
             };
             match std::fs::write(&path, json) {
                 Ok(()) => println!("memory benchmark written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "cache" => {
+            let art = match wootz_bench::cacherep::cache(&micro) {
+                Ok(art) => art,
+                Err(e) => {
+                    eprintln!("cache benchmark failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (text, ok) = wootz_bench::cacherep::cache_report(&art);
+            println!("{text}");
+            let json = wootz_bench::cacherep::artifact_json(&art);
+            let path = match &args.json_dir {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir).ok();
+                    dir.join("BENCH_cache.json")
+                }
+                None => std::path::PathBuf::from("BENCH_cache.json"),
+            };
+            match std::fs::write(&path, json) {
+                Ok(()) => println!("cache benchmark written to {}", path.display()),
                 Err(e) => {
                     eprintln!("cannot write {}: {e}", path.display());
                     return ExitCode::FAILURE;

@@ -1,0 +1,320 @@
+//! `reproduce cache`: the block-store warm/cold comparison behind
+//! `results/BENCH_cache.json` — the perf trajectory's cache row.
+//!
+//! The measurement stages two tenants against one `wootz-store`
+//! directory, the way `wootz serve` does (`SERVING.md` §3):
+//!
+//! 1. **Cold seed** — job A explores a sampled subspace against a fresh
+//!    store; every tuning block is pre-trained and published.
+//! 2. **Warm run** — job B explores a *larger* subspace whose extra
+//!    configurations are crossovers of job A's (every `(module, rate)`
+//!    pair already exists in A), so job B's block set equals job A's.
+//!    Every block must come back as a cache hit and the run must charge
+//!    **zero** pre-training steps.
+//! 3. **Cold control** — job B again, in a separate process-private
+//!    fresh store. This is the honest cold wall time for the *same*
+//!    inputs as the warm run, and the bit-identity reference: the warm
+//!    run's best network and full accuracy must equal the control's
+//!    exactly, proving cached blocks are byte-for-byte the blocks a
+//!    cold run would have trained.
+//!
+//! The gate fails (non-zero exit from `reproduce cache`) when the warm
+//! run pre-trains anything, when any block misses, or when the results
+//! diverge. Wall times are reported, not gated — timing is hardware
+//! noise, the step/hit counters are the contract.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use wootz_core::pipeline::{run_wootz_with, RunMode, RunOptions, WootzInputs, WootzRun};
+use wootz_core::prune::{sample_subspace, PruneConfig, PAPER_RATES};
+use wootz_data::micro_dataset;
+use wootz_fault::RetryPolicy;
+use wootz_ir::Objective;
+use wootz_store::BlockStore;
+
+use crate::real::MicroOpts;
+use crate::report;
+
+/// The full `BENCH_cache.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheArtifact {
+    /// Model identifier.
+    pub model: String,
+    /// Dataset identifier.
+    pub dataset: String,
+    /// Configurations in the seeding job A.
+    pub configs_seed: usize,
+    /// Configurations in job B (A plus block-reusing crossovers).
+    pub configs_warm: usize,
+    /// Tuning blocks job A pre-trained and published.
+    pub blocks_published: usize,
+    /// Store lookups served from cache during the warm run.
+    pub warm_hits: u64,
+    /// Store lookups that missed during the warm run (must be 0).
+    pub warm_misses: u64,
+    /// Bytes of checkpoint data the store served to the warm run.
+    pub warm_bytes_served: u64,
+    /// Bytes the store holds on disk after publication.
+    pub store_bytes: u64,
+    /// Pre-training SGD steps the cold control run spent.
+    pub cold_pretrain_steps: usize,
+    /// Pre-training SGD steps the warm run spent (must be 0).
+    pub warm_pretrain_steps: usize,
+    /// Wall time of the cold control run of job B (fresh store).
+    pub cold_wall_ms: f64,
+    /// Wall time of the warm run of job B (seeded store).
+    pub warm_wall_ms: f64,
+    /// `cold_wall_ms / warm_wall_ms`.
+    pub speedup: f64,
+    /// Whether the warm best network and full accuracy equal the cold
+    /// control's bit-for-bit.
+    pub bit_identical: bool,
+}
+
+impl CacheArtifact {
+    /// Whether the cache contract held: all hits, no misses, zero warm
+    /// pre-training, bit-identical outcome.
+    pub fn ok(&self) -> bool {
+        self.warm_pretrain_steps == 0
+            && self.warm_misses == 0
+            && self.warm_hits == self.blocks_published as u64
+            && self.warm_bytes_served > 0
+            && self.bit_identical
+    }
+}
+
+/// Builds job B's subspace: job A's configurations plus crossovers that
+/// recombine rates *within* A — every `(module, rate)` pair of an extra
+/// configuration already appears in some configuration of A, so the
+/// module-level block set is unchanged and a seeded store can serve the
+/// whole warm run.
+fn warm_subspace(seed_configs: &[PruneConfig], extras: usize) -> Vec<PruneConfig> {
+    let mut out: Vec<PruneConfig> = seed_configs.to_vec();
+    let mut seen: std::collections::HashSet<Vec<u8>> = seed_configs
+        .iter()
+        .map(|c| c.rates().to_vec())
+        .collect();
+    let n = seed_configs.len();
+    let mut shift = 1usize;
+    while out.len() < n + extras && shift < n * n {
+        for i in 0..n {
+            // Alternate modules between configuration i and its shifted
+            // partner — a crossover, never a novel rate.
+            let a = seed_configs[i].rates();
+            let b = seed_configs[(i + shift) % n].rates();
+            let mixed: Vec<u8> = a
+                .iter()
+                .zip(b.iter())
+                .enumerate()
+                .map(|(m, (&x, &y))| if m % 2 == 0 { x } else { y })
+                .collect();
+            if seen.insert(mixed.clone()) {
+                out.push(PruneConfig::new(mixed).expect("rates < 100"));
+                if out.len() == n + extras {
+                    break;
+                }
+            }
+        }
+        shift += 1;
+    }
+    out
+}
+
+fn run_job(
+    inputs: &WootzInputs,
+    store: &BlockStore,
+) -> Result<(WootzRun, f64), String> {
+    let dataset = micro_dataset(&inputs.solver.dataset, inputs.solver.seed);
+    let opts = RunOptions {
+        retry: RetryPolicy::abort_fast(),
+        store: Some(store),
+        ..RunOptions::default()
+    };
+    let started = Instant::now();
+    let run = run_wootz_with(inputs, &dataset, RunMode::Composability, None, &opts)
+        .map_err(|e| e.to_string())?;
+    Ok((run, started.elapsed().as_secs_f64() * 1e3))
+}
+
+/// Runs the three-stage measurement. See the module docs for the stages.
+///
+/// # Errors
+///
+/// Returns the pipeline's error text when any stage fails outright.
+pub fn cache(opts: &MicroOpts) -> Result<CacheArtifact, String> {
+    let classes = 8;
+    let dataset_name = "flowers102";
+    let ir = wootz_models::resnet_mini(classes);
+    let modules = ir.conv_module_ids().len();
+    let seed_configs =
+        sample_subspace(modules, &PAPER_RATES, opts.configs_per_cell.max(3), opts.seed);
+    let extras = (seed_configs.len() / 2).max(2);
+    let warm_configs = warm_subspace(&seed_configs, extras);
+    let solver = opts.solver(dataset_name);
+    let objective = Objective::min_size_with_accuracy(0.1);
+    let job_a = WootzInputs {
+        model: ir.clone(),
+        subspace: seed_configs.clone(),
+        solver: solver.clone(),
+        objective: objective.clone(),
+    };
+    let job_b = WootzInputs {
+        model: ir,
+        subspace: warm_configs.clone(),
+        solver,
+        objective,
+    };
+
+    let base = std::env::temp_dir().join(format!(
+        "wootz-cache-bench-{}-{}",
+        std::process::id(),
+        opts.seed
+    ));
+    std::fs::remove_dir_all(&base).ok();
+    let shared_dir = base.join("shared");
+    let control_dir = base.join("control");
+
+    // Stage 1: job A seeds the shared store.
+    let shared = BlockStore::open(&shared_dir, None).map_err(|e| e.to_string())?;
+    let (cold_a, _) = run_job(&job_a, &shared)?;
+    let seeded = shared.stats();
+
+    // Stage 2: job B runs warm against the seeded store.
+    let (warm, warm_wall_ms) = run_job(&job_b, &shared)?;
+    let after = shared.stats();
+
+    // Stage 3: job B runs cold in a private fresh store — the wall-time
+    // baseline and the bit-identity reference.
+    let control = BlockStore::open(&control_dir, None).map_err(|e| e.to_string())?;
+    let (cold_b, cold_wall_ms) = run_job(&job_b, &control)?;
+
+    std::fs::remove_dir_all(&base).ok();
+
+    let warm_wall = warm_wall_ms.max(1e-3);
+    Ok(CacheArtifact {
+        model: "resnet_mini".to_string(),
+        dataset: dataset_name.to_string(),
+        configs_seed: seed_configs.len(),
+        configs_warm: warm_configs.len(),
+        blocks_published: cold_a.blocks_pretrained,
+        warm_hits: after.hits - seeded.hits,
+        warm_misses: after.misses - seeded.misses,
+        warm_bytes_served: after.bytes_served - seeded.bytes_served,
+        store_bytes: after.bytes,
+        cold_pretrain_steps: cold_b.pretrain_steps,
+        warm_pretrain_steps: warm.pretrain_steps,
+        cold_wall_ms,
+        warm_wall_ms,
+        speedup: cold_wall_ms / warm_wall,
+        bit_identical: warm.best == cold_b.best
+            && warm.full_accuracy == cold_b.full_accuracy,
+    })
+}
+
+/// Renders the comparison table plus the verdict line. The `bool` is the
+/// gate: `false` fails `reproduce cache`.
+pub fn cache_report(art: &CacheArtifact) -> (String, bool) {
+    let mut out = String::new();
+    out.push_str("block-store cache: cold vs warm (`wootz-store`, shared across jobs)\n");
+    out.push_str(&format!(
+        "model {} on {}; job A {} configs seeds the store, job B {} configs runs warm\n\n",
+        art.model, art.dataset, art.configs_seed, art.configs_warm
+    ));
+    let body = vec![
+        vec![
+            "cold (fresh store)".to_string(),
+            format!("{:.0}", art.cold_wall_ms),
+            art.cold_pretrain_steps.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ],
+        vec![
+            "warm (seeded store)".to_string(),
+            format!("{:.0}", art.warm_wall_ms),
+            art.warm_pretrain_steps.to_string(),
+            format!("{}/{}", art.warm_hits, art.warm_hits + art.warm_misses),
+            art.warm_bytes_served.to_string(),
+        ],
+    ];
+    out.push_str(&report::render_table(
+        &["run of job B", "wall ms", "pretrain steps", "hits/lookups", "bytes served"],
+        &body,
+    ));
+    out.push_str(&format!(
+        "\n{} blocks published ({} bytes on disk); warm speedup {:.2}x\n",
+        art.blocks_published, art.store_bytes, art.speedup
+    ));
+    let ok = art.ok();
+    out.push_str(if ok {
+        "cache contract: PASS — zero warm pre-training, all blocks served, bit-identical best\n"
+    } else {
+        "cache contract: FAIL\n"
+    });
+    if !ok {
+        out.push_str(&format!(
+            "  warm_pretrain_steps={} warm_hits={} warm_misses={} expected_hits={} bit_identical={}\n",
+            art.warm_pretrain_steps,
+            art.warm_hits,
+            art.warm_misses,
+            art.blocks_published,
+            art.bit_identical
+        ));
+    }
+    (out, ok)
+}
+
+/// Serializes the artifact as pretty JSON (`BENCH_cache.json`).
+pub fn artifact_json(art: &CacheArtifact) -> String {
+    serde_json::to_string_pretty(art).expect("serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MicroOpts {
+        MicroOpts {
+            full_steps: 6,
+            pretrain_steps: 2,
+            finetune_steps: 2,
+            batch: 2,
+            eval_cap: 8,
+            configs_per_cell: 3,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn warm_subspace_reuses_only_existing_rates() {
+        let seeds = sample_subspace(4, &PAPER_RATES, 4, 3);
+        let warm = warm_subspace(&seeds, 3);
+        assert_eq!(warm.len(), seeds.len() + 3);
+        let mut pairs = std::collections::HashSet::new();
+        for c in &seeds {
+            for (m, &r) in c.rates().iter().enumerate() {
+                pairs.insert((m, r));
+            }
+        }
+        for c in &warm[seeds.len()..] {
+            for (m, &r) in c.rates().iter().enumerate() {
+                assert!(
+                    pairs.contains(&(m, r)),
+                    "crossover introduced a novel (module, rate) pair"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_gate_passes_at_micro_scale() {
+        let art = cache(&tiny()).expect("bench runs");
+        let (text, ok) = cache_report(&art);
+        assert!(ok, "cache contract must hold:\n{text}");
+        assert_eq!(art.warm_pretrain_steps, 0);
+        assert!(art.warm_hits > 0);
+        let json = artifact_json(&art);
+        let back: CacheArtifact = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back, art);
+    }
+}

@@ -194,6 +194,7 @@ pub fn run_scenario(
                 retry: RetryPolicy::abort_fast(),
                 journal: Some(journal),
                 resume,
+                ..RunOptions::default()
             };
             let run = run_wootz_with(&inputs, &dataset, RunMode::Composability, None, &opts)
                 .map_err(|e| format!("pipeline run failed: {e}"))?;

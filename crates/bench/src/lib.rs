@@ -16,6 +16,7 @@
 //! | Kernel micro-bench — 1 vs N threads | real kernels on wootz-par | [`kernels::kernels_report`] |
 //! | Memory bench — interpreter vs planned executor | real execution on the stock graph | [`memrep::memory_report`] |
 //! | Crash matrix — kill-point durability | real runs killed mid-write | [`crashrep::crashes_report`] |
+//! | Cache bench — cold vs warm block store | real runs sharing a `wootz-store` | [`cacherep::cache_report`] |
 //!
 //! Run `cargo run -p wootz-bench --bin reproduce --release -- all` to print
 //! every artifact with the paper's reference numbers alongside. The
@@ -25,6 +26,7 @@
 //! allocator comparison (`BENCH_exec_mem.json`), both documented in
 //! `PERFORMANCE.md`.
 
+pub mod cacherep;
 pub mod clusterrep;
 pub mod crashrep;
 pub mod kernels;

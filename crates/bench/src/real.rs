@@ -69,7 +69,7 @@ impl MicroOpts {
         }
     }
 
-    fn solver(&self, dataset: &str) -> SolverConfig {
+    pub(crate) fn solver(&self, dataset: &str) -> SolverConfig {
         SolverConfig {
             dataset: dataset.into(),
             base_lr: 0.02,
@@ -466,6 +466,7 @@ pub fn pipeline_report(
         retry,
         journal,
         resume,
+        ..RunOptions::default()
     };
     let run = run_wootz_with(&inputs, &dataset, RunMode::Composability, None, &run_opts)?;
     let mut out = format!(

@@ -82,7 +82,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wootz_cluster::{
-    run_distributed, self_worker_cmd, worker_main, worker_net_main, ClusterOptions, WorkerExit,
+    run_distributed, self_worker_cmd, serve, submit, worker_main, worker_net_main, ClusterOptions,
+    Message, ServeOptions, WorkerExit,
 };
 use wootz_core::blocks::{identify_tuning_blocks, partition_into_groups};
 use wootz_core::pipeline::{run_wootz_with, RunMode, RunOptions, WootzInputs, WootzRun};
@@ -160,6 +161,8 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         "identify" => cmd_identify(args).map(|()| ExitCode::SUCCESS),
         "genmodel" => cmd_genmodel(args).map(|()| ExitCode::SUCCESS),
         "prune" => cmd_prune(args).map(|()| ExitCode::SUCCESS),
+        "serve" => cmd_serve(args).map(|()| ExitCode::SUCCESS),
+        "submit" => cmd_submit(args).map(|()| ExitCode::SUCCESS),
         "worker" => cmd_worker(args),
         "chaos" => cmd_chaos(args).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
@@ -180,8 +183,10 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn usage() -> &'static str {
-    "usage: wootz <compile|sample|identify|genmodel|prune|worker|chaos|help> [options] [--metrics-out <path>] [--threads <n>] [--exec-plan on|off]\n\
-     run `wootz help` for per-command options"
+    "usage: wootz <compile|sample|identify|genmodel|prune|serve|submit|worker|chaos|help> [options] [--metrics-out <path>] [--threads <n>] [--exec-plan on|off]\n\
+     serve:  --store <dir> [--listen <addr>] [--store-budget <bytes>] [--state <dir>]\n\
+     submit: --connect <addr> --model <file> --configs <file> --solver <file> --objective <file> [--mode <m>]\n\
+     run `wootz help` for per-command options; SERVING.md documents the daemon"
 }
 
 /// Pulls the value following `--flag` out of `args`, if present.
@@ -406,7 +411,19 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
         Some(s) => Some(s.parse().map_err(|e| format!("bad --orphan-grace-ms: {e}"))?),
         None => None,
     };
+    let store_dir: Option<PathBuf> = take_flag(&mut args, "--store").map(Into::into);
+    let store_budget: Option<u64> = match take_flag(&mut args, "--store-budget") {
+        Some(s) => Some(s.parse().map_err(|e| format!("bad --store-budget: {e}"))?),
+        None => None,
+    };
     reject_leftovers(&args)?;
+
+    if store_budget.is_some() && store_dir.is_none() {
+        return Err("--store-budget only applies with --store <dir>".into());
+    }
+    if store_dir.is_some() && distributed.is_some() {
+        return Err("--store applies to single-process runs (the serve daemon owns the store in distributed setups)".into());
+    }
 
     if distributed.is_none()
         && (run_dir.is_some() || lease_ms.is_some() || listen.is_some() || orphan_grace_ms.is_some())
@@ -467,13 +484,30 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
     };
     let run: WootzRun = match distributed {
         None => {
+            let store = match &store_dir {
+                Some(dir) => Some(
+                    wootz_store::BlockStore::open(dir, store_budget)
+                        .map_err(|e| format!("cannot open block store: {e}"))?,
+                ),
+                None => None,
+            };
             let opts = RunOptions {
                 faults: faults.as_ref(),
                 retry,
                 journal,
                 resume,
+                store: store.as_ref(),
+                ..RunOptions::default()
             };
-            run_wootz_with(&inputs, &dataset, mode, None, &opts)?
+            let run = run_wootz_with(&inputs, &dataset, mode, None, &opts)?;
+            if let Some(store) = &store {
+                let stats = store.stats();
+                println!(
+                    "block store: {} hits, {} misses, {} inserts, {} evictions, {} bytes",
+                    stats.hits, stats.misses, stats.inserts, stats.evictions, stats.bytes
+                );
+            }
+            run
         }
         Some(workers) => {
             let run_dir =
@@ -524,6 +558,60 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
             .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
         println!("wrote results to {}", path.display());
     }
+    Ok(())
+}
+
+/// `wootz serve`: the pruning-as-a-service daemon (SERVING.md). Binds,
+/// prints `serving on <addr>`, and accepts jobs until killed.
+fn cmd_serve(mut args: Vec<String>) -> CliResult {
+    let listen = take_flag(&mut args, "--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let store_dir: PathBuf = take_flag(&mut args, "--store")
+        .ok_or("serve needs --store <dir> (the block-cache directory)")?
+        .into();
+    let store_budget: Option<u64> = match take_flag(&mut args, "--store-budget") {
+        Some(s) => Some(s.parse().map_err(|e| format!("bad --store-budget: {e}"))?),
+        None => None,
+    };
+    let state_dir: PathBuf = take_flag(&mut args, "--state")
+        .map(Into::into)
+        .unwrap_or_else(|| store_dir.join("state"));
+    reject_leftovers(&args)?;
+    serve(&ServeOptions {
+        listen,
+        store_dir,
+        store_budget,
+        state_dir,
+    })?;
+    Ok(())
+}
+
+/// `wootz submit`: sends one job to a serve daemon, streaming its events
+/// to stdout. The input files are read here and shipped as text — the
+/// daemon needs no shared filesystem.
+fn cmd_submit(mut args: Vec<String>) -> CliResult {
+    let addr = take_flag(&mut args, "--connect").ok_or("submit needs --connect <addr>")?;
+    let mut read = |flag: &str| -> Result<String, Box<dyn std::error::Error>> {
+        let path =
+            take_flag(&mut args, flag).ok_or_else(|| format!("submit needs {flag} <file>"))?;
+        Ok(std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read `{path}`: {e}"))?)
+    };
+    let model = read("--model")?;
+    let configs = read("--configs")?;
+    let solver = read("--solver")?;
+    let objective = read("--objective")?;
+    let mode = take_flag(&mut args, "--mode").unwrap_or_default();
+    reject_leftovers(&args)?;
+    submit(
+        &addr,
+        &Message::SubmitJob {
+            model,
+            configs,
+            solver,
+            objective,
+            mode,
+        },
+    )?;
     Ok(())
 }
 

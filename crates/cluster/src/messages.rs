@@ -110,6 +110,46 @@ pub enum Message {
     /// Coordinator → worker: drain and exit. Also the reply to a
     /// [`Message::Hello`] that arrives while the run is shutting down.
     Shutdown,
+    /// Client → serve daemon: submits one pruning job. The four run
+    /// inputs travel as the *texts* the CLI would read from disk (model
+    /// prototxt, subspace JSON, solver prototxt, objective expression) so
+    /// a client needs no shared filesystem with the daemon; the daemon
+    /// parses them and answers malformed inputs with a structured
+    /// [`Message::JobDone`] error instead of dying.
+    SubmitJob {
+        /// Model prototxt text.
+        model: String,
+        /// Promising-subspace JSON text (`Vec<Vec<u8>>` of rate rows).
+        configs: String,
+        /// Solver prototxt text.
+        solver: String,
+        /// Objective expression (e.g. `min ModelSize s.t. Accuracy >= 0.35`).
+        objective: String,
+        /// Run mode: `baseline`, `composability`, or `hierarchical`.
+        mode: String,
+    },
+    /// Serve daemon → client: one pipeline milestone of the running job,
+    /// streamed as it happens. `event` is a single NDJSON line (schema in
+    /// `SERVING.md` §4) so clients can pipe it straight to a log.
+    JobEvent {
+        /// The job's id (derived from the submitted inputs).
+        job: String,
+        /// One NDJSON event line, no trailing newline.
+        event: String,
+    },
+    /// Serve daemon → client: terminal reply for a submitted job.
+    /// `code` 0 = success (`detail` is the run-result JSON document),
+    /// 1 = invalid inputs, 2 = busy (job already running), 3 = execution
+    /// failure (`detail` is the error message). PROTOCOL.md §4 is the
+    /// normative code table.
+    JobDone {
+        /// The job's id.
+        job: String,
+        /// Outcome code (0 ok, 1 invalid inputs, 2 busy, 3 failed).
+        code: u32,
+        /// Result JSON (code 0) or human-readable error (codes 1–3).
+        detail: String,
+    },
 }
 
 impl Message {
@@ -128,6 +168,9 @@ impl Message {
         (9, "BlocksRequest"),
         (10, "Blocks"),
         (11, "Shutdown"),
+        (12, "SubmitJob"),
+        (13, "JobEvent"),
+        (14, "JobDone"),
     ];
 
     /// This message's msg-type code (the envelope field).
@@ -144,6 +187,9 @@ impl Message {
             Message::BlocksRequest => 9,
             Message::Blocks { .. } => 10,
             Message::Shutdown => 11,
+            Message::SubmitJob { .. } => 12,
+            Message::JobEvent { .. } => 13,
+            Message::JobDone { .. } => 14,
         }
     }
 
@@ -198,6 +244,28 @@ impl Message {
                     write_doc(&mut out, "Blocks checkpoint", ckpt)?;
                 }
             }
+            Message::SubmitJob {
+                model,
+                configs,
+                solver,
+                objective,
+                mode,
+            } => {
+                model.wire_write(&mut out)?;
+                configs.wire_write(&mut out)?;
+                solver.wire_write(&mut out)?;
+                objective.wire_write(&mut out)?;
+                mode.wire_write(&mut out)?;
+            }
+            Message::JobEvent { job, event } => {
+                job.wire_write(&mut out)?;
+                event.wire_write(&mut out)?;
+            }
+            Message::JobDone { job, code, detail } => {
+                job.wire_write(&mut out)?;
+                code.wire_write(&mut out)?;
+                detail.wire_write(&mut out)?;
+            }
         }
         Ok(out)
     }
@@ -220,6 +288,21 @@ impl Message {
                     .map(|(k, c)| k.wire_size() + doc_size(c))
                     .sum::<usize>()
             }
+            Message::SubmitJob {
+                model,
+                configs,
+                solver,
+                objective,
+                mode,
+            } => {
+                model.wire_size()
+                    + configs.wire_size()
+                    + solver.wire_size()
+                    + objective.wire_size()
+                    + mode.wire_size()
+            }
+            Message::JobEvent { job, event } => job.wire_size() + event.wire_size(),
+            Message::JobDone { job, detail, .. } => job.wire_size() + 4 + detail.wire_size(),
         }
     }
 
@@ -280,6 +363,22 @@ impl Message {
                 Message::Blocks { index }
             }
             11 => Message::Shutdown,
+            12 => Message::SubmitJob {
+                model: r.string("SubmitJob model")?,
+                configs: r.string("SubmitJob configs")?,
+                solver: r.string("SubmitJob solver")?,
+                objective: r.string("SubmitJob objective")?,
+                mode: r.string("SubmitJob mode")?,
+            },
+            13 => Message::JobEvent {
+                job: r.string("JobEvent job")?,
+                event: r.string("JobEvent event")?,
+            },
+            14 => Message::JobDone {
+                job: r.string("JobDone job")?,
+                code: r.u32("JobDone code")?,
+                detail: r.string("JobDone detail")?,
+            },
             found => return Err(WireError::UnknownMsgType { found }),
         };
         r.expect_consumed()?;
@@ -341,6 +440,22 @@ mod tests {
                 "BlocksRequest" => Message::BlocksRequest,
                 "Blocks" => Message::Blocks { index: Vec::new() },
                 "Shutdown" => Message::Shutdown,
+                "SubmitJob" => Message::SubmitJob {
+                    model: "name: \"m\"".into(),
+                    configs: "[[0,30]]".into(),
+                    solver: "dataset: \"flowers102\"".into(),
+                    objective: "max Accuracy".into(),
+                    mode: "composability".into(),
+                },
+                "JobEvent" => Message::JobEvent {
+                    job: "j0".into(),
+                    event: "{\"event\":\"full_model\"}".into(),
+                },
+                "JobDone" => Message::JobDone {
+                    job: "j0".into(),
+                    code: 0,
+                    detail: "{}".into(),
+                },
                 other => panic!("catalog names unknown variant {other}"),
             };
             assert_eq!(msg.msg_type(), code);
@@ -377,6 +492,22 @@ mod tests {
             Message::HeartbeatAck { nonce: 0xDEAD },
             Message::BlocksRequest,
             Message::Shutdown,
+            Message::SubmitJob {
+                model: "name: \"net\"".into(),
+                configs: "[[0,30],[1,50]]".into(),
+                solver: "dataset: \"flowers102\"\nseed: 3".into(),
+                objective: "min ModelSize s.t. Accuracy >= 0.3".into(),
+                mode: "composability".into(),
+            },
+            Message::JobEvent {
+                job: "j01ab".into(),
+                event: "{\"event\":\"block_cache_hit\",\"key\":\"m2r30\"}".into(),
+            },
+            Message::JobDone {
+                job: "j01ab".into(),
+                code: 3,
+                detail: "pre-training failed".into(),
+            },
         ];
         let mut stream = Vec::new();
         for m in &msgs {

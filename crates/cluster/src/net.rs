@@ -85,7 +85,7 @@ pub(crate) fn lock_recover<'a, T>(lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
 
 /// Writes one message as a frame, under the shared writer lock, counting
 /// `wire.frames` / `wire.frames_bytes`.
-fn send_message(writer: &Mutex<TcpStream>, msg: &Message) -> WireResult<usize> {
+pub(crate) fn send_message(writer: &Mutex<TcpStream>, msg: &Message) -> WireResult<usize> {
     let mut stream = lock_recover(writer);
     let n = msg.write_to(&mut *stream)?;
     stream.flush()?;
@@ -97,7 +97,7 @@ fn send_message(writer: &Mutex<TcpStream>, msg: &Message) -> WireResult<usize> {
 /// Reads one message frame, counting `wire.frames` / `wire.frames_bytes`
 /// on success and `wire.decode_errors` on anything malformed (a clean
 /// [`WireError::Closed`] is not a decode error).
-fn recv_message(stream: &mut TcpStream, limits: &Limits) -> WireResult<Message> {
+pub(crate) fn recv_message(stream: &mut TcpStream, limits: &Limits) -> WireResult<Message> {
     match Message::read_from(stream, limits) {
         Ok((msg, n)) => {
             wootz_obs::counter("wire.frames").incr();
@@ -457,13 +457,18 @@ fn handle_connection(state: Arc<HubState>, stream: TcpStream) {
                 }
             },
             // Coordinator-bound streams never carry these; ignore rather
-            // than kill the session (forward compatibility).
+            // than kill the session (forward compatibility). Job traffic
+            // (`SubmitJob`/`JobEvent`/`JobDone`) belongs to the serve
+            // daemon's listener (`crate::serve`), not the coordinator hub.
             Message::Welcome { .. }
             | Message::TaskGrant { .. }
             | Message::NoTask { .. }
             | Message::HeartbeatAck { .. }
             | Message::Blocks { .. }
-            | Message::Shutdown => None,
+            | Message::Shutdown
+            | Message::SubmitJob { .. }
+            | Message::JobEvent { .. }
+            | Message::JobDone { .. } => None,
         };
         if let Some(reply) = reply {
             if send_message(&writer, &reply).is_err() {

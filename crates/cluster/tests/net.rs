@@ -58,6 +58,7 @@ fn baseline(inputs: &WootzInputs, dataset: &Dataset, mode: RunMode) -> WootzRun 
         retry: RetryPolicy::abort_fast(),
         journal: None,
         resume: false,
+        ..RunOptions::default()
     };
     run_wootz_with(inputs, dataset, mode, None, &opts).unwrap()
 }

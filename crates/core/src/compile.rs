@@ -94,6 +94,15 @@ impl TuningBlock {
     pub fn scope(&self) -> String {
         format!("student/{}", self.key())
     }
+
+    /// FNV-1a hash of [`TuningBlock::key`] — the structure component of
+    /// the block store's cache key (`SERVING.md`). Defined over the key
+    /// string (not the raw parts) so store identity and checkpoint/scope
+    /// identity provably agree: same key string ⇒ same scope ⇒ same
+    /// structure hash.
+    pub fn structure_hash(&self) -> u64 {
+        wootz_fault::fnv1a64(self.key().as_bytes())
+    }
 }
 
 /// Which network the multiplexing model should materialize — the

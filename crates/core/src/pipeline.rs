@@ -88,10 +88,44 @@ pub struct WootzRun {
     pub finetune_steps: usize,
 }
 
-/// Fault-tolerance and journaling options for [`run_wootz_with`]. The
-/// default (`no faults, one attempt, abort on failure, no journal`)
-/// reproduces the pre-supervisor pipeline bit for bit.
-#[derive(Debug, Default, Clone)]
+/// A milestone of a running pipeline, delivered through
+/// [`RunOptions::progress`]. The serve daemon forwards these to clients
+/// as `JobEvent` NDJSON lines (`SERVING.md`); the callback runs on the
+/// pipeline's driver thread, strictly ordered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunEvent {
+    /// The full model is trained (or was replayed/supplied).
+    FullModelReady {
+        /// Test accuracy of the full model.
+        accuracy: f64,
+    },
+    /// A tuning block was served from the cross-run block store — its
+    /// pre-training is skipped entirely (`steps` charged: 0).
+    BlockCacheHit {
+        /// The block's [`crate::compile::TuningBlock::key`].
+        key: String,
+    },
+    /// A tuning block finished Teacher–Student pre-training.
+    BlockPretrained {
+        /// The block's [`crate::compile::TuningBlock::key`].
+        key: String,
+        /// SGD steps this block was charged.
+        steps: usize,
+    },
+    /// One configuration evaluation finished (or failed permanently).
+    EvalDone {
+        /// Index in the promising subspace.
+        config_index: usize,
+        /// Final accuracy; `None` for a failed evaluation.
+        accuracy: Option<f64>,
+    },
+}
+
+/// Fault-tolerance, journaling, caching, and progress options for
+/// [`run_wootz_with`]. The default (`no faults, one attempt, abort on
+/// failure, no journal, no store, no progress`) reproduces the
+/// pre-supervisor pipeline bit for bit.
+#[derive(Default, Clone)]
 pub struct RunOptions<'a> {
     /// Deterministic fault-injection plan.
     pub faults: Option<&'a FaultPlan>,
@@ -103,6 +137,41 @@ pub struct RunOptions<'a> {
     /// When true and the journal file exists, verify its header and replay
     /// its entries instead of redoing the work.
     pub resume: bool,
+    /// Cross-run block store: consulted before pre-training (hits inject
+    /// already-trained blocks at 0 steps, journaled like replayed work)
+    /// and published to afterwards. See `SERVING.md` for key derivation.
+    pub store: Option<&'a wootz_store::BlockStore>,
+    /// Progress callback for pipeline milestones ([`RunEvent`]).
+    pub progress: Option<&'a (dyn Fn(&RunEvent) + Sync)>,
+}
+
+impl std::fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("faults", &self.faults)
+            .field("retry", &self.retry)
+            .field("journal", &self.journal)
+            .field("resume", &self.resume)
+            .field("store", &self.store.map(|s| s.dir().to_path_buf()))
+            .field("progress", &self.progress.map(|_| "<callback>"))
+            .finish()
+    }
+}
+
+/// The solver component of the block store's cache key: FNV-1a over the
+/// teacher checkpoint's content hash and every pre-training
+/// hyper-parameter. Blocks are trained against the frozen full model's
+/// activation maps, so folding the teacher's content hash in makes a hit
+/// against a different teacher structurally impossible (`SERVING.md`).
+pub fn store_solver_hash(teacher: &Checkpoint, cfg: &PretrainConfig) -> u64 {
+    let mut bytes = Vec::with_capacity(44);
+    bytes.extend_from_slice(&teacher.content_hash().to_le_bytes());
+    bytes.extend_from_slice(&(cfg.steps as u64).to_le_bytes());
+    bytes.extend_from_slice(&cfg.sgd.learning_rate.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&cfg.sgd.weight_decay.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&cfg.sgd.momentum.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&cfg.seed.to_le_bytes());
+    wootz_fault::fnv1a64(&bytes)
 }
 
 /// Trains the full model on the dataset (the preparation step: "adapt the
@@ -456,6 +525,11 @@ pub fn run_wootz_with(
             (c, a)
         }
     };
+    if let Some(progress) = opts.progress {
+        progress(&RunEvent::FullModelReady {
+            accuracy: full_accuracy,
+        });
+    }
 
     // Phase 1-2: block identification and pre-training.
     let block_set: Option<BlockSet> = {
@@ -469,13 +543,74 @@ pub fn run_wootz_with(
         Some(set) => {
             let cfg = block_pretrain_config(&inputs.solver);
             let batch_size = inputs.solver.batch_size;
+            let solver_hash = opts.store.map(|_| store_solver_hash(&full_ckpt, &cfg));
+            let mut completed = replay.blocks;
+            // Cross-run reuse: consult the block store before training.
+            // A hit becomes a completed block charged 0 steps — journaled
+            // exactly like replayed work, so a warm journal proves the
+            // block was never retrained.
+            if let (Some(store), Some(solver)) = (opts.store, solver_hash) {
+                for block in &set.blocks {
+                    let key = block.key();
+                    if completed.contains_key(&key) {
+                        continue;
+                    }
+                    let store_key = wootz_store::StoreKey {
+                        structure: block.structure_hash(),
+                        dataset: inputs.solver.dataset.clone(),
+                        solver,
+                    };
+                    if let Some(entry) = store.get(&store_key) {
+                        let hit = crate::pretrain::PretrainedBlock {
+                            key: key.clone(),
+                            checkpoint: entry.checkpoint,
+                            first_loss: entry.first_loss,
+                            last_loss: entry.last_loss,
+                            steps: 0,
+                        };
+                        if let Some(journal) = journal.as_mut() {
+                            journal.append(&JournalEntry::Block(hit.clone()))?;
+                        }
+                        if let Some(progress) = opts.progress {
+                            progress(&RunEvent::BlockCacheHit { key: key.clone() });
+                        }
+                        completed.insert(key, hit);
+                    }
+                }
+            }
             let pretrain_opts = PretrainOptions {
                 faults: opts.faults,
-                completed: replay.blocks,
+                completed,
             };
             let mut block_sink = |block: &crate::pretrain::PretrainedBlock| -> Result<()> {
                 if let Some(journal) = journal.as_mut() {
                     journal.append(&JournalEntry::Block(block.clone()))?;
+                }
+                // Publish the freshly trained block for future runs; a
+                // concurrent publisher winning the race is fine (`insert`
+                // is one-wins) and a full budget simply evicts it later.
+                if let (Some(store), Some(solver)) = (opts.store, solver_hash) {
+                    let store_key = wootz_store::StoreKey {
+                        structure: wootz_fault::fnv1a64(block.key.as_bytes()),
+                        dataset: inputs.solver.dataset.clone(),
+                        solver,
+                    };
+                    let entry = wootz_store::BlockEntry {
+                        block_key: block.key.clone(),
+                        first_loss: block.first_loss,
+                        last_loss: block.last_loss,
+                        trained_steps: block.steps as u64,
+                        checkpoint: block.checkpoint.clone(),
+                    };
+                    store
+                        .insert(&store_key, &entry)
+                        .map_err(|e| CoreError::Pipeline(e.to_string()))?;
+                }
+                if let Some(progress) = opts.progress {
+                    progress(&RunEvent::BlockPretrained {
+                        key: block.key.clone(),
+                        steps: block.steps,
+                    });
                 }
                 Ok(())
             };
@@ -522,6 +657,12 @@ pub fn run_wootz_with(
     let mut eval_sink = |record: &crate::explore::EvalRecord| -> Result<()> {
         if let Some(journal) = journal.as_mut() {
             journal.append(&JournalEntry::Eval(record.clone()))?;
+        }
+        if let Some(progress) = opts.progress {
+            progress(&RunEvent::EvalDone {
+                config_index: record.config_index(),
+                accuracy: record.outcome().map(|o| o.accuracy),
+            });
         }
         Ok(())
     };
@@ -637,6 +778,7 @@ mod tests {
             retry: RetryPolicy::skip_after(3),
             journal: Some(journal.clone()),
             resume: false,
+            ..RunOptions::default()
         };
         let cold = run_wootz_with(&inputs, &ds, RunMode::Composability, None, &opts).unwrap();
         assert!(cold.exploration.configs_explored >= 1);
@@ -655,6 +797,64 @@ mod tests {
         assert_eq!(warm.exploration.fresh_evals(), 0, "{warm:?}");
         assert_eq!(warm.exploration.resumed, cold.exploration.configs_explored);
         assert_eq!(warm.best, cold.best);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Cross-run composability: a second run against a warm block store
+    /// spends zero pre-training steps and lands on a bit-identical best
+    /// network — the across-run analogue of the paper's within-run reuse.
+    #[test]
+    fn warm_store_run_skips_pretraining_bit_identically() {
+        use std::sync::Mutex;
+
+        let inputs = tiny_inputs(3);
+        let ds = micro_dataset("flowers102", 3);
+        let dir = std::env::temp_dir().join(format!("wootz_pipe_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = wootz_store::BlockStore::open(dir.join("store"), None).unwrap();
+
+        let events: Mutex<Vec<RunEvent>> = Mutex::new(Vec::new());
+        let record = |e: &RunEvent| events.lock().unwrap().push(e.clone());
+        let opts = RunOptions {
+            store: Some(&store),
+            progress: Some(&record),
+            ..RunOptions::default()
+        };
+        let cold = run_wootz_with(&inputs, &ds, RunMode::Composability, None, &opts).unwrap();
+        assert!(cold.pretrain_steps > 0);
+        let cold_events = std::mem::take(&mut *events.lock().unwrap());
+        let pretrained = cold_events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::BlockPretrained { .. }))
+            .count();
+        assert_eq!(pretrained, cold.blocks_pretrained);
+        assert_eq!(store.stats().inserts, cold.blocks_pretrained as u64);
+
+        let warm = run_wootz_with(&inputs, &ds, RunMode::Composability, None, &opts).unwrap();
+        assert_eq!(warm.pretrain_steps, 0, "warm run must skip pre-training");
+        assert_eq!(warm.best, cold.best, "reuse must be bit-identical");
+        assert_eq!(warm.full_accuracy, cold.full_accuracy);
+        let warm_events = std::mem::take(&mut *events.lock().unwrap());
+        let hits = warm_events
+            .iter()
+            .filter(|e| matches!(e, RunEvent::BlockCacheHit { .. }))
+            .count();
+        assert_eq!(hits, warm.blocks_pretrained, "every block served warm");
+        assert!(
+            !warm_events
+                .iter()
+                .any(|e| matches!(e, RunEvent::BlockPretrained { .. })),
+            "no block trained fresh on the warm run"
+        );
+
+        // A different solver seed must not hit the cache: the solver hash
+        // guards against serving blocks trained under other hyper-params.
+        let mut other = tiny_inputs(3);
+        other.solver.seed = 4;
+        let misses_before = store.stats().misses;
+        let cool = run_wootz_with(&other, &ds, RunMode::Composability, None, &opts).unwrap();
+        assert!(cool.pretrain_steps > 0, "different solver must retrain");
+        assert!(store.stats().misses > misses_before);
         std::fs::remove_dir_all(&dir).ok();
     }
 

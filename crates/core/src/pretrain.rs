@@ -495,6 +495,19 @@ fn pretrain_one_group(
     let module_ids = mm.ir().conv_module_ids();
     {
         let group_blocks: Vec<TuningBlock> = group.iter().map(|&i| blocks[i].clone()).collect();
+        // Hoisted block identities: key, scope, and structure hash are pure
+        // functions of the block's parts, so compute each exactly once here
+        // instead of re-deriving them inside the joint loop and the
+        // checkpoint-capture loop below. Checkpoint names and store keys
+        // both descend from these strings, which is what keeps cache
+        // identity and checkpoint identity provably in agreement
+        // (`TuningBlock::structure_hash`).
+        let block_keys: Vec<String> = group_blocks.iter().map(TuningBlock::key).collect();
+        let block_scopes: Vec<String> = group_blocks.iter().map(TuningBlock::scope).collect();
+        let block_hashes: Vec<u64> = group_blocks
+            .iter()
+            .map(TuningBlock::structure_hash)
+            .collect();
         let mut built = mm.build(&ModeToUse::PreTrain(&group_blocks), cfg.seed)?;
 
         // Teacher gets the full model's weights.
@@ -504,7 +517,7 @@ fn pretrain_one_group(
                 .unwrap_or_else(|| name.to_string())
         })?;
         // Students start from the inherited (sliced) teacher weights.
-        for block in &group_blocks {
+        for (bi, block) in group_blocks.iter().enumerate() {
             let mut widths = BTreeMap::new();
             let mut layer_names: Vec<String> = Vec::new();
             for &(pos, rate) in &block.parts {
@@ -530,7 +543,7 @@ fn pretrain_one_group(
                 full,
                 "net",
                 &mut built.vars,
-                &block.scope(),
+                &block_scopes[bi],
                 &widths,
                 Some(&layer_names),
             )?;
@@ -607,21 +620,22 @@ fn pretrain_one_group(
         }
         outcome.total_steps += cfg.steps;
 
-        for (bi, block) in group_blocks.iter().enumerate() {
+        for bi in 0..group_blocks.len() {
             let _block_span = wootz_obs::span("pretrain.block")
-                .with("key", block.key())
+                .with("key", block_keys[bi].clone())
                 .with("group", group_index);
             wootz_obs::event("pretrain.block_done")
-                .field("key", block.key())
+                .field("key", block_keys[bi].clone())
+                .field("structure_hash", format!("{:016x}", block_hashes[bi]))
                 .field("first_loss", f64::from(first_losses[bi].unwrap_or(f32::NAN)))
                 .field("last_loss", f64::from(last_losses[bi]))
                 .emit();
-            let prefix = format!("{}/", block.scope());
+            let prefix = format!("{}/", block_scopes[bi]);
             outcome
                 .checkpoints
-                .insert(block.key(), Checkpoint::capture(&built.vars, &prefix));
+                .insert(block_keys[bi].clone(), Checkpoint::capture(&built.vars, &prefix));
             outcome.losses.push((
-                block.key(),
+                block_keys[bi].clone(),
                 first_losses[bi].unwrap_or(f32::NAN),
                 last_losses[bi],
             ));
@@ -735,6 +749,41 @@ mod tests {
             // Module 2 is stage 1 module 0 => res3_0 layers.
             assert!(name.contains("res3_0_"), "{name}");
         }
+    }
+
+    #[test]
+    fn structure_hash_agrees_with_checkpoint_identity() {
+        // The block store addresses entries by `structure_hash`; checkpoints
+        // and scopes are named by `key`. This pins the two derivations to
+        // the same string: hash(checkpoint key) == block.structure_hash(),
+        // and every captured parameter lives under the scope built from
+        // that same key — so a store hit can never resurrect weights for a
+        // different structure.
+        let (mm, full) = trained_full();
+        let blocks = vec![
+            TuningBlock::new(0, vec![(1, 30)]).unwrap(),
+            TuningBlock::new(1, vec![(2, 50), (3, 70)]).unwrap(),
+        ];
+        let cfg = PretrainConfig {
+            steps: 1,
+            ..PretrainConfig::default()
+        };
+        let outcome = pretrain_blocks(&mm, &blocks, &full, &cfg, batches).unwrap();
+        for block in &blocks {
+            assert_eq!(
+                wootz_fault::fnv1a64(block.key().as_bytes()),
+                block.structure_hash(),
+                "store key hash must be the FNV of the checkpoint key string"
+            );
+            let ckpt = &outcome.checkpoints[&block.key()];
+            let prefix = format!("{}/", block.scope());
+            for (name, _) in ckpt.iter() {
+                assert!(name.starts_with(&prefix), "{name} outside {prefix}");
+            }
+        }
+        // And the hash is a pure function of structure, not of block id.
+        let relabeled = TuningBlock::new(7, vec![(1, 30)]).unwrap();
+        assert_eq!(relabeled.structure_hash(), blocks[0].structure_hash());
     }
 
     #[test]

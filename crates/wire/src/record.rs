@@ -53,6 +53,10 @@ pub mod record_type {
     pub const JOURNAL_EVAL: u16 = 0x4A04;
     /// A stand-alone checkpoint file: content hash + named tensors.
     pub const CHECKPOINT: u16 = 0x4301;
+    /// Block-store entry: one cached pre-trained tuning block, keyed by
+    /// `(structure hash, dataset id, solver hash)` — the cross-run reuse
+    /// unit served by `wootz serve` (`SERVING.md`).
+    pub const STORE_BLOCK: u16 = 0x4A05;
 }
 
 impl Limits {

@@ -20,7 +20,7 @@ cargo test -q
 echo "== docs: cargo doc --no-deps (warnings are errors, whole workspace) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
     -p wootz-obs -p wootz-par -p wootz-tensor -p wootz-nn -p wootz-core \
-    -p wootz-sim -p wootz-fault -p wootz-wire -p wootz-cluster \
+    -p wootz-sim -p wootz-fault -p wootz-wire -p wootz-store -p wootz-cluster \
     -p wootz-ir -p wootz-sequitur -p wootz-data -p wootz-models -p wootz-bench
 
 echo "== smoke: fault injection + journal resume =="
@@ -251,5 +251,72 @@ grep '^cluster:' "$SMOKE/coordkill2.out" | grep -q '[1-9][0-9]* workers re-adopt
     echo "coordinator-kill smoke FAILED: no orphaned worker was re-adopted"
     cat "$SMOKE/coordkill2.out"; exit 1; }
 echo "coordinator-kill smoke ok: $(grep '^cluster:' "$SMOKE/coordkill2.out"), best network stable"
+
+echo "== serve smoke: wootz serve + two overlapping tenants share a block store =="
+# Pruning-as-a-service (SERVING.md): a daemon seeds its content-addressed
+# block store with tenant A's job; tenant B submits the same model and
+# subspace under a different objective — a different job, the same tuning
+# blocks. B's event stream must be pure cache hits (no fresh pre-training,
+# zero pre-training steps in its report), and B's result must be
+# byte-identical to a cold daemon's run of the same job.
+printf 'min ModelSize\nconstraint Accuracy >= 0.12\n' > "$SMOKE/objective_b.txt"
+start_serve() {
+    # $1: store dir, $2: log file. Sets SERVE_PID and SERVE_ADDR.
+    "$W" serve --store "$1" --state "$1.state" --listen 127.0.0.1:0 > "$2" 2>&1 &
+    SERVE_PID=$!
+    SERVE_ADDR=""
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        SERVE_ADDR=$(sed -n 's/^serving on \([0-9.:]*\) .*/\1/p' "$2" | head -n 1)
+        [ -n "$SERVE_ADDR" ] && break
+        kill -0 "$SERVE_PID" 2>/dev/null || break
+        tries=$((tries + 1))
+        sleep 0.1
+    done
+    [ -n "$SERVE_ADDR" ] || {
+        echo "serve smoke FAILED: daemon never announced an address"; cat "$2"; exit 1; }
+}
+submit_to() {
+    "$W" submit --connect "$1" --model "$SMOKE/model.prototxt" \
+        --configs "$SMOKE/configs.json" --solver "$SMOKE/solver.prototxt" \
+        --objective "$2"
+}
+start_serve "$SMOKE/store" "$SMOKE/serve.out"
+WARM_PID=$SERVE_PID
+submit_to "$SERVE_ADDR" "$SMOKE/objective.txt" > "$SMOKE/subA.out" 2>&1 || {
+    echo "serve smoke FAILED: job A failed"; cat "$SMOKE/subA.out"; exit 1; }
+submit_to "$SERVE_ADDR" "$SMOKE/objective_b.txt" > "$SMOKE/subB.out" 2>&1 || {
+    echo "serve smoke FAILED: job B failed"; cat "$SMOKE/subB.out"; exit 1; }
+kill "$WARM_PID" 2>/dev/null || true
+pretrained_a=$(grep -c '"event":"block_pretrained"' "$SMOKE/subA.out" || true)
+hits_b=$(grep -c '"event":"block_cache_hit"' "$SMOKE/subB.out" || true)
+fresh_b=$(grep -c '"event":"block_pretrained"' "$SMOKE/subB.out" || true)
+[ "$pretrained_a" -gt 0 ] || {
+    echo "serve smoke FAILED: job A pre-trained no blocks"; cat "$SMOKE/subA.out"; exit 1; }
+[ "$fresh_b" -eq 0 ] && [ "$hits_b" -eq "$pretrained_a" ] || {
+    echo "serve smoke FAILED: job B not fully served from cache (A trained $pretrained_a, B hit $hits_b, B trained $fresh_b)"
+    cat "$SMOKE/subB.out"; exit 1; }
+grep '^result ' "$SMOKE/subB.out" | grep -q '"pretrain_steps":0' || {
+    echo "serve smoke FAILED: job B charged pre-training steps"
+    grep '^result ' "$SMOKE/subB.out"; exit 1; }
+# Cold control: the same job B against a fresh daemon must choose a
+# bit-identical best network — cached blocks are byte-for-byte the blocks
+# a cold run trains. (The reports legitimately differ in pretrain_steps:
+# 0 warm vs the real cost cold, which is the point.)
+start_serve "$SMOKE/store_cold" "$SMOKE/serve_cold.out"
+COLD_PID=$SERVE_PID
+submit_to "$SERVE_ADDR" "$SMOKE/objective_b.txt" > "$SMOKE/subB_cold.out" 2>&1 || {
+    echo "serve smoke FAILED: cold control failed"; cat "$SMOKE/subB_cold.out"; exit 1; }
+kill "$COLD_PID" 2>/dev/null || true
+best_of() {
+    sed -n 's/^result [^ ]* //p' "$1" \
+        | sed -n 's/.*\("full_accuracy":[^,]*,"best":{[^}]*}\).*/\1/p'
+}
+warm_best=$(best_of "$SMOKE/subB.out")
+cold_best=$(best_of "$SMOKE/subB_cold.out")
+[ -n "$warm_best" ] && [ "$warm_best" = "$cold_best" ] || {
+    echo "serve smoke FAILED: warm best network differs from the cold control"
+    echo "  warm: $warm_best"; echo "  cold: $cold_best"; exit 1; }
+echo "serve smoke ok: job A trained $pretrained_a blocks, job B served $hits_b/$hits_b from cache, results identical"
 
 echo "verify.sh: all gates passed"
