@@ -17,6 +17,7 @@
 //! | Memory bench — interpreter vs planned executor | real execution on the stock graph | [`memrep::memory_report`] |
 //! | Crash matrix — kill-point durability | real runs killed mid-write | [`crashrep::crashes_report`] |
 //! | Cache bench — cold vs warm block store | real runs sharing a `wootz-store` | [`cacherep::cache_report`] |
+//! | Explorer bench — evals-to-target per strategy | real runs, cold vs warm cache | [`exprep::explorers_report`] |
 //!
 //! Run `cargo run -p wootz-bench --bin reproduce --release -- all` to print
 //! every artifact with the paper's reference numbers alongside. The
@@ -29,6 +30,7 @@
 pub mod cacherep;
 pub mod clusterrep;
 pub mod crashrep;
+pub mod exprep;
 pub mod kernels;
 pub mod memrep;
 pub mod real;

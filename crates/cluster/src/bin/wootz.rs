@@ -21,6 +21,7 @@
 //! wootz prune --model <model.prototxt> --configs <configs.json>
 //!             --solver <solver.prototxt> --objective <objective.txt>
 //!             [--mode baseline|composability|hierarchical]
+//!             [--explorer fixed|taylor|bandit] [--explorer-budget N]
 //!             [--out results.json]
 //!             [--journal <run.ndjson>] [--resume]
 //!             [--inject-faults <plan.json>]
@@ -45,6 +46,15 @@
 //!     re-adopted on their next redial, and the result is bit-identical to
 //!     an uninterrupted run. `--orphan-grace-ms` sets the workers' orphan
 //!     grace budget (how long they redial a gone coordinator).
+//!     `--explorer` selects the exploration strategy (DESIGN.md §14):
+//!     `fixed` (the paper's objective-ordered sweep; the default) or an
+//!     adaptive propose/observe strategy (`taylor` saliency ladder,
+//!     `bandit` seeded policy) that grows the configuration universe
+//!     round by round. `--explorer-budget N` caps an adaptive strategy
+//!     at N proposal evaluations (default 64); it is an error with
+//!     `--explorer fixed`. Adaptive runs compose with every transport:
+//!     distributed workers receive proposed configurations inside their
+//!     tasks, so the flags are coordinator-side only.
 //!
 //! wootz worker (--run-dir <dir> | --connect <addr>) --worker-id <id>
 //!              [--orphan-grace-ms MS]
@@ -86,6 +96,7 @@ use wootz_cluster::{
     Message, ServeOptions, WorkerExit,
 };
 use wootz_core::blocks::{identify_tuning_blocks, partition_into_groups};
+use wootz_core::explorer::ExplorerKind;
 use wootz_core::pipeline::{run_wootz_with, RunMode, RunOptions, WootzInputs, WootzRun};
 use wootz_fault::chaos;
 use wootz_fault::{FaultPlan, OnExhausted, RetryPolicy};
@@ -185,7 +196,8 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
 fn usage() -> &'static str {
     "usage: wootz <compile|sample|identify|genmodel|prune|serve|submit|worker|chaos|help> [options] [--metrics-out <path>] [--threads <n>] [--exec-plan on|off]\n\
      serve:  --store <dir> [--listen <addr>] [--store-budget <bytes>] [--state <dir>]\n\
-     submit: --connect <addr> --model <file> --configs <file> --solver <file> --objective <file> [--mode <m>]\n\
+     submit: --connect <addr> --model <file> --configs <file> --solver <file> --objective <file> [--mode <m>] [--explorer fixed|taylor|bandit] [--explorer-budget <n>]\n\
+     prune:  … [--explorer fixed|taylor|bandit] [--explorer-budget <n>] selects the exploration strategy (DESIGN.md §14)\n\
      run `wootz help` for per-command options; SERVING.md documents the daemon"
 }
 
@@ -208,6 +220,38 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
     } else {
         false
     }
+}
+
+/// Default adaptive-explorer evaluation budget (`--explorer-budget`).
+const DEFAULT_EXPLORER_BUDGET: usize = 64;
+
+/// Pulls `--explorer` / `--explorer-budget` out of `args` and validates
+/// the combination: the budget only makes sense for an adaptive
+/// strategy, and an adaptive strategy without an explicit budget gets
+/// [`DEFAULT_EXPLORER_BUDGET`]. The fixed explorer always runs with
+/// budget 0 (no adaptive rounds).
+fn take_explorer_flags(
+    args: &mut Vec<String>,
+) -> Result<(ExplorerKind, usize), Box<dyn std::error::Error>> {
+    let explorer = match take_flag(args, "--explorer") {
+        Some(s) => ExplorerKind::parse(&s)?,
+        None => ExplorerKind::Fixed,
+    };
+    let budget_flag: Option<usize> = match take_flag(args, "--explorer-budget") {
+        Some(s) => Some(s.parse().map_err(|e| format!("bad --explorer-budget: {e}"))?),
+        None => None,
+    };
+    if budget_flag.is_some() && !explorer.is_adaptive() {
+        return Err(
+            "--explorer-budget requires an adaptive explorer (--explorer taylor|bandit)".into(),
+        );
+    }
+    let budget = if explorer.is_adaptive() {
+        budget_flag.unwrap_or(DEFAULT_EXPLORER_BUDGET)
+    } else {
+        0
+    };
+    Ok((explorer, budget))
 }
 
 fn reject_leftovers(args: &[String]) -> CliResult {
@@ -416,6 +460,7 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
         Some(s) => Some(s.parse().map_err(|e| format!("bad --store-budget: {e}"))?),
         None => None,
     };
+    let (explorer, explorer_budget) = take_explorer_flags(&mut args)?;
     reject_leftovers(&args)?;
 
     if store_budget.is_some() && store_dir.is_none() {
@@ -497,6 +542,8 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
                 journal,
                 resume,
                 store: store.as_ref(),
+                explorer,
+                explorer_budget,
                 ..RunOptions::default()
             };
             let run = run_wootz_with(&inputs, &dataset, mode, None, &opts)?;
@@ -522,6 +569,8 @@ fn cmd_prune(mut args: Vec<String>) -> CliResult {
             }
             copts.listen = listen;
             copts.orphan_grace_ms = orphan_grace_ms;
+            copts.explorer = explorer;
+            copts.explorer_budget = explorer_budget;
             let (run, stats) = run_distributed(&inputs, &dataset, mode, &copts)?;
             println!("{}", stats.summary());
             run
@@ -601,6 +650,7 @@ fn cmd_submit(mut args: Vec<String>) -> CliResult {
     let solver = read("--solver")?;
     let objective = read("--objective")?;
     let mode = take_flag(&mut args, "--mode").unwrap_or_default();
+    let (explorer, explorer_budget) = take_explorer_flags(&mut args)?;
     reject_leftovers(&args)?;
     submit(
         &addr,
@@ -610,6 +660,8 @@ fn cmd_submit(mut args: Vec<String>) -> CliResult {
             solver,
             objective,
             mode,
+            explorer: explorer.as_str().to_string(),
+            explorer_budget: explorer_budget as u64,
         },
     )?;
     Ok(())

@@ -35,17 +35,21 @@ use std::time::{Duration, Instant, SystemTime};
 
 use serde::Serialize;
 
-use wootz_core::blocks::{partition_into_groups, BlockSet};
-use wootz_core::compile::MultiplexingModel;
+use wootz_core::blocks::partition_into_groups;
+use wootz_core::compile::{MultiplexingModel, TuningBlock};
 use wootz_core::explore::{
     explore_rounds_supervised, EvalRecord, ExploreOptions, SupervisedEval,
 };
+use wootz_core::explorer::{
+    explore_adaptive, AdaptiveOptions, AdaptiveRound, ExplorerKind, ProposalRecord,
+};
 use wootz_core::journal::{Journal, JournalEntry, Replay};
 use wootz_core::pipeline::{
-    best_network, block_pretrain_config, blocks_for_mode, journal_header, subspace_stats,
-    train_full_model, RunMode, WootzInputs, WootzRun,
+    best_network, best_network_in, block_pretrain_config, blocks_for_mode, build_explorer,
+    journal_header, subspace_stats, train_full_model, RunMode, WootzInputs, WootzRun,
 };
 use wootz_core::pretrain::PretrainedBlock;
+use wootz_core::prune::PruneConfig;
 use wootz_core::{CoreError, Result};
 use wootz_data::Dataset;
 use wootz_fault::{FaultPlan, RetryPolicy};
@@ -116,6 +120,14 @@ pub struct ClusterOptions<'a> {
     /// Extra environment variables for spawned worker processes (tests
     /// use this to scope chaos hooks to a single run).
     pub worker_env: Vec<(String, String)>,
+    /// Exploration strategy. [`ExplorerKind::Fixed`] (the default) walks
+    /// the manifest's static subspace exactly as before; an adaptive
+    /// strategy runs the propose/observe loop, dispatching
+    /// universe-carrying tasks and republishing the block bag per round.
+    pub explorer: ExplorerKind,
+    /// Maximum configurations an adaptive explorer may evaluate beyond
+    /// the initial subspace (ignored by the fixed strategy).
+    pub explorer_budget: usize,
 }
 
 impl<'a> ClusterOptions<'a> {
@@ -143,6 +155,8 @@ impl<'a> ClusterOptions<'a> {
             listen: None,
             orphan_grace_ms: None,
             worker_env: Vec::new(),
+            explorer: ExplorerKind::Fixed,
+            explorer_budget: 0,
         }
     }
 }
@@ -747,25 +761,29 @@ impl Coordinator<'_> {
         true
     }
 
-    /// Runs the distributed pre-training phase: enqueues one task per
-    /// not-yet-journaled group, merges remote results with journal replays
-    /// in group order (mirroring
+    /// Runs the distributed pre-training phase over `blocks`: enqueues one
+    /// task per not-yet-journaled group, merges remote results with
+    /// journal replays in group order (mirroring
     /// [`wootz_core::pretrain::pretrain_blocks_supervised`] exactly), and
-    /// journals every freshly trained block.
+    /// journals every freshly trained block. With `adaptive` set, `blocks`
+    /// is one round's incremental batch and the tasks carry it inline
+    /// ([`TaskKind::PretrainAdaptive`]); otherwise it is the mode's full
+    /// block list, which workers recompute from the manifest.
     fn pretrain_phase(
         &mut self,
         inputs: &WootzInputs,
-        set: &BlockSet,
+        blocks: &[TuningBlock],
         completed: &BTreeMap<String, PretrainedBlock>,
         journal: &mut Option<Journal>,
         block_ckpts: &mut BTreeMap<String, Checkpoint>,
+        adaptive: bool,
     ) -> Result<(usize, usize)> {
-        let _span = wootz_obs::span("cluster.pretrain").with("blocks", set.blocks.len());
-        let groups = partition_into_groups(&set.blocks);
+        let _span = wootz_obs::span("cluster.pretrain").with("blocks", blocks.len());
+        let groups = partition_into_groups(blocks);
         let cfg = block_pretrain_config(&inputs.solver);
         let todo: Vec<bool> = groups
             .iter()
-            .map(|g| g.iter().any(|&i| !completed.contains_key(&set.blocks[i].key())))
+            .map(|g| g.iter().any(|&i| !completed.contains_key(&blocks[i].key())))
             .collect();
         let mut tasks = Vec::new();
         let mut seq_of_group: BTreeMap<usize, u64> = BTreeMap::new();
@@ -773,14 +791,23 @@ impl Coordinator<'_> {
             if todo[gi] {
                 let seq = self.alloc_seq();
                 seq_of_group.insert(gi, seq);
+                let kind = if adaptive {
+                    TaskKind::PretrainAdaptive {
+                        group_index: gi,
+                        blocks: blocks.to_vec(),
+                        group: group.clone(),
+                    }
+                } else {
+                    TaskKind::Pretrain {
+                        group_index: gi,
+                        group: group.clone(),
+                    }
+                };
                 tasks.push(TaskSpec {
                     seq,
                     attempt: 1,
                     epoch: self.epoch,
-                    kind: TaskKind::Pretrain {
-                        group_index: gi,
-                        group: group.clone(),
-                    },
+                    kind,
                     expected_steps: cfg.steps,
                 });
             }
@@ -798,7 +825,7 @@ impl Coordinator<'_> {
             if !todo[gi] {
                 // Fully journaled group: replay in block order.
                 for &bi in group {
-                    let block = &completed[&set.blocks[bi].key()];
+                    let block = &completed[&blocks[bi].key()];
                     total_steps += block.steps;
                     block_ckpts.insert(block.key.clone(), block.checkpoint.clone());
                 }
@@ -839,7 +866,7 @@ impl Coordinator<'_> {
                         outcome.attempts
                     );
                     for &bi in group {
-                        failed_list.push((set.blocks[bi].key(), msg.clone()));
+                        failed_list.push((blocks[bi].key(), msg.clone()));
                     }
                     if first_error.is_none() {
                         first_error = Some(CoreError::Remote(msg));
@@ -857,10 +884,14 @@ impl Coordinator<'_> {
 
     /// Runs one exploration round remotely: one evaluation task per fresh
     /// configuration, results re-associated positionally (the
-    /// `explore_rounds_supervised` contract).
+    /// `explore_rounds_supervised` contract). With `universe` set, the
+    /// round belongs to an adaptive explorer and each task carries the
+    /// universe inline ([`TaskKind::EvalAdaptive`]); otherwise the config
+    /// indices address the manifest's static subspace.
     fn explore_round(
         &mut self,
         inputs: &WootzInputs,
+        universe: Option<&[PruneConfig]>,
         fresh_configs: &[usize],
         finetune_steps: &mut usize,
     ) -> Result<Vec<SupervisedEval>> {
@@ -869,11 +900,18 @@ impl Coordinator<'_> {
         for &config_index in fresh_configs {
             let seq = self.alloc_seq();
             seq_of.push((seq, config_index));
+            let kind = match universe {
+                Some(u) => TaskKind::EvalAdaptive {
+                    config_index,
+                    universe: u.to_vec(),
+                },
+                None => TaskKind::Eval { config_index },
+            };
             tasks.push(TaskSpec {
                 seq,
                 attempt: 1,
                 epoch: self.epoch,
-                kind: TaskKind::Eval { config_index },
+                kind,
                 expected_steps: inputs.solver.max_iter,
             });
         }
@@ -1014,7 +1052,7 @@ pub fn run_distributed(
     // journal's single-writer lock is also what makes a SIGKILLed
     // coordinator safely resumable (the stale lock is taken over).
     let header = journal_header(inputs, mode)?;
-    let (mut journal, replay) = match &opts.journal {
+    let (mut journal, mut replay) = match &opts.journal {
         None => (None, Replay::default()),
         Some(path) if opts.resume && path.exists() => {
             let (j, r) = Journal::resume(path, &header)?;
@@ -1044,7 +1082,7 @@ pub fn run_distributed(
 
     // The trained full model: replayed from the journal or trained locally
     // (training it remotely would serialize on one worker anyway).
-    let (full_ckpt, full_accuracy) = match replay.full {
+    let (full_ckpt, full_accuracy) = match replay.full.take() {
         Some((c, a)) => (c, a),
         None => {
             let mm = MultiplexingModel::compile(inputs.model.clone())?;
@@ -1106,6 +1144,29 @@ pub fn run_distributed(
         rate_samples: Vec::new(),
     };
 
+    // Adaptive strategies run the propose/observe loop instead of the
+    // static subspace walk below (which stays byte-identical for the
+    // default fixed explorer).
+    if opts.explorer.is_adaptive() {
+        return run_adaptive_distributed(
+            inputs,
+            mode,
+            opts,
+            coord,
+            journal,
+            replay,
+            full_ckpt,
+            full_accuracy,
+        );
+    }
+    if !replay.proposals.is_empty() {
+        return Err(CoreError::Journal(
+            "journal contains adaptive-explorer proposal records; resume it with the \
+             explorer that wrote it, not the fixed-subspace loop"
+                .to_string(),
+        ));
+    }
+
     // Phases 1-2: block identification (local, deterministic) and
     // distributed pre-training.
     let block_set = blocks_for_mode(inputs, mode)?;
@@ -1113,8 +1174,14 @@ pub fn run_distributed(
     let mut blocks_failed = 0usize;
     let mut block_ckpts: BTreeMap<String, Checkpoint> = BTreeMap::new();
     if let Some(set) = &block_set {
-        let (steps, failed) =
-            coord.pretrain_phase(inputs, set, &replay.blocks, &mut journal, &mut block_ckpts)?;
+        let (steps, failed) = coord.pretrain_phase(
+            inputs,
+            &set.blocks,
+            &replay.blocks,
+            &mut journal,
+            &mut block_ckpts,
+            false,
+        )?;
         pretrain_steps = steps;
         blocks_failed = failed;
         // Publish the bag of pre-trained blocks for the evaluation workers.
@@ -1165,7 +1232,7 @@ pub fn run_distributed(
             &inputs.objective,
             &sizes,
             inputs.solver.num_workers,
-            |_, fresh_configs| coord.explore_round(inputs, fresh_configs, finetune),
+            |_, fresh_configs| coord.explore_round(inputs, None, fresh_configs, finetune),
             &explore_opts,
             Some(&mut sink),
         )?
@@ -1186,6 +1253,190 @@ pub fn run_distributed(
             best,
             exploration,
             blocks_pretrained: block_set.map(|s| s.blocks.len()).unwrap_or(0),
+            blocks_failed: Some(blocks_failed),
+            pretrain_steps,
+            finetune_steps,
+        },
+        stats,
+    ))
+}
+
+/// The adaptive-explorer counterpart of [`run_distributed`]'s phase body:
+/// the same propose/observe loop as the in-process driver, with each
+/// round's incremental block batch pre-trained remotely
+/// ([`TaskKind::PretrainAdaptive`]) and each fresh configuration evaluated
+/// remotely under its carried universe ([`TaskKind::EvalAdaptive`]).
+///
+/// Bit-identity with the in-process adaptive driver rests on three
+/// invariants this function preserves:
+///
+/// * the per-round block batch is derived from the explorer *trajectory*
+///   (every key an earlier round's universe implied), so the batch — and
+///   its `partition_into_groups` partition, which keys the deterministic
+///   batch streams — is identical no matter where training runs;
+/// * the universe index is the evaluation seed index, carried inside the
+///   task, so a remote evaluation is the same pure function call the
+///   local driver makes;
+/// * journal record order per round is Proposal → Blocks → Evals, exactly
+///   like the in-process driver, so either runtime can resume the other's
+///   journal mid-round.
+///
+/// The published block bag grows round by round: checkpoints are written
+/// once under a key-derived file name, the index is atomically
+/// republished, and the TCP hub's cached copy is invalidated so workers
+/// always fetch the round-complete bag.
+#[allow(clippy::too_many_arguments)]
+fn run_adaptive_distributed(
+    inputs: &WootzInputs,
+    mode: RunMode,
+    opts: &ClusterOptions<'_>,
+    mut coord: Coordinator<'_>,
+    journal: Option<Journal>,
+    replay: Replay,
+    full_ckpt: Checkpoint,
+    full_accuracy: f64,
+) -> Result<(WootzRun, ClusterStats)> {
+    use std::cell::RefCell;
+
+    if !replay.evals.is_empty() && replay.proposals.is_empty() {
+        return Err(CoreError::Journal(
+            "cannot resume an adaptive run from a journal without proposal records \
+             (the journal was written by a fixed-subspace run)"
+                .to_string(),
+        ));
+    }
+    let mut explorer = build_explorer(opts.explorer, inputs, &full_ckpt)?;
+    let dir = coord.dir.clone();
+    let Replay {
+        blocks: journaled_blocks,
+        evals: journaled_evals,
+        proposals: journaled_proposals,
+        ..
+    } = replay;
+
+    // Everything below runs on the driver thread; the journal is shared
+    // by the round runner and both sinks, so a RefCell serializes access.
+    let journal = RefCell::new(journal);
+    let completed = journaled_blocks;
+    let mut known_block_keys: BTreeSet<String> = BTreeSet::new();
+    let mut block_ckpts: BTreeMap<String, Checkpoint> = BTreeMap::new();
+    // Block key → published checkpoint file name (grows monotonically).
+    let mut published: BTreeMap<String, String> = BTreeMap::new();
+    let mut pretrain_steps = 0usize;
+    let mut blocks_failed = 0usize;
+    let mut finetune_steps = 0usize;
+
+    let coord_ref = &mut coord;
+    let mut run_round = |round: &AdaptiveRound<'_>| -> Result<Vec<SupervisedEval>> {
+        let universe_inputs = WootzInputs {
+            model: inputs.model.clone(),
+            subspace: round.universe.to_vec(),
+            solver: inputs.solver.clone(),
+            objective: inputs.objective.clone(),
+        };
+        let block_set = blocks_for_mode(&universe_inputs, mode)?;
+        if let Some(set) = block_set.as_ref() {
+            // This round's batch: blocks no earlier round's universe
+            // implied — trajectory-derived, like the in-process driver.
+            let batch: Vec<TuningBlock> = set
+                .blocks
+                .iter()
+                .filter(|b| !known_block_keys.contains(&b.key()))
+                .cloned()
+                .collect();
+            known_block_keys.extend(set.blocks.iter().map(|b| b.key()));
+            if !batch.is_empty() {
+                // Journaled copies restricted to this batch, so replayed
+                // blocks keep their group positions on resume.
+                let batch_completed: BTreeMap<String, PretrainedBlock> = batch
+                    .iter()
+                    .filter_map(|b| completed.get(&b.key()).map(|p| (b.key(), p.clone())))
+                    .collect();
+                let (steps, failed) = coord_ref.pretrain_phase(
+                    &universe_inputs,
+                    &batch,
+                    &batch_completed,
+                    &mut *journal.borrow_mut(),
+                    &mut block_ckpts,
+                    true,
+                )?;
+                pretrain_steps += steps;
+                blocks_failed += failed;
+                // Re-publish the grown bag. File names derive from the
+                // block key (stable across rounds), so each checkpoint is
+                // written exactly once and a concurrent fetch never sees a
+                // file change underneath it.
+                for (key, ckpt) in block_ckpts.iter() {
+                    if !published.contains_key(key) {
+                        let file =
+                            format!("{:016x}.ckpt", wootz_fault::fnv1a64(key.as_bytes()));
+                        ckpt.save(dir.blocks().join(&file))?;
+                        published.insert(key.clone(), file);
+                    }
+                }
+                atomic_write_json(&dir.blocks_index(), &published)?;
+                if let Some(hub) = coord_ref.hub.as_ref() {
+                    hub.invalidate_blocks();
+                }
+            }
+        }
+        coord_ref.explore_round(
+            &universe_inputs,
+            Some(round.universe),
+            round.fresh,
+            &mut finetune_steps,
+        )
+    };
+
+    let mut proposal_sink = |record: &ProposalRecord| -> Result<()> {
+        if let Some(j) = journal.borrow_mut().as_mut() {
+            j.append(&JournalEntry::Proposal(record.clone()))?;
+        }
+        Ok(())
+    };
+    let mut eval_sink = |record: &EvalRecord| -> Result<()> {
+        if let Some(j) = journal.borrow_mut().as_mut() {
+            j.append(&JournalEntry::Eval(record.clone()))?;
+        }
+        Ok(())
+    };
+    let explore_opts = ExploreOptions {
+        faults: opts.faults,
+        retry: opts.retry,
+        resume: journaled_evals,
+    };
+    let adaptive_opts = AdaptiveOptions {
+        explore: &explore_opts,
+        budget: opts.explorer_budget,
+        replay_proposals: &journaled_proposals,
+    };
+    let outcome = explore_adaptive(
+        explorer.as_mut(),
+        &inputs.objective,
+        inputs.solver.num_workers,
+        &mut run_round,
+        &adaptive_opts,
+        Some(&mut proposal_sink),
+        Some(&mut eval_sink),
+    )?;
+
+    let best = best_network_in(&outcome.universe, &outcome.exploration);
+    let blocks_pretrained = known_block_keys.len();
+    let stats = coord.finish()?;
+    wootz_obs::event("cluster.run_done")
+        .field("tasks", stats.tasks_completed)
+        .field("reclaimed", stats.leases_reclaimed)
+        .field("explorer", opts.explorer.as_str())
+        .field("rounds", outcome.rounds)
+        .field("converged", outcome.converged)
+        .emit();
+    Ok((
+        WootzRun {
+            mode,
+            full_accuracy,
+            best,
+            exploration: outcome.exploration,
+            blocks_pretrained,
             blocks_failed: Some(blocks_failed),
             pretrain_steps,
             finetune_steps,

@@ -127,6 +127,12 @@ pub enum Message {
         objective: String,
         /// Run mode: `baseline`, `composability`, or `hierarchical`.
         mode: String,
+        /// Exploration strategy: `fixed`, `taylor`, or `bandit`
+        /// (PR 10; the daemon validates the spelling).
+        explorer: String,
+        /// Adaptive-explorer evaluation budget; ignored when `explorer`
+        /// is `fixed`.
+        explorer_budget: u64,
     },
     /// Serve daemon → client: one pipeline milestone of the running job,
     /// streamed as it happens. `event` is a single NDJSON line (schema in
@@ -250,12 +256,16 @@ impl Message {
                 solver,
                 objective,
                 mode,
+                explorer,
+                explorer_budget,
             } => {
                 model.wire_write(&mut out)?;
                 configs.wire_write(&mut out)?;
                 solver.wire_write(&mut out)?;
                 objective.wire_write(&mut out)?;
                 mode.wire_write(&mut out)?;
+                explorer.wire_write(&mut out)?;
+                explorer_budget.wire_write(&mut out)?;
             }
             Message::JobEvent { job, event } => {
                 job.wire_write(&mut out)?;
@@ -294,12 +304,16 @@ impl Message {
                 solver,
                 objective,
                 mode,
+                explorer,
+                ..
             } => {
                 model.wire_size()
                     + configs.wire_size()
                     + solver.wire_size()
                     + objective.wire_size()
                     + mode.wire_size()
+                    + explorer.wire_size()
+                    + 8
             }
             Message::JobEvent { job, event } => job.wire_size() + event.wire_size(),
             Message::JobDone { job, detail, .. } => job.wire_size() + 4 + detail.wire_size(),
@@ -369,6 +383,8 @@ impl Message {
                 solver: r.string("SubmitJob solver")?,
                 objective: r.string("SubmitJob objective")?,
                 mode: r.string("SubmitJob mode")?,
+                explorer: r.string("SubmitJob explorer")?,
+                explorer_budget: r.u64("SubmitJob explorer_budget")?,
             },
             13 => Message::JobEvent {
                 job: r.string("JobEvent job")?,
@@ -446,6 +462,8 @@ mod tests {
                     solver: "dataset: \"flowers102\"".into(),
                     objective: "max Accuracy".into(),
                     mode: "composability".into(),
+                    explorer: "fixed".into(),
+                    explorer_budget: 0,
                 },
                 "JobEvent" => Message::JobEvent {
                     job: "j0".into(),
@@ -498,6 +516,8 @@ mod tests {
                 solver: "dataset: \"flowers102\"\nseed: 3".into(),
                 objective: "min ModelSize s.t. Accuracy >= 0.3".into(),
                 mode: "composability".into(),
+                explorer: "bandit".into(),
+                explorer_budget: 24,
             },
             Message::JobEvent {
                 job: "j01ab".into(),

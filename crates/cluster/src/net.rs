@@ -282,6 +282,15 @@ impl NetHub {
         self.state.readopted.load(Ordering::Relaxed)
     }
 
+    /// Drops the cached pre-trained block index so the next
+    /// [`Message::BlocksRequest`] re-reads the run directory. Adaptive
+    /// explorer rounds grow the published block bag mid-run; the
+    /// coordinator calls this right after republishing `blocks/index.json`
+    /// so workers always see the round's complete bag.
+    pub fn invalidate_blocks(&self) {
+        *lock_recover(&self.state.blocks) = None;
+    }
+
     /// Enters drain mode and broadcasts [`Message::Shutdown`] to every
     /// live connection. Sockets stay open so in-flight results can still
     /// be delivered during the grace period.

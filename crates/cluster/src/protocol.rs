@@ -97,6 +97,32 @@ pub enum TaskKind {
         /// Block indices (into the mode's block list) of the group.
         group: Vec<usize>,
     },
+    /// Evaluate one configuration of an adaptive explorer's *universe*:
+    /// the runtime-proposed configuration list, carried in the task
+    /// itself because the manifest's static subspace cannot describe it.
+    /// The universe index doubles as the evaluation seed index, exactly
+    /// like the subspace index does for [`TaskKind::Eval`].
+    EvalAdaptive {
+        /// Index into `universe` of the configuration to evaluate.
+        config_index: usize,
+        /// The exploration universe as of this round (initial subspace
+        /// followed by every accepted proposal so far).
+        universe: Vec<PruneConfig>,
+    },
+    /// Pre-train one group of an adaptive round's incremental block
+    /// batch. The batch is carried in the task (it is derived from the
+    /// explorer's trajectory, which only the coordinator knows), and
+    /// `group` indexes into it.
+    PretrainAdaptive {
+        /// Group index within the round's partition (keys the
+        /// deterministic batch stream, exactly like
+        /// [`TaskKind::Pretrain`]).
+        group_index: usize,
+        /// The round's full pre-training batch, in trajectory order.
+        blocks: Vec<wootz_core::compile::TuningBlock>,
+        /// Block indices (into `blocks`) of this group.
+        group: Vec<usize>,
+    },
 }
 
 /// One schedulable task. `(seq, attempt)` is globally unique within an
@@ -131,6 +157,8 @@ impl TaskSpec {
         match &self.kind {
             TaskKind::Eval { config_index } => *config_index as u64,
             TaskKind::Pretrain { group_index, .. } => *group_index as u64,
+            TaskKind::EvalAdaptive { config_index, .. } => *config_index as u64,
+            TaskKind::PretrainAdaptive { group_index, .. } => *group_index as u64,
         }
     }
 }
@@ -339,6 +367,10 @@ impl WireSerialize for TaskKind {
         match self {
             TaskKind::Eval { .. } => 1 + 8,
             TaskKind::Pretrain { group, .. } => 1 + 8 + 4 + 8 * group.len(),
+            TaskKind::EvalAdaptive { universe, .. } => 1 + 8 + doc_size(universe),
+            TaskKind::PretrainAdaptive { blocks, group, .. } => {
+                1 + 8 + doc_size(blocks) + 4 + 8 * group.len()
+            }
         }
     }
 
@@ -352,6 +384,28 @@ impl WireSerialize for TaskKind {
                 w.write_all(&[1])?;
                 (*group_index as u64).wire_write(w)?;
                 write_len(w, "TaskKind::Pretrain group", group.len())?;
+                for &block in group {
+                    (block as u64).wire_write(w)?;
+                }
+                Ok(())
+            }
+            TaskKind::EvalAdaptive {
+                config_index,
+                universe,
+            } => {
+                w.write_all(&[2])?;
+                (*config_index as u64).wire_write(w)?;
+                write_doc(w, "TaskKind::EvalAdaptive universe", universe)
+            }
+            TaskKind::PretrainAdaptive {
+                group_index,
+                blocks,
+                group,
+            } => {
+                w.write_all(&[3])?;
+                (*group_index as u64).wire_write(w)?;
+                write_doc(w, "TaskKind::PretrainAdaptive blocks", blocks)?;
+                write_len(w, "TaskKind::PretrainAdaptive group", group.len())?;
                 for &block in group {
                     (block as u64).wire_write(w)?;
                 }
@@ -375,6 +429,27 @@ impl WireDeserialize for TaskKind {
                     group.push(read_usize(r, "TaskKind::Pretrain group element")?);
                 }
                 Ok(TaskKind::Pretrain { group_index, group })
+            }
+            2 => Ok(TaskKind::EvalAdaptive {
+                config_index: read_usize(r, "TaskKind::EvalAdaptive config_index")?,
+                universe: read_doc::<_, Vec<PruneConfig>>(r, "TaskKind::EvalAdaptive universe")?,
+            }),
+            3 => {
+                let group_index = read_usize(r, "TaskKind::PretrainAdaptive group_index")?;
+                let blocks = read_doc::<_, Vec<wootz_core::compile::TuningBlock>>(
+                    r,
+                    "TaskKind::PretrainAdaptive blocks",
+                )?;
+                let count = r.seq_len("TaskKind::PretrainAdaptive group", 8)?;
+                let mut group = Vec::with_capacity(count);
+                for _ in 0..count {
+                    group.push(read_usize(r, "TaskKind::PretrainAdaptive group element")?);
+                }
+                Ok(TaskKind::PretrainAdaptive {
+                    group_index,
+                    blocks,
+                    group,
+                })
             }
             other => Err(WireError::InvalidValue {
                 context: "TaskKind tag",
@@ -581,6 +656,56 @@ mod tests {
         let rendered = sup.result.unwrap_err().to_string();
         // CoreError::Remote displays the worker-side rendering verbatim.
         assert_eq!(rendered, CoreError::Pipeline("boom".into()).to_string());
+    }
+
+    #[test]
+    fn adaptive_task_kinds_round_trip_on_the_wire() {
+        use wootz_core::compile::TuningBlock;
+        let specs = vec![
+            TaskSpec {
+                seq: 9,
+                attempt: 2,
+                epoch: 3,
+                kind: TaskKind::EvalAdaptive {
+                    config_index: 5,
+                    universe: vec![
+                        PruneConfig::unpruned(4),
+                        PruneConfig::uniform(4, 50).unwrap(),
+                    ],
+                },
+                expected_steps: 12,
+            },
+            TaskSpec {
+                seq: 10,
+                attempt: 1,
+                epoch: 3,
+                kind: TaskKind::PretrainAdaptive {
+                    group_index: 1,
+                    blocks: vec![
+                        TuningBlock::new(0, vec![(1, 30), (2, 50)]).unwrap(),
+                        TuningBlock::new(1, vec![(3, 70)]).unwrap(),
+                    ],
+                    group: vec![1],
+                },
+                expected_steps: 6,
+            },
+        ];
+        for spec in specs {
+            let mut buf = Vec::new();
+            spec.wire_write(&mut buf).unwrap();
+            assert_eq!(buf.len(), spec.wire_size(), "declared size matches encoding");
+            let mut reader = WireReader::new(
+                buf.as_slice(),
+                buf.len() as u64,
+                wootz_wire::Limits::DEFAULT,
+            );
+            let back = TaskSpec::wire_read(&mut reader).unwrap();
+            assert_eq!(back, spec);
+            // The JSON queue files carry the same value losslessly too.
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: TaskSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
     }
 
     #[test]

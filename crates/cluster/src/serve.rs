@@ -38,6 +38,7 @@ use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
+use wootz_core::explorer::ExplorerKind;
 use wootz_core::pipeline::{
     run_wootz_with, RunEvent, RunMode, RunOptions, WootzInputs, WootzRun,
 };
@@ -88,14 +89,36 @@ struct Job {
     id: String,
     inputs: WootzInputs,
     mode: RunMode,
+    explorer: ExplorerKind,
+    explorer_budget: usize,
 }
 
-/// Derives the content-addressed job id from the five submitted texts.
-fn job_id(model: &str, configs: &str, solver: &str, objective: &str, mode: &str) -> String {
+/// Derives the content-addressed job id from the submitted texts plus
+/// the exploration strategy. The explorer is part of the identity
+/// because two submissions differing only in strategy journal different
+/// proposal streams — resuming one under the other's id would be
+/// rejected by the journal replay guard.
+fn job_id(
+    model: &str,
+    configs: &str,
+    solver: &str,
+    objective: &str,
+    mode: &str,
+    explorer: &str,
+    explorer_budget: u64,
+) -> String {
+    let budget = explorer_budget.to_string();
     let mut bytes = Vec::with_capacity(
-        model.len() + configs.len() + solver.len() + objective.len() + mode.len() + 5,
+        model.len()
+            + configs.len()
+            + solver.len()
+            + objective.len()
+            + mode.len()
+            + explorer.len()
+            + budget.len()
+            + 7,
     );
-    for part in [model, configs, solver, objective, mode] {
+    for part in [model, configs, solver, objective, mode, explorer, &budget] {
         bytes.extend_from_slice(part.as_bytes());
         bytes.push(0xff);
     }
@@ -110,8 +133,10 @@ fn parse_job(
     solver: &str,
     objective: &str,
     mode: &str,
+    explorer: &str,
+    explorer_budget: u64,
 ) -> std::result::Result<Job, String> {
-    let id = job_id(model, configs, solver, objective, mode);
+    let id = job_id(model, configs, solver, objective, mode, explorer, explorer_budget);
     let model = ModelIr::parse(model).map_err(|e| format!("model: {e}"))?;
     let raw: Vec<Vec<u8>> = serde_json::from_str(configs)
         .map_err(|e| format!("configs: must be a JSON array of rate arrays: {e}"))?;
@@ -131,6 +156,14 @@ fn parse_job(
         "hierarchical" => RunMode::ComposabilityHierarchical,
         other => return Err(format!("mode: unknown mode `{other}`")),
     };
+    let explorer = match explorer {
+        "" => ExplorerKind::Fixed,
+        other => ExplorerKind::parse(other).map_err(|e| format!("explorer: {e}"))?,
+    };
+    if !explorer.is_adaptive() && explorer_budget != 0 {
+        return Err("explorer: explorer_budget requires an adaptive explorer (taylor or bandit)"
+            .to_string());
+    }
     Ok(Job {
         id,
         inputs: WootzInputs {
@@ -140,6 +173,8 @@ fn parse_job(
             objective,
         },
         mode,
+        explorer,
+        explorer_budget: explorer_budget as usize,
     })
 }
 
@@ -251,7 +286,7 @@ pub fn serve(opts: &ServeOptions) -> Result<()> {
 /// Serves one client connection: reads a single [`Message::SubmitJob`],
 /// runs it, and streams events + the terminal [`Message::JobDone`].
 fn handle_connection(daemon: &Daemon, mut stream: TcpStream, peer: String) {
-    let (model, configs, solver, objective, mode) =
+    let (model, configs, solver, objective, mode, explorer, explorer_budget) =
         match recv_message(&mut stream, &Limits::DEFAULT) {
             Ok(Message::SubmitJob {
                 model,
@@ -259,7 +294,9 @@ fn handle_connection(daemon: &Daemon, mut stream: TcpStream, peer: String) {
                 solver,
                 objective,
                 mode,
-            }) => (model, configs, solver, objective, mode),
+                explorer,
+                explorer_budget,
+            }) => (model, configs, solver, objective, mode, explorer, explorer_budget),
             Ok(other) => {
                 // Not job traffic (a confused worker, a port scan): answer
                 // with a structured refusal and close.
@@ -277,14 +314,30 @@ fn handle_connection(daemon: &Daemon, mut stream: TcpStream, peer: String) {
             Err(_) => return,
         };
     let writer = Mutex::new(stream);
-    let job = match parse_job(&model, &configs, &solver, &objective, &mode) {
+    let job = match parse_job(
+        &model,
+        &configs,
+        &solver,
+        &objective,
+        &mode,
+        &explorer,
+        explorer_budget,
+    ) {
         Ok(job) => job,
         Err(detail) => {
             wootz_obs::counter("serve.jobs_rejected").incr();
             let _ = send_message(
                 &writer,
                 &Message::JobDone {
-                    job: job_id(&model, &configs, &solver, &objective, &mode),
+                    job: job_id(
+                        &model,
+                        &configs,
+                        &solver,
+                        &objective,
+                        &mode,
+                        &explorer,
+                        explorer_budget,
+                    ),
                     code: job_code::INVALID,
                     detail,
                 },
@@ -363,6 +416,8 @@ fn run_job(daemon: &Daemon, job: &Job, writer: &Mutex<TcpStream>) -> (u32, Strin
         resume: true,
         store: Some(&daemon.store),
         progress: Some(&progress),
+        explorer: job.explorer,
+        explorer_budget: job.explorer_budget,
         ..RunOptions::default()
     };
     match run_wootz_with(&job.inputs, &dataset, job.mode, None, &run_opts) {
@@ -455,23 +510,32 @@ mod tests {
 
     #[test]
     fn job_id_is_content_derived_and_field_ordered() {
-        let a = job_id("m", "c", "s", "o", "");
-        assert_eq!(a, job_id("m", "c", "s", "o", ""));
-        assert_ne!(a, job_id("m", "c", "s", "o", "baseline"));
+        let a = job_id("m", "c", "s", "o", "", "", 0);
+        assert_eq!(a, job_id("m", "c", "s", "o", "", "", 0));
+        assert_ne!(a, job_id("m", "c", "s", "o", "baseline", "", 0));
+        // The explorer and its budget are part of the job identity.
+        assert_ne!(a, job_id("m", "c", "s", "o", "", "bandit", 24));
+        assert_ne!(
+            job_id("m", "c", "s", "o", "", "bandit", 24),
+            job_id("m", "c", "s", "o", "", "bandit", 32)
+        );
         // The 0xff separator keeps field boundaries unambiguous.
-        assert_ne!(job_id("ab", "c", "s", "o", ""), job_id("a", "bc", "s", "o", ""));
+        assert_ne!(
+            job_id("ab", "c", "s", "o", "", "", 0),
+            job_id("a", "bc", "s", "o", "", "", 0)
+        );
         assert!(a.starts_with('j') && a.len() == 17, "{a}");
     }
 
     #[test]
     fn invalid_submissions_parse_to_structured_reasons() {
-        let err = parse_job("not a model", "[[0]]", "", "max Accuracy", "").unwrap_err();
+        let err = parse_job("not a model", "[[0]]", "", "max Accuracy", "", "", 0).unwrap_err();
         assert!(err.starts_with("model:"), "{err}");
         let model = wootz_models::resnet_mini(4).to_prototxt();
-        let err =
-            parse_job(&model, "nope", "dataset: \"flowers102\"", "max Accuracy", "").unwrap_err();
+        let err = parse_job(&model, "nope", "dataset: \"flowers102\"", "max Accuracy", "", "", 0)
+            .unwrap_err();
         assert!(err.starts_with("configs:"), "{err}");
-        let err = parse_job(&model, "[]", "dataset: \"flowers102\"", "max Accuracy", "")
+        let err = parse_job(&model, "[]", "dataset: \"flowers102\"", "max Accuracy", "", "", 0)
             .unwrap_err();
         assert!(err.starts_with("configs: empty"), "{err}");
         let err = parse_job(
@@ -480,9 +544,48 @@ mod tests {
             "dataset: \"flowers102\"",
             "max Accuracy",
             "warp",
+            "",
+            0,
         )
         .unwrap_err();
         assert!(err.starts_with("mode:"), "{err}");
+        let err = parse_job(
+            &model,
+            "[[0,30]]",
+            "dataset: \"flowers102\"",
+            "max Accuracy",
+            "",
+            "greedy",
+            0,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("explorer:"), "{err}");
+        // A budget without an adaptive strategy is a contradiction, not
+        // a silent no-op.
+        let err = parse_job(
+            &model,
+            "[[0,30]]",
+            "dataset: \"flowers102\"",
+            "max Accuracy",
+            "",
+            "fixed",
+            8,
+        )
+        .unwrap_err();
+        assert!(err.starts_with("explorer:"), "{err}");
+        // The happy adaptive path parses.
+        let job = parse_job(
+            &model,
+            "[[0,30]]",
+            "dataset: \"flowers102\"",
+            "max Accuracy",
+            "",
+            "taylor",
+            16,
+        )
+        .unwrap();
+        assert_eq!(job.explorer, ExplorerKind::Taylor);
+        assert_eq!(job.explorer_budget, 16);
     }
 
     #[test]

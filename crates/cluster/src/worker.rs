@@ -65,6 +65,7 @@ use wootz_core::pipeline::{
     block_pretrain_config, blocks_for_mode, subspace_stats, EvalContext, WootzInputs,
 };
 use wootz_core::pretrain::pretrain_group_supervised;
+use wootz_core::prune::PruneConfig;
 use wootz_core::Result;
 use wootz_data::{micro_dataset, Dataset};
 use wootz_fault::{site, FaultKind, FaultPlan};
@@ -91,7 +92,24 @@ struct WorkerEnv {
     flops: Vec<u64>,
     /// Pre-trained block checkpoints, fetched lazily on the first
     /// evaluation task (they do not exist before pre-training completes).
+    /// Adaptive rounds grow the published bag, so an adaptive evaluation
+    /// whose universe implies an unseen block key re-fetches.
     block_ckpts: Option<BTreeMap<String, Checkpoint>>,
+    /// Per-universe environment of adaptive-explorer tasks, keyed by the
+    /// carried universe: rebuilt whenever a task carries a different one
+    /// (universes only grow, so in practice this rebuilds once per round).
+    adaptive: Option<AdaptiveEnv>,
+}
+
+/// The universe-derived counterpart of the manifest-derived fields of
+/// [`WorkerEnv`]: what an adaptive evaluation needs that the static
+/// subspace cannot provide.
+struct AdaptiveEnv {
+    universe: Vec<PruneConfig>,
+    inputs: WootzInputs,
+    block_set: Option<wootz_core::blocks::BlockSet>,
+    sizes: Vec<usize>,
+    flops: Vec<u64>,
 }
 
 impl WorkerEnv {
@@ -116,7 +134,37 @@ impl WorkerEnv {
             sizes,
             flops,
             block_ckpts: None,
+            adaptive: None,
         })
+    }
+
+    /// Rebuilds the adaptive environment when `universe` differs from the
+    /// cached one — the exact reconstruction the in-process driver does
+    /// per round (`WootzInputs` with the universe as its subspace).
+    fn ensure_adaptive(&mut self, universe: &[PruneConfig]) -> Result<()> {
+        if self
+            .adaptive
+            .as_ref()
+            .is_some_and(|a| a.universe == universe)
+        {
+            return Ok(());
+        }
+        let inputs = WootzInputs {
+            model: self.inputs.model.clone(),
+            subspace: universe.to_vec(),
+            solver: self.inputs.solver.clone(),
+            objective: self.inputs.objective.clone(),
+        };
+        let block_set = blocks_for_mode(&inputs, self.manifest.mode)?;
+        let (sizes, flops) = subspace_stats(&inputs)?;
+        self.adaptive = Some(AdaptiveEnv {
+            universe: universe.to_vec(),
+            inputs,
+            block_set,
+            sizes,
+            flops,
+        });
+        Ok(())
     }
 
     /// Fires the process-level fault hook for `task`. `WorkerCrash`
@@ -202,6 +250,80 @@ impl WorkerEnv {
                 Ok(ResultPayload::Pretrain {
                     group_index: *group_index,
                     blocks,
+                    failed,
+                })
+            }
+            TaskKind::EvalAdaptive {
+                config_index,
+                universe,
+            } => {
+                self.ensure_adaptive(universe)?;
+                let faults = self.manifest.faults.as_ref();
+                // Adaptive rounds republish a grown block bag; re-fetch
+                // whenever this universe implies a key we have not seen.
+                // A key absent even from the fresh index belongs to a
+                // block whose pre-training failed — evaluation inherits
+                // pruned full-model weights for it, exactly like the
+                // in-process driver.
+                let needs_fetch = {
+                    let ad = self.adaptive.as_ref().expect("built above");
+                    match ad.block_set.as_ref() {
+                        None => false,
+                        Some(set) => match &self.block_ckpts {
+                            None => true,
+                            Some(ckpts) => {
+                                set.blocks.iter().any(|b| !ckpts.contains_key(&b.key()))
+                            }
+                        },
+                    }
+                };
+                if needs_fetch {
+                    self.block_ckpts = Some(fetch_blocks()?);
+                }
+                let ad = self.adaptive.as_ref().expect("built above");
+                let ctx = EvalContext::new(
+                    &ad.inputs,
+                    &self.dataset,
+                    &self.mm,
+                    &self.full_ckpt,
+                    ad.block_set.as_ref(),
+                    self.block_ckpts.as_ref(),
+                    &ad.sizes,
+                    &ad.flops,
+                    faults,
+                );
+                let sup = supervise_eval(
+                    &|i| ctx.evaluate(i),
+                    *config_index,
+                    &self.manifest.retry,
+                    faults,
+                );
+                Ok(ResultPayload::Eval(WireEval::from_supervised(
+                    *config_index,
+                    sup,
+                )))
+            }
+            TaskKind::PretrainAdaptive {
+                group_index,
+                blocks,
+                group,
+            } => {
+                let cfg = block_pretrain_config(&self.inputs.solver);
+                let batch_size = self.inputs.solver.batch_size;
+                let dataset = &self.dataset;
+                let (trained, failed) = pretrain_group_supervised(
+                    &self.mm,
+                    blocks,
+                    group,
+                    *group_index,
+                    &self.full_ckpt,
+                    &cfg,
+                    &|step| dataset.train_batch(step, batch_size).0,
+                    faults,
+                );
+                Ok(ResultPayload::Pretrain {
+                    group_index: *group_index,
+                    blocks: trained,
                     failed,
                 })
             }

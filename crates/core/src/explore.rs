@@ -137,7 +137,7 @@ pub struct ExplorationResult {
 }
 
 impl ExplorationResult {
-    fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         ExplorationResult {
             evaluated: Vec::new(),
             best: None,
@@ -172,6 +172,38 @@ pub struct ExploreOptions<'a> {
 /// A sink invoked once per freshly produced record (journal append).
 pub type RecordSink<'s> = dyn FnMut(&EvalRecord) -> Result<()> + 's;
 
+/// Objective helpers over measured [`EvalOutcome`]s — the one place the
+/// measured-outcome ⇄ objective bridge lives, so the satisfaction check
+/// and the best-network metric cannot drift apart across call sites
+/// (`fold_round`, `pick_best`, and the pipeline's best-network choice
+/// all go through here).
+pub trait ObjectiveExt {
+    /// Whether the objective's constraints hold for this outcome.
+    fn satisfied_by(&self, outcome: &EvalOutcome) -> bool;
+
+    /// The outcome's value under the objective's own optimization
+    /// metric (model size, FLOPs, or accuracy).
+    fn metric_of(&self, outcome: &EvalOutcome) -> f64;
+}
+
+impl ObjectiveExt for Objective {
+    fn satisfied_by(&self, outcome: &EvalOutcome) -> bool {
+        self.satisfied(&Measurements {
+            model_size: outcome.model_size as f64,
+            accuracy: outcome.accuracy,
+            flops: outcome.flops as f64,
+        })
+    }
+
+    fn metric_of(&self, outcome: &EvalOutcome) -> f64 {
+        match self.metric {
+            Metric::ModelSize => outcome.model_size as f64,
+            Metric::Flops => outcome.flops as f64,
+            Metric::Accuracy => outcome.accuracy,
+        }
+    }
+}
+
 /// Orders configuration indices for exploration: ascending model size for
 /// `min ModelSize` objectives, descending otherwise.
 pub fn exploration_order(objective: &Objective, sizes: &[usize]) -> Vec<usize> {
@@ -188,13 +220,23 @@ pub fn exploration_order(objective: &Objective, sizes: &[usize]) -> Vec<usize> {
 /// The compiler's static task-assignment table (§6.2): worker `i` evaluates
 /// the `i + p·j`-th configuration of the exploration order, `0 ≤ j <
 /// ⌈c/p⌉`.
-pub fn task_assignment(order: &[usize], workers: usize) -> Vec<Vec<usize>> {
-    let p = workers.max(1);
-    let mut nodes = vec![Vec::new(); p];
-    for (pos, &config) in order.iter().enumerate() {
-        nodes[pos % p].push(config);
+///
+/// # Errors
+///
+/// Returns a [`CoreError::Config`] when `workers == 0` — a zero-worker
+/// table used to come back as silently empty, which downstream loops
+/// read as "nothing to do".
+pub fn task_assignment(order: &[usize], workers: usize) -> Result<Vec<Vec<usize>>> {
+    if workers == 0 {
+        return Err(CoreError::Config(
+            "task assignment requires at least one worker (got workers == 0)".to_string(),
+        ));
     }
-    nodes
+    let mut nodes = vec![Vec::new(); workers];
+    for (pos, &config) in order.iter().enumerate() {
+        nodes[pos % workers].push(config);
+    }
+    Ok(nodes)
 }
 
 /// The outcome of supervising one configuration to completion: the final
@@ -314,7 +356,7 @@ where
 /// [`task_assignment`] even when resumption makes parts of a round
 /// replayed.
 #[allow(clippy::too_many_arguments)]
-fn fold_round(
+pub(crate) fn fold_round(
     objective: &Objective,
     opts: &ExploreOptions<'_>,
     round: &[(usize, usize)],
@@ -335,11 +377,7 @@ fn fold_round(
                 let sup = fresh.next().expect("one supervised result per fresh config");
                 let record = match sup.result {
                     Ok(outcome) => {
-                        let satisfies = objective.satisfied(&Measurements {
-                            model_size: outcome.model_size as f64,
-                            accuracy: outcome.accuracy,
-                            flops: outcome.flops as f64,
-                        });
+                        let satisfies = objective.satisfied_by(&outcome);
                         EvalRecord::Done {
                             config_index,
                             outcome,
@@ -529,7 +567,7 @@ where
             break;
         }
     }
-    finish(objective, result, &worker_cost)
+    finish_exploration(objective, result, &worker_cost)
 }
 
 /// Explores like [`explore`] but evaluates each round's configurations on
@@ -638,7 +676,7 @@ fn emit_progress(round_index: usize, result: &ExplorationResult, found: bool) {
         .emit();
 }
 
-fn finish(
+pub(crate) fn finish_exploration(
     objective: &Objective,
     mut result: ExplorationResult,
     worker_cost: &[f64],
@@ -650,6 +688,9 @@ fn finish(
 }
 
 /// Picks the best satisfying record under the objective's own metric.
+/// A record whose metric is NaN is never chosen (it cannot meaningfully
+/// be "best"; such records only arise from hand-built inputs — a NaN
+/// accuracy never satisfies an accuracy constraint in the first place).
 fn pick_best(objective: &Objective, evaluated: &[EvalRecord]) -> Option<usize> {
     let candidates = evaluated
         .iter()
@@ -659,16 +700,10 @@ fn pick_best(objective: &Objective, evaluated: &[EvalRecord]) -> Option<usize> {
                 outcome,
                 satisfies: true,
                 ..
-            } => Some((i, outcome)),
+            } if !objective.metric_of(outcome).is_nan() => Some((i, outcome)),
             _ => None,
         });
-    let key = |o: &EvalOutcome| -> f64 {
-        match objective.metric {
-            Metric::ModelSize => o.model_size as f64,
-            Metric::Flops => o.flops as f64,
-            Metric::Accuracy => o.accuracy,
-        }
-    };
+    let key = |o: &EvalOutcome| objective.metric_of(o);
     let cmp = |a: f64, b: f64| a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);
     match objective.direction {
         wootz_ir::Direction::Min => candidates
@@ -724,12 +759,80 @@ mod tests {
     #[test]
     fn task_assignment_interleaves() {
         let order = vec![10, 11, 12, 13, 14, 15, 16];
-        let nodes = task_assignment(&order, 3);
+        let nodes = task_assignment(&order, 3).unwrap();
         // Node i gets order[i + 3j].
         assert_eq!(nodes[0], vec![10, 13, 16]);
         assert_eq!(nodes[1], vec![11, 14]);
         assert_eq!(nodes[2], vec![12, 15]);
-        assert_eq!(task_assignment(&order, 1).len(), 1);
+        assert_eq!(task_assignment(&order, 1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn task_assignment_rejects_zero_workers() {
+        let err = task_assignment(&[0, 1, 2], 0).unwrap_err().to_string();
+        assert_eq!(
+            err,
+            "pruning configuration error: task assignment requires at least one worker \
+             (got workers == 0)"
+        );
+    }
+
+    #[test]
+    fn satisfied_by_matches_objective_constraints() {
+        let outcome = |size: usize, acc: f64| EvalOutcome {
+            model_size: size,
+            flops: size as u64 * 10,
+            accuracy: acc,
+            cost: 1.0,
+            log: None,
+        };
+        let obj = min_size(0.5);
+        assert!(obj.satisfied_by(&outcome(100, 0.5)), "boundary is inclusive");
+        assert!(!obj.satisfied_by(&outcome(100, 0.4999)));
+        // NaN accuracy satisfies nothing — and must not panic.
+        assert!(!obj.satisfied_by(&outcome(100, f64::NAN)));
+        assert_eq!(obj.metric_of(&outcome(100, 0.5)), 100.0);
+        let obj = Objective::parse("max Accuracy\nconstraint ModelSize <= 250").unwrap();
+        assert_eq!(obj.metric_of(&outcome(100, 0.25)), 0.25);
+        let obj = Objective::parse("min Flops\nconstraint Accuracy >= 0.1").unwrap();
+        assert_eq!(obj.metric_of(&outcome(100, 0.25)), 1000.0);
+    }
+
+    #[test]
+    fn pick_best_keeps_first_minimal_on_ties() {
+        // Two satisfying records with the same model size: min_by keeps
+        // the first, so exploration order breaks the tie.
+        let rec = |i: usize, size: usize| EvalRecord::Done {
+            config_index: i,
+            outcome: EvalOutcome {
+                model_size: size,
+                flops: 0,
+                accuracy: 0.9,
+                cost: 1.0,
+                log: None,
+            },
+            satisfies: true,
+        };
+        let objective = min_size(0.5);
+        let evaluated = vec![rec(7, 300), rec(3, 300), rec(5, 400)];
+        assert_eq!(pick_best(&objective, &evaluated), Some(0));
+        // A NaN metric neither wins nor poisons the choice.
+        let mut with_nan = evaluated.clone();
+        with_nan.push(EvalRecord::Done {
+            config_index: 9,
+            outcome: EvalOutcome {
+                model_size: 100,
+                flops: 0,
+                accuracy: f64::NAN,
+                cost: 1.0,
+                log: None,
+            },
+            satisfies: true,
+        });
+        let acc = Objective::parse("max Accuracy\nconstraint ModelSize <= 500").unwrap();
+        let best = pick_best(&acc, &with_nan);
+        assert!(best.is_some());
+        assert_ne!(best, Some(3), "NaN accuracy must not be chosen as max");
     }
 
     #[test]
@@ -1081,6 +1184,7 @@ mod tests {
         // Expected wall cost from the static assignment.
         let order = exploration_order(&objective, &sizes);
         let expected: f64 = task_assignment(&order, p)
+            .unwrap()
             .iter()
             .map(|node| node.iter().map(|&c| (c + 1) as f64).sum::<f64>())
             .fold(0.0, f64::max);

@@ -48,6 +48,7 @@ use wootz_wire::{
 };
 
 use crate::explore::EvalRecord;
+use crate::explorer::ProposalRecord;
 use crate::pretrain::PretrainedBlock;
 use crate::prune::PruneConfig;
 use crate::recovery::{self, ArtifactDamage};
@@ -92,6 +93,11 @@ pub enum JournalEntry {
     Block(PretrainedBlock),
     /// One configuration evaluation (success or recorded failure).
     Eval(EvalRecord),
+    /// One adaptive-explorer proposal round. Only adaptive runs
+    /// (`--explorer taylor|bandit`) write these; a resumed run replays
+    /// them to verify the live explorer re-proposes the identical
+    /// trajectory.
+    Proposal(ProposalRecord),
 }
 
 /// Deterministic identity hash of a promising subspace: FNV-1a over every
@@ -116,6 +122,9 @@ pub struct Replay {
     pub blocks: BTreeMap<String, PretrainedBlock>,
     /// Completed evaluations by config index.
     pub evals: BTreeMap<usize, EvalRecord>,
+    /// Adaptive-explorer proposal rounds, in round order (empty for
+    /// fixed-subspace runs).
+    pub proposals: Vec<ProposalRecord>,
     /// Whether a torn final record was dropped during replay.
     pub truncated_tail: bool,
     /// Whether mid-file corruption forced the journal into quarantine
@@ -127,6 +136,7 @@ impl Replay {
     /// Total replayed work units.
     pub fn len(&self) -> usize {
         usize::from(self.full.is_some()) + self.blocks.len() + self.evals.len()
+            + self.proposals.len()
     }
 
     /// Whether nothing was replayed.
@@ -479,6 +489,11 @@ fn encode_entry_record(path: &Path, entry: &JournalEntry) -> Result<Vec<u8>> {
                 .map_err(|e| journal_err(path, format!("cannot serialize entry: {e}")))?;
             (record_type::JOURNAL_EVAL, json.into_bytes())
         }
+        JournalEntry::Proposal(_) => {
+            let json = serde_json::to_string(entry)
+                .map_err(|e| journal_err(path, format!("cannot serialize entry: {e}")))?;
+            (record_type::JOURNAL_PROPOSAL, json.into_bytes())
+        }
     };
     let mut record = Vec::with_capacity(HEADER_LEN + payload.len());
     write_frame(&mut record, record_type, &payload).map_err(encode_err)?;
@@ -498,6 +513,16 @@ fn decode_entry_record(frame: &Frame) -> std::result::Result<JournalEntry, Strin
         return match entry {
             JournalEntry::Eval(_) => Ok(entry),
             _ => Err("eval record holds a non-eval entry".to_string()),
+        };
+    }
+    if frame.msg_type == record_type::JOURNAL_PROPOSAL {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| format!("proposal record is not UTF-8: {e}"))?;
+        let entry: JournalEntry = serde_json::from_str(text)
+            .map_err(|e| format!("proposal record does not parse: {e}"))?;
+        return match entry {
+            JournalEntry::Proposal(_) => Ok(entry),
+            _ => Err("proposal record holds a non-proposal entry".to_string()),
         };
     }
     let mut r = WireReader::new(&payload[..], payload.len() as u64, Limits::ARTIFACT);
@@ -674,6 +699,7 @@ fn replay_from<'a>(entries: impl Iterator<Item = &'a JournalEntry>) -> Replay {
             JournalEntry::Eval(record) => {
                 replay.evals.insert(record.config_index(), record.clone());
             }
+            JournalEntry::Proposal(record) => replay.proposals.push(record.clone()),
         }
     }
     replay
@@ -796,6 +822,48 @@ mod tests {
                 record_type::JOURNAL_FULL_MODEL,
             ]
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn proposal_entries_round_trip_in_round_order() {
+        let path = tmp("proposals.ndjson");
+        let proposal = |round: usize| {
+            JournalEntry::Proposal(ProposalRecord {
+                round,
+                explorer: "bandit".to_string(),
+                base_index: round * 2,
+                configs: vec![
+                    PruneConfig::new(vec![30, 0]).unwrap(),
+                    PruneConfig::new(vec![0, 50]).unwrap(),
+                ],
+            })
+        };
+        let mut j = Journal::create(&path, &header()).unwrap();
+        j.append(&proposal(0)).unwrap();
+        j.append(&eval(0)).unwrap();
+        j.append(&proposal(1)).unwrap();
+        drop(j);
+        let bytes = std::fs::read(&path).unwrap();
+        let scan = scan_records(&bytes, &Limits::ARTIFACT);
+        let types: Vec<u16> = scan.records.iter().map(|r| r.frame.msg_type).collect();
+        assert_eq!(
+            types,
+            vec![
+                record_type::JOURNAL_HEADER,
+                record_type::JOURNAL_PROPOSAL,
+                record_type::JOURNAL_EVAL,
+                record_type::JOURNAL_PROPOSAL,
+            ]
+        );
+        let (j2, replay) = Journal::resume(&path, &header()).unwrap();
+        assert_eq!(replay.proposals.len(), 2);
+        assert_eq!(replay.proposals[0].round, 0);
+        assert_eq!(replay.proposals[1].round, 1);
+        assert_eq!(replay.proposals[1].base_index, 2);
+        assert_eq!(replay.proposals[0].configs[1].rates(), &[0, 50]);
+        assert_eq!(replay.evals.len(), 1);
+        drop(j2);
         std::fs::remove_file(&path).ok();
     }
 

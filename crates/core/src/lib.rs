@@ -31,6 +31,9 @@
 //! * [`explore`] — objective-ordered exploration of the promising subspace
 //!   across one or more workers, supervised against failures (retry,
 //!   skip-with-record, panic capture, deterministic fault injection);
+//! * [`explorer`] — pluggable exploration strategies (fixed subspace,
+//!   Taylor-saliency candidate synthesis, seeded bandit policy) behind a
+//!   propose/observe engine with journaled, replayable trajectories;
 //! * [`journal`] — the append-only run journal (checksummed binary wire
 //!   records, legacy NDJSON still readable) that makes long exploration
 //!   runs crash-resumable;
@@ -47,6 +50,7 @@ pub mod codegen;
 pub mod compile;
 mod error;
 pub mod explore;
+pub mod explorer;
 pub mod finetune;
 pub mod journal;
 pub mod optimal;

@@ -16,14 +16,21 @@ use wootz_tensor::sgd::SgdConfig;
 use wootz_tensor::Tensor;
 
 use crate::blocks::{identify_tuning_blocks, module_level_blocks, BlockSet};
-use crate::compile::{ModeToUse, MultiplexingModel};
+use crate::compile::{ModeToUse, MultiplexingModel, TuningBlock};
 use crate::explore::{
-    explore_parallel_supervised, EvalOutcome, ExplorationResult, ExploreOptions,
+    explore_parallel_supervised, supervise_eval, EvalOutcome, ExplorationResult, ExploreOptions,
+    SupervisedEval,
+};
+use crate::explorer::{
+    explore_adaptive, AdaptiveOptions, AdaptiveRound, BanditExplorer, Explorer, ExplorerKind,
+    FixedSubspace, ProposalRecord, TaylorSaliency,
 };
 use crate::finetune::{assemble_supervised, global_finetune, InitStrategy};
 use crate::journal::{subspace_hash, Journal, JournalEntry, JournalHeader, JOURNAL_VERSION};
-use crate::pretrain::{pretrain_blocks_supervised, PretrainConfig, PretrainOptions};
-use crate::prune::{config_param_count, PruneConfig};
+use crate::pretrain::{
+    pretrain_blocks_supervised, PretrainConfig, PretrainOptions, PretrainedBlock,
+};
+use crate::prune::{config_param_count, filter_importance, PruneConfig, PAPER_RATES};
 use crate::{CoreError, Result};
 
 /// Which pruning scheme a run uses.
@@ -143,6 +150,15 @@ pub struct RunOptions<'a> {
     pub store: Option<&'a wootz_store::BlockStore>,
     /// Progress callback for pipeline milestones ([`RunEvent`]).
     pub progress: Option<&'a (dyn Fn(&RunEvent) + Sync)>,
+    /// Exploration strategy (`--explorer`). The default,
+    /// [`ExplorerKind::Fixed`], runs the original static loop over
+    /// [`WootzInputs::subspace`] bit for bit; adaptive kinds grow the
+    /// evaluation universe round by round from explorer proposals.
+    pub explorer: ExplorerKind,
+    /// Maximum configurations an adaptive run evaluates
+    /// (`--explorer-budget`; replayed entries count). Ignored by the
+    /// fixed explorer; `0` runs no adaptive rounds at all.
+    pub explorer_budget: usize,
 }
 
 impl std::fmt::Debug for RunOptions<'_> {
@@ -154,6 +170,8 @@ impl std::fmt::Debug for RunOptions<'_> {
             .field("resume", &self.resume)
             .field("store", &self.store.map(|s| s.dir().to_path_buf()))
             .field("progress", &self.progress.map(|_| "<callback>"))
+            .field("explorer", &self.explorer)
+            .field("explorer_budget", &self.explorer_budget)
             .finish()
     }
 }
@@ -240,6 +258,96 @@ fn accuracy_threshold(objective: &Objective) -> Option<f64> {
         .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
 }
 
+/// Per-module saliency of the trained full model — the first-order
+/// Taylor-style criterion the [`TaylorSaliency`] explorer ranks modules
+/// by: the mean L1 filter importance over each module's prunable
+/// convolutions (checkpoint scope `net/`). A module without prunable
+/// convolutions gets `f64::INFINITY`, so candidate synthesis prunes it
+/// last. The result is indexed like
+/// [`wootz_ir::ModelIr::conv_module_ids`], matching [`PruneConfig`]
+/// positions.
+pub fn module_saliency(model: &ModelIr, full: &Checkpoint) -> Vec<f64> {
+    model
+        .conv_module_ids()
+        .iter()
+        .map(|&module| {
+            let mut sum = 0.0f64;
+            let mut filters = 0usize;
+            for layer in model.prunable_convs_of_module(module) {
+                if let Some(weight) = full.get(&format!("net/{layer}/weight")) {
+                    let importance = filter_importance(weight);
+                    sum += importance.iter().map(|&v| v as f64).sum::<f64>();
+                    filters += importance.len();
+                }
+            }
+            if filters == 0 {
+                f64::INFINITY
+            } else {
+                sum / filters as f64
+            }
+        })
+        .collect()
+}
+
+/// The per-module rate grid adaptive strategies synthesize candidates
+/// from: the distinct non-zero rates appearing in the seed subspace,
+/// falling back to the paper's rate grid when the subspace has none.
+fn explorer_rate_grid(subspace: &[PruneConfig]) -> Vec<u8> {
+    let mut grid: Vec<u8> = subspace
+        .iter()
+        .flat_map(|c| c.rates().iter().copied())
+        .filter(|&r| r > 0)
+        .collect();
+    grid.sort_unstable();
+    grid.dedup();
+    if grid.is_empty() {
+        PAPER_RATES.to_vec()
+    } else {
+        grid
+    }
+}
+
+/// Constructs the [`Explorer`] a run's `--explorer` choice names, from
+/// the run inputs and the trained full model (the Taylor strategy reads
+/// its saliencies from the full model's weights; the bandit seeds its
+/// sampler from `solver.seed` and steers toward the objective's accuracy
+/// bound).
+///
+/// # Errors
+///
+/// Propagates analytic size errors (fixed strategy ordering only).
+pub fn build_explorer(
+    kind: ExplorerKind,
+    inputs: &WootzInputs,
+    full_ckpt: &Checkpoint,
+) -> Result<Box<dyn Explorer>> {
+    let grid = explorer_rate_grid(&inputs.subspace);
+    Ok(match kind {
+        ExplorerKind::Fixed => {
+            let sizes: Vec<usize> = inputs
+                .subspace
+                .iter()
+                .map(|c| config_param_count(&inputs.model, c))
+                .collect::<Result<_>>()?;
+            Box::new(FixedSubspace::new(
+                &inputs.objective,
+                inputs.subspace.clone(),
+                &sizes,
+            ))
+        }
+        ExplorerKind::Taylor => Box::new(TaylorSaliency::new(
+            &module_saliency(&inputs.model, full_ckpt),
+            grid,
+        )),
+        ExplorerKind::Bandit => Box::new(BanditExplorer::new(
+            inputs.model.conv_module_ids().len(),
+            grid,
+            inputs.solver.seed,
+            accuracy_threshold(&inputs.objective),
+        )),
+    })
+}
+
 /// The journal identity header for a run over these inputs in this mode.
 /// Both the single-process pipeline and the distributed coordinator derive
 /// their header from here, so a journal written by one is resumable by the
@@ -311,6 +419,16 @@ pub fn subspace_stats(inputs: &WootzInputs) -> Result<(Vec<usize>, Vec<u64>)> {
 /// summary (shared between the local pipeline and the distributed
 /// coordinator so both render the identical [`BestNetwork`]).
 pub fn best_network(inputs: &WootzInputs, exploration: &ExplorationResult) -> Option<BestNetwork> {
+    best_network_in(&inputs.subspace, exploration)
+}
+
+/// [`best_network`] over an explicit configuration list — the adaptive
+/// pipeline's universe is proposed at runtime rather than taken from
+/// [`WootzInputs::subspace`], so record indices resolve against it.
+pub fn best_network_in(
+    configs: &[PruneConfig],
+    exploration: &ExplorationResult,
+) -> Option<BestNetwork> {
     exploration.best.map(|i| {
         let record = &exploration.evaluated[i];
         let outcome = record
@@ -318,7 +436,7 @@ pub fn best_network(inputs: &WootzInputs, exploration: &ExplorationResult) -> Op
             .expect("best index always points at a successful record");
         BestNetwork {
             config_index: record.config_index(),
-            rates: inputs.subspace[record.config_index()].rates().to_vec(),
+            rates: configs[record.config_index()].rates().to_vec(),
             model_size: outcome.model_size,
             accuracy: outcome.accuracy,
         }
@@ -502,7 +620,7 @@ pub fn run_wootz_with(
 
     // Journal setup: create fresh, or verify + replay an existing one.
     let header = journal_header(inputs, mode)?;
-    let (mut journal, replay) = match &opts.journal {
+    let (mut journal, mut replay) = match &opts.journal {
         None => (None, crate::journal::Replay::default()),
         Some(path) if opts.resume && path.exists() => {
             let (journal, replay) = Journal::resume(path, &header)?;
@@ -511,7 +629,7 @@ pub fn run_wootz_with(
         Some(path) => (Some(Journal::create(path, &header)?), Default::default()),
     };
 
-    let (full_ckpt, full_accuracy) = match (full, replay.full) {
+    let (full_ckpt, full_accuracy) = match (full, replay.full.take()) {
         (Some((c, a)), _) => (c, a),
         (None, Some((c, a))) => (c, a),
         (None, None) => {
@@ -529,6 +647,30 @@ pub fn run_wootz_with(
         progress(&RunEvent::FullModelReady {
             accuracy: full_accuracy,
         });
+    }
+
+    // Adaptive strategies run the propose/observe loop instead of the
+    // static subspace walk below (which stays byte-identical for the
+    // default fixed explorer).
+    if opts.explorer.is_adaptive() {
+        return run_adaptive(
+            inputs,
+            dataset,
+            mode,
+            &mm,
+            &full_ckpt,
+            full_accuracy,
+            opts,
+            journal,
+            replay,
+        );
+    }
+    if !replay.proposals.is_empty() {
+        return Err(CoreError::Journal(
+            "journal contains adaptive-explorer proposal records; resume it with the \
+             explorer that wrote it, not the fixed-subspace loop"
+                .to_string(),
+        ));
     }
 
     // Phase 1-2: block identification and pre-training.
@@ -696,6 +838,287 @@ pub fn run_wootz_with(
     })
 }
 
+/// The adaptive-explorer driver behind [`run_wootz_with`]: the same
+/// phases as the fixed loop, except the evaluation universe grows round
+/// by round from the explorer's proposals, and tuning blocks are
+/// pre-trained *incrementally* — each round trains only the blocks the
+/// newly proposed configurations introduce, so earlier rounds' blocks
+/// compose into later rounds' networks (the within-run reuse that makes
+/// adaptive exploration nearly free) and the cross-run store serves
+/// repeats at zero steps (`explore.cache_assisted`).
+///
+/// Determinism: the universe index doubles as the evaluation seed index,
+/// and the per-round block batch is derived from the *trajectory* (every
+/// block key any earlier round's universe implied), never from which
+/// blocks happen to be trained — so a resumed run re-partitions each
+/// round's batch into the same groups and replays the same training
+/// bytes.
+#[allow(clippy::too_many_arguments)]
+fn run_adaptive(
+    inputs: &WootzInputs,
+    dataset: &Dataset,
+    mode: RunMode,
+    mm: &MultiplexingModel,
+    full_ckpt: &Checkpoint,
+    full_accuracy: f64,
+    opts: &RunOptions<'_>,
+    journal: Option<Journal>,
+    replay: crate::journal::Replay,
+) -> Result<WootzRun> {
+    use std::cell::{Cell, RefCell};
+    use std::collections::BTreeSet;
+
+    if !replay.evals.is_empty() && replay.proposals.is_empty() {
+        return Err(CoreError::Journal(
+            "cannot resume an adaptive run from a journal without proposal records \
+             (the journal was written by a fixed-subspace run)"
+                .to_string(),
+        ));
+    }
+    let mut explorer = build_explorer(opts.explorer, inputs, full_ckpt)?;
+    let cfg = block_pretrain_config(&inputs.solver);
+    let batch_size = inputs.solver.batch_size;
+    let solver_hash = opts.store.map(|_| store_solver_hash(full_ckpt, &cfg));
+    // The driver thread owns the journal; proposal, block and eval sinks
+    // all run on it (never inside evaluator threads), so a RefCell
+    // serializes their access.
+    let journal = RefCell::new(journal);
+    let completed = RefCell::new(replay.blocks);
+    let known_block_keys: RefCell<BTreeSet<String>> = RefCell::new(BTreeSet::new());
+    let checkpoints: RefCell<BTreeMap<String, Checkpoint>> = RefCell::new(BTreeMap::new());
+    let pretrain_steps = Cell::new(0usize);
+    let blocks_failed = Cell::new(0usize);
+    let finetune_steps = std::sync::atomic::AtomicUsize::new(0);
+
+    let mut run_round = |round: &AdaptiveRound<'_>| -> Result<Vec<SupervisedEval>> {
+        let universe_inputs = WootzInputs {
+            model: inputs.model.clone(),
+            subspace: round.universe.to_vec(),
+            solver: inputs.solver.clone(),
+            objective: inputs.objective.clone(),
+        };
+        let (sizes, flops) = subspace_stats(&universe_inputs)?;
+        let block_set = blocks_for_mode(&universe_inputs, mode)?;
+        if let Some(set) = block_set.as_ref() {
+            // This round's pre-training batch: blocks no earlier round's
+            // universe implied. Keyed off the trajectory, not off training
+            // success, so a block that failed pre-training degrades to
+            // inherited weights instead of being silently retried under a
+            // different grouping.
+            let batch: Vec<TuningBlock> = {
+                let known = known_block_keys.borrow();
+                set.blocks
+                    .iter()
+                    .filter(|b| !known.contains(&b.key()))
+                    .cloned()
+                    .collect()
+            };
+            known_block_keys
+                .borrow_mut()
+                .extend(set.blocks.iter().map(|b| b.key()));
+            if !batch.is_empty() {
+                let mut done = completed.borrow_mut();
+                if let (Some(store), Some(solver)) = (opts.store, solver_hash) {
+                    for block in &batch {
+                        let key = block.key();
+                        if done.contains_key(&key) {
+                            continue;
+                        }
+                        let store_key = wootz_store::StoreKey {
+                            structure: block.structure_hash(),
+                            dataset: inputs.solver.dataset.clone(),
+                            solver,
+                        };
+                        if let Some(entry) = store.get(&store_key) {
+                            let hit = PretrainedBlock {
+                                key: key.clone(),
+                                checkpoint: entry.checkpoint,
+                                first_loss: entry.first_loss,
+                                last_loss: entry.last_loss,
+                                steps: 0,
+                            };
+                            if let Some(journal) = journal.borrow_mut().as_mut() {
+                                journal.append(&JournalEntry::Block(hit.clone()))?;
+                            }
+                            wootz_obs::counter("explore.cache_assisted").incr();
+                            if let Some(progress) = opts.progress {
+                                progress(&RunEvent::BlockCacheHit { key: key.clone() });
+                            }
+                            done.insert(key, hit);
+                        }
+                    }
+                }
+                // Journaled/store-served copies restricted to this batch,
+                // so replayed blocks keep their group positions.
+                let batch_completed: BTreeMap<String, PretrainedBlock> = batch
+                    .iter()
+                    .filter_map(|b| done.get(&b.key()).map(|p| (b.key(), p.clone())))
+                    .collect();
+                drop(done);
+                let pretrain_opts = PretrainOptions {
+                    faults: opts.faults,
+                    completed: batch_completed,
+                };
+                let mut block_sink = |block: &PretrainedBlock| -> Result<()> {
+                    if let Some(journal) = journal.borrow_mut().as_mut() {
+                        journal.append(&JournalEntry::Block(block.clone()))?;
+                    }
+                    if let (Some(store), Some(solver)) = (opts.store, solver_hash) {
+                        let store_key = wootz_store::StoreKey {
+                            structure: wootz_fault::fnv1a64(block.key.as_bytes()),
+                            dataset: inputs.solver.dataset.clone(),
+                            solver,
+                        };
+                        let entry = wootz_store::BlockEntry {
+                            block_key: block.key.clone(),
+                            first_loss: block.first_loss,
+                            last_loss: block.last_loss,
+                            trained_steps: block.steps as u64,
+                            checkpoint: block.checkpoint.clone(),
+                        };
+                        store
+                            .insert(&store_key, &entry)
+                            .map_err(|e| CoreError::Pipeline(e.to_string()))?;
+                    }
+                    if let Some(progress) = opts.progress {
+                        progress(&RunEvent::BlockPretrained {
+                            key: block.key.clone(),
+                            steps: block.steps,
+                        });
+                    }
+                    Ok(())
+                };
+                let outcome = pretrain_blocks_supervised(
+                    mm,
+                    &batch,
+                    full_ckpt,
+                    &cfg,
+                    |step| dataset.train_batch(step, batch_size).0,
+                    &pretrain_opts,
+                    Some(&mut block_sink),
+                )?;
+                pretrain_steps.set(pretrain_steps.get() + outcome.total_steps);
+                blocks_failed.set(blocks_failed.get() + outcome.failed.len());
+                checkpoints.borrow_mut().extend(outcome.checkpoints);
+            }
+        }
+        let ckpts = checkpoints.borrow();
+        let ctx = EvalContext::new(
+            &universe_inputs,
+            dataset,
+            mm,
+            full_ckpt,
+            block_set.as_ref(),
+            block_set.as_ref().map(|_| &*ckpts),
+            &sizes,
+            &flops,
+            opts.faults,
+        );
+        let evaluate = |config_index: usize| -> Result<EvalOutcome> {
+            let outcome = ctx.evaluate(config_index)?;
+            let steps = outcome.log.as_ref().map_or(0, |l| l.steps_run);
+            finetune_steps.fetch_add(steps, std::sync::atomic::Ordering::Relaxed);
+            Ok(outcome)
+        };
+        let evaluate = &evaluate;
+        let retry = &opts.retry;
+        let faults = opts.faults;
+        // Thread-per-config rounds, exactly like the fixed loop's
+        // `explore_parallel_supervised`: results re-associate positionally,
+        // so scheduling cannot change the fold.
+        Ok(std::thread::scope(|scope| {
+            let handles: Vec<_> = round
+                .fresh
+                .iter()
+                .map(|&config_index| {
+                    scope.spawn(move || {
+                        let _cfg_span =
+                            wootz_obs::span("explore.config").with("config", config_index);
+                        supervise_eval(evaluate, config_index, retry, faults)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .zip(round.fresh)
+                .map(|(h, &config_index)| match h.join() {
+                    Ok(sup) => sup,
+                    Err(payload) => SupervisedEval {
+                        result: Err(CoreError::Panic {
+                            what: format!("evaluator thread for config {config_index}"),
+                            message: wootz_fault::panic_message(&*payload),
+                        }),
+                        attempts: 1,
+                        backoff: 0.0,
+                    },
+                })
+                .collect()
+        }))
+    };
+
+    let mut proposal_sink = |record: &ProposalRecord| -> Result<()> {
+        if let Some(journal) = journal.borrow_mut().as_mut() {
+            journal.append(&JournalEntry::Proposal(record.clone()))?;
+        }
+        Ok(())
+    };
+    let mut eval_sink = |record: &crate::explore::EvalRecord| -> Result<()> {
+        if let Some(journal) = journal.borrow_mut().as_mut() {
+            journal.append(&JournalEntry::Eval(record.clone()))?;
+        }
+        if let Some(progress) = opts.progress {
+            progress(&RunEvent::EvalDone {
+                config_index: record.config_index(),
+                accuracy: record.outcome().map(|o| o.accuracy),
+            });
+        }
+        Ok(())
+    };
+    let explore_opts = ExploreOptions {
+        faults: opts.faults,
+        retry: opts.retry,
+        resume: replay.evals,
+    };
+    let adaptive_opts = AdaptiveOptions {
+        explore: &explore_opts,
+        budget: opts.explorer_budget,
+        replay_proposals: &replay.proposals,
+    };
+    let outcome = explore_adaptive(
+        explorer.as_mut(),
+        &inputs.objective,
+        inputs.solver.num_workers,
+        &mut run_round,
+        &adaptive_opts,
+        Some(&mut proposal_sink),
+        Some(&mut eval_sink),
+    )?;
+    wootz_obs::event("pipeline.explored")
+        .field("configs_explored", outcome.exploration.configs_explored)
+        .field("wall_cost", outcome.exploration.wall_cost)
+        .field("total_cost", outcome.exploration.total_cost)
+        .field("fresh", outcome.exploration.fresh_evals())
+        .field("resumed", outcome.exploration.resumed)
+        .field("failed", outcome.exploration.failed)
+        .field("explorer", opts.explorer.as_str())
+        .field("rounds", outcome.rounds)
+        .field("converged", outcome.converged)
+        .emit();
+
+    let best = best_network_in(&outcome.universe, &outcome.exploration);
+    let blocks_pretrained = known_block_keys.borrow().len();
+    Ok(WootzRun {
+        mode,
+        full_accuracy,
+        best,
+        exploration: outcome.exploration,
+        blocks_pretrained,
+        blocks_failed: Some(blocks_failed.get()),
+        pretrain_steps: pretrain_steps.get(),
+        finetune_steps: finetune_steps.into_inner(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -855,6 +1278,140 @@ mod tests {
         let cool = run_wootz_with(&other, &ds, RunMode::Composability, None, &opts).unwrap();
         assert!(cool.pretrain_steps > 0, "different solver must retrain");
         assert!(store.stats().misses > misses_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn module_saliency_ranks_every_conv_module() {
+        let inputs = tiny_inputs(2);
+        let ds = micro_dataset("flowers102", 3);
+        let mm = MultiplexingModel::compile(inputs.model.clone()).unwrap();
+        let (ckpt, _, _) = train_full_model(&mm, &ds, &inputs.solver).unwrap();
+        let saliency = module_saliency(&inputs.model, &ckpt);
+        assert_eq!(saliency.len(), inputs.model.conv_module_ids().len());
+        // Trained conv weights have non-zero L1 mass; prunable modules get
+        // finite positive saliencies.
+        assert!(saliency.iter().any(|s| s.is_finite() && *s > 0.0));
+        // Deterministic in the checkpoint.
+        assert_eq!(saliency, module_saliency(&inputs.model, &ckpt));
+    }
+
+    #[test]
+    fn adaptive_taylor_run_explores_proposed_universe() {
+        let inputs = tiny_inputs(3);
+        let ds = micro_dataset("flowers102", 3);
+        let opts = RunOptions {
+            explorer: ExplorerKind::Taylor,
+            explorer_budget: 4,
+            ..RunOptions::default()
+        };
+        let run = run_wootz_with(&inputs, &ds, RunMode::Composability, None, &opts).unwrap();
+        assert!(run.exploration.configs_explored >= 1);
+        assert!(run.exploration.configs_explored <= 4, "{run:?}");
+        assert!(run.blocks_pretrained > 0);
+        assert!(run.finetune_steps > 0);
+        // The first Taylor rung (every module at the lowest rate) is a
+        // gentle prune; on the micro dataset it satisfies the 0.2 bound.
+        assert!(run.best.is_some(), "{run:?}");
+    }
+
+    #[test]
+    fn adaptive_bandit_resume_is_bit_identical() {
+        // Unsatisfiable accuracy bound: the run deterministically spends
+        // its whole budget, then a resume must replay every proposal and
+        // evaluation without fresh work.
+        let mut inputs = tiny_inputs(3);
+        inputs.objective = Objective::min_size_with_accuracy(0.99);
+        let ds = micro_dataset("flowers102", 3);
+        let dir = std::env::temp_dir().join(format!("wootz_adapt_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("run.journal");
+        let opts = RunOptions {
+            journal: Some(journal.clone()),
+            explorer: ExplorerKind::Bandit,
+            explorer_budget: 3,
+            ..RunOptions::default()
+        };
+        let cold = run_wootz_with(&inputs, &ds, RunMode::Composability, None, &opts).unwrap();
+        assert_eq!(cold.exploration.configs_explored, 3);
+        assert!(cold.blocks_pretrained > 0);
+
+        let opts = RunOptions {
+            resume: true,
+            ..opts
+        };
+        let warm = run_wootz_with(&inputs, &ds, RunMode::Composability, None, &opts).unwrap();
+        assert_eq!(warm.exploration.fresh_evals(), 0, "{warm:?}");
+        assert_eq!(warm.exploration.resumed, cold.exploration.configs_explored);
+        // Early train-log records may hold NaN losses (NaN != NaN), so
+        // compare the decisive fields per record.
+        let digest = |run: &WootzRun| -> Vec<(usize, bool, Option<(usize, u64, f64, f64)>)> {
+            run.exploration
+                .evaluated
+                .iter()
+                .map(|r| {
+                    (
+                        r.config_index(),
+                        r.satisfies(),
+                        r.outcome()
+                            .map(|o| (o.model_size, o.flops, o.accuracy, o.cost)),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(digest(&warm), digest(&cold));
+        assert_eq!(warm.best, cold.best);
+        assert_eq!(warm.pretrain_steps, cold.pretrain_steps);
+        assert_eq!(warm.blocks_pretrained, cold.blocks_pretrained);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explorer_journal_mismatch_is_rejected_both_ways() {
+        let inputs = tiny_inputs(3);
+        let ds = micro_dataset("flowers102", 3);
+        let dir = std::env::temp_dir().join(format!("wootz_adapt_mismatch_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A fixed-subspace journal cannot seed an adaptive resume.
+        let fixed_journal = dir.join("fixed.journal");
+        let opts = RunOptions {
+            journal: Some(fixed_journal.clone()),
+            ..RunOptions::default()
+        };
+        run_wootz_with(&inputs, &ds, RunMode::Baseline, None, &opts).unwrap();
+        let opts = RunOptions {
+            journal: Some(fixed_journal),
+            resume: true,
+            explorer: ExplorerKind::Bandit,
+            explorer_budget: 2,
+            ..RunOptions::default()
+        };
+        let err = run_wootz_with(&inputs, &ds, RunMode::Baseline, None, &opts)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("without proposal records"), "{err}");
+
+        // An adaptive journal cannot be resumed by the fixed loop.
+        let adaptive_journal = dir.join("adaptive.journal");
+        let opts = RunOptions {
+            journal: Some(adaptive_journal.clone()),
+            explorer: ExplorerKind::Taylor,
+            explorer_budget: 2,
+            ..RunOptions::default()
+        };
+        run_wootz_with(&inputs, &ds, RunMode::Baseline, None, &opts).unwrap();
+        let opts = RunOptions {
+            journal: Some(adaptive_journal),
+            resume: true,
+            ..RunOptions::default()
+        };
+        let err = run_wootz_with(&inputs, &ds, RunMode::Baseline, None, &opts)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("proposal records"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -51,6 +51,10 @@ pub mod record_type {
     /// Run-journal entry: one configuration evaluation, carried as the
     /// canonical JSON document (same serializer as the run dir).
     pub const JOURNAL_EVAL: u16 = 0x4A04;
+    /// Run-journal entry: one adaptive-explorer proposal round (round
+    /// index, strategy name, proposed configurations), carried as the
+    /// canonical JSON document like [`JOURNAL_EVAL`].
+    pub const JOURNAL_PROPOSAL: u16 = 0x4A06;
     /// A stand-alone checkpoint file: content hash + named tensors.
     pub const CHECKPOINT: u16 = 0x4301;
     /// Block-store entry: one cached pre-trained tuning block, keyed by

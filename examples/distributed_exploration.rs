@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "\ntask assignment with {workers} worker(s) — node i gets the (i + p*j)-th model:"
         );
-        for (node, tasks) in task_assignment(&order, workers).iter().enumerate() {
+        for (node, tasks) in task_assignment(&order, workers)?.iter().enumerate() {
             println!("  node {node}: {tasks:?}");
         }
     }

@@ -319,4 +319,35 @@ cold_best=$(best_of "$SMOKE/subB_cold.out")
     echo "  warm: $warm_best"; echo "  cold: $cold_best"; exit 1; }
 echo "serve smoke ok: job A trained $pretrained_a blocks, job B served $hits_b/$hits_b from cache, results identical"
 
+echo "== explorer smoke: seeded bandit reproducibility + reproduce explorers gate =="
+# Same seed, same flags, run twice: the bandit policy is ChaCha8-seeded
+# from the solver seed, so the entire results JSON must come out
+# byte-identical (DESIGN.md §14).
+explorer_prune() {
+    "$W" prune --model "$SMOKE/model.prototxt" --configs "$SMOKE/configs.json" \
+        --solver "$SMOKE/solver.prototxt" --objective "$SMOKE/objective.txt" \
+        --explorer bandit --explorer-budget 8 "$@" >/dev/null
+}
+explorer_prune --out "$SMOKE/bandit_a.json"
+explorer_prune --out "$SMOKE/bandit_b.json"
+cmp -s "$SMOKE/bandit_a.json" "$SMOKE/bandit_b.json" || {
+    echo "explorer smoke FAILED: two seeded bandit runs differ"; exit 1; }
+# The bench gate (exit code carries the verdict): every strategy reaches
+# the accuracy target, warm reruns pretrain nothing and stay
+# bit-identical to cold, and at least one adaptive strategy beats fixed
+# on evaluations-to-target with the block store warm.
+R="$PWD/target/release/reproduce"
+(cd "$SMOKE" && "$R" explorers) > "$SMOKE/explorers.out" 2>&1 || {
+    echo "explorer smoke FAILED: reproduce explorers exited non-zero"
+    cat "$SMOKE/explorers.out"; exit 1; }
+[ -s "$SMOKE/BENCH_explorers.json" ] || {
+    echo "explorer smoke FAILED: BENCH_explorers.json not written"; exit 1; }
+# Budget 0 leaves every adaptive strategy short of the target: the gate
+# must exit non-zero, not report success.
+if (cd "$SMOKE" && "$R" explorers --budget 0) > "$SMOKE/explorers0.out" 2>&1; then
+    echo "explorer smoke FAILED: --budget 0 should exit non-zero"
+    cat "$SMOKE/explorers0.out"; exit 1
+fi
+echo "explorer smoke ok: $(grep -c '"strategy"' "$SMOKE/BENCH_explorers.json") strategy rows, seeded bandit byte-stable, zero budget refused"
+
 echo "verify.sh: all gates passed"
